@@ -1,0 +1,49 @@
+"""Ablation: strong-scaling energy of the decomposed in-situ pipeline.
+
+The multi-node future-work question, run as a sweep: one fixed global
+problem over 1..36 nodes.  Wall time falls ~1/N (the physics really runs
+decomposed, with bitwise-identical results), while *total* cluster
+energy stays roughly flat under perfect scaling and then drifts up as
+halo-exchange and compositing traffic accumulate — more nodes never make
+the fixed problem cheaper in joules.
+"""
+
+from conftest import run_once
+
+from repro.calibration import CASE_STUDIES
+from repro.pipelines import ClusterInSituPipeline, PipelineConfig, PipelineRunner
+
+
+def test_cluster_strong_scaling(benchmark):
+    def sweep():
+        runner = PipelineRunner(seed=2015, jitter=0)
+        config = PipelineConfig(case=CASE_STUDIES[1])
+        out = {}
+        for n in (1, 4, 9, 36):
+            run = runner.run(ClusterInSituPipeline(config, n_nodes=n),
+                             run_id=f"strong-{n}")
+            out[n] = {
+                "time_s": run.execution_time_s,
+                "total_energy_j": run.extra["total_energy_j"],
+                "mesh": run.extra["mesh"],
+                "mean_t": run.extra["final_mean_temperature"],
+            }
+        return out
+
+    data = run_once(benchmark, sweep)
+    print("\nAblation: strong scaling of decomposed in-situ (case 1)")
+    for n, row in data.items():
+        print(f"  {n:2d} nodes {str(row['mesh']):8s}: "
+              f"T={row['time_s']:7.2f} s, cluster E={row['total_energy_j'] / 1000:6.2f} kJ")
+
+    # The decomposed physics is the same physics.
+    temps = {row["mean_t"] for row in data.values()}
+    assert max(temps) - min(temps) < 1e-9
+    # Time scales down steeply.
+    assert data[4]["time_s"] < data[1]["time_s"] / 3
+    assert data[36]["time_s"] < data[9]["time_s"]
+    # Energy: flat under perfect scaling, never better than 1 node.
+    e1 = data[1]["total_energy_j"]
+    for n, row in data.items():
+        assert row["total_energy_j"] > 0.9 * e1
+    assert data[36]["total_energy_j"] >= data[4]["total_energy_j"] * 0.98

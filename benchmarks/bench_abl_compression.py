@@ -1,0 +1,58 @@
+"""Ablation: dump compression on volume-scaled post-processing.
+
+Application-driven compression [22] is the other data-reduction family
+the related work covers.  At the paper's 128 KiB dumps the write event
+is barrier-dominated and compression is pointless; on volume-scaled
+dumps (where the transfer term dominates) a lossless codec's byte
+savings convert into wall time and energy directly.  The sweep measures
+both regimes plus the achieved compression ratios on real solver output.
+"""
+
+from conftest import run_once
+
+from repro.pipelines.base import make_solver
+from repro.rng import RngRegistry
+from repro.storage.compression import CODECS, compression_ratio
+from repro.calibration import STAGE
+
+
+def test_compression_ablation(benchmark):
+    def sweep():
+        # Real solver output after 25 steps: smooth field, compresses well.
+        solver = make_solver(RngRegistry(2015))
+        solver.step(25)
+        payload = solver.grid.to_bytes()
+        ratios = {
+            name: compression_ratio(payload, codec)
+            for name, codec in CODECS.items() if name != "identity"
+        }
+        # Write-event durations with/without compression at two volumes.
+        wr = STAGE["nnwrite"]
+        timings = {}
+        for label, nbytes in (("128 KiB", 128 * 1024), ("512 MiB", 512 << 20)):
+            raw = wr.duration_for(nbytes)
+            best = max(ratios.values())
+            compressed = wr.duration_for(max(1, int(nbytes / best)))
+            timings[label] = {"raw_s": raw, "compressed_s": compressed,
+                              "speedup": raw / compressed}
+        return ratios, timings
+
+    ratios, timings = run_once(benchmark, sweep)
+    print("\nAblation: dump compression (real solver output)")
+    for name, ratio in ratios.items():
+        print(f"  codec {name:9s}: {ratio:5.2f}x")
+    for label, row in timings.items():
+        print(f"  {label} write event: {row['raw_s']:7.2f} s raw -> "
+              f"{row['compressed_s']:7.2f} s compressed "
+              f"({row['speedup']:.2f}x)")
+
+    # Real float64 solver output carries mantissa entropy from the noisy
+    # initial condition: zlib alone is modest, demote-then-deflate wins.
+    assert ratios["zlib"] > 1.1
+    assert ratios["f32"] == 2.0
+    assert ratios["f32+zlib"] > 2.5
+    assert ratios["f32+zlib"] > ratios["zlib"]
+    # Barrier-dominated regime: compression buys nothing at 128 KiB...
+    assert timings["128 KiB"]["speedup"] < 1.01
+    # ...transfer-dominated regime: it buys a lot.
+    assert timings["512 MiB"]["speedup"] > 1.5

@@ -1,0 +1,56 @@
+"""Ablation: running the pipelines under a node power cap.
+
+Fig 9's observation — in-situ does not raise peak power — matters
+because power-capped systems throttle whatever exceeds the budget.  The
+sweep fits both pipelines under tightening caps and measures the
+time/energy cost of compliance, plus whether in-situ's cap behaviour
+really matches post-processing's.
+"""
+
+from conftest import run_once
+
+from repro.analysis import fit_under_cap
+from repro.machine import Node
+from repro.power import MeterRig
+from repro.rng import RngRegistry
+
+
+def test_powercap_sweep(benchmark, lab):
+    outcome = lab.outcomes()[1]
+    node = Node()
+
+    def sweep():
+        out = {}
+        for cap in (150.0, 135.0, 120.0):
+            row = {}
+            for kind, run in (("post", outcome.post),
+                              ("insitu", outcome.insitu)):
+                report = fit_under_cap(run.timeline, node, cap)
+                rig = MeterRig(node, jitter=0, rng=RngRegistry(17))
+                profile = rig.sample(report.capped_timeline)
+                row[kind] = {
+                    "slowdown": report.slowdown,
+                    "energy_j": profile.energy(),
+                    "feasible": report.feasible,
+                }
+            out[cap] = row
+        return out
+
+    data = run_once(benchmark, sweep)
+    print("\nAblation: pipelines under a node power cap")
+    for cap, row in data.items():
+        print(f"  cap {cap:5.1f} W: post slowdown {row['post']['slowdown']:.3f}x "
+              f"({row['post']['energy_j'] / 1000:6.2f} kJ), "
+              f"in-situ slowdown {row['insitu']['slowdown']:.3f}x "
+              f"({row['insitu']['energy_j'] / 1000:6.2f} kJ)")
+
+    # A cap above both peaks is free for everyone.
+    assert data[150.0]["post"]["slowdown"] == 1.0
+    assert data[150.0]["insitu"]["slowdown"] == 1.0
+    # Tight caps hurt in-situ *more* in relative slowdown — it spends a
+    # larger fraction of its time in the 143 W simulation stage — yet it
+    # remains the lower-energy pipeline at every cap.
+    assert data[120.0]["insitu"]["slowdown"] > data[120.0]["post"]["slowdown"]
+    for cap, row in data.items():
+        assert row["insitu"]["feasible"] and row["post"]["feasible"]
+        assert row["insitu"]["energy_j"] < row["post"]["energy_j"]

@@ -1,0 +1,18 @@
+"""Future-work extension: the runtime power-optimization advisor."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.runtime import Technique
+
+
+def test_ext_advisor(benchmark, lab):
+    result = run_once(benchmark, run_experiment, "ext-advisor", lab)
+    print("\n" + result.text)
+    decisions = {name: rec.technique for name, rec in result.data.items()}
+    assert decisions["batch, random I/O, no exploration"] is Technique.IN_SITU
+    assert (decisions["random I/O, exploration needed"]
+            is Technique.DATA_REORGANIZATION)
+    for rec in result.data.values():
+        assert 0 <= rec.estimated_savings_fraction <= 0.95
+        assert rec.rationale

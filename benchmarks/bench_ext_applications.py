@@ -1,0 +1,24 @@
+"""Future-work extension: synthetic real-application profiles.
+
+Section VI.A item 1 asks for evaluation on real applications (MPAS,
+xRAGE).  This bench runs the pipeline comparison across application
+*shapes*: the paper's proxy, an ocean-model-like dense-output large-state
+profile, and an AMR-hydro-like bursty-output profile.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_ext_applications(benchmark, lab):
+    result = run_once(benchmark, run_experiment, "ext-applications", lab)
+    print("\n" + result.text)
+    outcomes = result.data
+    savings = {name: o.energy_savings_fraction for name, o in outcomes.items()}
+    # In-situ wins for every application shape...
+    assert all(s > 0.02 for s in savings.values())
+    # ...most for the dense-output, large-state ocean-model shape, least
+    # for the compute-heavy bursty AMR shape.
+    assert savings["mpas-ocean-like"] == max(savings.values())
+    assert savings["xrage-like"] == min(savings.values())

@@ -1,0 +1,55 @@
+"""Future-work extension: in-situ image databases (Cinema, ref [12]).
+
+Sweeps the number of rendered parameter combinations per timestep and
+finds the crossover against classic post-processing: with the proxy
+app's cheap dumps, an image database of more than a few combinations
+costs more energy than keeping the raw data — the image-based answer to
+in-situ's exploration loss is only free when dumps are expensive
+relative to renders.
+"""
+
+from conftest import run_once
+
+from repro.calibration import CASE_STUDIES
+from repro.pipelines import (
+    InSituPipeline,
+    PipelineConfig,
+    PipelineRunner,
+    PostProcessingPipeline,
+)
+from repro.pipelines.cinema import CinemaPipeline, default_spec
+
+
+def test_cinema_crossover(benchmark):
+    def sweep():
+        runner = PipelineRunner(seed=2015, jitter=0)
+        config = PipelineConfig(case=CASE_STUDIES[1], verify_data=False)
+        post = runner.run(PostProcessingPipeline(config), run_id="cinb-post")
+        insitu = runner.run(InSituPipeline(config), run_id="cinb-ins")
+        rows = {}
+        for n in (1, 2, 4, 8):
+            spec = default_spec(n)
+            run = runner.run(CinemaPipeline(config, spec),
+                             run_id=f"cinb-{n}")
+            rows[spec.n_combinations] = {
+                "energy_j": run.energy_j,
+                "frames": run.images_rendered,
+            }
+        return post.energy_j, insitu.energy_j, rows
+
+    post_j, insitu_j, rows = run_once(benchmark, sweep)
+    print("\nExt: Cinema image database vs raw-data post-processing (case 1)")
+    print(f"  post-processing (raw data) : {post_j / 1000:6.2f} kJ")
+    print(f"  plain in-situ (1 frame)    : {insitu_j / 1000:6.2f} kJ")
+    for combos, row in sorted(rows.items()):
+        verdict = "cheaper" if row["energy_j"] < post_j else "MORE expensive"
+        print(f"  cinema x{combos:2d} combos         : "
+              f"{row['energy_j'] / 1000:6.2f} kJ ({row['frames']} frames) "
+              f"-> {verdict} than raw dumps")
+
+    energies = [rows[k]["energy_j"] for k in sorted(rows)]
+    # Cost grows monotonically with database richness...
+    assert energies == sorted(energies)
+    # ...small databases beat raw dumps, rich ones lose to them.
+    assert energies[0] < post_j
+    assert energies[-1] > post_j

@@ -1,0 +1,32 @@
+"""Future-work extension: the fio read jobs on SSD, NVRAM, and RAID 0.
+
+The paper's Section VI proposes evaluating "RAID disks, solid-state
+drives, and other flash-based devices such as NVRAM".  The testable
+shape: the random/sequential energy gap that powers the whole Section
+V.D argument is a mechanical-disk artifact and collapses on flash.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis import save_csv
+from repro.experiments import run_experiment
+
+
+def test_ext_devices(benchmark, lab, output_dir):
+    result = run_once(benchmark, run_experiment, "ext-devices", lab)
+    print("\n" + result.text)
+    data = result.data
+    save_csv(os.path.join(output_dir, "ext_devices.csv"), {
+        "device": list(data),
+        "seq_read_s": [d["seq_read_s"] for d in data.values()],
+        "rand_read_s": [d["rand_read_s"] for d in data.values()],
+        "rand_seq_energy_ratio": [d["rand_seq_energy_ratio"] for d in data.values()],
+    })
+    assert data["hdd"]["rand_seq_energy_ratio"] > 20
+    assert data["ssd"]["rand_seq_energy_ratio"] < 5
+    assert data["nvram"]["rand_seq_energy_ratio"] < 2
+    # RAID 0 multiplies sequential bandwidth but not random behaviour.
+    assert data["raid0-4xhdd"]["seq_read_s"] < data["hdd"]["seq_read_s"] / 1.5
+    assert data["raid0-4xhdd"]["rand_seq_energy_ratio"] > 20

@@ -1,0 +1,19 @@
+"""Future-work extension: multi-node in-transit vs single-node pipelines."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_ext_multinode(benchmark, lab):
+    result = run_once(benchmark, run_experiment, "ext-multinode", lab)
+    print("\n" + result.text)
+    data = result.data
+    post, insitu, transit = data["post"], data["insitu"], data["intransit"]
+    # Shipping over the interconnect beats storing on disk: the compute
+    # node finishes faster than the post-processing pipeline.
+    assert transit.execution_time_s < post.execution_time_s
+    assert transit.energy_j < post.energy_j
+    # But once the staging node's static draw is charged, the two-node
+    # total exceeds single-node in-situ.
+    assert data["total_energy_j"] > insitu.energy_j

@@ -1,0 +1,28 @@
+"""Fig 11: normalized energy efficiency of the two pipelines."""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis import save_csv
+from repro.experiments import run_experiment
+
+
+def test_fig11(benchmark, lab, output_dir):
+    result = run_once(benchmark, run_experiment, "fig11", lab)
+    print("\n" + result.text)
+    norm = result.data
+    save_csv(os.path.join(output_dir, "fig11_efficiency.csv"), {
+        "case": list(norm),
+        "post_norm": [v[0] for v in norm.values()],
+        "insitu_norm": [v[1] for v in norm.values()],
+    })
+    # In-situ is more efficient everywhere; the best configuration
+    # normalizes to 1.0.
+    for post_eff, insitu_eff in norm.values():
+        assert insitu_eff > post_eff
+    assert max(v for pair in norm.values() for v in pair) == 1.0
+    # Paper: "improvement ... varies from 22% to 72% depending on the
+    # time spent in I/O" — case 1 gives the top of that range.
+    improvement_case1 = norm[1][1] / norm[1][0] - 1
+    assert 0.65 < improvement_case1 < 0.85

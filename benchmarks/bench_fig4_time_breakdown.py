@@ -1,0 +1,18 @@
+"""Fig 4: percentage of execution time per stage, three case studies."""
+
+from conftest import run_once
+
+from repro.calibration import PAPER
+from repro.experiments import run_experiment
+
+
+def test_fig4(benchmark, lab):
+    result = run_once(benchmark, run_experiment, "fig4", lab)
+    print("\n" + result.text)
+    shares = result.data
+    for case, expected in PAPER["fig4_shares"].items():
+        for stage, frac in expected.items():
+            measured = shares[case][stage]
+            assert abs(measured - frac) < 0.015, (case, stage, measured, frac)
+    # Simulation share grows as I/O cadence drops: 33% -> 50% -> 80%.
+    assert shares[1]["simulation"] < shares[2]["simulation"] < shares[3]["simulation"]

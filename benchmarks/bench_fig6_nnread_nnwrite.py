@@ -1,0 +1,24 @@
+"""Fig 6: power profiles of isolated nnread and nnwrite stages."""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis import save_csv
+from repro.experiments import run_experiment
+
+
+def test_fig6(benchmark, lab, output_dir):
+    result = run_once(benchmark, run_experiment, "fig6", lab)
+    print("\n" + result.text)
+    profiles = result.data
+    for stage, profile in profiles.items():
+        save_csv(os.path.join(output_dir, f"fig6_{stage}.csv"),
+                 profile.to_columns())
+    # Section V.A: "the average power consumed by the reads and the
+    # writes is nearly the same."
+    read_avg = profiles["nnread"].average()
+    write_avg = profiles["nnwrite"].average()
+    assert abs(read_avg - write_avg) < 2.0
+    assert 113.5 < read_avg < 116.5    # paper: 115.1 W
+    assert 113.0 < write_avg < 116.5   # paper: 114.8 W

@@ -1,0 +1,27 @@
+"""Fig 8: average power of post-processing vs in-situ pipelines."""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis import save_csv
+from repro.experiments import run_experiment
+
+
+def test_fig8(benchmark, lab, output_dir):
+    result = run_once(benchmark, run_experiment, "fig8", lab)
+    print("\n" + result.text)
+    rows = result.data
+    save_csv(os.path.join(output_dir, "fig8_average_power.csv"), {
+        "case": [r.case_index for r in rows],
+        "post_w": [r.avg_power_post_w for r in rows],
+        "insitu_w": [r.avg_power_insitu_w for r in rows],
+    })
+    by_case = {r.case_index: r for r in rows}
+    # Paper: in-situ consumed 8 %, 5 %, 3 % more power on average.
+    assert abs(by_case[1].avg_power_increase_pct - 8) < 1.5
+    assert abs(by_case[2].avg_power_increase_pct - 5) < 2.0
+    assert abs(by_case[3].avg_power_increase_pct - 3) < 1.5
+    for r in rows:
+        assert r.avg_power_insitu_w > r.avg_power_post_w
+        assert 120 < r.avg_power_post_w < 145

@@ -1,0 +1,24 @@
+"""Fig 9: peak power of post-processing vs in-situ pipelines."""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis import save_csv
+from repro.experiments import run_experiment
+
+
+def test_fig9(benchmark, lab, output_dir):
+    result = run_once(benchmark, run_experiment, "fig9", lab)
+    print("\n" + result.text)
+    rows = result.data
+    save_csv(os.path.join(output_dir, "fig9_peak_power.csv"), {
+        "case": [r.case_index for r in rows],
+        "post_w": [r.peak_power_post_w for r in rows],
+        "insitu_w": [r.peak_power_insitu_w for r in rows],
+    })
+    # Paper: "There is no significant difference in the peak power" —
+    # the metric that matters for power-capped systems.
+    for r in rows:
+        assert abs(r.peak_power_delta_pct) < 4
+        assert 140 < r.peak_power_post_w < 152  # simulation stage ~143 W + noise

@@ -1,0 +1,29 @@
+"""Section V.C: breakdown of the in-situ energy savings.
+
+Paper: for case study 1, 12.8 kJ of the savings is static (avoided
+idling) and 1.2 kJ dynamic (avoided data movement) — "as much as 91% of
+the energy is saved by avoiding system idling."
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_sec5c(benchmark, lab):
+    result = run_once(benchmark, run_experiment, "sec5c", lab)
+    print("\n" + result.text)
+    analyses = result.data
+    case1 = analyses[1].breakdown
+    assert abs(case1.static_fraction - 0.91) < 0.03
+    assert abs(case1.dynamic_savings_j - 1_200) < 300
+    # The paper's printed static figure (12.8 kJ) plus its dynamic figure
+    # (1.2 kJ) exceeds 43 % of its own ~30 kJ Fig 10 baseline; the
+    # consistent static value is ~11.7 kJ (see EXPERIMENTS.md).
+    assert abs(case1.static_savings_j - 11_700) < 1_200
+    # The static/dynamic split is a property of the machine, not the
+    # I/O cadence: it holds across all three case studies.
+    for analysis in analyses.values():
+        assert analysis.breakdown.static_fraction > 0.85
+        # Table II input sanity.
+        assert abs(analysis.io_dynamic_power_w - 10.15) < 1.0

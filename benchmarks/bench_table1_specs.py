@@ -1,0 +1,13 @@
+"""Table I: hardware specification of the system under test."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, lab):
+    result = run_once(benchmark, run_experiment, "table1", lab)
+    print("\n" + result.text)
+    assert result.data["CPU"] == "2x Intel Xeon E5-2665"
+    assert result.data["Memory size"] == "64 GB"
+    assert result.data["Disk bandwidth"] == "6.0 Gbps"

@@ -1,0 +1,18 @@
+"""Table II: average total/dynamic power of the nnread/nnwrite stages."""
+
+from conftest import run_once
+
+from repro.calibration import PAPER
+from repro.experiments import run_experiment
+
+
+def test_table2(benchmark, lab):
+    result = run_once(benchmark, run_experiment, "table2", lab)
+    print("\n" + result.text)
+    table = result.data
+    expected = PAPER["table2"]
+    for stage in ("nnread", "nnwrite"):
+        assert abs(table[stage].avg_total_w - expected[stage]["total_w"]) < 1.0
+        assert abs(table[stage].avg_dynamic_w - expected[stage]["dynamic_w"]) < 1.0
+        # The static residue is the 104.8 W floor of the whole study.
+        assert abs(table[stage].static_w - PAPER["static_floor_w"]) < 1.0

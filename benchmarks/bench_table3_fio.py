@@ -1,0 +1,32 @@
+"""Table III: performance, power, and energy for the fio tests."""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis import save_csv
+from repro.calibration import PAPER
+from repro.experiments import run_experiment
+
+
+def test_table3(benchmark, lab, output_dir):
+    result = run_once(benchmark, run_experiment, "table3", lab)
+    print("\n" + result.text)
+    results = result.data
+    save_csv(os.path.join(output_dir, "table3_fio.csv"), {
+        "job": list(results),
+        "time_s": [r.elapsed_s for r in results.values()],
+        "system_w": [r.system_power_w for r in results.values()],
+        "disk_dyn_w": [r.disk_dynamic_power_w for r in results.values()],
+        "system_kj": [r.system_energy_j / 1000 for r in results.values()],
+    })
+    paper = PAPER["table3"]
+    for job, expected in paper.items():
+        r = results[job]
+        assert abs(r.elapsed_s - expected["time_s"]) / expected["time_s"] < 0.03, job
+        assert abs(r.system_power_w - expected["system_w"]) < 1.5, job
+        assert abs(r.disk_dynamic_power_w - expected["disk_dyn_w"]) < 0.7, job
+    # The qualitative story: random reads are catastrophically expensive;
+    # random writes are rescued by write-back caching + reordering.
+    assert results["rand_read"].elapsed_s > 50 * results["seq_read"].elapsed_s
+    assert results["rand_write"].elapsed_s < 1.3 * results["seq_write"].elapsed_s

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped :class:`~repro.experiments.figures.Lab` memoizes the
+paired pipeline runs and the fio sweep, so each figure's bench measures
+its own reproduction step without re-running the whole evaluation.
+
+Every bench prints the reproduced artifact (table / ASCII chart) and
+writes its data series to ``benchmarks/output/`` as CSV.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import Lab
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    return Lab(seed=2015)
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> str:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    return OUTPUT_DIR
+
+
+def run_once(benchmark, fn, *args):
+    """Run a reproduction exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

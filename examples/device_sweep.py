@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Future-work sweep: storage devices and the multi-node pipeline.
+
+Explores the paper's Section VI agenda: how do the study's conclusions
+change on SSDs, NVRAM, RAID arrays, and when visualization moves to a
+staging node over the interconnect?
+"""
+
+from repro import InTransitPipeline, PipelineConfig, PipelineRunner, run_case_study
+from repro.analysis import format_table
+from repro.calibration import CASE_STUDIES
+from repro.machine import HddModel, Node, NvramModel, RaidArray, RaidLevel, SsdModel
+from repro.machine.specs import paper_testbed
+from repro.workloads import FIO_JOBS, FioRunner
+
+
+def device_table() -> None:
+    spec = paper_testbed()
+    devices = {
+        "hdd (paper)": lambda: HddModel(spec.disk),
+        "ssd": SsdModel,
+        "nvram": NvramModel,
+        "raid0 4x hdd": lambda: RaidArray(
+            [HddModel(spec.disk) for _ in range(4)], RaidLevel.RAID0),
+    }
+    rows = []
+    for name, factory in devices.items():
+        runner = FioRunner(Node(spec, storage=factory()), seed=2015)
+        seq = runner.run(FIO_JOBS["seq_read"])
+        rand = runner.run(FIO_JOBS["rand_read"])
+        rows.append([name, seq.elapsed_s, rand.elapsed_s,
+                     seq.system_energy_j / 1000, rand.system_energy_j / 1000])
+    print(format_table(
+        ["Device", "seq read (s)", "rand read (s)", "seq (kJ)", "rand (kJ)"],
+        rows, title="4 GiB reads across storage technologies",
+    ))
+
+
+def multinode_table() -> None:
+    runner = PipelineRunner(seed=2015)
+    outcome = run_case_study(1, runner)
+    transit = runner.run(InTransitPipeline(PipelineConfig(case=CASE_STUDIES[1])))
+    rows = [
+        ["post-processing (1 node)", outcome.post.execution_time_s,
+         outcome.post.energy_j / 1000],
+        ["in-situ (1 node)", outcome.insitu.execution_time_s,
+         outcome.insitu.energy_j / 1000],
+        ["in-transit, compute node only", transit.execution_time_s,
+         transit.energy_j / 1000],
+        ["in-transit, compute + staging", transit.execution_time_s,
+         transit.extra["total_energy_j"] / 1000],
+    ]
+    print(format_table(
+        ["Pipeline", "time (s)", "energy (kJ)"], rows,
+        title="Case study 1 with a staging node (in-transit)",
+    ))
+
+
+def main() -> None:
+    device_table()
+    print()
+    multinode_table()
+    print("\ntakeaways: flash removes the random-access energy penalty the "
+          "paper's Sec V.D targets;\nshipping to a staging node helps the "
+          "compute node but the pair must amortize the second static floor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The middle ground: everything between post-processing and in-situ.
+
+The paper frames the choice as binary — keep all the data (and pay for
+it) or visualize in situ (and lose exploration).  The literature it
+cites offers middle points, all implemented here:
+
+* **sampling hybrid** [21]: in-situ rendering plus decimated dumps,
+  with the reconstruction error measured per run;
+* **Cinema image database** [12]: render a whole parameter space per
+  timestep instead of keeping raw data;
+* **decomposed multi-node in-situ**: the same physics strong-scaled over
+  a cluster, with halo-exchange and compositing traffic priced;
+* **power-capped runs**: what each pipeline costs when the node must
+  stay under a power budget.
+"""
+
+from repro import PipelineRunner
+from repro.analysis import fit_under_cap, format_table
+from repro.calibration import CASE_STUDIES
+from repro.machine import Node
+from repro.pipelines import (
+    CinemaPipeline,
+    ClusterInSituPipeline,
+    InSituPipeline,
+    PipelineConfig,
+    PostProcessingPipeline,
+    SamplingInSituPipeline,
+)
+from repro.pipelines.cinema import default_spec
+from repro.power import MeterRig
+from repro.rng import RngRegistry
+
+
+def main() -> None:
+    runner = PipelineRunner(seed=2015)
+    config = PipelineConfig(case=CASE_STUDIES[1])
+
+    post = runner.run(PostProcessingPipeline(config))
+    insitu = runner.run(InSituPipeline(config))
+    sampled = runner.run(SamplingInSituPipeline(config, sampling_factor=4))
+    cinema = runner.run(CinemaPipeline(config, default_spec(4)))
+
+    rows = [
+        ["post-processing (all raw data)", post.execution_time_s,
+         post.energy_j / 1000, "full re-analysis"],
+        ["sampling hybrid 1/4", sampled.execution_time_s,
+         sampled.energy_j / 1000,
+         f"coarse data, NRMSE {sampled.extra['mean_nrmse']:.3f}"],
+        [f"cinema x{cinema.extra['n_combinations']} views",
+         cinema.execution_time_s, cinema.energy_j / 1000,
+         f"{cinema.extra['database_files']} browsable images"],
+        ["pure in-situ", insitu.execution_time_s, insitu.energy_j / 1000,
+         "live frames only"],
+    ]
+    print(format_table(
+        ["Pipeline", "time (s)", "energy (kJ)", "what exploration remains"],
+        rows, title="The exploration/energy spectrum (case study 1)",
+    ))
+    print()
+
+    # Strong scaling of the decomposed in-situ pipeline.
+    rows = []
+    for n in (1, 4, 9):
+        run = runner.run(ClusterInSituPipeline(config, n_nodes=n))
+        rows.append([f"{n} nodes {run.extra['mesh']}", run.execution_time_s,
+                     run.extra["total_energy_j"] / 1000])
+    print(format_table(
+        ["Cluster", "time (s)", "total energy (kJ)"],
+        rows, title="Decomposed in-situ strong scaling (same physics, bit-exact)",
+    ))
+    print()
+
+    # Power-capped runs.
+    node = Node()
+    rows = []
+    for cap in (150.0, 125.0):
+        for label, run in (("post", post), ("in-situ", insitu)):
+            report = fit_under_cap(run.timeline, node, cap)
+            rig = MeterRig(node, jitter=0, rng=RngRegistry(19))
+            energy = rig.sample(report.capped_timeline).energy()
+            rows.append([f"{label} @ {cap:.0f} W cap", report.slowdown,
+                         energy / 1000])
+    print(format_table(
+        ["Run", "slowdown", "energy (kJ)"],
+        rows, title="Under a node power cap (DVFS to comply)",
+        float_fmt="{:.2f}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Analysis and reporting layer.
+
+Turns metered pipeline runs into the paper's quantities: greenness
+reports (:mod:`~repro.analysis.metrics`), the Figs 7-11 comparison
+(:mod:`~repro.analysis.comparison`), the Section V.C savings breakdown
+(:mod:`~repro.analysis.savings`), the Section V.D what-if analysis
+(:mod:`~repro.analysis.whatif`), and terminal-friendly tables and charts
+(:mod:`~repro.analysis.tables`, :mod:`~repro.analysis.plots`).
+"""
+
+from repro.analysis.metrics import GreennessReport
+from repro.analysis.comparison import ComparisonRow, compare_cases
+from repro.analysis.savings import analyze_savings
+from repro.analysis.whatif import WhatIfReport, whatif_reorganization
+from repro.analysis.powercap import CapReport, fit_under_cap
+from repro.analysis.phases import DetectedPhase, detect_phases
+from repro.analysis.sensitivity import headline_savings, sensitivity_analysis
+from repro.analysis.tables import format_table
+from repro.analysis.plots import ascii_bars, ascii_series, save_csv
+
+__all__ = [
+    "GreennessReport",
+    "ComparisonRow",
+    "compare_cases",
+    "analyze_savings",
+    "WhatIfReport",
+    "whatif_reorganization",
+    "CapReport",
+    "fit_under_cap",
+    "DetectedPhase",
+    "detect_phases",
+    "headline_savings",
+    "sensitivity_analysis",
+    "format_table",
+    "ascii_bars",
+    "ascii_series",
+    "save_csv",
+]

@@ -1,0 +1,121 @@
+"""Head-to-head pipeline comparison — the data behind Figs 7-11.
+
+Given the paired case-study outcomes, produce per-case rows holding both
+pipelines' execution time (Fig 7), average power (Fig 8), peak power
+(Fig 9), energy (Fig 10) and normalized energy efficiency (Fig 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.workloads.proxyapp import CaseStudyOutcome
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One case study's two-pipeline comparison."""
+
+    case_index: int
+    time_post_s: float
+    time_insitu_s: float
+    avg_power_post_w: float
+    avg_power_insitu_w: float
+    peak_power_post_w: float
+    peak_power_insitu_w: float
+    energy_post_j: float
+    energy_insitu_j: float
+
+    # -- derived (the paper's headline percentages) ------------------------------
+
+    @property
+    def time_reduction_pct(self) -> float:
+        """In-situ execution-time reduction (%)."""
+        return 100.0 * (1.0 - self.time_insitu_s / self.time_post_s)
+
+    @property
+    def avg_power_increase_pct(self) -> float:
+        """In-situ average-power increase (%)."""
+        return 100.0 * (self.avg_power_insitu_w / self.avg_power_post_w - 1.0)
+
+    @property
+    def peak_power_delta_pct(self) -> float:
+        """In-situ peak-power delta (%)."""
+        return 100.0 * (self.peak_power_insitu_w / self.peak_power_post_w - 1.0)
+
+    @property
+    def energy_savings_pct(self) -> float:
+        """In-situ energy savings (%)."""
+        return 100.0 * (1.0 - self.energy_insitu_j / self.energy_post_j)
+
+    @property
+    def efficiency_post(self) -> float:
+        """Post-processing energy efficiency (work per joule, unnormalized)."""
+        return 1.0 / self.energy_post_j
+
+    @property
+    def efficiency_insitu(self) -> float:
+        """In-situ energy efficiency (work per joule, unnormalized)."""
+        return 1.0 / self.energy_insitu_j
+
+    @property
+    def efficiency_improvement_pct(self) -> float:
+        """In-situ efficiency improvement (%)."""
+        return 100.0 * (self.efficiency_insitu / self.efficiency_post - 1.0)
+
+    # -- energy-delay product (the joint metric power-aware HPC optimizes) -----
+
+    @property
+    def edp_post(self) -> float:
+        """Energy-delay product (J*s) of the post-processing run."""
+        return self.energy_post_j * self.time_post_s
+
+    @property
+    def edp_insitu(self) -> float:
+        """Energy-delay product (J*s) of the in-situ run."""
+        return self.energy_insitu_j * self.time_insitu_s
+
+    @property
+    def edp_improvement_pct(self) -> float:
+        """EDP reduction from in-situ.  Because in-situ wins on *both*
+        factors, this exceeds the energy savings alone (~70 % for the
+        paper's case 1)."""
+        return 100.0 * (1.0 - self.edp_insitu / self.edp_post)
+
+
+def compare_cases(outcomes: Mapping[int, CaseStudyOutcome]) -> list[ComparisonRow]:
+    """Build comparison rows from case-study outcomes, sorted by case."""
+    if not outcomes:
+        raise ReproError("no case-study outcomes to compare")
+    rows = []
+    for idx in sorted(outcomes):
+        o = outcomes[idx]
+        rows.append(ComparisonRow(
+            case_index=idx,
+            time_post_s=o.post.execution_time_s,
+            time_insitu_s=o.insitu.execution_time_s,
+            avg_power_post_w=o.post.average_power_w,
+            avg_power_insitu_w=o.insitu.average_power_w,
+            peak_power_post_w=o.post.peak_power_w,
+            peak_power_insitu_w=o.insitu.peak_power_w,
+            energy_post_j=o.post.energy_j,
+            energy_insitu_j=o.insitu.energy_j,
+        ))
+    return rows
+
+
+def normalized_efficiency(rows: list[ComparisonRow]) -> dict[int, tuple[float, float]]:
+    """Fig 11: per-case (post, insitu) efficiency normalized to the best.
+
+    The figure normalizes within the whole chart; the best efficiency
+    (in-situ, case 3 in the paper) maps to 1.0.
+    """
+    if not rows:
+        raise ReproError("no rows")
+    best = max(max(r.efficiency_post, r.efficiency_insitu) for r in rows)
+    return {
+        r.case_index: (r.efficiency_post / best, r.efficiency_insitu / best)
+        for r in rows
+    }

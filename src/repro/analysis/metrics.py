@@ -1,0 +1,65 @@
+"""Greenness metrics for a single pipeline run.
+
+"Greenness (i.e., power, energy, and energy efficiency)" — this module
+packages the paper's four comparison metrics plus context into one
+report object the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipelines.base import RunResult
+from repro.units import fmt_energy, fmt_power, fmt_seconds
+
+
+@dataclass(frozen=True)
+class GreennessReport:
+    """The paper's metric set for one run."""
+
+    pipeline: str
+    case: str
+    execution_time_s: float
+    average_power_w: float
+    peak_power_w: float
+    energy_j: float
+    efficiency_work_per_j: float
+    images_rendered: int
+    data_bytes_written: int
+    data_bytes_read: int
+
+    @classmethod
+    def from_run(cls, run: RunResult) -> "GreennessReport":
+        """Build a report from a metered pipeline run."""
+        return cls(
+            pipeline=run.pipeline,
+            case=run.case.name,
+            execution_time_s=run.execution_time_s,
+            average_power_w=run.average_power_w,
+            peak_power_w=run.peak_power_w,
+            energy_j=run.energy_j,
+            efficiency_work_per_j=run.energy_efficiency,
+            images_rendered=run.images_rendered,
+            data_bytes_written=run.data_bytes_written,
+            data_bytes_read=run.data_bytes_read,
+        )
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"{self.pipeline} pipeline — {self.case}",
+            f"  execution time : {fmt_seconds(self.execution_time_s)}",
+            f"  average power  : {fmt_power(self.average_power_w)}",
+            f"  peak power     : {fmt_power(self.peak_power_w)}",
+            f"  energy         : {fmt_energy(self.energy_j)}",
+            f"  efficiency     : {self.efficiency_work_per_j * 1000:.3f} timesteps/kJ",
+            f"  frames rendered: {self.images_rendered}",
+        ]
+        if self.data_bytes_written or self.data_bytes_read:
+            lines.append(
+                f"  simulation I/O : {self.data_bytes_written} B written, "
+                f"{self.data_bytes_read} B read"
+            )
+        else:
+            lines.append("  simulation I/O : none (in-situ)")
+        return "\n".join(lines)

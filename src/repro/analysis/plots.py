@@ -1,0 +1,104 @@
+"""Terminal charts and CSV export for the reproduced figures.
+
+The benchmark harness prints every figure as an ASCII rendering and can
+save the underlying series as CSV, so the reproduction is inspectable
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.trace.export import series_to_csv
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart (used for Figs 7-11's grouped bars)."""
+    if len(labels) != len(values):
+        raise ReproError("labels and values must align")
+    if not values:
+        raise ReproError("nothing to plot")
+    if width < 10:
+        raise ReproError("width too small")
+    peak = max(values)
+    if peak <= 0:
+        raise ReproError("values must contain something positive")
+    label_w = max(len(l) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_w)} |{bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    t: Sequence[float],
+    channels: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 78,
+    title: str | None = None,
+) -> str:
+    """Multi-channel line chart (used for the Fig 5/6 power profiles).
+
+    Each channel gets a distinct glyph; samples are decimated/averaged to
+    the plot width.
+    """
+    if not channels:
+        raise ReproError("no channels")
+    n = len(t)
+    if n == 0 or any(len(c) != n for c in channels.values()):
+        raise ReproError("channel lengths must match the time base")
+    glyphs = "*o+x.#"
+    all_vals = [v for c in channels.values() for v in c]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi <= lo:
+        hi = lo + 1.0
+    cols = min(width, n)
+    grid = [[" "] * cols for _ in range(height)]
+
+    def bucket(series: Sequence[float], col: int) -> float:
+        i0 = col * n // cols
+        i1 = max(i0 + 1, (col + 1) * n // cols)
+        window = series[i0:i1]
+        return sum(window) / len(window)
+
+    for ci, (name, series) in enumerate(channels.items()):
+        glyph = glyphs[ci % len(glyphs)]
+        for col in range(cols):
+            v = bucket(series, col)
+            row = height - 1 - int((v - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:8.1f} +" + "-" * cols)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{lo:8.1f} +" + "-" * cols)
+    lines.append(" " * 10 + f"t = {t[0]:.0f} .. {t[-1]:.0f} s")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(channels)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def save_csv(path: str, columns: Mapping[str, Sequence[float]]) -> str:
+    """Write parallel columns to ``path`` as CSV; returns the path."""
+    text = series_to_csv(columns)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path

@@ -1,0 +1,101 @@
+"""Power-cap analysis: running the pipelines under a node power budget.
+
+Fig 9's framing — peak power "is an important metric for power-capped
+systems" — invites the obvious what-if: if the node must stay under a
+cap, what does each pipeline's run look like?
+
+Model: the only throttle available is CPU DVFS.  For every span whose
+power exceeds the cap, find the frequency ratio that brings it under
+(dynamic CPU power scales cubically), stretch the span's duration by the
+inverse ratio if it is compute-bound (CPU-dominated stages slow linearly
+with clock; I/O-bound stages do not), and re-meter.  Spans that cannot
+fit under the cap even at the minimum ratio are reported as violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.machine.node import Node
+from repro.trace.events import Activity
+from repro.trace.timeline import Timeline
+
+#: Stages whose wall time stretches when the clock drops.
+COMPUTE_BOUND = ("simulation", "visualization", "coupling", "compositing")
+
+MIN_RATIO = 0.1
+
+
+@dataclass(frozen=True)
+class CapReport:
+    """Outcome of fitting one timeline under a cap."""
+
+    cap_w: float
+    capped_timeline: Timeline
+    throttled_spans: int
+    violating_spans: int
+    slowdown: float              # capped duration / original duration
+
+    @property
+    def feasible(self) -> bool:
+        """True when every span fits under the cap."""
+        return self.violating_spans == 0
+
+
+def _ratio_for_cap(node: Node, activity: Activity, cap_w: float) -> float:
+    """Largest frequency ratio keeping this activity's power under the cap.
+
+    Solves cap = P_other + cpu_idle + cpu_dyn_max * util^alpha * r^3.
+    """
+    full = node.power(activity.replace(cpu_freq_ratio=1.0))
+    if full.system <= cap_w:
+        return 1.0
+    non_cpu_dynamic = full.system - full.package
+    cpu_spec = node.spec.cpu
+    dyn_budget = cap_w - non_cpu_dynamic - cpu_spec.idle_w
+    full_dyn = full.package - cpu_spec.idle_w
+    if full_dyn <= 0 or dyn_budget <= 0:
+        return MIN_RATIO  # cannot throttle into compliance via DVFS
+    ratio = (dyn_budget / full_dyn) ** (1.0 / 3.0)
+    return max(MIN_RATIO, min(1.0, ratio))
+
+
+def fit_under_cap(timeline: Timeline, node: Node, cap_w: float) -> CapReport:
+    """Rewrite a run so instantaneous power stays under ``cap_w``."""
+    if cap_w <= 0:
+        raise ReproError("cap must be positive")
+    if cap_w <= node.static_power_w:
+        raise ReproError(
+            f"cap {cap_w} W is below the node's {node.static_power_w:.1f} W "
+            "static floor; no DVFS setting can comply"
+        )
+    out = Timeline(t0=timeline.t0)
+    throttled = 0
+    violations = 0
+    # Markers must track their neighbouring spans as durations stretch.
+    pending = sorted(timeline.markers, key=lambda m: m.t)
+    for span in timeline:
+        while pending and pending[0].t <= span.t0 + 1e-12:
+            out.mark(pending.pop(0).name)
+        ratio = _ratio_for_cap(node, span.activity, cap_w)
+        activity = span.activity
+        duration = span.duration
+        if ratio < 1.0:
+            throttled += 1
+            activity = activity.replace(cpu_freq_ratio=ratio)
+            if node.power(activity).system > cap_w + 1e-6:
+                violations += 1
+            if span.stage in COMPUTE_BOUND:
+                duration = span.duration / ratio
+        out.record(span.stage, duration, activity, **dict(span.meta))
+    for marker in pending:
+        out.mark(marker.name)
+    slowdown = out.duration / timeline.duration if timeline.duration > 0 else 1.0
+    return CapReport(
+        cap_w=cap_w,
+        capped_timeline=out,
+        throttled_spans=throttled,
+        violating_spans=violations,
+        slowdown=slowdown,
+    )

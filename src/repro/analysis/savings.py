@@ -1,0 +1,75 @@
+"""Section V.C: where do the in-situ energy savings come from?
+
+Procedure, exactly as the paper describes it:
+
+1. Profile the nnread and nnwrite stages of the post-processing run and
+   extract their average *dynamic* power (Table II).
+2. Multiply the average I/O dynamic power by the execution-time
+   difference between the pipelines — that is the *dynamic* (data
+   movement) saving.
+3. Everything else is *static* saving: energy not spent keeping a
+   100-watt-class system powered for the extra minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.machine.node import Node
+from repro.power.breakdown import SavingsBreakdown, savings_breakdown, stage_power_table
+from repro.workloads.proxyapp import CaseStudyOutcome
+
+
+@dataclass(frozen=True)
+class SavingsAnalysis:
+    """Savings breakdown plus the Table II inputs used to compute it."""
+
+    case_index: int
+    breakdown: SavingsBreakdown
+    nnread_total_w: float
+    nnread_dynamic_w: float
+    nnwrite_total_w: float
+    nnwrite_dynamic_w: float
+
+    @property
+    def io_dynamic_power_w(self) -> float:
+        """Average dynamic power of the two I/O stages (Table II input)."""
+        return (self.nnread_dynamic_w + self.nnwrite_dynamic_w) / 2.0
+
+
+def analyze_savings(outcome: CaseStudyOutcome, node: Node,
+                    stage_table=None) -> SavingsAnalysis:
+    """Run the Section V.C analysis on one case study's paired runs.
+
+    ``stage_table`` supplies Table II (per-stage power from *isolated*
+    stage runs, the paper's method).  Without it, the table is estimated
+    from the interleaved post-processing profile, which at 1 Hz blends a
+    little simulation power into the I/O samples.
+    """
+    post = outcome.post
+    if post.profile is None or outcome.insitu.profile is None:
+        raise ReproError("runs must be metered before savings analysis")
+    table = stage_table if stage_table is not None else stage_power_table(
+        post.timeline, post.profile, static_w=node.static_power_w
+    )
+    if "nnread" not in table or "nnwrite" not in table:
+        raise ReproError(
+            "post-processing run has no I/O stages to attribute savings to"
+        )
+    io_dyn = (table["nnread"].avg_dynamic_w + table["nnwrite"].avg_dynamic_w) / 2.0
+    breakdown = savings_breakdown(
+        baseline_energy_j=post.energy_j,
+        baseline_time_s=post.execution_time_s,
+        insitu_energy_j=outcome.insitu.energy_j,
+        insitu_time_s=outcome.insitu.execution_time_s,
+        io_dynamic_power_w=io_dyn,
+    )
+    return SavingsAnalysis(
+        case_index=outcome.case_index,
+        breakdown=breakdown,
+        nnread_total_w=table["nnread"].avg_total_w,
+        nnread_dynamic_w=table["nnread"].avg_dynamic_w,
+        nnwrite_total_w=table["nnwrite"].avg_total_w,
+        nnwrite_dynamic_w=table["nnwrite"].avg_dynamic_w,
+    )

@@ -1,0 +1,125 @@
+"""Calibration sensitivity analysis.
+
+A reproduction whose conclusions silently hinge on one calibrated
+constant is fragile; this module quantifies that.  It computes the
+headline metric — case-study-1 in-situ energy savings — analytically
+from the linear stage model (the same arithmetic the pipeline engine
+produces, without running it), then perturbs each calibration parameter
+and reports the sensitivity.
+
+The analytic model: for a case study with S simulation events and K I/O
+events,
+
+    T_post  = S*t_sim + K*(t_write + t_read + t_vis)
+    E_post  = S*t_sim*P_sim + K*(t_write*P_write + t_read*P_read + t_vis*P_vis)
+    T_situ  = S*t_sim + K*(t_vis + t_couple)
+    E_situ  = S*t_sim*P_sim + K*(t_vis*P_vis + t_couple*P_couple)
+
+with stage powers evaluated through the node model, so CPU/DRAM/disk
+coefficients and the static floor all participate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.calibration import CASE_STUDIES, STAGE, CaseStudyConfig, StageCalibration
+from repro.errors import ReproError
+from repro.machine.node import Node
+from repro.machine.specs import MachineSpec, paper_testbed
+from repro.units import KiB
+
+
+def headline_savings(
+    stage_table: dict[str, StageCalibration] | None = None,
+    node: Node | None = None,
+    case: CaseStudyConfig | None = None,
+) -> float:
+    """Case-study in-situ energy-savings fraction, analytically."""
+    table = stage_table or STAGE
+    node = node or Node()
+    case = case or CASE_STUDIES[1]
+    s_events = case.iterations
+    k_events = len(case.io_iterations())
+
+    def stage_energy(name: str, disk_read=0.0, disk_write=0.0) -> tuple[float, float]:
+        cal = table[name]
+        duration = cal.duration_s
+        activity = cal.activity(disk_read, disk_write)
+        return duration, duration * node.power(activity).system
+
+    t_sim, e_sim = stage_energy("simulation")
+    payload = 128 * KiB
+    t_wr, e_wr = stage_energy("nnwrite", disk_write=payload)
+    t_rd, e_rd = stage_energy("nnread", disk_read=payload)
+    t_vis, e_vis = stage_energy("visualization")
+    t_cp, e_cp = stage_energy("coupling")
+
+    e_post = s_events * e_sim + k_events * (e_wr + e_rd + e_vis)
+    e_situ = s_events * e_sim + k_events * (e_vis + e_cp)
+    if e_post <= 0:
+        raise ReproError("non-positive post-processing energy")
+    return 1.0 - e_situ / e_post
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Effect of scaling one parameter by +/- ``delta``."""
+
+    parameter: str
+    baseline: float
+    low: float     # headline with the parameter scaled by (1 - delta)
+    high: float    # scaled by (1 + delta)
+
+    @property
+    def swing(self) -> float:
+        """Total headline movement across the perturbation range."""
+        return abs(self.high - self.low)
+
+
+def _scaled_stage(table, name: str, field: str, factor: float):
+    out = dict(table)
+    out[name] = replace(out[name], **{field: getattr(out[name], field) * factor})
+    return out
+
+
+def sensitivity_analysis(delta: float = 0.10) -> list[SensitivityEntry]:
+    """Perturb each calibration parameter by +/- ``delta``; rank by swing.
+
+    Parameters covered: every stage duration, the simulation/visualization
+    CPU activity, and the node's static floor (rest-of-system power).
+    """
+    if not 0 < delta < 1:
+        raise ReproError("delta must be in (0, 1)")
+    baseline = headline_savings()
+    entries: list[SensitivityEntry] = []
+
+    for name in ("simulation", "nnwrite", "nnread", "visualization", "coupling"):
+        lows_highs = []
+        for factor in (1 - delta, 1 + delta):
+            table = _scaled_stage(STAGE, name, "duration_s", factor)
+            lows_highs.append(headline_savings(stage_table=table))
+        entries.append(SensitivityEntry(
+            f"duration[{name}]", baseline, lows_highs[0], lows_highs[1]))
+
+    for name in ("simulation", "visualization"):
+        lows_highs = []
+        for factor in (1 - delta, 1 + delta):
+            table = _scaled_stage(STAGE, name, "cpu_util", factor)
+            lows_highs.append(headline_savings(stage_table=table))
+        entries.append(SensitivityEntry(
+            f"cpu_util[{name}]", baseline, lows_highs[0], lows_highs[1]))
+
+    lows_highs = []
+    for factor in (1 - delta, 1 + delta):
+        spec = paper_testbed()
+        spec = MachineSpec(
+            name=spec.name, cpu=spec.cpu, dram=spec.dram, disk=spec.disk,
+            network=spec.network,
+            rest_of_system_w=spec.rest_of_system_w * factor,
+        )
+        lows_highs.append(headline_savings(node=Node(spec)))
+    entries.append(SensitivityEntry(
+        "static_floor[rest-of-system]", baseline, lows_highs[0], lows_highs[1]))
+
+    return sorted(entries, key=lambda e: e.swing, reverse=True)

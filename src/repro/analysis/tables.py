@@ -1,0 +1,53 @@
+"""ASCII table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render a fixed-width table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.  Columns are right-aligned except the first.
+    """
+    if not headers:
+        raise ReproError("table needs headers")
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        rendered_rows.append([
+            float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(headers))
+    lines.append(sep)
+    lines.extend(fmt_line(r) for r in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Command-line interface: reproduce paper artifacts from a shell.
+
+Usage::
+
+    python -m repro list                 # available experiment ids
+    python -m repro run fig10            # reproduce one artifact
+    python -m repro run all              # the whole evaluation section
+    python -m repro run table3 --seed 7  # different measurement noise
+    python -m repro run fig5 --csv out/  # also dump data series as CSV
+
+The CLI is a thin shell over :mod:`repro.experiments`; everything it
+prints comes from the same functions the benchmark harness asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from repro.analysis.plots import save_csv
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, Lab, run_experiment
+from repro.power.profile import PowerProfile
+from repro.rng import DEFAULT_SEED
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the Greenness of In-Situ and "
+            "Post-Processing Visualization Pipelines' (IPDPSW 2015)"
+        ),
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiment ids")
+
+    run = sub.add_parser("run", help="reproduce one artifact (or 'all')")
+    run.add_argument("experiment",
+                     help="experiment id from 'list', or 'all'")
+    run.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                     help="measurement-noise seed (default: %(default)s)")
+    run.add_argument("--csv", metavar="DIR", default=None,
+                     help="also write any power-profile data as CSV here")
+
+    report = sub.add_parser(
+        "report", help="write a consolidated Markdown replication report")
+    report.add_argument("path", help="output file, e.g. out/REPORT.md")
+    report.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    verify = sub.add_parser(
+        "verify", help="check the reproduction against every paper anchor")
+    verify.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    return parser
+
+
+def _dump_csv(result, directory: str) -> list[str]:
+    """Write any PowerProfile payloads of a result as CSV files."""
+    written: list[str] = []
+    data = result.data
+    profiles: dict[str, PowerProfile] = {}
+    if isinstance(data, PowerProfile):
+        profiles[result.id] = data
+    elif isinstance(data, dict):
+        for key, value in data.items():
+            if isinstance(value, PowerProfile):
+                label = "_".join(str(k) for k in key) if isinstance(key, tuple) else str(key)
+                profiles[f"{result.id}_{label}"] = value
+    for name, profile in profiles.items():
+        path = os.path.join(directory, f"{name}.csv")
+        save_csv(path, profile.to_columns())
+        written.append(path)
+    return written
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for eid in EXPERIMENTS:
+            doc = (EXPERIMENTS[eid].__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{eid:14s} {summary}")
+        return 0
+
+    if args.command == "verify":
+        from repro.experiments.verification import (
+            render_verification,
+            run_verification,
+        )
+
+        checks = run_verification(Lab(seed=args.seed))
+        print(render_verification(checks))
+        return 0 if all(c.passed for c in checks) else 1
+
+    if args.command == "report":
+        from repro.experiments.report import write_report
+
+        try:
+            path = write_report(args.path, Lab(seed=args.seed))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
+        return 0
+
+    # command == "run"
+    lab = Lab(seed=args.seed)
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    try:
+        for eid in ids:
+            result = run_experiment(eid, lab)
+            print(result.text)
+            print()
+            if args.csv:
+                for path in _dump_csv(result, args.csv):
+                    print(f"wrote {path}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

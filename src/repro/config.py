@@ -1,0 +1,84 @@
+"""Top-level experiment configuration.
+
+Bundles the handful of knobs an end user varies — seed, meter rate,
+jitter, storage device, which case studies to run — with validation and
+dict round-tripping (for driving the library from JSON/CLI front-ends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ConfigError
+from repro.machine.node import Node
+from repro.machine.nvram import NvramModel
+from repro.machine.specs import MachineSpec, paper_testbed
+from repro.machine.ssd import SsdModel
+from repro.pipelines.runner import PipelineRunner
+from repro.rng import DEFAULT_SEED
+
+STORAGE_KINDS = ("hdd", "ssd", "nvram")
+
+
+@dataclass
+class ExperimentConfig:
+    """Reproduction-wide settings."""
+
+    seed: int = DEFAULT_SEED
+    sample_hz: float = 1.0
+    jitter: float = 1.0
+    storage: str = "hdd"
+    cases: tuple[int, ...] = (1, 2, 3)
+
+    def __post_init__(self) -> None:
+        if self.sample_hz <= 0:
+            raise ConfigError("sample_hz must be positive")
+        if self.jitter < 0:
+            raise ConfigError("jitter must be non-negative")
+        if self.storage not in STORAGE_KINDS:
+            raise ConfigError(
+                f"storage must be one of {STORAGE_KINDS}, got {self.storage!r}"
+            )
+        if not self.cases or any(c not in (1, 2, 3) for c in self.cases):
+            raise ConfigError("cases must be a non-empty subset of (1, 2, 3)")
+        self.cases = tuple(self.cases)
+
+    # -- factories -----------------------------------------------------------------
+
+    def build_node(self, spec: MachineSpec | None = None) -> Node:
+        """Construct the configured simulated node."""
+        spec = spec or paper_testbed()
+        if self.storage == "ssd":
+            return Node(spec, storage=SsdModel())
+        if self.storage == "nvram":
+            return Node(spec, storage=NvramModel())
+        return Node(spec)
+
+    def build_runner(self) -> PipelineRunner:
+        """Construct a pipeline runner honouring this configuration."""
+        return PipelineRunner(
+            node=self.build_node(),
+            sample_hz=self.sample_hz,
+            jitter=self.jitter,
+            seed=self.seed,
+        )
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dictionary (JSON-friendly)."""
+        d = asdict(self)
+        d["cases"] = list(self.cases)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentConfig":
+        """Construct from a plain dictionary; unknown keys are rejected."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigError(f"unknown config keys: {sorted(unknown)}")
+        kwargs = dict(d)
+        if "cases" in kwargs:
+            kwargs["cases"] = tuple(kwargs["cases"])
+        return cls(**kwargs)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller embedding the library can catch one type.  Sub-hierarchies mirror the
+subsystem structure (configuration, machine models, storage stack,
+measurement, pipelines).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An experiment or model configuration is invalid."""
+
+
+class MachineError(ReproError):
+    """A hardware-model invariant was violated."""
+
+
+class DeviceError(MachineError):
+    """A block device was asked to do something impossible (bad LBA, size...)."""
+
+
+class StorageError(ReproError):
+    """Filesystem / page-cache / data-format level error."""
+
+
+class FileFormatError(StorageError):
+    """A chunked data container is malformed or fails checksum validation."""
+
+
+class FileNotFound(StorageError, KeyError):
+    """Named file does not exist in the simulated filesystem."""
+
+
+class MeasurementError(ReproError):
+    """Power-measurement substrate misuse (unsampled meter, bad domain...)."""
+
+
+class PipelineError(ReproError):
+    """A pipeline was misconfigured or run out of order."""
+
+
+class SimulationError(ReproError):
+    """Numerical simulation failure (instability, bad grid...)."""
+
+
+class RenderError(ReproError):
+    """Visualization-stage failure (bad field, empty image...)."""

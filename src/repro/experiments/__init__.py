@@ -1,0 +1,30 @@
+"""Experiment reproduction layer.
+
+* :mod:`repro.experiments.calibration` — every calibrated constant, each
+  with its derivation from the paper's reported numbers.
+* :mod:`repro.experiments.figures` — one function per paper figure/table.
+* :mod:`repro.experiments.registry` — experiment ids ("fig7", "table3",
+  ...) mapped to those functions.
+"""
+
+from repro.experiments.calibration import CASE_STUDIES, PAPER, STAGE, CaseStudyConfig
+from repro.experiments.figures import ExperimentResult, Lab
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "STAGE",
+    "PAPER",
+    "CaseStudyConfig",
+    "CASE_STUDIES",
+    "ExperimentResult",
+    "Lab",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+]

@@ -1,0 +1,28 @@
+"""Compatibility shim: calibration constants live in :mod:`repro.calibration`.
+
+(The constants are imported by low-level pipeline code; hosting them at
+the package top level keeps :mod:`repro.experiments` — which imports the
+whole analysis stack — out of the pipelines' import graph.)
+"""
+
+from repro.calibration import (
+    CASE_STUDIES,
+    CHUNK_BYTES,
+    ITERATIONS,
+    PAPER,
+    STAGE,
+    SUB_STEPS,
+    CaseStudyConfig,
+    StageCalibration,
+)
+
+__all__ = [
+    "CASE_STUDIES",
+    "CHUNK_BYTES",
+    "ITERATIONS",
+    "PAPER",
+    "STAGE",
+    "SUB_STEPS",
+    "CaseStudyConfig",
+    "StageCalibration",
+]

@@ -1,0 +1,56 @@
+"""Experiment registry: id -> reproduction function.
+
+``run_experiment("fig10")`` reproduces Fig 10; ``EXPERIMENTS`` lists every
+artifact of the paper's evaluation section plus the future-work
+extensions.  A shared :class:`~repro.experiments.figures.Lab` may be
+passed so a batch of experiments reuses the memoized pipeline runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.experiments import figures
+from repro.experiments.figures import ExperimentResult, Lab
+
+EXPERIMENTS: dict[str, Callable[[Lab], ExperimentResult]] = {
+    "table1": figures.table1,
+    "fig4": figures.fig4,
+    "fig5": figures.fig5,
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "table2": figures.table2,
+    "sec5c": figures.sec5c,
+    "table3": figures.table3,
+    "sec5d": figures.sec5d,
+    "ext-devices": figures.ext_devices,
+    "ext-multinode": figures.ext_multinode,
+    "ext-applications": figures.ext_applications,
+    "ext-advisor": figures.ext_advisor,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[Lab], ExperimentResult]:
+    """Look up a reproduction function by experiment id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, lab: Lab | None = None) -> ExperimentResult:
+    """Reproduce one paper artifact."""
+    return get_experiment(experiment_id)(lab or Lab())
+
+
+def run_all(lab: Lab | None = None) -> dict[str, ExperimentResult]:
+    """Reproduce the whole evaluation section (shared Lab)."""
+    lab = lab or Lab()
+    return {eid: fn(lab) for eid, fn in EXPERIMENTS.items()}

@@ -1,0 +1,52 @@
+"""Hardware models — the simulated testbed.
+
+The paper's system under test (Table I) is a dual-socket Intel Sandy Bridge
+node with 64 GB of DDR3 and a 500 GB 7200 rpm SATA disk.  This package
+models each component's *timing* (how long work takes) and *power* (what the
+meters will read), composed into a :class:`~repro.machine.node.Node`.
+
+Extension models cover the paper's future-work list: SSD, NVRAM and RAID
+storage devices, and a multi-node cluster with a network model.
+"""
+
+from repro.machine.specs import (
+    CpuSpec,
+    DiskSpec,
+    DramSpec,
+    MachineSpec,
+    NetworkSpec,
+    paper_testbed,
+)
+from repro.machine.cpu import CpuModel
+from repro.machine.memory import DramModel
+from repro.machine.disk import HddModel, DiskRequest, DiskResult, OpKind
+from repro.machine.ssd import SsdModel
+from repro.machine.nvram import NvramModel
+from repro.machine.raid import RaidArray, RaidLevel
+from repro.machine.network import LinkModel, NicModel
+from repro.machine.node import ComponentPower, Node
+from repro.machine.cluster import Cluster
+
+__all__ = [
+    "CpuSpec",
+    "DiskSpec",
+    "DramSpec",
+    "MachineSpec",
+    "NetworkSpec",
+    "paper_testbed",
+    "CpuModel",
+    "DramModel",
+    "HddModel",
+    "DiskRequest",
+    "DiskResult",
+    "OpKind",
+    "SsdModel",
+    "NvramModel",
+    "RaidArray",
+    "RaidLevel",
+    "LinkModel",
+    "NicModel",
+    "ComponentPower",
+    "Node",
+    "Cluster",
+]

@@ -1,0 +1,88 @@
+"""Cluster model: multiple nodes plus an interconnect (future-work extension).
+
+Supports the paper's proposed multi-node study: a set of
+:class:`~repro.machine.node.Node` instances joined by
+:class:`~repro.machine.network.LinkModel` links, with helpers for the two
+communication patterns the extension benchmarks exercise:
+
+* halo exchange between domain-decomposition neighbours, and
+* funneling simulation output to I/O or staging nodes (in-transit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, MachineError
+from repro.machine.network import LinkModel
+from repro.machine.node import Node
+from repro.machine.specs import MachineSpec, paper_testbed
+
+
+@dataclass(frozen=True)
+class ClusterPower:
+    """Instantaneous aggregate power over all nodes."""
+
+    per_node: tuple[float, ...]
+
+    @property
+    def total(self) -> float:
+        """Sum over all nodes."""
+        return sum(self.per_node)
+
+
+class Cluster:
+    """Homogeneous cluster of ``n_nodes`` paper-testbed nodes."""
+
+    def __init__(self, n_nodes: int, spec: MachineSpec | None = None) -> None:
+        if n_nodes <= 0:
+            raise ConfigError("cluster needs at least one node")
+        self.spec = spec or paper_testbed()
+        self.nodes = [Node(self.spec) for _ in range(n_nodes)]
+        self.link = LinkModel(self.spec.network)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the cluster."""
+        return len(self.nodes)
+
+    # -- communication timing ---------------------------------------------------
+
+    def p2p_time(self, nbytes: int) -> float:
+        """Point-to-point message time between any two nodes."""
+        return self.link.transfer_time(nbytes)
+
+    def halo_exchange_time(self, halo_bytes_per_neighbor: int,
+                           neighbors: int = 4) -> float:
+        """One halo-exchange round per node (neighbors exchanged concurrently
+        pairwise; serialized conservatively over dimension phases)."""
+        if neighbors < 0:
+            raise MachineError("neighbors must be non-negative")
+        phases = (neighbors + 1) // 2  # x then y (then z) pairwise phases
+        return phases * self.link.transfer_time(2 * halo_bytes_per_neighbor)
+
+    def gather_time(self, nbytes_per_node: int, fanin: int | None = None) -> float:
+        """Time to funnel each compute node's ``nbytes_per_node`` to one
+        staging node.  The staging NIC is the bottleneck: all senders share
+        its ingest bandwidth."""
+        senders = (self.n_nodes - 1) if fanin is None else fanin
+        if senders <= 0:
+            return 0.0
+        total = senders * nbytes_per_node
+        return self.link.spec.latency_s + total / self.link.spec.link_bw_bytes_per_s
+
+    # -- power --------------------------------------------------------------------
+
+    def idle_power(self) -> ClusterPower:
+        """Aggregate power with every node idle."""
+        return ClusterPower(tuple(n.static_power_w for n in self.nodes))
+
+    def power(self, activities) -> ClusterPower:
+        """Aggregate power for per-node activities (sequence of Activity)."""
+        if len(activities) != self.n_nodes:
+            raise MachineError(
+                f"expected {self.n_nodes} activities, got {len(activities)}"
+            )
+        return ClusterPower(tuple(
+            node.power(act).system for node, act in zip(self.nodes, activities)
+        ))

@@ -1,0 +1,99 @@
+"""CPU timing and power model.
+
+Timing: converts modeled work (double-precision FLOPs, or an explicit
+parallel-efficiency-adjusted core count) into seconds on the spec'd part.
+
+Power: ``P = idle + dynamic_max * util**alpha * (f/f_nom)**3``.  The cubic
+frequency term supports the DVFS what-if analyses the paper's Section V.C
+motivates ("other techniques such as frequency scaling ... may help").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, MachineError
+from repro.machine.specs import CpuSpec
+
+
+@dataclass
+class CpuModel:
+    """Stateful CPU model: current frequency is mutable (DVFS)."""
+
+    spec: CpuSpec
+    freq_hz: float = 0.0  # 0 => use spec.base_freq_hz
+
+    def __post_init__(self) -> None:
+        if self.freq_hz == 0.0:
+            self.freq_hz = self.spec.base_freq_hz
+        self._check_freq(self.freq_hz)
+
+    def _check_freq(self, f: float) -> None:
+        if not 0 < f <= self.spec.max_freq_hz * 1.0001:
+            raise ConfigError(
+                f"frequency {f / 1e9:.2f} GHz outside (0, "
+                f"{self.spec.max_freq_hz / 1e9:.2f}] GHz"
+            )
+
+    # -- DVFS -----------------------------------------------------------------
+
+    def set_frequency(self, f_hz: float) -> None:
+        """Set the operating frequency (applies to all cores)."""
+        self._check_freq(f_hz)
+        self.freq_hz = f_hz
+
+    @property
+    def freq_ratio(self) -> float:
+        """Current operating frequency as a fraction of nominal."""
+        return self.freq_hz / self.spec.base_freq_hz
+
+    # -- timing ---------------------------------------------------------------
+
+    def compute_time(self, flops: float, cores: int | None = None,
+                     efficiency: float = 1.0) -> float:
+        """Seconds to execute ``flops`` on ``cores`` cores.
+
+        ``efficiency`` is the fraction of peak actually achieved (memory
+        stalls, vectorization gaps); stencil codes typically land at 5-15 %
+        of peak.
+        """
+        if flops < 0:
+            raise MachineError("flops must be non-negative")
+        if not 0 < efficiency <= 1.0:
+            raise MachineError(f"efficiency must be in (0, 1], got {efficiency}")
+        n = self.spec.total_cores if cores is None else cores
+        if not 0 < n <= self.spec.total_cores:
+            raise MachineError(
+                f"cores must be in [1, {self.spec.total_cores}], got {n}"
+            )
+        rate = n * self.spec.flops_per_core * self.freq_ratio * efficiency
+        return flops / rate
+
+    def utilization(self, cores_busy: float) -> float:
+        """Node-level utilization fraction for ``cores_busy`` busy cores."""
+        if cores_busy < 0 or cores_busy > self.spec.total_cores:
+            raise MachineError(
+                f"cores_busy must be in [0, {self.spec.total_cores}]"
+            )
+        return cores_busy / self.spec.total_cores
+
+    # -- power ----------------------------------------------------------------
+
+    def power(self, util: float, freq_ratio: float | None = None) -> float:
+        """Package power (both sockets) at utilization ``util``.
+
+        ``freq_ratio`` overrides the model's current DVFS state for this
+        evaluation (per-span frequency from an Activity); None uses the
+        sticky :meth:`set_frequency` state.
+        """
+        if not 0.0 <= util <= 1.0 + 1e-12:
+            raise MachineError(f"util must be in [0, 1], got {util}")
+        ratio = self.freq_ratio if freq_ratio is None else freq_ratio
+        if not 0.0 < ratio <= 1.0 + 1e-12:
+            raise MachineError(f"freq_ratio must be in (0, 1], got {ratio}")
+        dvfs = ratio ** 3
+        return self.spec.idle_w + self.spec.dynamic_max_w * (min(util, 1.0) ** self.spec.alpha) * dvfs
+
+    def dynamic_power(self, util: float, freq_ratio: float | None = None) -> float:
+        """Power above idle at utilization ``util``."""
+        return self.power(util, freq_ratio) - self.spec.idle_w

@@ -1,0 +1,49 @@
+"""DRAM timing and power model.
+
+Power follows the linear traffic model used by RAPL's own DRAM-domain
+estimator: a background term (refresh + standby for the populated DIMMs)
+plus an energy-per-byte term for actual transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.machine.specs import DramSpec
+
+
+@dataclass
+class DramModel:
+    """DRAM timing and power model over a :class:`DramSpec`."""
+    spec: DramSpec
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` at peak bandwidth."""
+        if nbytes < 0:
+            raise MachineError("nbytes must be non-negative")
+        return nbytes / self.spec.peak_bw_bytes_per_s
+
+    def power(self, bytes_per_s: float) -> float:
+        """DRAM-pool power at a sustained traffic rate.
+
+        Raises if the requested rate exceeds what the DIMMs can move —
+        that would mean the timing model upstream produced an impossible
+        activity.
+        """
+        if bytes_per_s < 0:
+            raise MachineError("bytes_per_s must be non-negative")
+        if bytes_per_s > self.spec.peak_bw_bytes_per_s * 1.0001:
+            raise MachineError(
+                f"DRAM traffic {bytes_per_s / 1e9:.1f} GB/s exceeds peak "
+                f"{self.spec.peak_bw_bytes_per_s / 1e9:.1f} GB/s"
+            )
+        return self.spec.idle_w + self.spec.energy_per_byte_j * bytes_per_s
+
+    def dynamic_power(self, bytes_per_s: float) -> float:
+        """Power above the idle floor (W)."""
+        return self.power(bytes_per_s) - self.spec.idle_w
+
+    def check_fits(self, nbytes: int) -> bool:
+        """True if a dataset of ``nbytes`` fits in physical memory."""
+        return 0 <= nbytes <= self.spec.capacity_bytes

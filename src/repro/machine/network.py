@@ -1,0 +1,55 @@
+"""Network interface and link models (multi-node extension).
+
+The paper's future work asks for "a multi-node system to study the effect
+of network I/O in addition to disk I/O".  These models provide latency +
+bandwidth message timing (the alpha-beta model standard in HPC
+communication analysis) and a linear traffic power model for the NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.machine.specs import NetworkSpec
+
+
+@dataclass
+class LinkModel:
+    """Point-to-point link: ``t(n) = latency + n / bandwidth``."""
+
+    spec: NetworkSpec
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Message time under the alpha-beta link model."""
+        if nbytes < 0:
+            raise MachineError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.spec.latency_s + nbytes / self.spec.link_bw_bytes_per_s
+
+    def effective_bandwidth(self, nbytes: float) -> float:
+        """Achieved bytes/s for a message of ``nbytes`` (latency amortized)."""
+        t = self.transfer_time(nbytes)
+        return nbytes / t if t > 0 else 0.0
+
+
+@dataclass
+class NicModel:
+    """Network interface card power: background + energy per byte."""
+
+    spec: NetworkSpec
+
+    def power(self, bytes_per_s: float) -> float:
+        """Instantaneous power at the given load (W)."""
+        if bytes_per_s < 0:
+            raise MachineError("bytes_per_s must be non-negative")
+        if bytes_per_s > self.spec.link_bw_bytes_per_s * 1.0001:
+            raise MachineError(
+                f"NIC traffic {bytes_per_s / 1e9:.2f} GB/s exceeds link rate"
+            )
+        return self.spec.idle_w + self.spec.energy_per_byte_j * bytes_per_s
+
+    def dynamic_power(self, bytes_per_s: float) -> float:
+        """Power above the idle floor (W)."""
+        return self.power(bytes_per_s) - self.spec.idle_w

@@ -1,0 +1,140 @@
+"""Node model: the full system under test.
+
+Composes CPU, DRAM, storage device and NIC models with the constant
+rest-of-system draw into the quantity both of the paper's meters observe:
+
+* :meth:`Node.power` maps an :class:`~repro.trace.events.Activity` to a
+  per-component power breakdown — the ground truth that the emulated RAPL
+  and Wattsup meters sample (with their own noise and quantization).
+* :attr:`Node.static_power_w` is the full-system idle floor, the quantity
+  the paper's Section V.C energy-savings breakdown attributes "static"
+  savings to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.machine.cpu import CpuModel
+from repro.machine.disk import HddModel
+from repro.machine.memory import DramModel
+from repro.machine.network import NicModel
+from repro.machine.raid import RaidArray
+from repro.machine.specs import MachineSpec, paper_testbed
+from repro.trace.events import Activity
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Instantaneous power by component (W).
+
+    ``package`` is what RAPL's PKG domain reports (both sockets); ``dram``
+    is RAPL's DRAM domain; ``system`` is what the wall meter reports.
+    """
+
+    package: float
+    dram: float
+    disk: float
+    net: float
+    rest: float
+
+    @property
+    def system(self) -> float:
+        """Full-system power: the sum of every component (W)."""
+        return self.package + self.dram + self.disk + self.net + self.rest
+
+    @property
+    def unmetered(self) -> float:
+        """Power invisible to RAPL: the paper estimates it as
+        Wattsup minus (package + DRAM)."""
+        return self.system - self.package - self.dram
+
+
+class Node:
+    """The simulated system under test.
+
+    Parameters
+    ----------
+    spec:
+        Hardware specification; defaults to the paper's Table I node.
+    storage:
+        Optional replacement storage device (SSD/NVRAM/RAID models) for
+        the future-work device sweep; defaults to the spec'd HDD.
+    """
+
+    def __init__(self, spec: MachineSpec | None = None, storage=None) -> None:
+        self.spec = spec or paper_testbed()
+        self.cpu = CpuModel(self.spec.cpu)
+        self.dram = DramModel(self.spec.dram)
+        self.storage = storage if storage is not None else HddModel(self.spec.disk)
+        self.nic = NicModel(self.spec.network)
+
+    # -- power ---------------------------------------------------------------
+
+    def _storage_power(self, activity: Activity) -> float:
+        """Storage power from the device's calibrated coefficients.
+
+        RAID arrays aggregate member idle power and split traffic across
+        data members (each member's coefficients are identical).
+        """
+        dev = self.storage
+        if isinstance(dev, RaidArray):
+            member_spec = dev.members[0].spec
+            idle = dev.idle_w
+            spread = dev.data_members
+            read_bw = activity.disk_read_bytes_per_s
+            write_bw = activity.disk_write_bytes_per_s
+            if dev.level.name == "RAID1":
+                write_bw *= dev.n  # mirrored writes hit every member
+            seek = activity.disk_seek_duty * dev.n
+            return (
+                idle
+                + member_spec.read_energy_per_byte_j * read_bw
+                + member_spec.write_energy_per_byte_j * write_bw
+                + member_spec.actuator_w * min(seek, dev.n)
+            )
+        spec = dev.spec
+        return (
+            spec.idle_w
+            + spec.read_energy_per_byte_j * activity.disk_read_bytes_per_s
+            + spec.write_energy_per_byte_j * activity.disk_write_bytes_per_s
+            + spec.actuator_w * activity.disk_seek_duty
+        )
+
+    def power(self, activity: Activity) -> ComponentPower:
+        """Instantaneous per-component power for a given activity."""
+        return ComponentPower(
+            package=self.cpu.power(activity.cpu_util, activity.cpu_freq_ratio),
+            dram=self.dram.power(activity.dram_bytes_per_s),
+            disk=self._storage_power(activity),
+            net=self.nic.power(activity.net_bytes_per_s),
+            rest=self.spec.rest_of_system_w,
+        )
+
+    @property
+    def static_power_w(self) -> float:
+        """Full-system power with every component idle."""
+        return self.power(Activity()).system
+
+    def dynamic_power(self, activity: Activity) -> float:
+        """System power above the static floor for ``activity``."""
+        return self.power(activity).system - self.static_power_w
+
+    # -- sanity ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Cross-check composed model invariants; raises MachineError."""
+        idle = self.power(Activity())
+        if idle.system <= 0:
+            raise MachineError("idle system power must be positive")
+        busy = self.power(Activity(cpu_util=1.0))
+        if busy.system <= idle.system:
+            raise MachineError("busy CPU must draw more than idle")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Node(spec={self.spec.name!r}, "
+            f"storage={type(self.storage).__name__}, "
+            f"static={self.static_power_w:.1f} W)"
+        )

@@ -1,0 +1,260 @@
+"""RAID array model (future-work extension, Section VI.A).
+
+Composes member block devices (HDD, SSD or NVRAM models) into one logical
+device with the same servicing interface:
+
+* **RAID 0** stripes extents across members; large transfers parallelize.
+* **RAID 1** mirrors: reads go to one member (round-robin), writes to all.
+* **RAID 5** stripes with rotating parity: reads behave like RAID 0 over
+  ``n`` members; small writes pay the read-modify-write penalty (read old
+  data + parity, write new data + parity).
+
+Member service times for one logical request are taken in parallel (the
+array completes when its slowest member does); energy/power aggregates over
+all members.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.machine.disk import DiskRequest, DiskResult, OpKind
+from repro.units import KiB
+
+
+class RaidLevel(enum.Enum):
+    """Supported RAID levels."""
+    RAID0 = 0
+    RAID1 = 1
+    RAID5 = 5
+
+
+@dataclass(frozen=True)
+class _MemberSlice:
+    member: int
+    offset: int
+    nbytes: int
+
+
+class RaidArray:
+    """A RAID set over homogeneous member devices.
+
+    Parameters
+    ----------
+    members:
+        Device models (duck-typed: ``service``, ``submit_write``,
+        ``flush_cache``, ``stream_time``, ``spec``).
+    level:
+        RAID 0, 1 or 5.
+    stripe_bytes:
+        Stripe unit (chunk) size for striped levels.
+    """
+
+    def __init__(self, members: list, level: RaidLevel,
+                 stripe_bytes: int = 64 * KiB) -> None:
+        if not members:
+            raise DeviceError("RAID array needs at least one member")
+        if level is RaidLevel.RAID1 and len(members) < 2:
+            raise DeviceError("RAID 1 needs at least two members")
+        if level is RaidLevel.RAID5 and len(members) < 3:
+            raise DeviceError("RAID 5 needs at least three members")
+        if stripe_bytes <= 0:
+            raise DeviceError("stripe size must be positive")
+        self.members = list(members)
+        self.level = level
+        self.stripe_bytes = int(stripe_bytes)
+        self._rr = 0  # round-robin read pointer for RAID 1
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of member devices."""
+        return len(self.members)
+
+    @property
+    def data_members(self) -> int:
+        """Members contributing capacity (n for RAID0, 1 for RAID1, n-1 for RAID5)."""
+        if self.level is RaidLevel.RAID0:
+            return self.n
+        if self.level is RaidLevel.RAID1:
+            return 1
+        return self.n - 1
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable capacity of the array in bytes."""
+        member_cap = min(m.spec.capacity_bytes for m in self.members)
+        return member_cap * self.data_members
+
+    @property
+    def idle_w(self) -> float:
+        """Static power of all members combined (W)."""
+        return sum(m.spec.idle_w for m in self.members)
+
+    def _check_extent(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.capacity_bytes:
+            raise DeviceError(
+                f"extent [{offset}, {offset + nbytes}) outside array "
+                f"of {self.capacity_bytes} bytes"
+            )
+
+    def _slices(self, offset: int, nbytes: int) -> list[_MemberSlice]:
+        """Map a logical extent onto member extents (striped levels)."""
+        out: list[_MemberSlice] = []
+        pos = offset
+        remaining = nbytes
+        width = self.data_members
+        while remaining > 0:
+            stripe_index = pos // self.stripe_bytes
+            within = pos % self.stripe_bytes
+            take = min(self.stripe_bytes - within, remaining)
+            member = stripe_index % width
+            member_offset = (stripe_index // width) * self.stripe_bytes + within
+            out.append(_MemberSlice(member, member_offset, take))
+            pos += take
+            remaining -= take
+        return out
+
+    # -- servicing ---------------------------------------------------------------
+
+    def service(self, request: DiskRequest) -> DiskResult:
+        """Service one request; returns its timing decomposition."""
+        self._check_extent(request.offset, request.nbytes)
+        if self.level is RaidLevel.RAID1:
+            return self._service_mirror(request)
+        if self.level is RaidLevel.RAID5 and request.op is OpKind.WRITE:
+            return self._service_raid5_write(request)
+        return self._service_striped(request)
+
+    def _merge_parallel(self, results: list[DiskResult], op: OpKind,
+                        nbytes: int) -> DiskResult:
+        """Array-level result: slowest member gates completion."""
+        if not results:
+            return DiskResult(0.0, 0.0, 0.0, 0.0, 0, op)
+        return DiskResult(
+            service_time=max(r.service_time for r in results),
+            arm_time=max(r.arm_time for r in results),
+            rotation_time=max(r.rotation_time for r in results),
+            transfer_time=max(r.transfer_time for r in results),
+            nbytes=nbytes,
+            op=op,
+        )
+
+    def _service_striped(self, request: DiskRequest) -> DiskResult:
+        per_member: dict[int, list[_MemberSlice]] = {}
+        for sl in self._slices(request.offset, request.nbytes):
+            per_member.setdefault(sl.member, []).append(sl)
+        results = []
+        for member, slices in per_member.items():
+            dev = self.members[member]
+            total = DiskResult(0.0, 0.0, 0.0, 0.0, 0, request.op)
+            for sl in slices:
+                r = dev.service(DiskRequest(request.op, sl.offset, sl.nbytes))
+                total = DiskResult(
+                    total.service_time + r.service_time,
+                    total.arm_time + r.arm_time,
+                    total.rotation_time + r.rotation_time,
+                    total.transfer_time + r.transfer_time,
+                    total.nbytes + r.nbytes,
+                    request.op,
+                )
+            results.append(total)
+        return self._merge_parallel(results, request.op, request.nbytes)
+
+    def _service_mirror(self, request: DiskRequest) -> DiskResult:
+        if request.op is OpKind.READ:
+            dev = self.members[self._rr % self.n]
+            self._rr += 1
+            return dev.service(request)
+        results = [m.service(request) for m in self.members]
+        return self._merge_parallel(results, OpKind.WRITE, request.nbytes)
+
+    def _service_raid5_write(self, request: DiskRequest) -> DiskResult:
+        """Small-write penalty: read old data + old parity, write new both."""
+        slices = self._slices(request.offset, request.nbytes)
+        results = []
+        for sl in slices:
+            dev = self.members[sl.member]
+            parity_dev = self.members[(sl.member + 1) % self.n]
+            read_old = dev.service(DiskRequest(OpKind.READ, sl.offset, sl.nbytes))
+            read_parity = parity_dev.service(DiskRequest(OpKind.READ, sl.offset, sl.nbytes))
+            write_new = dev.service(DiskRequest(OpKind.WRITE, sl.offset, sl.nbytes))
+            write_parity = parity_dev.service(DiskRequest(OpKind.WRITE, sl.offset, sl.nbytes))
+            results.append(DiskResult(
+                # data and parity drives operate in parallel; the two phases
+                # (read-old, write-new) serialize.
+                max(read_old.service_time, read_parity.service_time)
+                + max(write_new.service_time, write_parity.service_time),
+                read_old.arm_time + write_new.arm_time,
+                read_old.rotation_time + write_new.rotation_time,
+                read_old.transfer_time + write_new.transfer_time,
+                sl.nbytes,
+                OpKind.WRITE,
+            ))
+        total = sum(r.service_time for r in results)
+        return DiskResult(
+            service_time=total,
+            arm_time=sum(r.arm_time for r in results),
+            rotation_time=sum(r.rotation_time for r in results),
+            transfer_time=sum(r.transfer_time for r in results),
+            nbytes=request.nbytes,
+            op=OpKind.WRITE,
+        )
+
+    def submit_write(self, request: DiskRequest) -> DiskResult:
+        """Write-back behaviour is delegated to members only for RAID 0/1."""
+        if self.level is RaidLevel.RAID5:
+            return self.service(request)
+        if self.level is RaidLevel.RAID1:
+            results = [m.submit_write(request) for m in self.members]
+            return self._merge_parallel(results, OpKind.WRITE, request.nbytes)
+        # RAID 0: stripe then cache on each member.
+        per_member: dict[int, list[_MemberSlice]] = {}
+        for sl in self._slices(request.offset, request.nbytes):
+            per_member.setdefault(sl.member, []).append(sl)
+        results = []
+        for member, slices in per_member.items():
+            dev = self.members[member]
+            t = 0.0
+            for sl in slices:
+                t += dev.submit_write(DiskRequest(OpKind.WRITE, sl.offset, sl.nbytes)).service_time
+            results.append(DiskResult(t, 0.0, 0.0, t, sum(s.nbytes for s in slices), OpKind.WRITE, cached=True))
+        merged = self._merge_parallel(results, OpKind.WRITE, request.nbytes)
+        return DiskResult(merged.service_time, merged.arm_time, merged.rotation_time,
+                          merged.transfer_time, request.nbytes, OpKind.WRITE, cached=True)
+
+    def flush_cache(self) -> DiskResult:
+        """Drain any write-back cache to the media."""
+        results = [m.flush_cache() for m in self.members]
+        return self._merge_parallel(results, OpKind.WRITE,
+                                    sum(r.nbytes for r in results))
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes accepted but not yet persisted to the media."""
+        return sum(m.dirty_bytes for m in self.members)
+
+    def stream_time(self, nbytes: int, op: OpKind) -> float:
+        """Contiguous stream: striped levels split the bytes across members."""
+        if nbytes < 0:
+            raise DeviceError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        if self.level is RaidLevel.RAID1:
+            if op is OpKind.READ:
+                return self.members[0].stream_time(nbytes, op)
+            return max(m.stream_time(nbytes, op) for m in self.members)
+        share = -(-nbytes // self.data_members)  # ceil division
+        times = [m.stream_time(share, op) for m in self.members[: self.data_members]]
+        if self.level is RaidLevel.RAID5 and op is OpKind.WRITE:
+            # Full-stripe writes: parity computed inline, one extra member busy.
+            times.append(self.members[-1].stream_time(share, op))
+        return max(times)
+
+    def reset(self) -> None:
+        """Restore initial state (head position, caches, stats)."""
+        for m in self.members:
+            m.reset()

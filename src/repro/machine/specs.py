@@ -1,0 +1,227 @@
+"""Hardware specifications (the paper's Table I) and power calibration.
+
+Two kinds of numbers live here:
+
+* **Nameplate specs** straight from Table I of the paper (core counts,
+  frequencies, capacities, interface rates).
+* **Calibrated power/timing coefficients**, derived in
+  :mod:`repro.experiments.calibration` from the paper's measured numbers
+  (Table II, Table III, Section V.A).  Each coefficient's derivation is
+  documented on its field.
+
+`paper_testbed()` returns the fully-populated spec for the system under
+test; all experiments use it unless they deliberately vary hardware
+(the future-work device sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import GB, GiB, KiB, MS, MiB, gbps_to_bytes_per_s
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """CPU package specification and power coefficients.
+
+    The power model is ``P = idle + dynamic_max * util**alpha`` at nominal
+    frequency, scaled by ``(f/f_nom)**3`` for DVFS what-if studies (cubic:
+    dynamic power ~ C V^2 f with V roughly linear in f).
+
+    Calibration: the paper's profiles (Fig 5) show the processor drawing
+    ~45 W across both packages when idle and ~75 W during the simulation
+    stage, i.e. +30 W dynamic.  With a proxy app that keeps about 30 % of
+    the node's 16 cores busy, ``dynamic_max_w = 100`` reproduces that.
+    """
+
+    model: str = "Intel Xeon E5-2665"
+    sockets: int = 2
+    cores_per_socket: int = 8
+    base_freq_hz: float = 2.4e9
+    max_freq_hz: float = 2.4e9
+    llc_bytes: int = 20 * MiB
+    #: Package idle power, both sockets combined (W).
+    idle_w: float = 44.0
+    #: Additional power at 100 % utilization, nominal frequency (W).
+    dynamic_max_w: float = 100.0
+    #: Utilization exponent; 1.0 = linear (measured Sandy Bridge parts are
+    #: close to linear in active-core count).
+    alpha: float = 1.0
+    #: Nominal per-core double-precision throughput used to convert modeled
+    #: FLOP counts into time (8 DP FLOPs/cycle on Sandy Bridge AVX).
+    flops_per_core: float = 2.4e9 * 8
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision FLOP rate of the package."""
+        return self.total_cores * self.flops_per_core
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise ConfigError("CPU must have at least one socket and core")
+        if self.idle_w < 0 or self.dynamic_max_w < 0:
+            raise ConfigError("CPU power coefficients must be non-negative")
+        if self.alpha <= 0:
+            raise ConfigError("alpha must be positive")
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """Main-memory specification and power coefficients.
+
+    Calibration: RAPL's DRAM domain in Fig 5 reads ~9 W at idle (background
+    + refresh for 4 x 16 GB DIMMs) and ~17 W during simulation.  With the
+    simulation stage generating ~5 GB/s of modeled traffic, the access
+    energy lands at 1.64 nJ/B — in line with DDR3 activate+IO energy plus
+    termination.
+    """
+
+    kind: str = "DDR3-1333"
+    dimms: int = 4
+    capacity_bytes: int = 64 * GiB
+    peak_bw_bytes_per_s: float = 2 * 51.2e9 / 2  # 4ch/socket DDR3-1333, derated
+    #: Background (idle + refresh) power for the whole pool (W).
+    idle_w: float = 9.0
+    #: Energy per byte actually transferred (J/B).
+    energy_per_byte_j: float = 1.64e-9
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("DRAM capacity must be positive")
+        if self.idle_w < 0 or self.energy_per_byte_j < 0:
+            raise ConfigError("DRAM power coefficients must be non-negative")
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Rotating-disk specification, mechanics, and power coefficients.
+
+    Timing calibration (Table III, 4 GiB fio jobs):
+
+    * sequential read 35.9 s  => effective read bandwidth 119.6 MB/s
+    * sequential write 27.0 s => effective write bandwidth 159.1 MB/s
+      (write-back caching lets the drive stream at media rate)
+    * random read (16 KiB blocks) 2230 s => 8.50 ms per op =
+      arm seek over the file's 0.86 % stroke span (~1.9 ms) + average
+      rotational latency (4.17 ms at 7200 rpm) + settle/controller
+      (2.3 ms) + transfer (0.14 ms)
+    * random write 31.0 s => write-back cache + elevator coalesce the
+      stream to near-sequential with a 15 % reorder penalty.
+
+    Power calibration (Table III full-system minus the 104.8 W static
+    floor established by Table II):
+
+    * sequential read dynamic 13.5 W  => read-channel energy 0.113 nJ/B
+    * sequential write dynamic 10.9 W => write-channel energy 0.0685 nJ/B
+    * random read dynamic 2.5 W at actuator (arm-travel) duty ~0.23 =>
+      actuator 10 W (0.22 W of it is the read channel at 1.9 MB/s);
+      settle/controller time is electronics, not actuator power
+    """
+
+    model: str = "Seagate 7200rpm 500GB"
+    capacity_bytes: int = 500 * GB
+    rpm: float = 7200.0
+    interface_bw_bytes_per_s: float = gbps_to_bytes_per_s(6.0)  # SATA 6 Gbps
+    #: Sustained media rates (bytes/s).
+    seq_read_bw: float = 4 * GiB / 35.9
+    seq_write_bw: float = 4 * GiB / 27.0
+    #: Seek curve t(d) = t2t + b * sqrt(d), d = stroke fraction in [0,1].
+    track_to_track_s: float = 1.2 * MS
+    seek_curve_b_s: float = 12.7 * MS  # gives 8.5 ms at d=0.33 (vendor avg)
+    #: Head settle + controller overhead per random op.
+    settle_s: float = 2.3 * MS
+    #: On-drive write cache.
+    cache_bytes: int = 64 * MiB
+    write_cache: bool = True
+    #: Throughput penalty for cache-coalesced random writes vs sequential.
+    random_write_penalty: float = 31.0 / 27.0
+    #: Actuator-active time per coalesced-extent switch during a cache
+    #: drain.  The hops overlap streaming (the drive schedules them into
+    #: rotational gaps), so they show up in *power*, not throughput.
+    #: Calibrated from Table III's random write: 13.4 W dynamic at
+    #: 138.6 MB/s needs ~0.40 actuator duty => 0.75 ms per switch.
+    coalesced_hop_s: float = 0.75 * MS
+    #: Power coefficients.
+    idle_w: float = 5.5
+    read_energy_per_byte_j: float = 13.5 / (4 * GiB / 35.9)
+    write_energy_per_byte_j: float = 10.9 / (4 * GiB / 27.0)
+    actuator_w: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("disk capacity must be positive")
+        if self.rpm <= 0:
+            raise ConfigError("disk rpm must be positive")
+        if min(self.seq_read_bw, self.seq_write_bw) <= 0:
+            raise ConfigError("disk bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """NIC / interconnect specification (multi-node extension).
+
+    The paper's study is single-node; these defaults describe the QDR
+    InfiniBand class of interconnect its future-work section targets.
+    """
+
+    kind: str = "QDR InfiniBand"
+    link_bw_bytes_per_s: float = 4e9
+    latency_s: float = 2e-6
+    idle_w: float = 2.0
+    energy_per_byte_j: float = 0.3e-9
+
+    def __post_init__(self) -> None:
+        if self.link_bw_bytes_per_s <= 0:
+            raise ConfigError("link bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Full node specification: Table I plus calibrated power floors.
+
+    ``rest_of_system_w`` is the motherboard + fans + PSU-overhead constant
+    the paper estimates by subtracting RAPL (package + DRAM) from the
+    Wattsup reading.  Calibrated so the idle system draws 104.8 W, the
+    static floor implied by Table II (nnwrite total 114.8 W minus its
+    10.0 W dynamic component).
+    """
+
+    name: str = "supermicro-sandybridge"
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    dram: DramSpec = field(default_factory=DramSpec)
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    rest_of_system_w: float = 44.3
+
+    @property
+    def idle_system_w(self) -> float:
+        """Full-system static power: what the wall meter reads at idle."""
+        return (
+            self.cpu.idle_w + self.dram.idle_w + self.disk.idle_w
+            + self.network.idle_w + self.rest_of_system_w
+        )
+
+    def table1_rows(self) -> list[tuple[str, str]]:
+        """The paper's Table I, as (hardware type, detail) rows."""
+        return [
+            ("CPU", f"{self.cpu.sockets}x {self.cpu.model}"),
+            ("CPU frequency", f"{self.cpu.base_freq_hz / 1e9:.1f} GHz"),
+            ("Last-level cache", f"{self.cpu.llc_bytes // MiB} MB"),
+            ("Memory", f"{self.dram.dimms}x {self.dram.capacity_bytes // self.dram.dimms // GiB}GB {self.dram.kind}"),
+            ("Memory size", f"{self.dram.capacity_bytes // GiB} GB"),
+            ("Hard disk", self.disk.model),
+            ("Storage size", f"{self.disk.capacity_bytes // GB}GB"),
+            ("Disk bandwidth", f"{self.disk.interface_bw_bytes_per_s * 8 / 1e9:.1f} Gbps"),
+        ]
+
+
+def paper_testbed() -> MachineSpec:
+    """The system under test from Table I, with calibrated power model."""
+    return MachineSpec()

@@ -1,0 +1,105 @@
+"""Solid-state drive model (future-work extension, Section VI.A).
+
+The paper proposes evaluating "RAID disks, solid-state drives, and other
+flash-based devices such as NVRAM".  This model exposes the same servicing
+interface as :class:`~repro.machine.disk.HddModel` so every storage-stack
+and pipeline component runs unmodified on flash.
+
+Key behavioural difference the extension benchmarks exercise: random access
+costs a fixed (tens of microseconds) latency instead of milliseconds of
+mechanics, so the sequential/random energy gap — the core of the paper's
+Table III argument — nearly vanishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.machine.disk import DiskRequest, DiskResult, OpKind
+from repro.units import GB, US
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """SSD device specification and power coefficients."""
+    model: str = "SATA SSD (2015-class)"
+    capacity_bytes: int = 500 * GB
+    seq_read_bw: float = 520e6
+    seq_write_bw: float = 450e6
+    read_latency_s: float = 80 * US
+    write_latency_s: float = 60 * US
+    idle_w: float = 0.6
+    read_energy_per_byte_j: float = 3.0 / 520e6   # ~3 W at full read rate
+    write_energy_per_byte_j: float = 4.5 / 450e6  # writes cost more (program ops)
+    actuator_w: float = 0.0  # no mechanics
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise DeviceError("SSD capacity must be positive")
+
+
+class SsdModel:
+    """Flash device with per-op latency + bandwidth service model."""
+
+    def __init__(self, spec: SsdSpec | None = None) -> None:
+        self.spec = spec or SsdSpec()
+
+    def _check_extent(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.spec.capacity_bytes:
+            raise DeviceError(
+                f"extent [{offset}, {offset + nbytes}) outside device "
+                f"of {self.spec.capacity_bytes} bytes"
+            )
+
+    def media_rate(self, op: OpKind) -> float:
+        """Sustained media transfer rate for the given operation (B/s)."""
+        return self.spec.seq_read_bw if op is OpKind.READ else self.spec.seq_write_bw
+
+    def _latency(self, op: OpKind) -> float:
+        return self.spec.read_latency_s if op is OpKind.READ else self.spec.write_latency_s
+
+    def service(self, request: DiskRequest) -> DiskResult:
+        """Service one request; returns its timing decomposition."""
+        self._check_extent(request.offset, request.nbytes)
+        transfer = request.nbytes / self.media_rate(request.op)
+        return DiskResult(
+            service_time=self._latency(request.op) + transfer,
+            arm_time=0.0,
+            rotation_time=0.0,
+            transfer_time=transfer,
+            nbytes=request.nbytes,
+            op=request.op,
+        )
+
+    def submit_write(self, request: DiskRequest) -> DiskResult:
+        """Accept a write (through the write cache where present)."""
+        if request.op is not OpKind.WRITE:
+            raise DeviceError("submit_write requires a WRITE request")
+        return self.service(request)
+
+    def flush_cache(self) -> DiskResult:
+        """Drain any write-back cache to the media."""
+        return DiskResult(0.0, 0.0, 0.0, 0.0, 0, OpKind.WRITE)
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes accepted but not yet persisted to the media."""
+        return 0
+
+    def stream_time(self, nbytes: int, op: OpKind) -> float:
+        """Seconds to move ``nbytes`` contiguously."""
+        if nbytes < 0:
+            raise DeviceError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self._latency(op) + nbytes / self.media_rate(op)
+
+    def seek_time(self, distance_bytes: int) -> float:
+        """Flash has no mechanics; 'seeking' is free."""
+        if distance_bytes < 0:
+            raise DeviceError("distance must be non-negative")
+        return 0.0
+
+    def reset(self) -> None:
+        """No mutable mechanical state to reset."""

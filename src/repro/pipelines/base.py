@@ -1,0 +1,231 @@
+"""Pipeline plumbing: configuration, results, and the shared stage toolkit.
+
+A pipeline *really runs*: the heat solver integrates the PDE, dumps flow
+through the page cache and filesystem into the disk model, the renderer
+produces PNG images.  Wall-clock time and power, however, come from the
+calibrated cost model (see :mod:`repro.experiments.calibration`) so runs
+are deterministic and land where the paper's testbed did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PipelineError
+from repro.calibration import (
+    CHUNK_BYTES,
+    STAGE,
+    SUB_STEPS,
+    CaseStudyConfig,
+)
+from repro.machine.node import Node
+from repro.power.profile import PowerProfile
+from repro.rng import RngRegistry
+from repro.sim.grid import Grid2D
+from repro.sim.heat import HeatSolver, HeatSource
+from repro.system.blockdev import BlockQueue
+from repro.system.filesystem import FileSystem
+from repro.system.pagecache import PageCache
+from repro.trace.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Shared pipeline knobs.
+
+    Attributes
+    ----------
+    case:
+        Which of the paper's application configurations to run.
+    render_height / render_width:
+        Output image resolution of the visualization stage.
+    image_format:
+        ``"png"`` or ``"ppm"`` for saved frames.
+    contour_levels:
+        Isocontour levels burned into each frame (empty = none).
+    verify_data:
+        Post-processing only: compare every read-back grid against the
+        grid that was written (end-to-end storage validation).
+    """
+
+    case: CaseStudyConfig
+    render_height: int = 256
+    render_width: int = 256
+    image_format: str = "png"
+    contour_levels: tuple[float, ...] = ()
+    verify_data: bool = True
+    #: Grid-scale ablation: the field is (128*scale)^2 float64, so the
+    #: per-timestep dump volume grows as scale^2 (1 = the paper's 128 KiB).
+    grid_scale: int = 1
+    #: Physics sub-steps per pipeline timestep (modeled time unaffected).
+    solver_sub_steps: int = SUB_STEPS
+    #: If False, the simulation stage's modeled cost stays at the paper's
+    #: 1.588 s even on scaled grids — modeling the exascale premise that
+    #: compute capability grows with the problem while I/O does not.
+    scale_sim_with_grid: bool = True
+    #: Per-stage calibration overrides, e.g. a faster I/O byte rate for a
+    #: deep-memory-hierarchy (NVRAM-staging) study.  Stored as a tuple of
+    #: (stage name, StageCalibration) pairs so the config stays hashable.
+    stage_overrides: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.image_format not in ("png", "ppm"):
+            raise PipelineError(f"unknown image format {self.image_format!r}")
+        if self.render_height <= 0 or self.render_width <= 0:
+            raise PipelineError("render resolution must be positive")
+        if self.grid_scale < 1 or self.grid_scale > 64:
+            raise PipelineError("grid_scale must be in [1, 64]")
+        if self.solver_sub_steps < 1:
+            raise PipelineError("solver_sub_steps must be >= 1")
+
+    @property
+    def sim_work_scale(self) -> float:
+        """Simulation-stage cost multiplier (cell count ratio)."""
+        if not self.scale_sim_with_grid:
+            return 1.0
+        return float(self.grid_scale ** 2)
+
+    @property
+    def stage_table(self) -> dict:
+        """The calibrated stage table with this config's overrides applied."""
+        table = dict(STAGE)
+        for name, cal in self.stage_overrides:
+            if name not in table:
+                raise PipelineError(f"override for unknown stage {name!r}")
+            table[name] = cal
+        return table
+
+
+@dataclass
+class VerificationRecord:
+    """End-to-end data-integrity outcome of a run."""
+
+    grids_checked: int = 0
+    grids_matched: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return self.grids_checked == self.grids_matched
+
+
+@dataclass
+class RunResult:
+    """Everything a pipeline run produced."""
+
+    pipeline: str
+    case: CaseStudyConfig
+    timeline: Timeline
+    profile: PowerProfile | None = None
+    images_rendered: int = 0
+    image_bytes: int = 0
+    data_bytes_written: int = 0
+    data_bytes_read: int = 0
+    verification: VerificationRecord = field(default_factory=VerificationRecord)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # -- headline metrics (require a metered profile) ---------------------------
+
+    def _require_profile(self) -> PowerProfile:
+        if self.profile is None:
+            raise PipelineError("run has not been metered yet")
+        return self.profile
+
+    @property
+    def execution_time_s(self) -> float:
+        """Wall-clock (simulated) duration of the run."""
+        return self.timeline.duration
+
+    @property
+    def energy_j(self) -> float:
+        """Full-system energy of the metered run (J)."""
+        return self._require_profile().energy()
+
+    @property
+    def average_power_w(self) -> float:
+        """Average full-system power of the metered run (W)."""
+        return self._require_profile().average()
+
+    @property
+    def peak_power_w(self) -> float:
+        """Peak full-system power of the metered run (W)."""
+        return self._require_profile().peak()
+
+    @property
+    def work_units(self) -> float:
+        """Science accomplished: solver timesteps (same for both pipelines
+        within a case study, which is what makes Fig 11's efficiency
+        comparison meaningful)."""
+        return float(self.case.iterations)
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Work per joule (Fig 11's metric, before normalization)."""
+        e = self.energy_j
+        if e <= 0:
+            raise PipelineError("non-positive energy")
+        return self.work_units / e
+
+
+def make_solver(rng: RngRegistry, grid_scale: int = 1,
+                sub_steps: int = SUB_STEPS) -> HeatSolver:
+    """The proxy application instance: 128 KB grid, hot-corner source.
+
+    ``grid_scale`` multiplies the resolution in each dimension for the
+    data-volume ablation (the source patch scales with it so the physics
+    stays self-similar).
+    """
+    n = 128 * grid_scale
+    grid = Grid2D(n, n)
+    gen = rng.get("initial-condition")
+    grid.data[:] = 20.0 + gen.normal(0.0, 0.05, grid.shape)
+    source = HeatSource(row0=24 * grid_scale, row1=40 * grid_scale,
+                        col0=24 * grid_scale, col1=40 * grid_scale, rate=45.0)
+    return HeatSolver(
+        grid, alpha=1.0e-4, sources=(source,), boundary_value=20.0,
+        sub_steps=sub_steps,
+    )
+
+
+def make_storage(node: Node, rng: RngRegistry,
+                 layout: str = "contiguous") -> FileSystem:
+    """A fresh filesystem over the node's storage device."""
+    queue = BlockQueue(node.storage)
+    cache = PageCache(queue, capacity_bytes=node.spec.dram.capacity_bytes // 2)
+    return FileSystem(queue, cache=cache, layout=layout, rng=rng)
+
+
+def record_stage(
+    timeline: Timeline,
+    stage: str,
+    disk_read_bytes: float = 0.0,
+    disk_write_bytes: float = 0.0,
+    work_scale: float = 1.0,
+    table: dict | None = None,
+    **meta: Any,
+):
+    """Append a span for ``stage`` using its calibrated cost.
+
+    Stages with a payload term (nnwrite/nnread) scale their duration
+    with the bytes actually moved; at the paper's 128 KiB payloads the
+    term is negligible against the sync/drop-caches barrier.
+    ``work_scale`` multiplies the base term (simulation on bigger grids).
+    ``table`` overrides the global calibration (stage-override studies).
+    """
+    cal = (table or STAGE)[stage]
+    payload = disk_read_bytes + disk_write_bytes
+    duration = cal.duration_for(payload if payload > 0 else None, work_scale)
+    activity = cal.activity(disk_read_bytes, disk_write_bytes, duration)
+    return timeline.record(stage, duration, activity, **meta)
+
+
+__all__ = [
+    "PipelineConfig",
+    "RunResult",
+    "VerificationRecord",
+    "make_solver",
+    "make_storage",
+    "record_stage",
+    "CHUNK_BYTES",
+]

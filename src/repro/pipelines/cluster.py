@@ -1,0 +1,163 @@
+"""Multi-node decomposed in-situ pipeline (future-work extension).
+
+The paper's Section VI asks for "evaluation on a multi-node system to
+study the effect of network I/O in addition to disk I/O".  This pipeline
+runs the proxy app domain-decomposed over an N-node cluster:
+
+* each node integrates its tile (the numerics really run decomposed,
+  through :class:`~repro.sim.decomposition.BlockDecomposition`, with real
+  halo exchanges whose wire bytes are priced by the link model);
+* on visualization iterations every node renders its tile and the tiles
+  are composited with a binary-swap schedule whose traffic is priced by
+  :func:`~repro.viz.compositing.compositing_bytes`;
+* no raw data touches any disk (in-situ).
+
+The cluster is symmetric, so the run is represented by one node's
+timeline; total cluster energy = N x the metered node energy (the runner
+fills ``extra["total_energy_j"]`` from ``extra["energy_multiplier"]``).
+
+The strong-scaling shape the ablation bench pins down: wall time falls
+~1/N until halo + compositing latency floors it, while *total* energy
+passes through a minimum and then grows — every extra node adds a
+~105 W static floor that shrinking per-node work cannot pay for.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.machine.network import LinkModel
+from repro.machine.node import Node
+from repro.calibration import STAGE
+from repro.pipelines.base import PipelineConfig, RunResult, make_solver
+from repro.rng import RngRegistry
+from repro.sim.decomposition import BlockDecomposition
+from repro.trace.events import Activity
+from repro.trace.timeline import Timeline
+from repro.viz.compositing import compositing_bytes
+from repro.viz.render import render_field
+
+
+def choose_mesh(n_nodes: int, interior: int) -> tuple[int, int]:
+    """Most-square (pr, pc) factorization of ``n_nodes`` dividing ``interior``."""
+    if n_nodes < 1:
+        raise PipelineError("need at least one node")
+    best: tuple[int, int] | None = None
+    for pr in range(1, n_nodes + 1):
+        if n_nodes % pr:
+            continue
+        pc = n_nodes // pr
+        if interior % pr or interior % pc:
+            continue
+        if best is None or abs(pr - pc) < abs(best[0] - best[1]):
+            best = (pr, pc)
+    if best is None:
+        raise PipelineError(
+            f"{n_nodes} nodes cannot tile a {interior}x{interior} interior"
+        )
+    return best
+
+
+class ClusterInSituPipeline:
+    """Domain-decomposed in-situ visualization over N symmetric nodes."""
+
+    name = "cluster-in-situ"
+
+    def __init__(self, config: PipelineConfig, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise PipelineError("n_nodes must be >= 1")
+        if n_nodes & (n_nodes - 1) and n_nodes != 1:
+            # Binary-swap compositing wants a power of two; pad the
+            # schedule conceptually by allowing any count but pricing the
+            # next power of two's traffic.
+            pass
+        self.config = config
+        self.n_nodes = n_nodes
+
+    def _composite_ranks(self) -> int:
+        """Binary-swap rank count: next power of two >= n_nodes."""
+        n = 1
+        while n < self.n_nodes:
+            n <<= 1
+        return n
+
+    def run(self, node: Node, rng: RngRegistry | None = None) -> RunResult:
+        """Execute the pipeline on ``node``; returns the unmetered RunResult."""
+        rng = rng or RngRegistry()
+        solver = make_solver(rng, self.config.grid_scale,
+                             self.config.solver_sub_steps)
+        interior = solver.grid.nx - 2
+        pr, pc = choose_mesh(self.n_nodes, interior)
+        decomp = BlockDecomposition(solver.grid, pr, pc)
+        link = LinkModel(node.spec.network)
+
+        timeline = Timeline()
+        result = RunResult(self.name, self.config.case, timeline)
+        case = self.config.case
+        io_iterations = set(case.io_iterations())
+        sim_cal = STAGE["simulation"]
+        vis_cal = STAGE["visualization"]
+
+        # Per-node shares: compute parallelizes over nodes; render over tiles.
+        sim_duration = sim_cal.duration_for(
+            work_scale=self.config.sim_work_scale) / self.n_nodes
+        vis_duration = vis_cal.duration_s / self.n_nodes
+        halo_bytes_per_node = decomp.halo_bytes_per_exchange() / max(1, self.n_nodes)
+        image_bytes = self.config.render_height * self.config.render_width * 4
+        swap_bytes_per_node = (
+            compositing_bytes(self._composite_ranks(), image_bytes)
+            / self._composite_ranks()
+        )
+
+        timeline.mark("decomposed simulate+visualize")
+        for iteration in range(1, case.iterations + 1):
+            # Real decomposed physics: each sub-step sweeps the tiles,
+            # then the driver applies the global source/boundary terms
+            # and scatters them back (one extra halo refresh).
+            for _ in range(self.config.solver_sub_steps):
+                decomp.step(solver.alpha, solver.dt)
+                for s in solver.sources:
+                    solver.grid.data[s.row0 : s.row1, s.col0 : s.col1] += (
+                        s.rate * solver.dt
+                    )
+                solver.apply_boundary()
+                decomp.scatter()
+            solver.steps_taken += 1
+            timeline.record("simulation", sim_duration, sim_cal.activity(),
+                            iteration=iteration)
+            if halo_bytes_per_node > 0:
+                halo_time = self.config.solver_sub_steps * link.transfer_time(
+                    halo_bytes_per_node)
+                rate = halo_bytes_per_node * self.config.solver_sub_steps / halo_time
+                timeline.record(
+                    "halo-exchange", halo_time,
+                    Activity(cpu_util=0.02,
+                             net_bytes_per_s=min(rate, link.spec.link_bw_bytes_per_s)),
+                    iteration=iteration,
+                )
+            if iteration not in io_iterations:
+                continue
+            frame = render_field(
+                solver.grid.data,
+                height=self.config.render_height,
+                width=self.config.render_width,
+            )
+            result.images_rendered += 1
+            result.image_bytes += frame.nbytes
+            timeline.record("visualization", vis_duration, vis_cal.activity(),
+                            iteration=iteration)
+            if swap_bytes_per_node > 0:  # single node composites locally
+                swap_time = link.transfer_time(swap_bytes_per_node)
+                timeline.record(
+                    "compositing", swap_time,
+                    Activity(cpu_util=0.05,
+                             net_bytes_per_s=min(swap_bytes_per_node / swap_time,
+                                                 link.spec.link_bw_bytes_per_s)),
+                    iteration=iteration,
+                )
+
+        result.extra["n_nodes"] = self.n_nodes
+        result.extra["mesh"] = (pr, pc)
+        result.extra["energy_multiplier"] = self.n_nodes
+        result.extra["halo_bytes_per_exchange"] = decomp.halo_bytes_per_exchange()
+        result.extra["final_mean_temperature"] = solver.grid.mean()
+        return result

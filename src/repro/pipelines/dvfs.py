@@ -1,0 +1,54 @@
+"""Frequency scaling during I/O phases (Sec V.C's suggested technique).
+
+The paper's savings breakdown observes that the static component
+dominates and suggests that "other techniques such as frequency scaling
+and data rearrangement may help".  This module implements the frequency
+half of that sentence: rewrite a recorded timeline so that selected
+(I/O-bound) stages run at a lowered core clock.
+
+Two modeling decisions, both deliberate:
+
+* **Durations are unchanged.**  The rewritten stages are disk-bound; to
+  first order their wall time does not depend on the core clock (the
+  1.5 %-utilized CPU is waiting on sync barriers, not computing).
+* **Only the dynamic CPU term shrinks** (cubically, through the
+  activity's ``cpu_freq_ratio``).  Package idle power — uncore, caches,
+  leakage — is untouched, which is exactly why the ablation bench finds
+  DVFS recovers only a sliver of the post-processing energy: the paper's
+  point that the bill is dominated by the *static* floor.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.trace.timeline import Timeline
+
+#: Stages that are I/O-bound in the post-processing pipeline.
+IO_STAGES = ("nnwrite", "nnread", "idle")
+
+
+def apply_dvfs(timeline: Timeline, stage_ratios: dict[str, float]) -> Timeline:
+    """Return a copy of ``timeline`` with per-stage frequency ratios.
+
+    ``stage_ratios`` maps stage label -> frequency ratio in [0.1, 1].
+    Stages not listed keep their recorded ratio.
+    """
+    for stage, ratio in stage_ratios.items():
+        if not 0.1 <= ratio <= 1.0:
+            raise PipelineError(
+                f"frequency ratio for {stage!r} must be in [0.1, 1], got {ratio}"
+            )
+    out = Timeline(t0=timeline.t0)
+    for span in timeline:
+        activity = span.activity
+        if span.stage in stage_ratios:
+            activity = activity.replace(cpu_freq_ratio=stage_ratios[span.stage])
+        out.record(span.stage, span.duration, activity, **dict(span.meta))
+    for marker in timeline.markers:
+        out.add_marker(marker)  # same times; durations unchanged
+    return out
+
+
+def io_phase_dvfs(timeline: Timeline, ratio: float = 0.5) -> Timeline:
+    """Convenience: lower the clock during every I/O-bound stage."""
+    return apply_dvfs(timeline, {stage: ratio for stage in IO_STAGES})

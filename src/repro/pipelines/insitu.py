@@ -1,0 +1,93 @@
+"""The in-situ visualization pipeline (Fig 2b).
+
+Simulation and visualization share the loop: on every I/O iteration the
+current field is rendered immediately — no simulation dump ever touches
+the disk.  Only the rendered images are written (buffered, no sync; a
+256x256 PNG is a small fraction of the raw field stream).
+
+The per-event "coupling" cost models what the paper's measurements imply
+in-situ visualization really costs beyond the render itself: image
+encoding/output and the interference of running visualization inside the
+simulation's address space (cache pollution, synchronization points).
+See :mod:`repro.experiments.calibration` for the derivation.
+"""
+
+from __future__ import annotations
+
+from repro.machine.node import Node
+from repro.pipelines.base import (
+    PipelineConfig,
+    RunResult,
+    make_solver,
+    make_storage,
+    record_stage,
+)
+from repro.rng import RngRegistry
+from repro.trace.timeline import Timeline
+from repro.viz.render import render_field, render_with_contours
+
+
+class InSituPipeline:
+    """Simulate and render in the same loop; no raw data hits the disk."""
+
+    name = "in-situ"
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    def run(self, node: Node, rng: RngRegistry | None = None) -> RunResult:
+        """Execute the pipeline on ``node``; returns the unmetered RunResult."""
+        rng = rng or RngRegistry()
+        solver = make_solver(rng, self.config.grid_scale,
+                             self.config.solver_sub_steps)
+        fs = make_storage(node, rng)
+        timeline = Timeline()
+        stages = self.config.stage_table
+        result = RunResult(self.name, self.config.case, timeline)
+
+        case = self.config.case
+        io_iterations = set(case.io_iterations())
+
+        timeline.mark("simulate+visualize")
+        for iteration in range(1, case.iterations + 1):
+            solver.step(1)
+            record_stage(timeline, "simulation", table=stages,
+                         work_scale=self.config.sim_work_scale,
+                         iteration=iteration)
+            if iteration in io_iterations:
+                frame = self._render(solver.grid.data)
+                result.images_rendered += 1
+                record_stage(timeline, "visualization", table=stages, iteration=iteration)
+                encoded = self._encode(frame)
+                result.image_bytes += len(encoded)
+                name = f"frame{iteration:04d}.{self.config.image_format}"
+                fs.write(name, encoded)  # buffered; no sync
+                record_stage(
+                    timeline, "coupling", table=stages,
+                    disk_write_bytes=len(encoded),
+                    iteration=iteration, file=name,
+                )
+
+        result.extra["final_mean_temperature"] = solver.grid.mean()
+        result.extra["files_written"] = result.images_rendered
+        return result
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _render(self, field):
+        if self.config.contour_levels:
+            return render_with_contours(
+                field, self.config.contour_levels,
+                height=self.config.render_height,
+                width=self.config.render_width,
+            )
+        return render_field(
+            field,
+            height=self.config.render_height,
+            width=self.config.render_width,
+        )
+
+    def _encode(self, frame) -> bytes:
+        if self.config.image_format == "png":
+            return frame.image.to_png()
+        return frame.image.to_ppm()

@@ -1,0 +1,126 @@
+"""The traditional post-processing visualization pipeline (Fig 2a).
+
+Phase 1 — *simulate + write*: run the solver; on every I/O iteration,
+serialize the grid into a chunked container, write it through the page
+cache, ``fsync``, and ``drop_caches`` (the paper's methodology for honest
+disk I/O).
+
+Phase 2 — *read + visualize*: for every dumped timestep, drop caches,
+read the container cold, CRC-validate, reassemble the grid, optionally
+verify it bit-for-bit against what was written, render a frame, and store
+the image (buffered; image output is not the measured I/O load).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.machine.node import Node
+from repro.pipelines.base import (
+    CHUNK_BYTES,
+    PipelineConfig,
+    RunResult,
+    VerificationRecord,
+    make_solver,
+    make_storage,
+    record_stage,
+)
+from repro.rng import RngRegistry
+from repro.storage.reader import DataReader
+from repro.storage.writer import DataWriter
+from repro.trace.timeline import Timeline
+from repro.viz.render import render_field, render_with_contours
+
+
+class PostProcessingPipeline:
+    """Simulate-to-disk, then read-back-and-render."""
+
+    name = "post-processing"
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    def run(self, node: Node, rng: RngRegistry | None = None) -> RunResult:
+        """Execute the pipeline on ``node``; returns the unmetered RunResult."""
+        rng = rng or RngRegistry()
+        solver = make_solver(rng, self.config.grid_scale,
+                             self.config.solver_sub_steps)
+        fs = make_storage(node, rng)
+        writer = DataWriter(fs, chunk_bytes=CHUNK_BYTES,
+                            sync_each=True, drop_caches_each=True)
+        reader = DataReader(fs, drop_caches_first=True)
+        timeline = Timeline()
+        stages = self.config.stage_table
+        result = RunResult(self.name, self.config.case, timeline)
+        written_checksums: dict[int, int] = {}
+
+        case = self.config.case
+        io_iterations = set(case.io_iterations())
+
+        # -- phase 1: simulate + write ------------------------------------------
+        timeline.mark("simulate+write")
+        for iteration in range(1, case.iterations + 1):
+            solver.step(1)
+            record_stage(timeline, "simulation", table=stages,
+                         work_scale=self.config.sim_work_scale,
+                         iteration=iteration)
+            if iteration in io_iterations:
+                report = writer.write_timestep(
+                    solver.grid, iteration, physical_time=solver.time
+                )
+                written_checksums[iteration] = hash(solver.grid.to_bytes())
+                result.data_bytes_written += report.nbytes
+                record_stage(
+                    timeline, "nnwrite", table=stages,
+                    disk_write_bytes=report.nbytes,
+                    iteration=iteration, file=report.name,
+                )
+
+        # -- phase 2: read + visualize -------------------------------------------
+        timeline.mark("read+visualize")
+        for timestep in reader.available_timesteps():
+            grid, report = reader.read_grid(timestep)
+            result.data_bytes_read += report.nbytes
+            record_stage(
+                timeline, "nnread", table=stages,
+                disk_read_bytes=report.nbytes,
+                iteration=timestep, file=report.name,
+            )
+            if self.config.verify_data:
+                result.verification.grids_checked += 1
+                if hash(grid.to_bytes()) == written_checksums.get(timestep):
+                    result.verification.grids_matched += 1
+            frame = self._render(grid.data)
+            result.images_rendered += 1
+            encoded = self._encode(frame)
+            result.image_bytes += len(encoded)
+            fs.write(f"frame{timestep:04d}.{self.config.image_format}", encoded)
+            record_stage(timeline, "visualization", table=stages, iteration=timestep)
+
+        if self.config.verify_data and not result.verification.ok:
+            raise PipelineError(
+                f"data corruption: {result.verification.grids_matched}/"
+                f"{result.verification.grids_checked} grids round-tripped"
+            )
+        result.extra["files_written"] = len(writer.timesteps_written)
+        result.extra["final_mean_temperature"] = solver.grid.mean()
+        return result
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _render(self, field):
+        if self.config.contour_levels:
+            return render_with_contours(
+                field, self.config.contour_levels,
+                height=self.config.render_height,
+                width=self.config.render_width,
+            )
+        return render_field(
+            field,
+            height=self.config.render_height,
+            width=self.config.render_width,
+        )
+
+    def _encode(self, frame) -> bytes:
+        if self.config.image_format == "png":
+            return frame.image.to_png()
+        return frame.image.to_ppm()

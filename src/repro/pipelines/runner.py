@@ -1,0 +1,69 @@
+"""Pipeline runner: execute, meter, and package results.
+
+Binds a pipeline to a node and a meter rig, mirroring the paper's setup:
+run the application while the Wattsup and RAPL paths log at 1 Hz, then
+derive every metric from the logged profile.
+"""
+
+from __future__ import annotations
+
+from repro.machine.node import Node
+from repro.pipelines.base import PipelineConfig, RunResult
+from repro.power.meters import MeterRig
+from repro.rng import RngRegistry
+
+
+class PipelineRunner:
+    """Runs pipelines on one node with one measurement setup."""
+
+    def __init__(
+        self,
+        node: Node | None = None,
+        sample_hz: float = 1.0,
+        jitter: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        self.node = node or Node()
+        self.sample_hz = sample_hz
+        self.jitter = jitter
+        self.rng = RngRegistry() if seed is None else RngRegistry(seed)
+
+    def run(self, pipeline, run_id: str | None = None) -> RunResult:
+        """Execute ``pipeline`` and meter its timeline.
+
+        Each run gets a forked RNG namespace so back-to-back runs in one
+        process are independent but the whole experiment is reproducible.
+        """
+        label = run_id or f"{pipeline.name}/{pipeline.config.case.name}"
+        # The *science* stream is keyed by the case study only, so both
+        # pipelines of a comparison simulate the identical physics; the
+        # measurement-noise stream is keyed by the full run label.
+        science_rng = self.rng.fork(f"science/{pipeline.config.case.name}")
+        # Give each run a pristine storage device (fresh mount).
+        reset = getattr(self.node.storage, "reset", None)
+        if reset is not None:
+            reset()
+        result = pipeline.run(self.node, science_rng)
+        rig = MeterRig(self.node, sample_hz=self.sample_hz,
+                       jitter=self.jitter, rng=self.rng.fork(f"meters/{label}"))
+        result.profile = rig.sample(result.timeline)
+
+        multiplier = result.extra.get("energy_multiplier")
+        if multiplier is not None:
+            # Symmetric-cluster pipelines: one node was metered; the
+            # cluster total is N identical nodes.
+            result.extra["total_energy_j"] = result.profile.energy() * multiplier
+
+        staging_timeline = result.extra.get("staging_timeline")
+        if staging_timeline is not None:
+            staging_profile = rig.sample(staging_timeline)
+            result.extra["staging_profile"] = staging_profile
+            result.extra["staging_energy_j"] = staging_profile.energy()
+            result.extra["total_energy_j"] = (
+                result.profile.energy() + staging_profile.energy()
+            )
+        return result
+
+    def compare(self, pipelines) -> list[RunResult]:
+        """Run several pipelines under identical conditions."""
+        return [self.run(p) for p in pipelines]

@@ -1,0 +1,147 @@
+"""Hybrid in-situ pipeline with data sampling (Sec V.C's third option).
+
+Between the two extremes the paper measures — post-processing (full
+exploratory power, full I/O energy) and in-situ (no raw data retained) —
+sits the sampling hybrid of Woodring et al. [21]: visualize in situ *and*
+persist a decimated copy of every dumped timestep, so coarse exploratory
+analysis stays possible at a fraction of the bytes.
+
+Energy shape this pipeline exposes (see the sampling ablation bench):
+at the paper's 128 KiB dumps the write event is barrier-dominated, so
+sampling saves almost nothing — consistent with the paper's finding that
+only ~9 % of the pipeline energy is dynamic.  On volume-scaled dumps the
+transfer term dominates and sampling's byte reduction translates into
+energy directly.  The quality cost is measured, not assumed: every run
+carries the reconstruction RMSE of its own sampled data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.machine.node import Node
+from repro.pipelines.base import (
+    CHUNK_BYTES,
+    PipelineConfig,
+    RunResult,
+    make_solver,
+    make_storage,
+    record_stage,
+)
+from repro.rng import RngRegistry
+from repro.sim.grid import Grid2D
+from repro.storage.reader import DataReader
+from repro.storage.sampling import sample_field
+from repro.storage.writer import DataWriter
+from repro.trace.timeline import Timeline
+from repro.viz.render import render_field, render_with_contours
+
+
+class SamplingInSituPipeline:
+    """In-situ rendering plus decimated timestep dumps."""
+
+    name = "in-situ+sampling"
+
+    def __init__(self, config: PipelineConfig, sampling_factor: int = 4) -> None:
+        if sampling_factor < 2:
+            raise PipelineError(
+                "sampling_factor must be >= 2 (1 would be full post-processing I/O)"
+            )
+        self.config = config
+        self.sampling_factor = sampling_factor
+
+    def run(self, node: Node, rng: RngRegistry | None = None) -> RunResult:
+        """Execute the pipeline on ``node``; returns the unmetered RunResult."""
+        rng = rng or RngRegistry()
+        solver = make_solver(rng, self.config.grid_scale,
+                             self.config.solver_sub_steps)
+        fs = make_storage(node, rng)
+        writer = DataWriter(fs, prefix="smp", chunk_bytes=CHUNK_BYTES,
+                            sync_each=True, drop_caches_each=True)
+        timeline = Timeline()
+        stages = self.config.stage_table
+        result = RunResult(self.name, self.config.case, timeline)
+        sampling_reports = []
+        written_checksums: dict[int, int] = {}
+
+        case = self.config.case
+        io_iterations = set(case.io_iterations())
+
+        timeline.mark("simulate+visualize+sample")
+        for iteration in range(1, case.iterations + 1):
+            solver.step(1)
+            record_stage(timeline, "simulation", table=stages,
+                         work_scale=self.config.sim_work_scale,
+                         iteration=iteration)
+            if iteration not in io_iterations:
+                continue
+            # In-situ rendering, exactly as the plain in-situ pipeline.
+            frame = self._render(solver.grid.data)
+            result.images_rendered += 1
+            record_stage(timeline, "visualization", table=stages, iteration=iteration)
+            encoded = self._encode(frame)
+            result.image_bytes += len(encoded)
+            fs.write(f"frame{iteration:04d}.{self.config.image_format}", encoded)
+            record_stage(timeline, "coupling", table=stages,
+                         disk_write_bytes=len(encoded), iteration=iteration)
+            # The sampled dump: decimate, quantify the loss, persist.
+            sampled, report = sample_field(solver.grid.data,
+                                           self.sampling_factor)
+            sampling_reports.append(report)
+            sampled_grid = Grid2D(*sampled.shape)
+            sampled_grid.data[:] = sampled
+            wreport = writer.write_timestep(sampled_grid, iteration,
+                                            physical_time=solver.time)
+            written_checksums[iteration] = hash(sampled_grid.to_bytes())
+            result.data_bytes_written += wreport.nbytes
+            record_stage(timeline, "nnwrite", table=stages,
+                         disk_write_bytes=wreport.nbytes,
+                         iteration=iteration, file=wreport.name, sampled=True)
+
+        if self.config.verify_data:
+            self._verify(fs, written_checksums, result)
+
+        result.extra["sampling_factor"] = self.sampling_factor
+        result.extra["sampling_reports"] = sampling_reports
+        if sampling_reports:
+            result.extra["mean_nrmse"] = (
+                sum(r.nrmse for r in sampling_reports) / len(sampling_reports)
+            )
+            result.extra["byte_fraction"] = sampling_reports[-1].byte_fraction
+        result.extra["final_mean_temperature"] = solver.grid.mean()
+        return result
+
+    def _verify(self, fs, written_checksums: dict[int, int],
+                result: RunResult) -> None:
+        """Out-of-band check: sampled dumps round-trip bit-exactly.
+
+        Sampling is lossy against the full field by design, but the
+        *stored sample itself* must survive the storage stack unchanged.
+        """
+        reader = DataReader(fs, prefix="smp", drop_caches_first=False)
+        for timestep in reader.available_timesteps():
+            grid, _ = reader.read_grid(timestep)
+            result.verification.grids_checked += 1
+            if hash(grid.to_bytes()) == written_checksums.get(timestep):
+                result.verification.grids_matched += 1
+        if not result.verification.ok:
+            raise PipelineError("sampled dump failed to round-trip")
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _render(self, field):
+        if self.config.contour_levels:
+            return render_with_contours(
+                field, self.config.contour_levels,
+                height=self.config.render_height,
+                width=self.config.render_width,
+            )
+        return render_field(
+            field,
+            height=self.config.render_height,
+            width=self.config.render_width,
+        )
+
+    def _encode(self, frame) -> bytes:
+        if self.config.image_format == "png":
+            return frame.image.to_png()
+        return frame.image.to_ppm()

@@ -1,0 +1,58 @@
+"""Power measurement substrate.
+
+Emulates the paper's two measurement paths:
+
+* :mod:`repro.power.rapl` — Intel RAPL energy counters (package / PP0 /
+  DRAM domains) with the interface's quantization, model error, counter
+  wraparound, and on-node monitoring overhead.
+* :mod:`repro.power.wattsup` — the Wattsup Pro wall meter: 1 Hz
+  full-system samples, 0.1 W resolution, monitored externally (no load on
+  the system under test).
+
+:mod:`repro.power.meters` drives both over a recorded
+:class:`~repro.trace.Timeline` to synthesize the
+:class:`~repro.power.profile.PowerProfile` the paper's figures plot, and
+:mod:`repro.power.breakdown` implements the static/dynamic attribution of
+Section V.C.
+"""
+
+from repro.power.profile import PowerProfile
+from repro.power.rapl import RaplDomain, RaplEmulator
+from repro.power.wattsup import WattsupEmulator
+from repro.power.meters import MeterRig
+from repro.power.model import (
+    average_power,
+    integrate_energy,
+    peak_power,
+    dynamic_component,
+)
+from repro.power.disaggregate import (
+    DisaggregationReport,
+    evaluate_disaggregation,
+    unmetered_series,
+)
+from repro.power.breakdown import (
+    SavingsBreakdown,
+    StagePower,
+    savings_breakdown,
+    stage_power_table,
+)
+
+__all__ = [
+    "PowerProfile",
+    "RaplDomain",
+    "RaplEmulator",
+    "WattsupEmulator",
+    "MeterRig",
+    "average_power",
+    "integrate_energy",
+    "peak_power",
+    "dynamic_component",
+    "StagePower",
+    "SavingsBreakdown",
+    "savings_breakdown",
+    "stage_power_table",
+    "DisaggregationReport",
+    "evaluate_disaggregation",
+    "unmetered_series",
+]

@@ -1,0 +1,131 @@
+"""Static/dynamic energy attribution — Section V.C's analysis.
+
+The paper decomposes the in-situ pipeline's energy savings into:
+
+* **dynamic savings** — energy not spent actually moving data (priced from
+  the I/O stages' *dynamic* power times the elapsed-time difference), and
+* **static savings** — energy not spent keeping the system powered during
+  the extra hours the slower pipeline runs (the idle floor times the
+  time difference).
+
+It also derives Table II (average total and dynamic power of the nnread /
+nnwrite stages) from measured profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.power.profile import PowerProfile
+from repro.trace.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class StagePower:
+    """Table II row: a stage's average total and dynamic power."""
+
+    stage: str
+    avg_total_w: float
+    avg_dynamic_w: float
+
+    @property
+    def static_w(self) -> float:
+        """Static (idle-floor) share of the stage's power."""
+        return self.avg_total_w - self.avg_dynamic_w
+
+
+def stage_power_table(
+    timeline: Timeline,
+    profile: PowerProfile,
+    static_w: float,
+    stages: tuple[str, ...] = ("nnread", "nnwrite"),
+    channel: str = "system",
+) -> dict[str, StagePower]:
+    """Average per-stage power from a metered profile (Table II).
+
+    Samples whose midpoint falls inside any span of a stage contribute to
+    that stage's average — the same attribution a human reading Fig 6
+    against the stage log performs.
+    """
+    if profile.dt <= 0:
+        raise MeasurementError("profile has no sampling interval")
+    series = profile[channel]
+    sums = {s: 0.0 for s in stages}
+    counts = {s: 0 for s in stages}
+    for i in range(profile.n_samples):
+        midpoint = (i + 0.5) * profile.dt + timeline.t0
+        span = timeline.span_at(midpoint)
+        if span is not None and span.stage in sums:
+            sums[span.stage] += float(series[i])
+            counts[span.stage] += 1
+    out: dict[str, StagePower] = {}
+    for stage in stages:
+        if counts[stage] == 0:
+            continue
+        total = sums[stage] / counts[stage]
+        out[stage] = StagePower(stage, total, max(0.0, total - static_w))
+    return out
+
+
+@dataclass(frozen=True)
+class SavingsBreakdown:
+    """Energy-savings attribution between two pipeline runs.
+
+    Attributes
+    ----------
+    total_savings_j:
+        Baseline energy minus the faster pipeline's energy.
+    dynamic_savings_j:
+        The paper's estimate: the I/O stages' average *dynamic* power times
+        the execution-time difference — energy saved by not moving data.
+    static_savings_j:
+        The remainder: energy saved by not idling/elapsing.
+    """
+
+    total_savings_j: float
+    dynamic_savings_j: float
+
+    @property
+    def static_savings_j(self) -> float:
+        """Savings attributed to reduced idle/elapsed time."""
+        return self.total_savings_j - self.dynamic_savings_j
+
+    @property
+    def static_fraction(self) -> float:
+        """The paper's headline "91 % of the energy is saved by avoiding
+        system idling" quantity."""
+        if self.total_savings_j <= 0:
+            return 0.0
+        return self.static_savings_j / self.total_savings_j
+
+    @property
+    def dynamic_fraction(self) -> float:
+        """Dynamic share of the total savings."""
+        if self.total_savings_j <= 0:
+            return 0.0
+        return self.dynamic_savings_j / self.total_savings_j
+
+
+def savings_breakdown(
+    baseline_energy_j: float,
+    baseline_time_s: float,
+    insitu_energy_j: float,
+    insitu_time_s: float,
+    io_dynamic_power_w: float,
+) -> SavingsBreakdown:
+    """Section V.C's arithmetic.
+
+    ``io_dynamic_power_w`` is the average dynamic power of the avoided I/O
+    stages (Table II: ~10.15 W averaged over nnread and nnwrite).
+    """
+    if min(baseline_energy_j, insitu_energy_j) < 0:
+        raise MeasurementError("energies cannot be negative")
+    if min(baseline_time_s, insitu_time_s) < 0:
+        raise MeasurementError("times cannot be negative")
+    if io_dynamic_power_w < 0:
+        raise MeasurementError("dynamic power cannot be negative")
+    total = baseline_energy_j - insitu_energy_j
+    dt = max(0.0, baseline_time_s - insitu_time_s)
+    dynamic = min(io_dynamic_power_w * dt, max(total, 0.0))
+    return SavingsBreakdown(total_savings_j=total, dynamic_savings_j=dynamic)

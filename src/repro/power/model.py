@@ -1,0 +1,59 @@
+"""Power-series arithmetic shared across the measurement substrate.
+
+Small, vectorized helpers on sampled power arrays: integration (the
+paper's "energy consumption, which is the integral of instantaneous power
+over time"), averages, peaks, and static/dynamic decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+def _as_array(samples) -> np.ndarray:
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1:
+        raise MeasurementError(f"expected 1-D sample array, got shape {arr.shape}")
+    return arr
+
+
+def integrate_energy(samples, dt: float) -> float:
+    """Energy in joules of a uniformly-sampled power series.
+
+    Rectangle rule — exactly what a 1 Hz metering setup computes when it
+    multiplies each reading by its sampling interval.
+    """
+    if dt <= 0:
+        raise MeasurementError(f"dt must be positive, got {dt}")
+    arr = _as_array(samples)
+    return float(arr.sum() * dt)
+
+
+def average_power(samples) -> float:
+    """Time-average of a uniformly-sampled power series (W)."""
+    arr = _as_array(samples)
+    if arr.size == 0:
+        raise MeasurementError("cannot average an empty series")
+    return float(arr.mean())
+
+
+def peak_power(samples) -> float:
+    """Maximum instantaneous sample (W) — Fig 9's metric."""
+    arr = _as_array(samples)
+    if arr.size == 0:
+        raise MeasurementError("cannot take the peak of an empty series")
+    return float(arr.max())
+
+
+def dynamic_component(samples, static_w: float) -> np.ndarray:
+    """Per-sample power above the static floor, clipped at zero.
+
+    Section V.C's decomposition: the static component is the power the
+    system draws merely for being on; everything above it is dynamic.
+    """
+    if static_w < 0:
+        raise MeasurementError("static power cannot be negative")
+    arr = _as_array(samples)
+    return np.clip(arr - static_w, 0.0, None)

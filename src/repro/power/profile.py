@@ -1,0 +1,165 @@
+"""Sampled multi-channel power profile.
+
+A :class:`PowerProfile` is what the paper's Figure 5 plots: parallel,
+uniformly-sampled series for the processor (RAPL package), DRAM (RAPL DRAM
+domain) and the full system (Wattsup), plus the phase markers needed to
+compute per-phase statistics ("the first major phase ... consumes about
+143 W of power on an average").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.power.model import average_power, integrate_energy, peak_power
+from repro.trace.events import PhaseMarker
+
+
+@dataclass
+class PowerProfile:
+    """Uniformly-sampled power series on named channels.
+
+    Attributes
+    ----------
+    dt:
+        Sampling interval in seconds (1.0 for the paper's setup).
+    channels:
+        Channel name -> samples.  Conventional names: ``"system"``,
+        ``"processor"``, ``"dram"``.
+    markers:
+        Phase boundaries copied from the run's timeline.
+    sample_seconds:
+        Seconds of run actually covered by each sample.  Every interior
+        sample covers ``dt``; the final sample of a run that does not end
+        on a tick boundary covers less.  Defaults to full ticks.  Energy
+        integration uses these, so a 1 Hz meter does not overcount a run
+        ending mid-tick.
+    """
+
+    dt: float
+    channels: dict[str, np.ndarray] = field(default_factory=dict)
+    markers: tuple[PhaseMarker, ...] = ()
+    sample_seconds: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise MeasurementError(f"dt must be positive, got {self.dt}")
+        lengths = {name: len(s) for name, s in self.channels.items()}
+        if len(set(lengths.values())) > 1:
+            raise MeasurementError(f"channel lengths differ: {lengths}")
+        self.channels = {
+            name: np.asarray(s, dtype=float) for name, s in self.channels.items()
+        }
+        n = self.n_samples
+        if self.sample_seconds is None:
+            self.sample_seconds = np.full(n, self.dt)
+        else:
+            self.sample_seconds = np.asarray(self.sample_seconds, dtype=float)
+            if len(self.sample_seconds) != n:
+                raise MeasurementError(
+                    f"sample_seconds has {len(self.sample_seconds)} entries "
+                    f"for {n} samples"
+                )
+            if (self.sample_seconds <= 0).any() or (
+                self.sample_seconds > self.dt + 1e-12
+            ).any():
+                raise MeasurementError(
+                    "sample coverage must be in (0, dt] per sample"
+                )
+
+    # -- basic shape -------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples per channel."""
+        if not self.channels:
+            return 0
+        return len(next(iter(self.channels.values())))
+
+    @property
+    def duration(self) -> float:
+        """Length of this span/timeline in simulated seconds."""
+        return self.n_samples * self.dt
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps (end of each sampling interval)."""
+        return (np.arange(self.n_samples) + 1) * self.dt
+
+    def __contains__(self, channel: str) -> bool:
+        return channel in self.channels
+
+    def __getitem__(self, channel: str) -> np.ndarray:
+        try:
+            return self.channels[channel]
+        except KeyError:
+            raise MeasurementError(
+                f"no channel {channel!r}; have {sorted(self.channels)}"
+            ) from None
+
+    # -- metrics ------------------------------------------------------------------
+
+    def energy(self, channel: str = "system") -> float:
+        """Energy in joules over the whole profile (Fig 10's metric).
+
+        Integrates each sample over the seconds it actually covers, so a
+        trailing partial tick contributes only its covered time.
+        """
+        return float((self[channel] * self.sample_seconds).sum())
+
+    def average(self, channel: str = "system") -> float:
+        """Average power (Fig 8's metric)."""
+        return average_power(self[channel])
+
+    def peak(self, channel: str = "system") -> float:
+        """Peak power (Fig 9's metric)."""
+        return peak_power(self[channel])
+
+    # -- slicing ------------------------------------------------------------------
+
+    def slice(self, t0: float, t1: float) -> "PowerProfile":
+        """Sub-profile covering [t0, t1); marker times are preserved."""
+        if t1 < t0:
+            raise MeasurementError("t1 must be >= t0")
+        i0 = max(0, int(np.floor(t0 / self.dt)))
+        i1 = min(self.n_samples, int(np.ceil(t1 / self.dt)))
+        return PowerProfile(
+            dt=self.dt,
+            channels={name: s[i0:i1].copy() for name, s in self.channels.items()},
+            markers=tuple(m for m in self.markers if t0 <= m.t < t1),
+            sample_seconds=self.sample_seconds[i0:i1].copy(),
+        )
+
+    def phase_average(self, channel: str = "system") -> dict[str, float]:
+        """Average power per phase (interval between consecutive markers)."""
+        out: dict[str, float] = {}
+        for i, marker in enumerate(self.markers):
+            end = self.markers[i + 1].t if i + 1 < len(self.markers) else self.duration
+            sub = self.slice(marker.t, end)
+            if sub.n_samples:
+                out[marker.name] = sub.average(channel)
+        return out
+
+    # -- export ------------------------------------------------------------------
+
+    def to_columns(self) -> dict[str, Iterable[float]]:
+        """Columns suitable for :func:`repro.trace.series_to_csv`."""
+        cols: dict[str, Iterable[float]] = {"time_s": self.times.tolist()}
+        for name, samples in self.channels.items():
+            cols[f"{name}_w"] = samples.tolist()
+        return cols
+
+    @staticmethod
+    def from_columns(dt: float, columns: Mapping[str, Iterable[float]],
+                     markers: tuple[PhaseMarker, ...] = ()) -> "PowerProfile":
+        """Inverse of :meth:`to_columns` (ignores the time column)."""
+        channels = {
+            name[: -len("_w")]: np.asarray(list(vals), dtype=float)
+            for name, vals in columns.items()
+            if name.endswith("_w")
+        }
+        return PowerProfile(dt=dt, channels=channels, markers=markers)

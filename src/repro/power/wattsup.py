@@ -1,0 +1,47 @@
+"""Wattsup Pro wall-meter emulation.
+
+The paper's full-system measurements come from a Wattsup Pro between the
+node and the outlet, logged at 1 Hz by a *separate* monitoring machine so
+the measurement adds no load to the system under test (Section IV.B /
+Fig 3).  The meter's datasheet characteristics modeled here:
+
+* 1 Hz sample rate (each sample is the average over its interval),
+* 0.1 W display resolution,
+* +/-1.5 % accuracy, modeled as a small gaussian per-sample noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+class WattsupEmulator:
+    """Quantizing, noisy wall-power meter."""
+
+    def __init__(self, rng: np.random.Generator,
+                 resolution_w: float = 0.1,
+                 noise_fraction: float = 0.004) -> None:
+        if resolution_w <= 0:
+            raise MeasurementError("resolution must be positive")
+        if not 0 <= noise_fraction < 0.1:
+            raise MeasurementError("noise fraction out of plausible range")
+        self._rng = rng
+        self.resolution_w = resolution_w
+        self.noise_fraction = noise_fraction
+
+    def sample(self, true_watts: float) -> float:
+        """One meter reading of a true average power."""
+        if true_watts < 0:
+            raise MeasurementError("power cannot be negative")
+        noisy = true_watts * (1.0 + self._rng.normal(0.0, self.noise_fraction))
+        return round(max(0.0, noisy) / self.resolution_w) * self.resolution_w
+
+    def sample_series(self, true_watts: np.ndarray) -> np.ndarray:
+        """Vectorized sampling of a whole series."""
+        arr = np.asarray(true_watts, dtype=float)
+        if (arr < 0).any():
+            raise MeasurementError("power cannot be negative")
+        noisy = arr * (1.0 + self._rng.normal(0.0, self.noise_fraction, arr.shape))
+        return np.round(np.clip(noisy, 0.0, None) / self.resolution_w) * self.resolution_w

@@ -1,0 +1,31 @@
+"""Future-work runtime system (Section VI.A, item 5).
+
+    "Such work would entail the development of power models that
+    estimate the hard disk power based on the number of disk accesses,
+    size of each access, and the corresponding access pattern.  Using
+    this model, the runtime will decide the power optimization technique
+    to be used."
+
+:mod:`repro.runtime.diskmodel` is that power model (closed-form from a
+device spec, or least-squares fitted from observations);
+:mod:`repro.runtime.advisor` is the decision layer choosing between
+in-situ, data reorganization, data sampling and frequency scaling.
+"""
+
+from repro.runtime.diskmodel import (
+    DiskPowerModel,
+    WorkloadDescriptor,
+    fit_from_fio,
+    workload_from_fio,
+)
+from repro.runtime.advisor import Recommendation, RuntimeAdvisor, Technique
+
+__all__ = [
+    "DiskPowerModel",
+    "WorkloadDescriptor",
+    "fit_from_fio",
+    "workload_from_fio",
+    "RuntimeAdvisor",
+    "Recommendation",
+    "Technique",
+]

@@ -1,0 +1,158 @@
+"""Power-optimization technique advisor.
+
+Encodes the paper's decision logic (Sections V.C and V.D):
+
+* If the user does **not** need exploratory analysis, in-situ wins — it
+  eliminates both the dynamic I/O energy and the static elapsed-time
+  energy (43 % in the paper's case 1).
+* If exploration **is** needed and the access pattern is random,
+  software-directed **data reorganization** recovers most of the energy
+  (242.2 kJ -> 7.3 kJ in Section V.D) while keeping the data.
+* If the savings are dominated by the *dynamic* component (rare: the
+  paper measured only 9 %), **data sampling** — trading information for
+  fewer transfers — is the matching technique.
+* Otherwise, with sequential I/O and exploration required, the remaining
+  lever on the static component is **frequency scaling** during I/O
+  phases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.runtime.diskmodel import DiskPowerModel, WorkloadDescriptor
+
+
+class Technique(enum.Enum):
+    """Power-optimization techniques the advisor can recommend."""
+    IN_SITU = "in-situ visualization"
+    DATA_REORGANIZATION = "software-directed data reorganization"
+    DATA_SAMPLING = "in-situ data sampling"
+    FREQUENCY_SCALING = "frequency scaling during I/O phases"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What the runtime knows about the application."""
+
+    io_workload: WorkloadDescriptor
+    io_time_fraction: float          # share of wall time spent in I/O
+    needs_exploration: bool          # must raw data stay analyzable?
+    system_static_w: float = 104.8   # the node's idle floor
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.io_time_fraction <= 1.0:
+            raise ConfigError("io_time_fraction must be in [0, 1]")
+        if self.system_static_w <= 0:
+            raise ConfigError("static power must be positive")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict: technique, estimated savings, and why."""
+    technique: Technique
+    estimated_savings_fraction: float   # of total system energy
+    rationale: str
+
+
+class RuntimeAdvisor:
+    """Chooses a power-optimization technique for a workload."""
+
+    def __init__(self, disk_model: DiskPowerModel) -> None:
+        self.disk_model = disk_model
+
+    # -- internal estimates -------------------------------------------------------
+
+    def _dynamic_io_w(self, wl: WorkloadProfile) -> float:
+        return max(
+            0.0,
+            self.disk_model.predict_power(wl.io_workload)
+            - self.disk_model.idle_w,
+        )
+
+    def _insitu_savings(self, wl: WorkloadProfile) -> float:
+        """In-situ removes the I/O time entirely: its static share of the
+        run plus the dynamic disk power during it."""
+        f = wl.io_time_fraction
+        static = wl.system_static_w
+        dynamic = self._dynamic_io_w(wl)
+        total = static + f * dynamic  # rough per-unit-time accounting
+        return f * (static + dynamic) / total
+
+    def _reorg_savings(self, wl: WorkloadProfile) -> float:
+        """Reorganization converts random I/O to sequential: the I/O time
+        shrinks by the random/sequential service ratio."""
+        if wl.io_workload.pattern != "random":
+            return 0.0
+        random_power = self.disk_model.predict_power(wl.io_workload)
+        seq = WorkloadDescriptor(
+            accesses_per_s=wl.io_workload.accesses_per_s,
+            access_bytes=wl.io_workload.access_bytes,
+            read_fraction=wl.io_workload.read_fraction,
+            pattern="sequential",
+        )
+        seq_power = self.disk_model.predict_power(seq)
+        # Time ratio: a random access costs its seek plus transfer; the
+        # sequential version costs only transfer.
+        seek = self.disk_model.seek_s_per_random_access
+        transfer = 1.0 / max(wl.io_workload.accesses_per_s, 1e-12)
+        time_ratio = transfer / (transfer + seek)
+        energy_before = wl.io_time_fraction * (wl.system_static_w + random_power
+                                               - self.disk_model.idle_w)
+        energy_after = energy_before * time_ratio * (
+            (wl.system_static_w + seq_power - self.disk_model.idle_w)
+            / (wl.system_static_w + random_power - self.disk_model.idle_w)
+        )
+        total = wl.system_static_w  # per-unit-time normalization baseline
+        return max(0.0, (energy_before - energy_after) / total * 0.9)
+
+    # -- decision ------------------------------------------------------------------
+
+    def recommend(self, workload: WorkloadProfile) -> Recommendation:
+        """Choose a power-optimization technique for ``workload``."""
+        if not workload.needs_exploration:
+            savings = min(0.95, self._insitu_savings(workload))
+            return Recommendation(
+                Technique.IN_SITU,
+                estimated_savings_fraction=savings,
+                rationale=(
+                    "exploratory analysis not required: eliminating the I/O "
+                    "phases removes both their dynamic disk energy and, "
+                    "dominantly, the static energy of the elapsed time"
+                ),
+            )
+        if workload.io_workload.pattern == "random":
+            savings = min(0.95, self._reorg_savings(workload))
+            return Recommendation(
+                Technique.DATA_REORGANIZATION,
+                estimated_savings_fraction=savings,
+                rationale=(
+                    "exploration required and I/O is random: reorganizing "
+                    "data to make access sequential collapses seek time and "
+                    "energy while keeping the raw data (Sec V.D)"
+                ),
+            )
+        dynamic = self._dynamic_io_w(workload)
+        if dynamic > 0.3 * workload.system_static_w:
+            return Recommendation(
+                Technique.DATA_SAMPLING,
+                estimated_savings_fraction=min(
+                    0.5, workload.io_time_fraction * dynamic
+                    / (workload.system_static_w + dynamic)),
+                rationale=(
+                    "dynamic data-movement power dominates: sampling reduces "
+                    "the volume moved, at some loss of information (Sec V.C)"
+                ),
+            )
+        return Recommendation(
+            Technique.FREQUENCY_SCALING,
+            estimated_savings_fraction=min(
+                0.15, 0.3 * workload.io_time_fraction),
+            rationale=(
+                "I/O is already sequential and exploration is required: the "
+                "remaining lever is lowering frequency/static draw during "
+                "I/O-bound phases"
+            ),
+        )

@@ -1,0 +1,186 @@
+"""Disk power model from access counts, sizes, and patterns.
+
+The model is linear in the workload features the paper names:
+
+    P_disk = idle + e_r * read_bw + e_w * write_bw + P_act * seek_duty
+
+where ``seek_duty`` is derived from the access pattern: the fraction of
+time the actuator travels, estimated from the op rate and the device's
+seek curve.  Coefficients come either straight from a
+:class:`~repro.machine.specs.DiskSpec` (:meth:`DiskPowerModel.from_spec`)
+or from least-squares fitting on observed (workload, power) pairs
+(:meth:`DiskPowerModel.fit`), the route a real runtime on opaque hardware
+would take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, ReproError
+from repro.machine.specs import DiskSpec
+
+
+@dataclass(frozen=True)
+class WorkloadDescriptor:
+    """What the paper says the model's inputs are: number of accesses,
+    size of each access, and the access pattern."""
+
+    accesses_per_s: float
+    access_bytes: int
+    read_fraction: float        # 1.0 = pure read, 0.0 = pure write
+    pattern: str                # "sequential" or "random"
+
+    def __post_init__(self) -> None:
+        if self.accesses_per_s < 0 or self.access_bytes <= 0:
+            raise ConfigError("access rate must be >= 0 and size positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigError("read_fraction must be in [0, 1]")
+        if self.pattern not in ("sequential", "random"):
+            raise ConfigError(f"pattern must be sequential/random, got {self.pattern!r}")
+
+    @property
+    def bytes_per_s(self) -> float:
+        """Total byte rate of the workload (accesses x size)."""
+        return self.accesses_per_s * self.access_bytes
+
+    @property
+    def read_bytes_per_s(self) -> float:
+        """Read share of the workload's byte rate."""
+        return self.bytes_per_s * self.read_fraction
+
+    @property
+    def write_bytes_per_s(self) -> float:
+        """Write share of the workload's byte rate."""
+        return self.bytes_per_s * (1.0 - self.read_fraction)
+
+
+class DiskPowerModel:
+    """Linear disk power model; see module docstring."""
+
+    def __init__(self, idle_w: float, read_j_per_b: float,
+                 write_j_per_b: float, actuator_w: float,
+                 seek_s_per_random_access: float) -> None:
+        for name, v in (("idle_w", idle_w), ("read_j_per_b", read_j_per_b),
+                        ("write_j_per_b", write_j_per_b),
+                        ("actuator_w", actuator_w),
+                        ("seek_s_per_random_access", seek_s_per_random_access)):
+            if v < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        self.idle_w = idle_w
+        self.read_j_per_b = read_j_per_b
+        self.write_j_per_b = write_j_per_b
+        self.actuator_w = actuator_w
+        self.seek_s_per_random_access = seek_s_per_random_access
+
+    @classmethod
+    def from_spec(cls, spec: DiskSpec) -> "DiskPowerModel":
+        """Closed-form coefficients from the device's datasheet model.
+
+        The per-random-access actuator time is the average arm travel for
+        seeks within a working set of ~1 % of the stroke (the fio file's
+        span) — short seeks dominate file-local random access.
+        """
+        seek_s = spec.track_to_track_s + spec.seek_curve_b_s * np.sqrt(0.003)
+        return cls(
+            idle_w=spec.idle_w,
+            read_j_per_b=spec.read_energy_per_byte_j,
+            write_j_per_b=spec.write_energy_per_byte_j,
+            actuator_w=spec.actuator_w,
+            seek_s_per_random_access=float(seek_s),
+        )
+
+    # -- prediction ---------------------------------------------------------------
+
+    def seek_duty(self, workload: WorkloadDescriptor) -> float:
+        """Actuator duty cycle implied by the workload's pattern."""
+        if workload.pattern == "sequential":
+            return 0.0
+        return min(1.0, workload.accesses_per_s * self.seek_s_per_random_access)
+
+    def predict_power(self, workload: WorkloadDescriptor) -> float:
+        """Disk power (W) for a sustained workload."""
+        return (
+            self.idle_w
+            + self.read_j_per_b * workload.read_bytes_per_s
+            + self.write_j_per_b * workload.write_bytes_per_s
+            + self.actuator_w * self.seek_duty(workload)
+        )
+
+    def predict_energy(self, workload: WorkloadDescriptor,
+                       duration_s: float) -> float:
+        """Disk energy (J) for the workload sustained over ``duration_s``."""
+        if duration_s < 0:
+            raise ConfigError("duration must be non-negative")
+        return self.predict_power(workload) * duration_s
+
+    # -- fitting -----------------------------------------------------------------
+
+    @classmethod
+    def fit(cls, observations: list[tuple[WorkloadDescriptor, float]],
+            seek_s_per_random_access: float = 2.0e-3) -> "DiskPowerModel":
+        """Least-squares fit of the linear coefficients from observations.
+
+        Each observation is (workload, measured disk power).  Needs at
+        least four observations spanning the feature space (e.g. the four
+        fio jobs).  Coefficients are clipped at zero — a negative energy
+        per byte is a fitting artifact, not physics.
+        """
+        if len(observations) < 4:
+            raise ReproError("need at least 4 observations to fit 4 coefficients")
+        rows = []
+        targets = []
+        for workload, power_w in observations:
+            duty = (0.0 if workload.pattern == "sequential"
+                    else min(1.0, workload.accesses_per_s * seek_s_per_random_access))
+            rows.append([
+                1.0,
+                workload.read_bytes_per_s,
+                workload.write_bytes_per_s,
+                duty,
+            ])
+            targets.append(power_w)
+        coeffs, *_ = np.linalg.lstsq(np.asarray(rows), np.asarray(targets),
+                                     rcond=None)
+        idle, e_r, e_w, act = (max(0.0, float(c)) for c in coeffs)
+        return cls(idle, e_r, e_w, act, seek_s_per_random_access)
+
+
+def workload_from_fio(result) -> WorkloadDescriptor:
+    """Describe a finished fio job in the power model's vocabulary.
+
+    This is the characterization-to-model handoff the paper's future
+    work sketches: the runtime observes (count, size, pattern) and the
+    measured power, and fits its model from exactly that.
+    """
+    job = result.job
+    n_ops = job.size_bytes // job.block_bytes
+    return WorkloadDescriptor(
+        accesses_per_s=n_ops / result.elapsed_s,
+        access_bytes=job.block_bytes,
+        read_fraction=1.0 if job.op.name == "READ" else 0.0,
+        pattern="sequential" if job.pattern == "sequential" else "random",
+    )
+
+
+def fit_from_fio(results: dict, seek_s_per_random_access: float = 8.2e-3,
+                 extra_observations: list | None = None) -> DiskPowerModel:
+    """Fit a disk power model from measured fio results (Table III).
+
+    ``results`` maps job name -> FioResult; each contributes one
+    (workload, measured disk power) observation.  Four fio jobs span the
+    four coefficients exactly; pass ``extra_observations`` to
+    over-determine the fit.  The default per-random-access seek time is
+    the fio random job's observed service time minus its transfer.
+    """
+    observations = [
+        (workload_from_fio(r), r.disk_dynamic_power_w + r._disk_spec.idle_w)
+        for r in results.values()
+    ]
+    if extra_observations:
+        observations.extend(extra_observations)
+    return DiskPowerModel.fit(
+        observations, seek_s_per_random_access=seek_s_per_random_access
+    )

@@ -1,0 +1,26 @@
+"""Proxy heat-transfer simulation.
+
+The paper's proxy application simulates heat transfer (the scanned text's
+missing page cites Reddy & Gartling's finite-element heat transfer text)
+on a 128 KB grid for fifty timesteps.  This package implements the solver
+for real: a 2-D heat-conduction problem integrated with the explicit FTCS
+finite-difference scheme, vectorized over NumPy, with the grid/chunk
+geometry the paper's I/O configuration fixes (grid size = chunk size =
+128 KiB = a 128x128 float64 field).
+"""
+
+from repro.sim.grid import Grid2D
+from repro.sim.stencil import laplacian_5pt, stencil_flops_per_cell
+from repro.sim.heat import BoundaryCondition, HeatSolver, HeatSource
+from repro.sim.decomposition import BlockDecomposition, Subdomain
+
+__all__ = [
+    "Grid2D",
+    "laplacian_5pt",
+    "stencil_flops_per_cell",
+    "BoundaryCondition",
+    "HeatSolver",
+    "HeatSource",
+    "BlockDecomposition",
+    "Subdomain",
+]

@@ -1,0 +1,168 @@
+"""Block domain decomposition with halo exchange (multi-node extension).
+
+The paper's future work proposes multi-node evaluation.  This module
+decomposes a global grid over a 2-D process mesh, gives each rank a
+subdomain with one-cell ghost layers, and performs the halo exchange the
+interconnect model prices.  It runs all "ranks" in one process (the point
+is timing/energy modeling, not actual parallel speedup), but the numerics
+are the real distributed algorithm: the property test verifies that a
+decomposed FTCS sweep is bitwise-equal to the single-domain sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.grid import Grid2D
+from repro.sim.stencil import laplacian_5pt
+
+
+@dataclass
+class Subdomain:
+    """One rank's tile: interior block plus one-cell ghost ring."""
+
+    rank: int
+    coords: tuple[int, int]      # (process row, process col)
+    row0: int                    # global interior bounds (inclusive start)
+    row1: int                    # exclusive end
+    col0: int
+    col1: int
+    field: np.ndarray            # (rows+2, cols+2) with ghosts
+
+    @property
+    def interior(self) -> np.ndarray:
+        """View of the tile's interior (without ghost cells)."""
+        return self.field[1:-1, 1:-1]
+
+    @property
+    def halo_bytes_per_neighbor(self) -> int:
+        """Bytes exchanged with one lateral neighbor per halo swap."""
+        return max(self.field.shape[0] - 2, self.field.shape[1] - 2) * 8
+
+
+class BlockDecomposition:
+    """Split a global grid over a ``pr x pc`` process mesh."""
+
+    def __init__(self, grid: Grid2D, pr: int, pc: int) -> None:
+        if pr < 1 or pc < 1:
+            raise SimulationError("process mesh dimensions must be >= 1")
+        if (grid.nx - 2) % pr or (grid.ny - 2) % pc:
+            raise SimulationError(
+                f"interior {grid.nx - 2}x{grid.ny - 2} not divisible by "
+                f"{pr}x{pc} mesh"
+            )
+        self.grid = grid
+        self.pr, self.pc = pr, pc
+        self.block_rows = (grid.nx - 2) // pr
+        self.block_cols = (grid.ny - 2) // pc
+        self.subdomains: list[Subdomain] = []
+        for pi in range(pr):
+            for pj in range(pc):
+                r0 = 1 + pi * self.block_rows
+                c0 = 1 + pj * self.block_cols
+                r1, c1 = r0 + self.block_rows, c0 + self.block_cols
+                field = np.zeros((self.block_rows + 2, self.block_cols + 2))
+                field[1:-1, 1:-1] = grid.data[r0:r1, c0:c1]
+                self.subdomains.append(Subdomain(
+                    rank=pi * pc + pj, coords=(pi, pj),
+                    row0=r0, row1=r1, col0=c0, col1=c1, field=field,
+                ))
+        self.exchange_halos()
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of subdomains (simulated ranks)."""
+        return self.pr * self.pc
+
+    def _neighbor(self, pi: int, pj: int) -> Subdomain | None:
+        if 0 <= pi < self.pr and 0 <= pj < self.pc:
+            return self.subdomains[pi * self.pc + pj]
+        return None
+
+    def exchange_halos(self) -> int:
+        """Fill every ghost ring from neighbors or the global boundary.
+
+        Returns total bytes that would cross the interconnect (boundary
+        fills are local and free).
+        """
+        g = self.grid.data
+        wire_bytes = 0
+        for sub in self.subdomains:
+            pi, pj = sub.coords
+            rows, cols = self.block_rows, self.block_cols
+            north = self._neighbor(pi - 1, pj)
+            if north is not None:
+                sub.field[0, 1:-1] = north.interior[-1, :]
+                wire_bytes += cols * 8
+            else:
+                sub.field[0, 1:-1] = g[sub.row0 - 1, sub.col0 : sub.col1]
+            south = self._neighbor(pi + 1, pj)
+            if south is not None:
+                sub.field[-1, 1:-1] = south.interior[0, :]
+                wire_bytes += cols * 8
+            else:
+                sub.field[-1, 1:-1] = g[sub.row1, sub.col0 : sub.col1]
+            west = self._neighbor(pi, pj - 1)
+            if west is not None:
+                sub.field[1:-1, 0] = west.interior[:, -1]
+                wire_bytes += rows * 8
+            else:
+                sub.field[1:-1, 0] = g[sub.row0 : sub.row1, sub.col0 - 1]
+            east = self._neighbor(pi, pj + 1)
+            if east is not None:
+                sub.field[1:-1, -1] = east.interior[:, 0]
+                wire_bytes += rows * 8
+            else:
+                sub.field[1:-1, -1] = g[sub.row0 : sub.row1, sub.col1]
+        return wire_bytes
+
+    def step(self, alpha: float, dt: float) -> int:
+        """One distributed FTCS sweep; returns halo bytes exchanged.
+
+        The global boundary cells are untouched (Dirichlet handled by the
+        owning driver through the global grid).
+        """
+        updates = []
+        for sub in self.subdomains:
+            lap = laplacian_5pt(sub.field, self.grid.dx, self.grid.dy)
+            updates.append(sub.interior + alpha * dt * lap)
+        for sub, new in zip(self.subdomains, updates):
+            sub.field[1:-1, 1:-1] = new
+        self.gather()
+        return self.exchange_halos()
+
+    def gather(self) -> Grid2D:
+        """Write every subdomain's interior back into the global grid."""
+        for sub in self.subdomains:
+            self.grid.data[sub.row0 : sub.row1, sub.col0 : sub.col1] = sub.interior
+        return self.grid
+
+    def scatter(self) -> None:
+        """Push the global grid back into the subdomain tiles + ghosts.
+
+        Needed after a driver applies global operations (sources,
+        boundary conditions) directly to the gathered grid.
+        """
+        for sub in self.subdomains:
+            sub.field[1:-1, 1:-1] = self.grid.data[
+                sub.row0 : sub.row1, sub.col0 : sub.col1
+            ]
+        self.exchange_halos()
+
+    def halo_bytes_per_exchange(self) -> int:
+        """Wire bytes of one full halo exchange (for the network model)."""
+        total = 0
+        for sub in self.subdomains:
+            pi, pj = sub.coords
+            if pi > 0:
+                total += self.block_cols * 8
+            if pi < self.pr - 1:
+                total += self.block_cols * 8
+            if pj > 0:
+                total += self.block_rows * 8
+            if pj < self.pc - 1:
+                total += self.block_rows * 8
+        return total

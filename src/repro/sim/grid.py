@@ -1,0 +1,129 @@
+"""Regular 2-D grid with the paper's chunked-output geometry.
+
+The paper fixes "the grid size and the chunk size ... at 128 KB": one
+output chunk per timestep holding the full 128x128 float64 temperature
+field.  :meth:`Grid2D.chunks` generalizes this to larger grids by cutting
+row blocks of the configured chunk size, which is what the data writer
+streams to the filesystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import KiB
+
+
+@dataclass
+class Grid2D:
+    """A regular rectangular grid carrying one scalar field.
+
+    Attributes
+    ----------
+    nx, ny:
+        Interior resolution (rows, columns of the stored field).
+    lx, ly:
+        Physical domain extents; spacings are derived.
+    """
+
+    nx: int
+    ny: int
+    lx: float = 1.0
+    ly: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nx < 3 or self.ny < 3:
+            raise SimulationError(
+                f"grid must be at least 3x3 for a 5-point stencil, got "
+                f"{self.nx}x{self.ny}"
+            )
+        if self.lx <= 0 or self.ly <= 0:
+            raise SimulationError("domain extents must be positive")
+        self.data = np.zeros((self.nx, self.ny), dtype=np.float64)
+
+    @classmethod
+    def paper_grid(cls) -> "Grid2D":
+        """The 128 KB grid of the paper: 128x128 float64."""
+        return cls(nx=128, ny=128)
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def dx(self) -> float:
+        """Grid spacing along the first axis."""
+        return self.lx / (self.nx - 1)
+
+    @property
+    def dy(self) -> float:
+        """Grid spacing along the second axis."""
+        return self.ly / (self.ny - 1)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns) of the stored field."""
+        return (self.nx, self.ny)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of grid cells."""
+        return self.nx * self.ny
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the stored data in bytes."""
+        return self.data.nbytes
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Row-major little-endian float64 serialization."""
+        return self.data.astype("<f8", copy=False).tobytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, nx: int, ny: int,
+                   lx: float = 1.0, ly: float = 1.0) -> "Grid2D":
+        """Reconstruct from the serialized byte representation."""
+        expected = nx * ny * 8
+        if len(payload) != expected:
+            raise SimulationError(
+                f"payload is {len(payload)} bytes; {nx}x{ny} grid needs {expected}"
+            )
+        grid = cls(nx, ny, lx, ly)
+        grid.data = np.frombuffer(payload, dtype="<f8").reshape(nx, ny).copy()
+        return grid
+
+    def chunks(self, chunk_bytes: int = 128 * KiB) -> list[bytes]:
+        """Serialize as row-block chunks of at most ``chunk_bytes`` each."""
+        if chunk_bytes <= 0 or chunk_bytes % (self.ny * 8) != 0 and chunk_bytes < self.ny * 8:
+            raise SimulationError(
+                f"chunk_bytes must fit at least one row ({self.ny * 8} bytes)"
+            )
+        rows_per_chunk = max(1, chunk_bytes // (self.ny * 8))
+        out = []
+        for start in range(0, self.nx, rows_per_chunk):
+            block = self.data[start : start + rows_per_chunk]
+            out.append(block.astype("<f8", copy=False).tobytes())
+        return out
+
+    # -- field statistics -----------------------------------------------------------
+
+    def mean(self) -> float:
+        """Mean of the field."""
+        return float(self.data.mean())
+
+    def minmax(self) -> tuple[float, float]:
+        """(min, max) of the field."""
+        return float(self.data.min()), float(self.data.max())
+
+    def thermal_energy(self) -> float:
+        """Integral of the field over the domain (up to rho*c_p)."""
+        return float(self.data.sum() * self.dx * self.dy)
+
+    def copy(self) -> "Grid2D":
+        """Deep copy (independent field storage)."""
+        out = Grid2D(self.nx, self.ny, self.lx, self.ly)
+        out.data = self.data.copy()
+        return out

@@ -1,0 +1,171 @@
+"""3-D heat-conduction solver (volume-rendering pipeline substrate).
+
+The in-situ literature the paper builds on is dominated by *volume*
+rendering of 3-D fields (Yu et al., Childs et al., Peterka et al.); the
+proxy app's 2-D field cannot exercise that path.  This module is the
+3-D analogue of :mod:`repro.sim.heat`: a 7-point FTCS integrator with
+Dirichlet/insulated boundaries and box sources, with the same physical
+guarantees (CFL check, maximum principle, divergence detection) pinned
+by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.heat import BoundaryCondition
+
+
+@dataclass(frozen=True)
+class HeatSource3D:
+    """Constant heat source over a box of cells."""
+
+    lo: tuple[int, int, int]
+    hi: tuple[int, int, int]
+    rate: float
+
+    def __post_init__(self) -> None:
+        if any(h <= l for l, h in zip(self.lo, self.hi)):
+            raise SimulationError("source box must have positive extent")
+
+
+class Grid3D:
+    """Cubic-cell 3-D grid carrying one scalar field."""
+
+    def __init__(self, nx: int, ny: int, nz: int, extent: float = 1.0) -> None:
+        if min(nx, ny, nz) < 3:
+            raise SimulationError("grid must be at least 3^3 for a 7-point stencil")
+        if extent <= 0:
+            raise SimulationError("extent must be positive")
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.extent = extent
+        self.data = np.zeros((nx, ny, nz), dtype=np.float64)
+
+    @property
+    def h(self) -> float:
+        """Grid spacing (isotropic)."""
+        return self.extent / (max(self.nx, self.ny, self.nz) - 1)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the stored data in bytes."""
+        return self.data.nbytes
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of grid cells."""
+        return self.nx * self.ny * self.nz
+
+    def to_bytes(self) -> bytes:
+        """Row-major little-endian float64 serialization."""
+        return self.data.astype("<f8", copy=False).tobytes()
+
+    def minmax(self) -> tuple[float, float]:
+        """(min, max) of the field."""
+        return float(self.data.min()), float(self.data.max())
+
+
+def laplacian_7pt(field: np.ndarray, h: float,
+                  out: np.ndarray | None = None) -> np.ndarray:
+    """Interior 7-point Laplacian on an isotropic 3-D grid."""
+    if field.ndim != 3 or min(field.shape) < 3:
+        raise SimulationError("field must be 3-D with at least 3 samples per axis")
+    if h <= 0:
+        raise SimulationError("spacing must be positive")
+    c = field[1:-1, 1:-1, 1:-1]
+    if out is None:
+        out = np.empty_like(c)
+    elif out.shape != c.shape:
+        raise SimulationError("out buffer shape mismatch")
+    np.subtract(field[:-2, 1:-1, 1:-1], 6.0 * c, out=out)
+    out += field[2:, 1:-1, 1:-1]
+    out += field[1:-1, :-2, 1:-1]
+    out += field[1:-1, 2:, 1:-1]
+    out += field[1:-1, 1:-1, :-2]
+    out += field[1:-1, 1:-1, 2:]
+    out /= h * h
+    return out
+
+
+class HeatSolver3D:
+    """Explicit 3-D FTCS integrator (see :class:`repro.sim.heat.HeatSolver`)."""
+
+    def __init__(
+        self,
+        grid: Grid3D,
+        alpha: float = 1.0e-4,
+        dt: float | None = None,
+        bc: BoundaryCondition = BoundaryCondition.DIRICHLET,
+        boundary_value: float = 0.0,
+        sources: tuple[HeatSource3D, ...] = (),
+        sub_steps: int = 1,
+    ) -> None:
+        if alpha <= 0:
+            raise SimulationError("diffusivity must be positive")
+        if sub_steps < 1:
+            raise SimulationError("sub_steps must be >= 1")
+        self.grid = grid
+        self.alpha = alpha
+        self.bc = bc
+        self.boundary_value = boundary_value
+        self.sources = tuple(sources)
+        self.sub_steps = sub_steps
+        limit = self.cfl_limit()
+        self.dt = 0.4 * limit if dt is None else dt
+        if self.dt <= 0 or self.dt > limit:
+            raise SimulationError(
+                f"dt={self.dt} violates CFL stability limit {limit:.3e}"
+            )
+        for s in self.sources:
+            if any(h > n for h, n in zip(s.hi, grid.data.shape)):
+                raise SimulationError(f"source {s} outside grid")
+        self._lap = np.empty(tuple(n - 2 for n in grid.data.shape))
+        self.steps_taken = 0
+        self.apply_boundary()
+
+    def cfl_limit(self) -> float:
+        """Stability bound for the 3-D FTCS scheme: h^2 / (6 alpha)."""
+        return self.grid.h ** 2 / (6.0 * self.alpha)
+
+    def apply_boundary(self) -> None:
+        """Re-impose the boundary condition on the field edges."""
+        u = self.grid.data
+        if self.bc is BoundaryCondition.DIRICHLET:
+            for axis in range(3):
+                sl = [slice(None)] * 3
+                for edge in (0, -1):
+                    sl[axis] = edge
+                    u[tuple(sl)] = self.boundary_value
+        else:
+            for axis in range(3):
+                lo = [slice(None)] * 3
+                hi = [slice(None)] * 3
+                lo[axis], hi[axis] = 0, 1
+                u[tuple(lo)] = u[tuple(hi)]
+                lo[axis], hi[axis] = -1, -2
+                u[tuple(lo)] = u[tuple(hi)]
+
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` pipeline timesteps."""
+        if n < 0:
+            raise SimulationError("cannot step backwards")
+        u = self.grid.data
+        for _ in range(n * self.sub_steps):
+            lap = laplacian_7pt(u, self.grid.h, out=self._lap)
+            u[1:-1, 1:-1, 1:-1] += self.alpha * self.dt * lap
+            for s in self.sources:
+                u[s.lo[0]:s.hi[0], s.lo[1]:s.hi[1], s.lo[2]:s.hi[2]] += (
+                    s.rate * self.dt
+                )
+            self.apply_boundary()
+        self.steps_taken += n
+        if not np.isfinite(u).all():
+            raise SimulationError("3-D solution diverged")
+
+    @property
+    def time(self) -> float:
+        """Physical time simulated so far."""
+        return self.steps_taken * self.sub_steps * self.dt

@@ -1,0 +1,31 @@
+"""Simulation-data storage formats and layout tooling.
+
+* :mod:`repro.storage.format` — the chunked container each timestep dump
+  uses (magic, header, per-chunk CRC index).
+* :mod:`repro.storage.writer` / :mod:`repro.storage.reader` — timestep
+  dump/load over the simulated filesystem, with the paper's
+  sync-and-drop-caches discipline.
+* :mod:`repro.storage.layout` — chunk-access-order policies (sequential,
+  shuffled, strided) used to impose I/O patterns.
+* :mod:`repro.storage.reorg` — software-directed data reorganization, the
+  Section V.D technique that makes a post-processing pipeline's I/O
+  near-sequential.
+"""
+
+from repro.storage.format import ChunkedContainer, decode_container, encode_container
+from repro.storage.writer import DataWriter
+from repro.storage.reader import DataReader
+from repro.storage.layout import access_order
+from repro.storage.reorg import ReorgReport, reorganize_file, schedule_accesses
+
+__all__ = [
+    "ChunkedContainer",
+    "encode_container",
+    "decode_container",
+    "DataWriter",
+    "DataReader",
+    "access_order",
+    "ReorgReport",
+    "reorganize_file",
+    "schedule_accesses",
+]

@@ -1,0 +1,192 @@
+"""Timestep compression codecs (related-work extension).
+
+Wang et al. [22] motivate application-driven compression for large
+time-varying data; in this reproduction codecs plug into the
+:class:`~repro.storage.writer.DataWriter` so a post-processing pipeline
+can trade CPU cycles for dump bytes.  The data-volume ablation bench
+shows when that trade wins: at the paper's 128 KiB dumps the write event
+is barrier-dominated and compression buys nothing, while at
+gigabyte-class dumps it cuts the transfer term directly.
+
+Codecs implement ``encode``/``decode`` on raw bytes:
+
+* :class:`ZlibCodec` — lossless DEFLATE at a configurable level;
+* :class:`Float32Codec` — lossy float64 -> float32 demotion (exactly
+  halves the payload; relative error ~1e-7, quantified per call);
+* :class:`ChainCodec` — composition, e.g. float32-then-zlib.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+class Codec(Protocol):
+    """Byte-stream codec."""
+
+    name: str
+    lossless: bool
+
+    def encode(self, raw: bytes) -> bytes: ...
+
+    def decode(self, encoded: bytes) -> bytes: ...
+
+
+class IdentityCodec:
+    """No-op codec (the default)."""
+
+    name = "identity"
+    lossless = True
+
+    def encode(self, raw: bytes) -> bytes:
+        """Encode a raw byte payload."""
+        return raw
+
+    def decode(self, encoded: bytes) -> bytes:
+        """Invert :meth:`encode`."""
+        return encoded
+
+
+class ZlibCodec:
+    """Lossless DEFLATE."""
+
+    lossless = True
+
+    def __init__(self, level: int = 6) -> None:
+        if not 1 <= level <= 9:
+            raise StorageError(f"zlib level must be in [1, 9], got {level}")
+        self.level = level
+        self.name = f"zlib{level}"
+
+    def encode(self, raw: bytes) -> bytes:
+        """Encode a raw byte payload."""
+        return zlib.compress(raw, self.level)
+
+    def decode(self, encoded: bytes) -> bytes:
+        """Invert :meth:`encode`."""
+        try:
+            return zlib.decompress(encoded)
+        except zlib.error as exc:
+            raise StorageError(f"zlib decode failed: {exc}") from exc
+
+
+class Float32Codec:
+    """Lossy demotion of float64 payloads to float32.
+
+    The payload must be a whole number of float64 values.  Decoding
+    promotes back to float64 (values carry ~7 significant digits).
+    """
+
+    name = "f32"
+    lossless = False
+
+    def encode(self, raw: bytes) -> bytes:
+        """Encode a raw byte payload."""
+        if len(raw) % 8:
+            raise StorageError(
+                f"float32 codec needs a float64 payload; {len(raw)} bytes"
+            )
+        return np.frombuffer(raw, dtype="<f8").astype("<f4").tobytes()
+
+    def decode(self, encoded: bytes) -> bytes:
+        """Invert :meth:`encode`."""
+        if len(encoded) % 4:
+            raise StorageError("corrupt float32 payload")
+        return np.frombuffer(encoded, dtype="<f4").astype("<f8").tobytes()
+
+    @staticmethod
+    def max_relative_error(raw: bytes) -> float:
+        """Worst-case relative error this codec introduces on ``raw``."""
+        original = np.frombuffer(raw, dtype="<f8")
+        demoted = original.astype("<f4").astype("<f8")
+        denom = np.maximum(np.abs(original), 1e-300)
+        return float(np.max(np.abs(original - demoted) / denom))
+
+
+class ChainCodec:
+    """Apply codecs left to right on encode, right to left on decode."""
+
+    def __init__(self, *codecs: Codec) -> None:
+        if not codecs:
+            raise StorageError("chain needs at least one codec")
+        self.codecs = codecs
+        self.name = "+".join(c.name for c in codecs)
+        self.lossless = all(c.lossless for c in codecs)
+
+    def encode(self, raw: bytes) -> bytes:
+        """Encode a raw byte payload."""
+        for codec in self.codecs:
+            raw = codec.encode(raw)
+        return raw
+
+    def decode(self, encoded: bytes) -> bytes:
+        """Invert :meth:`encode`."""
+        for codec in reversed(self.codecs):
+            encoded = codec.decode(encoded)
+        return encoded
+
+
+#: Registry for the writer/reader format-flag mapping.
+CODECS: dict[str, Codec] = {
+    "identity": IdentityCodec(),
+    "zlib": ZlibCodec(),
+    "f32": Float32Codec(),
+    "f32+zlib": ChainCodec(Float32Codec(), ZlibCodec()),
+}
+
+
+#: Stable codec ids for the container format's flags field.
+CODEC_IDS: dict[str, int] = {
+    "identity": 0,
+    "zlib": 1,
+    "f32": 2,
+    "f32+zlib": 3,
+}
+_ID_TO_NAME = {v: k for k, v in CODEC_IDS.items()}
+
+
+def codec_id(codec: Codec) -> int:
+    """Format-flag id for a registered codec.
+
+    Compression levels are a writer-side detail — any zlib level decodes
+    identically — so names are normalized before lookup.
+    """
+    import re
+
+    normalized = re.sub(r"zlib\d+", "zlib", codec.name)
+    try:
+        return CODEC_IDS[normalized]
+    except KeyError:
+        raise StorageError(
+            f"codec {codec.name!r} has no registered container id"
+        ) from None
+
+
+def codec_from_id(flag: int) -> Codec:
+    """Inverse of :func:`codec_id` for the reader."""
+    try:
+        return CODECS[_ID_TO_NAME[flag]]
+    except KeyError:
+        raise StorageError(f"unknown codec id {flag}") from None
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a registered codec by name."""
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise StorageError(
+            f"unknown codec {name!r}; have {sorted(CODECS)}"
+        ) from None
+
+
+def compression_ratio(raw: bytes, codec: Codec) -> float:
+    """raw/encoded size ratio (>1 means the codec shrank the payload)."""
+    if not raw:
+        raise StorageError("empty payload")
+    return len(raw) / max(1, len(codec.encode(raw)))

@@ -1,0 +1,151 @@
+"""Chunked timestep container format.
+
+Layout (little-endian):
+
+========  =====  =============================================
+offset    size   field
+========  =====  =============================================
+0         4      magic ``b"RPRO"``
+4         2      format version (currently 1)
+6         2      flags (codec id; see repro.storage.compression)
+8         4      nx (grid rows)
+12        4      ny (grid cols)
+16        4      n_chunks
+20        4      timestep index
+24        8      physical time (f64)
+32        16*n   chunk index: (offset u64, nbytes u32, crc32 u32)
+...              chunk payloads
+========  =====  =============================================
+
+Chunk offsets are relative to the start of the container.  Every chunk is
+CRC-checked on decode — a reproduction of a storage study should notice
+when its storage stack corrupts data.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import FileFormatError
+
+MAGIC = b"RPRO"
+VERSION = 1
+_HEADER = struct.Struct("<4sHHIIIId")
+_INDEX_ENTRY = struct.Struct("<QII")
+
+
+@dataclass(frozen=True)
+class ChunkedContainer:
+    """Decoded container: metadata plus raw chunk payloads.
+
+    ``flags`` carries the codec id the chunks were encoded with; the
+    reader resolves it through :mod:`repro.storage.compression`.
+    """
+
+    nx: int
+    ny: int
+    timestep: int
+    physical_time: float
+    chunks: tuple[bytes, ...]
+    flags: int = 0
+
+    @property
+    def payload(self) -> bytes:
+        """All chunk payloads concatenated."""
+        return b"".join(self.chunks)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the stored data in bytes."""
+        return sum(len(c) for c in self.chunks)
+
+
+def encode_container(
+    chunks: list[bytes] | tuple[bytes, ...],
+    nx: int,
+    ny: int,
+    timestep: int = 0,
+    physical_time: float = 0.0,
+    flags: int = 0,
+) -> bytes:
+    """Serialize chunks into the container format."""
+    if not chunks:
+        raise FileFormatError("container needs at least one chunk")
+    if nx <= 0 or ny <= 0:
+        raise FileFormatError("grid dimensions must be positive")
+    if timestep < 0:
+        raise FileFormatError("timestep must be non-negative")
+    if not 0 <= flags < (1 << 16):
+        raise FileFormatError(f"flags out of u16 range: {flags}")
+    header = _HEADER.pack(MAGIC, VERSION, flags, nx, ny, len(chunks),
+                          timestep, physical_time)
+    index_size = _INDEX_ENTRY.size * len(chunks)
+    out = bytearray(header)
+    offset = len(header) + index_size
+    index = bytearray()
+    for chunk in chunks:
+        if not chunk:
+            raise FileFormatError("empty chunk")
+        index += _INDEX_ENTRY.pack(offset, len(chunk),
+                                   zlib.crc32(chunk) & 0xFFFFFFFF)
+        offset += len(chunk)
+    out += index
+    for chunk in chunks:
+        out += chunk
+    return bytes(out)
+
+
+def decode_container(blob: bytes) -> ChunkedContainer:
+    """Parse and CRC-validate a container."""
+    if len(blob) < _HEADER.size:
+        raise FileFormatError("container truncated before header")
+    magic, version, flags, nx, ny, n_chunks, timestep, phys_t = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise FileFormatError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise FileFormatError(f"unsupported version {version}")
+    index_end = _HEADER.size + _INDEX_ENTRY.size * n_chunks
+    if len(blob) < index_end:
+        raise FileFormatError("container truncated inside chunk index")
+    chunks = []
+    for i in range(n_chunks):
+        offset, nbytes, crc = _INDEX_ENTRY.unpack_from(
+            blob, _HEADER.size + i * _INDEX_ENTRY.size
+        )
+        chunk = blob[offset : offset + nbytes]
+        if len(chunk) != nbytes:
+            raise FileFormatError(f"chunk {i} truncated")
+        if zlib.crc32(chunk) & 0xFFFFFFFF != crc:
+            raise FileFormatError(f"chunk {i} failed CRC validation")
+        chunks.append(chunk)
+    return ChunkedContainer(nx=nx, ny=ny, timestep=timestep,
+                            physical_time=phys_t, chunks=tuple(chunks),
+                            flags=flags)
+
+
+def chunk_extent(blob_header: bytes, chunk_index: int) -> tuple[int, int]:
+    """(offset, nbytes) of one chunk, reading only header + index bytes.
+
+    Lets a reader fetch a single chunk without pulling the whole container
+    through the storage stack (the selective-read path of the
+    post-processing pipeline's exploratory analysis).
+    """
+    if len(blob_header) < _HEADER.size:
+        raise FileFormatError("container truncated before header")
+    magic, version, _f, _nx, _ny, n_chunks, _ts, _pt = _HEADER.unpack_from(blob_header)
+    if magic != MAGIC or version != VERSION:
+        raise FileFormatError("bad container header")
+    if not 0 <= chunk_index < n_chunks:
+        raise FileFormatError(f"chunk index {chunk_index} out of range")
+    entry_pos = _HEADER.size + chunk_index * _INDEX_ENTRY.size
+    if len(blob_header) < entry_pos + _INDEX_ENTRY.size:
+        raise FileFormatError("container truncated inside chunk index")
+    offset, nbytes, _crc = _INDEX_ENTRY.unpack_from(blob_header, entry_pos)
+    return offset, nbytes
+
+
+def header_size(n_chunks: int) -> int:
+    """Bytes of header + index for a container of ``n_chunks``."""
+    return _HEADER.size + _INDEX_ENTRY.size * n_chunks

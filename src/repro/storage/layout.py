@@ -1,0 +1,69 @@
+"""Access-order policies over chunk sequences.
+
+The fio study (Table III) and the what-if analysis (Section V.D) hinge on
+*access pattern*: the same bytes cost wildly different time and energy
+depending on the order they are touched.  This module generates the
+canonical orders used by the workloads:
+
+* ``sequential`` — ascending, the best case;
+* ``reverse`` — descending (still mechanical-friendly on a per-step basis);
+* ``strided`` — every k-th then wrap, a classic array-of-structs access;
+* ``shuffled`` — uniform random permutation, the worst case;
+* ``zipf`` — skewed popularity with repeats, modeling hot-spot analysis
+  reads (length matches the input, but elements repeat).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.rng import RngRegistry
+
+POLICIES = ("sequential", "reverse", "strided", "shuffled", "zipf")
+
+
+def access_order(
+    n: int,
+    policy: str = "sequential",
+    stride: int = 8,
+    zipf_s: float = 1.3,
+    rng: RngRegistry | None = None,
+) -> list[int]:
+    """Return the chunk-index visit order for ``n`` chunks under ``policy``."""
+    if n <= 0:
+        raise StorageError("n must be positive")
+    if policy not in POLICIES:
+        raise StorageError(f"unknown access policy {policy!r}; have {POLICIES}")
+    registry = rng or RngRegistry()
+    if policy == "sequential":
+        return list(range(n))
+    if policy == "reverse":
+        return list(range(n - 1, -1, -1))
+    if policy == "strided":
+        if stride <= 0:
+            raise StorageError("stride must be positive")
+        order = []
+        for start in range(min(stride, n)):
+            order.extend(range(start, n, stride))
+        return order
+    if policy == "shuffled":
+        gen = registry.get("layout-shuffle")
+        perm = np.arange(n)
+        gen.shuffle(perm)
+        return perm.tolist()
+    # zipf: skewed repeats over the chunk space.
+    gen = registry.get("layout-zipf")
+    draws = gen.zipf(zipf_s, size=n)
+    return ((draws - 1) % n).tolist()
+
+
+def seek_distance(order: list[int]) -> int:
+    """Total absolute index distance between consecutive accesses.
+
+    A cheap proxy for mechanical cost: sequential order scores n-1,
+    shuffled order scores ~n^2/3.
+    """
+    if not order:
+        return 0
+    return int(np.abs(np.diff(np.asarray(order))).sum())

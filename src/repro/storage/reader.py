@@ -1,0 +1,114 @@
+"""Timestep dump reader — the post-processing pipeline's input side.
+
+Reads the container files a :class:`~repro.storage.writer.DataWriter`
+produced, CRC-validating every chunk, and reconstructs the
+:class:`~repro.sim.grid.Grid2D`.  Supports whole-timestep reads (the
+paper's visualization pass) and selective single-chunk reads (exploratory
+analysis over a subset of the domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.sim.grid import Grid2D
+from repro.storage.compression import codec_from_id
+from repro.storage.format import (
+    ChunkedContainer,
+    chunk_extent,
+    decode_container,
+    header_size,
+)
+from repro.system.blockdev import IoStats
+from repro.system.filesystem import FileSystem
+
+
+@dataclass
+class ReadReport:
+    """Accounting for one timestep load."""
+
+    name: str
+    nbytes: int
+    cpu_time: float
+    io: IoStats
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed seconds (CPU + device time)."""
+        return self.cpu_time + self.io.busy_time
+
+
+class DataReader:
+    """Reads simulation timesteps back from the simulated filesystem."""
+
+    def __init__(self, fs: FileSystem, prefix: str = "ts",
+                 drop_caches_first: bool = True) -> None:
+        self.fs = fs
+        self.prefix = prefix
+        self.drop_caches_first = drop_caches_first
+
+    def filename(self, timestep: int) -> str:
+        """Container file name for a timestep index."""
+        return f"{self.prefix}{timestep:04d}.dat"
+
+    def available_timesteps(self) -> list[int]:
+        """Timestep indices present on the filesystem, sorted."""
+        out = []
+        for name in self.fs.files:
+            if name.startswith(self.prefix) and name.endswith(".dat"):
+                digits = name[len(self.prefix) : -len(".dat")]
+                if digits.isdigit():
+                    out.append(int(digits))
+        return sorted(out)
+
+    def read_timestep(self, timestep: int) -> tuple[ChunkedContainer, ReadReport]:
+        """Load and validate a whole timestep container."""
+        name = self.filename(timestep)
+        cpu = 0.0
+        io = IoStats()
+        if self.drop_caches_first:
+            r = self.fs.drop_caches()
+            cpu += r.cpu_time
+            io = io.merge(r.io)
+        blob, result = self.fs.read(name)
+        cpu += result.cpu_time
+        io = io.merge(result.io)
+        container = decode_container(blob)
+        if container.timestep != timestep:
+            raise StorageError(
+                f"file {name!r} claims timestep {container.timestep}"
+            )
+        return container, ReadReport(name=name, nbytes=len(blob),
+                                     cpu_time=cpu, io=io)
+
+    def read_grid(self, timestep: int) -> tuple[Grid2D, ReadReport]:
+        """Load a timestep, decode its codec, reassemble the grid."""
+        container, report = self.read_timestep(timestep)
+        codec = codec_from_id(container.flags)
+        payload = b"".join(codec.decode(c) for c in container.chunks)
+        grid = Grid2D.from_bytes(payload, container.nx, container.ny)
+        return grid, report
+
+    def read_chunk(self, timestep: int, chunk_index: int,
+                   n_chunks_hint: int | None = None) -> tuple[bytes, ReadReport]:
+        """Selective read: header + index + exactly one chunk.
+
+        ``n_chunks_hint`` bounds the header read; when None, a generous
+        index prefix is fetched.
+        """
+        name = self.filename(timestep)
+        cpu = 0.0
+        io = IoStats()
+        if self.drop_caches_first:
+            r = self.fs.drop_caches()
+            cpu += r.cpu_time
+            io = io.merge(r.io)
+        head_bytes = header_size(n_chunks_hint if n_chunks_hint is not None else 64)
+        head_bytes = min(head_bytes, self.fs.size(name))
+        head, r1 = self.fs.read(name, 0, head_bytes)
+        offset, nbytes = chunk_extent(head, chunk_index)
+        chunk, r2 = self.fs.read(name, offset, nbytes)
+        cpu += r1.cpu_time + r2.cpu_time
+        io = io.merge(r1.io).merge(r2.io)
+        return chunk, ReadReport(name=name, nbytes=nbytes, cpu_time=cpu, io=io)

@@ -1,0 +1,113 @@
+"""In-situ data sampling (related-work technique, Woodring et al. [21]).
+
+Section V.C of the paper names *data sampling* as the technique matching
+the dynamic (data-movement) component of the energy bill: store a reduced
+representation in situ, keep a degraded-but-useful exploratory capability,
+move fewer bytes.
+
+This module implements grid decimation with bilinear reconstruction and
+quantifies exactly what the paper warns about ("may result in loss of
+useful information"): every sampling pass reports its reconstruction
+error alongside its byte savings, so the energy/quality trade-off is a
+measured pair, not a hand wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+def retained_indices(n: int, factor: int) -> np.ndarray:
+    """Indices a decimation by ``factor`` keeps along one axis.
+
+    Every ``factor``-th sample plus the final one (so reconstruction can
+    anchor the domain boundary).
+    """
+    if n < 2:
+        raise StorageError(f"axis too short to sample: {n}")
+    if factor < 1:
+        raise StorageError(f"factor must be >= 1, got {factor}")
+    return np.unique(np.append(np.arange(0, n, factor), n - 1))
+
+
+def decimate(data: np.ndarray, factor: int) -> np.ndarray:
+    """Keep every ``factor``-th sample in each dimension."""
+    if data.ndim != 2:
+        raise StorageError(f"expected 2-D field, got {data.ndim}-D")
+    if factor < 1:
+        raise StorageError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return data.copy()
+    rows = retained_indices(data.shape[0], factor)
+    cols = retained_indices(data.shape[1], factor)
+    return data[np.ix_(rows, cols)]
+
+
+def reconstruct_bilinear(sampled: np.ndarray, shape: tuple[int, int],
+                         factor: int) -> np.ndarray:
+    """Bilinear upsampling of a ``factor``-decimated field to ``shape``."""
+    if sampled.ndim != 2:
+        raise StorageError("expected 2-D sampled field")
+    nr, nc = shape
+    if nr < sampled.shape[0] or nc < sampled.shape[1]:
+        raise StorageError("target shape smaller than the sampled field")
+    row_pos = retained_indices(nr, factor).astype(float)
+    col_pos = retained_indices(nc, factor).astype(float)
+    if len(row_pos) != sampled.shape[0] or len(col_pos) != sampled.shape[1]:
+        raise StorageError(
+            f"sampled shape {sampled.shape} inconsistent with target "
+            f"{shape} at factor {factor}"
+        )
+    # Interpolate along columns, then rows (separable bilinear).
+    fine_cols = np.empty((sampled.shape[0], nc))
+    target_cols = np.arange(nc, dtype=float)
+    for i in range(sampled.shape[0]):
+        fine_cols[i] = np.interp(target_cols, col_pos, sampled[i])
+    out = np.empty((nr, nc))
+    target_rows = np.arange(nr, dtype=float)
+    for j in range(nc):
+        out[:, j] = np.interp(target_rows, row_pos, fine_cols[:, j])
+    return out
+
+
+@dataclass(frozen=True)
+class SamplingReport:
+    """Byte savings vs information loss of one sampling pass."""
+
+    factor: int
+    original_bytes: int
+    sampled_bytes: int
+    rmse: float
+    max_abs_error: float
+    data_range: float
+
+    @property
+    def byte_fraction(self) -> float:
+        """Sampled bytes as a fraction of the original."""
+        return self.sampled_bytes / self.original_bytes
+
+    @property
+    def nrmse(self) -> float:
+        """RMSE normalized by the field's dynamic range."""
+        return self.rmse / self.data_range if self.data_range > 0 else 0.0
+
+
+def sample_field(data: np.ndarray, factor: int) -> tuple[np.ndarray, SamplingReport]:
+    """Decimate ``data`` and report the reconstruction error."""
+    sampled = decimate(data, factor)
+    reconstructed = reconstruct_bilinear(sampled, data.shape, factor)
+    err = data - reconstructed
+    lo, hi = float(data.min()), float(data.max())
+    report = SamplingReport(
+        factor=factor,
+        original_bytes=data.nbytes,
+        sampled_bytes=sampled.nbytes,
+        rmse=float(np.sqrt(np.mean(err ** 2))),
+        max_abs_error=float(np.max(np.abs(err))),
+        data_range=hi - lo,
+    )
+    return sampled, report

@@ -1,0 +1,41 @@
+"""Simulated OS storage stack.
+
+Sits between the pipelines' file operations and the block-device models:
+
+* :mod:`repro.system.iosched` — request-ordering policies (noop / SCAN
+  elevator / deadline), the knob the paper's Section V.D "software-directed
+  data reorganization" discussion turns.
+* :mod:`repro.system.blockdev` — a block request queue binding a scheduler
+  to a device model, accumulating the busy-time statistics the power model
+  consumes.
+* :mod:`repro.system.pagecache` — write-back page cache with the ``sync``
+  and ``drop_caches`` semantics the paper exercises between phases.
+* :mod:`repro.system.filesystem` — a small extent-based filesystem with
+  pluggable on-disk layout policies.
+"""
+
+from repro.system.iosched import (
+    DeadlineScheduler,
+    IoScheduler,
+    NoopScheduler,
+    ScanScheduler,
+)
+from repro.system.blockdev import BlockQueue, IoStats
+from repro.system.pagecache import CacheStats, PageCache
+from repro.system.filesystem import FileSystem, FileHandle
+from repro.system.pfs import ParallelFileSystem, PfsResult
+
+__all__ = [
+    "IoScheduler",
+    "NoopScheduler",
+    "ScanScheduler",
+    "DeadlineScheduler",
+    "BlockQueue",
+    "IoStats",
+    "PageCache",
+    "CacheStats",
+    "FileSystem",
+    "FileHandle",
+    "ParallelFileSystem",
+    "PfsResult",
+]

@@ -1,0 +1,217 @@
+"""Write-back page cache with ``sync`` / ``drop_caches`` semantics.
+
+The paper's methodology note is the reason this module exists:
+
+    "In all these cases, we perform a sync operation and drop the caches
+    between phases.  This ensures that the data does not get cached in
+    memory and is actually written to the disk."
+
+So the cache must model exactly those two controls:
+
+* :meth:`PageCache.sync` — write every dirty page to the device (in LBA
+  order, as the kernel's writeback does) and issue a device cache flush.
+* :meth:`PageCache.drop_caches` — evict clean pages, so subsequent reads
+  are cold and really hit the platter.
+
+Reads and writes that hit the cache cost memory-copy time; misses cost
+device time, reported separately so callers can split CPU/DRAM activity
+from disk activity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.machine.disk import DiskRequest, OpKind
+from repro.system.blockdev import BlockQueue, IoStats
+from repro.units import KiB
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    writes_buffered: int = 0
+    pages_written_back: int = 0
+    pages_dropped: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Read hits as a fraction of all reads."""
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+
+@dataclass
+class CacheOp:
+    """Outcome of one cache-level operation."""
+
+    cpu_time: float = 0.0        # memory copies, syscall overhead
+    io: IoStats = field(default_factory=IoStats)
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed seconds (CPU + device time)."""
+        return self.cpu_time + self.io.busy_time
+
+
+class PageCache:
+    """LRU write-back cache over a :class:`~repro.system.blockdev.BlockQueue`.
+
+    Pages are tracked by device-offset page index.  Dirty pages are pinned
+    (drop_caches does not discard them, matching Linux) and are written
+    back on :meth:`sync` or when the dirty set exceeds ``dirty_limit``.
+    """
+
+    def __init__(
+        self,
+        queue: BlockQueue,
+        capacity_bytes: int = 56 << 30,  # node RAM minus app footprint
+        page_bytes: int = 4 * KiB,
+        memcpy_bw_bytes_per_s: float = 6e9,
+        syscall_overhead_s: float = 2e-6,
+        dirty_limit_fraction: float = 0.2,
+    ) -> None:
+        if capacity_bytes <= 0 or page_bytes <= 0:
+            raise StorageError("cache capacity and page size must be positive")
+        if not 0 < dirty_limit_fraction <= 1:
+            raise StorageError("dirty_limit_fraction must be in (0, 1]")
+        self.queue = queue
+        self.capacity_pages = capacity_bytes // page_bytes
+        self.page_bytes = page_bytes
+        self.memcpy_bw = memcpy_bw_bytes_per_s
+        self.syscall_overhead = syscall_overhead_s
+        self.dirty_limit_pages = max(1, int(self.capacity_pages * dirty_limit_fraction))
+        #: page index -> dirty flag, in LRU order (oldest first).
+        self._pages: OrderedDict[int, bool] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _page_range(self, offset: int, nbytes: int) -> range:
+        if offset < 0 or nbytes < 0:
+            raise StorageError("offset and nbytes must be non-negative")
+        first = offset // self.page_bytes
+        last = (offset + max(nbytes, 1) - 1) // self.page_bytes
+        return range(first, last + 1)
+
+    def _touch(self, page: int, dirty: bool) -> None:
+        was_dirty = self._pages.pop(page, False)
+        self._pages[page] = was_dirty or dirty
+
+    def _memcpy_time(self, nbytes: int) -> float:
+        return self.syscall_overhead + nbytes / self.memcpy_bw
+
+    @property
+    def cached_pages(self) -> int:
+        """Pages currently resident in the cache."""
+        return len(self._pages)
+
+    @property
+    def dirty_pages(self) -> int:
+        """Resident pages holding unwritten data."""
+        return sum(1 for d in self._pages.values() if d)
+
+    def is_cached(self, offset: int, nbytes: int) -> bool:
+        """True if the whole byte range is resident."""
+        return all(p in self._pages for p in self._page_range(offset, nbytes))
+
+    # -- operations ----------------------------------------------------------------
+
+    def write(self, offset: int, nbytes: int) -> CacheOp:
+        """Buffered write: dirty the pages; write back only if over limit."""
+        if nbytes == 0:
+            return CacheOp()
+        op = CacheOp(cpu_time=self._memcpy_time(nbytes))
+        for page in self._page_range(offset, nbytes):
+            self._touch(page, dirty=True)
+        self.stats.writes_buffered += 1
+        self._evict_if_needed(op)
+        if self.dirty_pages > self.dirty_limit_pages:
+            self._writeback(op)
+        return op
+
+    def read(self, offset: int, nbytes: int) -> CacheOp:
+        """Read: cache hits cost memory time, misses cost device time."""
+        if nbytes == 0:
+            return CacheOp()
+        op = CacheOp(cpu_time=self._memcpy_time(nbytes))
+        miss_run: list[int] = []
+        for page in self._page_range(offset, nbytes):
+            if page in self._pages:
+                self.stats.read_hits += 1
+                self._touch(page, dirty=False)
+            else:
+                self.stats.read_misses += 1
+                miss_run.append(page)
+        if miss_run:
+            requests = self._coalesce(miss_run, OpKind.READ)
+            op.io = op.io.merge(self.queue.submit(requests))
+            for page in miss_run:
+                self._touch(page, dirty=False)
+        self._evict_if_needed(op)
+        return op
+
+    def sync(self) -> CacheOp:
+        """Write back all dirty pages and flush the device cache."""
+        op = CacheOp()
+        self._writeback(op)
+        op.io = op.io.merge(self.queue.flush())
+        return op
+
+    def drop_caches(self) -> CacheOp:
+        """Evict all clean pages (dirty pages survive, as on Linux)."""
+        op = CacheOp()
+        clean = [p for p, d in self._pages.items() if not d]
+        for page in clean:
+            del self._pages[page]
+        self.stats.pages_dropped += len(clean)
+        # Walking the LRU lists is cheap but not free.
+        op.cpu_time = self.syscall_overhead + 1e-9 * len(clean)
+        return op
+
+    # -- internals --------------------------------------------------------------
+
+    def _coalesce(self, pages: list[int], op: OpKind) -> list[DiskRequest]:
+        """Merge consecutive page indices into extent-sized requests."""
+        requests: list[DiskRequest] = []
+        run_start = prev = pages[0]
+        for page in pages[1:]:
+            if page == prev + 1:
+                prev = page
+                continue
+            requests.append(DiskRequest(
+                op, run_start * self.page_bytes,
+                (prev - run_start + 1) * self.page_bytes,
+            ))
+            run_start = prev = page
+        requests.append(DiskRequest(
+            op, run_start * self.page_bytes,
+            (prev - run_start + 1) * self.page_bytes,
+        ))
+        return requests
+
+    def _writeback(self, op: CacheOp) -> None:
+        dirty = sorted(p for p, d in self._pages.items() if d)
+        if not dirty:
+            return
+        requests = self._coalesce(dirty, OpKind.WRITE)
+        op.io = op.io.merge(self.queue.submit(requests))
+        for page in dirty:
+            self._pages[page] = False
+        self.stats.pages_written_back += len(dirty)
+
+    def _evict_if_needed(self, op: CacheOp) -> None:
+        while len(self._pages) > self.capacity_pages:
+            # Evict oldest clean page; if the oldest is dirty, write it back.
+            for page, dirty in self._pages.items():
+                if not dirty:
+                    del self._pages[page]
+                    self.stats.pages_dropped += 1
+                    break
+            else:
+                self._writeback(op)

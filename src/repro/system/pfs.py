@@ -1,0 +1,191 @@
+"""Striped parallel filesystem model (future-work item 4).
+
+"Evaluation on multi-node systems running parallel file systems to
+understand the impact of file system on energy consumption."  This
+module models a Lustre-like parallel filesystem:
+
+* ``n_osts`` object storage targets, each backed by its own disk model
+  and block queue;
+* files striped round-robin over a configurable ``stripe_count`` of OSTs
+  in ``stripe_bytes`` units;
+* a metadata server charging a per-operation cost (open/create/close);
+* client-visible time for a transfer = metadata + the slowest involved
+  OST (they service their stripe shares concurrently);
+* energy accounting = the *sum* of all OST activity (every spindle the
+  stripe touches burns power) — which is exactly the energy-vs-time
+  trade-off stripes create: wider stripes cut wall time but spin up more
+  hardware per byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.machine.disk import DiskRequest, HddModel, OpKind
+from repro.machine.specs import DiskSpec
+from repro.system.blockdev import BlockQueue, IoStats
+from repro.units import MiB
+
+
+@dataclass
+class PfsResult:
+    """Client-visible outcome of one PFS operation."""
+
+    elapsed_s: float             # what the client waits
+    io: IoStats                  # aggregate over every OST touched
+    osts_touched: int = 0
+    metadata_ops: int = 0
+
+
+@dataclass
+class _PfsFile:
+    name: str
+    size: int = 0
+    stripe_count: int = 1
+    #: Per-OST next free offset is tracked by the filesystem allocator.
+
+
+class ParallelFileSystem:
+    """A striped object-storage filesystem over N OSTs."""
+
+    def __init__(
+        self,
+        n_osts: int = 4,
+        stripe_count: int | None = None,
+        stripe_bytes: int = 1 * MiB,
+        metadata_op_s: float = 0.5e-3,
+        disk_spec: DiskSpec | None = None,
+    ) -> None:
+        if n_osts < 1:
+            raise StorageError("need at least one OST")
+        if stripe_bytes <= 0:
+            raise StorageError("stripe size must be positive")
+        if metadata_op_s < 0:
+            raise StorageError("metadata cost cannot be negative")
+        self.n_osts = n_osts
+        self.default_stripe_count = (
+            n_osts if stripe_count is None else stripe_count
+        )
+        if not 1 <= self.default_stripe_count <= n_osts:
+            raise StorageError(
+                f"stripe_count must be in [1, {n_osts}]"
+            )
+        self.stripe_bytes = stripe_bytes
+        self.metadata_op_s = metadata_op_s
+        spec = disk_spec or DiskSpec()
+        self.osts = [BlockQueue(HddModel(spec)) for _ in range(n_osts)]
+        self._alloc = [0] * n_osts  # next free byte per OST
+        self._files: dict[str, _PfsFile] = {}
+        self._contents: dict[str, bytearray] = {}
+        self._next_ost = 0  # round-robin starting OST for new files
+
+    # -- namespace ---------------------------------------------------------------
+
+    @property
+    def files(self) -> tuple[str, ...]:
+        """Names of all files, in creation order."""
+        return tuple(self._files)
+
+    def exists(self, name: str) -> bool:
+        """True if a file of that name exists."""
+        return name in self._files
+
+    def size(self, name: str) -> int:
+        """Size of the named file in bytes."""
+        try:
+            return self._files[name].size
+        except KeyError:
+            raise StorageError(f"no such file {name!r}") from None
+
+    # -- data path ----------------------------------------------------------------
+
+    def _stripes(self, f: _PfsFile, offset: int, nbytes: int):
+        """Yield (ost index, nbytes) shares for a file range."""
+        shares: dict[int, int] = {}
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            stripe_index = pos // self.stripe_bytes
+            within = pos % self.stripe_bytes
+            take = min(self.stripe_bytes - within, remaining)
+            ost = stripe_index % f.stripe_count
+            shares[ost] = shares.get(ost, 0) + take
+            pos += take
+            remaining -= take
+        return shares
+
+    def write(self, name: str, data: bytes,
+              stripe_count: int | None = None) -> PfsResult:
+        """Append ``data`` to ``name`` (create on first write)."""
+        if not data:
+            raise StorageError("empty write")
+        meta_ops = 0
+        f = self._files.get(name)
+        if f is None:
+            count = self.default_stripe_count if stripe_count is None else stripe_count
+            if not 1 <= count <= self.n_osts:
+                raise StorageError(f"stripe_count must be in [1, {self.n_osts}]")
+            f = _PfsFile(name, stripe_count=count)
+            self._files[name] = f
+            self._contents[name] = bytearray()
+            meta_ops += 1  # create on the MDS
+        shares = self._stripes(f, f.size, len(data))
+        per_ost_time: list[float] = []
+        total = IoStats()
+        for ost_index, share in shares.items():
+            queue = self.osts[ost_index % self.n_osts]
+            offset = self._alloc[ost_index % self.n_osts]
+            batch = queue.submit(
+                [DiskRequest(OpKind.WRITE, offset, share)]
+            )
+            batch = batch.merge(queue.flush())  # PFS writes are durable
+            self._alloc[ost_index % self.n_osts] += share
+            per_ost_time.append(batch.busy_time)
+            total = total.merge(batch)
+        f.size += len(data)
+        self._contents[name].extend(data)
+        meta_ops += 1  # size update
+        elapsed = self.metadata_op_s * meta_ops + (max(per_ost_time) if per_ost_time else 0.0)
+        return PfsResult(elapsed_s=elapsed, io=total,
+                         osts_touched=len(shares), metadata_ops=meta_ops)
+
+    def read(self, name: str, offset: int = 0,
+             nbytes: int | None = None) -> tuple[bytes, PfsResult]:
+        """Read file content; returns (data, timing)."""
+        f = self._files.get(name)
+        if f is None:
+            raise StorageError(f"no such file {name!r}")
+        if nbytes is None:
+            nbytes = f.size - offset
+        if offset < 0 or offset + nbytes > f.size:
+            raise StorageError("read range outside file")
+        shares = self._stripes(f, offset, nbytes)
+        per_ost_time: list[float] = []
+        total = IoStats()
+        for ost_index, share in shares.items():
+            queue = self.osts[ost_index % self.n_osts]
+            # OSTs stream their share from their object region.
+            batch = queue.submit([DiskRequest(OpKind.READ, 0, share)])
+            per_ost_time.append(batch.busy_time)
+            total = total.merge(batch)
+        data = bytes(self._contents[name][offset : offset + nbytes])
+        elapsed = self.metadata_op_s + (max(per_ost_time) if per_ost_time else 0.0)
+        return data, PfsResult(elapsed_s=elapsed, io=total,
+                               osts_touched=len(shares), metadata_ops=1)
+
+    # -- energy accounting ---------------------------------------------------------
+
+    @property
+    def idle_power_w(self) -> float:
+        """Static draw of the storage subsystem (all OST spindles)."""
+        return sum(q.device.spec.idle_w for q in self.osts)
+
+    def reset(self) -> None:
+        """Restore initial state (head position, caches, stats)."""
+        for q in self.osts:
+            q.device.reset()
+            q.reset_stats()
+        self._alloc = [0] * self.n_osts
+        self._files.clear()
+        self._contents.clear()

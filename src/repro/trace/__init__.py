@@ -1,0 +1,28 @@
+"""Execution-trace substrate.
+
+Pipelines record what the machine was doing, and when, as a sequence of
+:class:`~repro.trace.events.Span` records on a
+:class:`~repro.trace.timeline.Timeline`.  The power-measurement rig later
+*samples* the timeline to synthesize the 1 Hz power series the paper plots.
+"""
+
+from repro.trace.events import Activity, PhaseMarker, Span
+from repro.trace.timeline import StageTotals, Timeline
+from repro.trace.export import (
+    series_to_csv,
+    timeline_to_chrome_trace,
+    timeline_to_csv,
+    timeline_to_records,
+)
+
+__all__ = [
+    "Activity",
+    "PhaseMarker",
+    "Span",
+    "StageTotals",
+    "Timeline",
+    "timeline_to_csv",
+    "timeline_to_records",
+    "timeline_to_chrome_trace",
+    "series_to_csv",
+]

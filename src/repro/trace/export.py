@@ -1,0 +1,113 @@
+"""Export timelines and sampled series to portable formats (CSV records).
+
+The paper's figures are time series (Fig 5, Fig 6) and bar charts (Figs
+7-11).  The benchmark harness dumps each as CSV next to an ASCII rendering,
+so downstream users can re-plot with their own tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Mapping, Sequence
+
+from repro.trace.timeline import Timeline
+
+
+def timeline_to_records(timeline: Timeline) -> list[dict[str, Any]]:
+    """Flatten a timeline into one dict per span (meta flattened in)."""
+    records = []
+    for span in timeline.spans:
+        rec: dict[str, Any] = {
+            "stage": span.stage,
+            "t0": span.t0,
+            "t1": span.t1,
+            "duration": span.duration,
+            "cpu_util": span.activity.cpu_util,
+            "dram_bytes_per_s": span.activity.dram_bytes_per_s,
+            "disk_read_bytes_per_s": span.activity.disk_read_bytes_per_s,
+            "disk_write_bytes_per_s": span.activity.disk_write_bytes_per_s,
+            "disk_seek_duty": span.activity.disk_seek_duty,
+            "net_bytes_per_s": span.activity.net_bytes_per_s,
+        }
+        for key, value in span.meta.items():
+            rec[f"meta.{key}"] = value
+        records.append(rec)
+    return records
+
+
+def _records_to_csv(records: Sequence[Mapping[str, Any]]) -> str:
+    if not records:
+        return ""
+    fields: list[str] = []
+    for rec in records:
+        for key in rec:
+            if key not in fields:
+                fields.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, restval="")
+    writer.writeheader()
+    writer.writerows(records)
+    return buf.getvalue()
+
+
+def timeline_to_csv(timeline: Timeline) -> str:
+    """Render a timeline as CSV text (one row per span)."""
+    return _records_to_csv(timeline_to_records(timeline))
+
+
+def timeline_to_chrome_trace(timeline: Timeline, pid: int = 1,
+                             tid: int = 1) -> str:
+    """Render a timeline as a Chrome trace-event JSON document.
+
+    Load the result in ``chrome://tracing`` / Perfetto to inspect a
+    pipeline run interactively.  Spans become complete events (``"X"``),
+    phase markers become instant events (``"i"``); timestamps are in
+    microseconds per the trace-event spec.
+    """
+    import json
+
+    events = []
+    for span in timeline.spans:
+        events.append({
+            "name": span.stage,
+            "ph": "X",
+            "ts": span.t0 * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": {
+                "cpu_util": span.activity.cpu_util,
+                "disk_read_Bps": span.activity.disk_read_bytes_per_s,
+                "disk_write_Bps": span.activity.disk_write_bytes_per_s,
+                **{str(k): str(v) for k, v in span.meta.items()},
+            },
+        })
+    for marker in timeline.markers:
+        events.append({
+            "name": marker.name,
+            "ph": "i",
+            "ts": marker.t * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "s": "t",
+        })
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+def series_to_csv(columns: Mapping[str, Sequence[float]]) -> str:
+    """Render parallel columns (e.g. ``{"t": ..., "system_w": ...}``) as CSV.
+
+    All columns must have equal length.
+    """
+    lengths = {name: len(col) for name, col in columns.items()}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(f"column lengths differ: {lengths}")
+    names = list(columns)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(names)
+    n = next(iter(lengths.values()), 0)
+    for i in range(n):
+        writer.writerow([columns[name][i] for name in names])
+    return buf.getvalue()

@@ -1,0 +1,187 @@
+"""Timeline: the ordered record of what a pipeline run did.
+
+A :class:`Timeline` is an append-only sequence of non-overlapping
+:class:`~repro.trace.events.Span` records plus named phase markers.  It is
+both the *clock* of a run (``now`` advances as spans are appended) and the
+*ledger* sampled later by the measurement rig.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.errors import PipelineError
+from repro.trace.events import IDLE, Activity, PhaseMarker, Span
+
+
+@dataclass
+class StageTotals:
+    """Aggregate accounting for one stage label."""
+
+    stage: str
+    total_time: float = 0.0
+    span_count: int = 0
+
+    def fraction_of(self, total: float) -> float:
+        """This stage's share of ``total`` seconds (0 if ``total`` is 0)."""
+        return self.total_time / total if total > 0 else 0.0
+
+
+class Timeline:
+    """Append-only, gap-free record of spans on a simulated clock.
+
+    Spans must be appended in time order.  Gaps are not allowed: callers that
+    want to represent idle time append an explicit ``"idle"`` span, so that
+    sampling the timeline at any instant inside ``[0, now)`` always finds a
+    span (the meters need a power value for every tick).
+    """
+
+    def __init__(self, t0: float = 0.0) -> None:
+        self._spans: list[Span] = []
+        self._starts: list[float] = []  # parallel array for bisect
+        self._markers: list[PhaseMarker] = []
+        self._t0 = float(t0)
+        self._now = float(t0)
+
+    # -- construction -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (end of the last span)."""
+        return self._now
+
+    @property
+    def t0(self) -> float:
+        """Simulated start time of the timeline."""
+        return self._t0
+
+    @property
+    def duration(self) -> float:
+        """Length of this span/timeline in simulated seconds."""
+        return self._now - self._t0
+
+    def record(
+        self,
+        stage: str,
+        duration: float,
+        activity: Activity = IDLE,
+        **meta: Any,
+    ) -> Span:
+        """Append a span of ``duration`` seconds starting at ``now``."""
+        if duration < 0:
+            raise PipelineError(f"negative span duration: {duration}")
+        span = Span(stage, self._now, self._now + duration, activity, meta)
+        self._spans.append(span)
+        self._starts.append(span.t0)
+        self._now = span.t1
+        return span
+
+    def idle(self, duration: float, **meta: Any) -> Span:
+        """Append an explicit idle span."""
+        return self.record("idle", duration, IDLE, **meta)
+
+    def mark(self, name: str) -> PhaseMarker:
+        """Drop a named phase marker at the current time."""
+        marker = PhaseMarker(name, self._now)
+        self._markers.append(marker)
+        return marker
+
+    def add_marker(self, marker: PhaseMarker) -> None:
+        """Install a marker at an explicit time (must not precede t0)."""
+        if marker.t < self._t0:
+            raise PipelineError(
+                f"marker {marker.name!r} at t={marker.t} precedes t0={self._t0}"
+            )
+        self._markers.append(marker)
+
+    def extend(self, other: "Timeline") -> None:
+        """Append every span of ``other`` (shifted to start at ``now``)."""
+        shift = self._now - other.t0
+        for span in other.spans:
+            self.record(span.stage, span.duration, span.activity, **dict(span.meta))
+        for marker in other.markers:
+            self._markers.append(PhaseMarker(marker.name, marker.t + shift))
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Recorded spans, in time order."""
+        return tuple(self._spans)
+
+    @property
+    def markers(self) -> tuple[PhaseMarker, ...]:
+        """Phase markers recorded so far."""
+        return tuple(self._markers)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def span_at(self, t: float) -> Span | None:
+        """The span covering simulated instant ``t``, or None outside the run.
+
+        O(log n) via bisect on span start times (spans are ordered, gap-free).
+        """
+        if not self._spans or t < self._t0 or t >= self._now:
+            return None
+        i = bisect.bisect_right(self._starts, t) - 1
+        span = self._spans[i]
+        return span if span.contains(t) else None
+
+    def activity_at(self, t: float) -> Activity:
+        """Activity at instant ``t`` (idle outside the recorded run)."""
+        span = self.span_at(t)
+        return span.activity if span is not None else IDLE
+
+    def stage_totals(self) -> dict[str, StageTotals]:
+        """Per-stage time totals, keyed by stage label."""
+        totals: dict[str, StageTotals] = {}
+        for span in self._spans:
+            agg = totals.setdefault(span.stage, StageTotals(span.stage))
+            agg.total_time += span.duration
+            agg.span_count += 1
+        return totals
+
+    def stage_fractions(self, include_idle: bool = True) -> dict[str, float]:
+        """Per-stage share of total run time (Fig 4's quantity).
+
+        With ``include_idle=False`` the denominator excludes explicit idle
+        spans, matching the paper's Fig 4 (which shows only the four active
+        stages summing to 100 %).
+        """
+        totals = self.stage_totals()
+        if not include_idle:
+            totals.pop("idle", None)
+        denom = sum(s.total_time for s in totals.values())
+        return {name: agg.fraction_of(denom) for name, agg in totals.items()}
+
+    def phase_bounds(self) -> dict[str, tuple[float, float]]:
+        """Intervals between consecutive markers, keyed by the opening
+        marker's name.  The final phase closes at ``now``."""
+        bounds: dict[str, tuple[float, float]] = {}
+        for i, marker in enumerate(self._markers):
+            end = self._markers[i + 1].t if i + 1 < len(self._markers) else self._now
+            bounds[marker.name] = (marker.t, end)
+        return bounds
+
+    def slice(self, t0: float, t1: float) -> "Timeline":
+        """New timeline containing the (clipped) spans overlapping [t0, t1)."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        out = Timeline(t0=t0)
+        for span in self._spans:
+            lo, hi = max(span.t0, t0), min(span.t1, t1)
+            if hi > lo:
+                out.record(span.stage, hi - lo, span.activity, **dict(span.meta))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Timeline(spans={len(self._spans)}, duration={self.duration:.2f}s, "
+            f"markers={[m.name for m in self._markers]})"
+        )

@@ -1,0 +1,101 @@
+"""Unit constants and formatting helpers.
+
+The paper mixes SI and binary units (a "128 KB" grid is 128 KiB of float64
+data; disk bandwidth is quoted in Gbps; energies in kJ).  Centralizing the
+constants here keeps every model honest about which convention it uses.
+
+All internal computation uses base SI units: seconds, bytes, watts, joules,
+hertz.  Helpers convert for display only.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Byte sizes (binary, as used for memory/grid sizes)
+# ---------------------------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# Decimal byte sizes (as used by disk vendors and network links)
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+TB = 1000 * GB
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+# ---------------------------------------------------------------------------
+# Energy / power
+# ---------------------------------------------------------------------------
+KJ = 1e3   # kilojoule in joules
+MJ = 1e6
+
+#: Energy-counter quantum of the RAPL interface on Sandy Bridge:
+#: 1 / 2**16 J  (the ENERGY_STATUS MSR increments in units of 15.3 uJ).
+RAPL_ENERGY_UNIT_J = 1.0 / (1 << 16)
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``131072 -> '128.0 KiB'``."""
+    n = float(n)
+    for unit, suffix in ((TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.1f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_seconds(t: float) -> str:
+    """Format a duration, e.g. ``0.00123 -> '1.23 ms'``, ``95 -> '1m35.0s'``."""
+    if t < 0:
+        return "-" + fmt_seconds(-t)
+    if t < 1e-3:
+        return f"{t * 1e6:.1f} us"
+    if t < 1.0:
+        return f"{t * 1e3:.2f} ms"
+    if t < MINUTE:
+        return f"{t:.2f} s"
+    m, s = divmod(t, MINUTE)
+    return f"{int(m)}m{s:.1f}s"
+
+
+def fmt_power(w: float) -> str:
+    """Format a power value, e.g. ``143.217 -> '143.2 W'``."""
+    if abs(w) >= 1e6:
+        return f"{w / 1e6:.2f} MW"
+    if abs(w) >= 1e3:
+        return f"{w / 1e3:.2f} kW"
+    return f"{w:.1f} W"
+
+
+def fmt_energy(j: float) -> str:
+    """Format an energy value, e.g. ``32650 -> '32.65 kJ'``."""
+    if abs(j) >= MJ:
+        return f"{j / MJ:.2f} MJ"
+    if abs(j) >= KJ:
+        return f"{j / KJ:.2f} kJ"
+    return f"{j:.1f} J"
+
+
+def gbps_to_bytes_per_s(gbps: float) -> float:
+    """Convert a link/interface rate in gigabits per second to bytes/s.
+
+    Table I quotes the SATA interface as "6.0 Gbps"; that is a *decimal*
+    gigabit rate.
+    """
+    return gbps * 1e9 / 8.0
+
+
+def rpm_to_rev_time(rpm: float) -> float:
+    """Full-revolution time in seconds of a platter spinning at ``rpm``."""
+    if rpm <= 0:
+        raise ValueError(f"rpm must be positive, got {rpm}")
+    return 60.0 / rpm

@@ -1,0 +1,39 @@
+"""Software visualization stack.
+
+The in-situ pipeline genuinely renders the evolving temperature field:
+colormapped rasters (:mod:`repro.viz.render`), marching-squares contours
+(:mod:`repro.viz.contour`), PPM/PNG encodings (:mod:`repro.viz.image`).
+Extensions cover the related work's parallel-rendering machinery: a small
+ray-cast volume renderer (:mod:`repro.viz.volume`) and binary-swap style
+image compositing (:mod:`repro.viz.compositing`).
+"""
+
+from repro.viz.image import Image, encode_png, encode_ppm
+from repro.viz.colormap import Colormap, COLORMAPS, get_colormap
+from repro.viz.render import render_field, resample_nearest, render_with_contours
+from repro.viz.contour import marching_squares
+from repro.viz.volume import VolumeCamera, render_volume
+from repro.viz.compositing import binary_swap_schedule, composite_over
+from repro.viz.annotate import annotate_frame, draw_colorbar, draw_text
+from repro.viz.movie import encode_apng
+
+__all__ = [
+    "Image",
+    "encode_png",
+    "encode_ppm",
+    "Colormap",
+    "COLORMAPS",
+    "get_colormap",
+    "render_field",
+    "render_with_contours",
+    "resample_nearest",
+    "marching_squares",
+    "VolumeCamera",
+    "render_volume",
+    "binary_swap_schedule",
+    "composite_over",
+    "annotate_frame",
+    "draw_colorbar",
+    "draw_text",
+    "encode_apng",
+]

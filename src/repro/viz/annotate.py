@@ -1,0 +1,130 @@
+"""Frame annotation: colorbars and bitmap-font labels.
+
+Production in-situ frames carry their own legend — once the raw data is
+gone, an unlabeled image is uninterpretable.  This module burns a
+colorbar with tick labels and free-text captions into rendered frames,
+using a small built-in 5x7 bitmap font (digits, uppercase, and the
+punctuation a value label needs), so frames remain self-describing with
+no font dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RenderError
+from repro.viz.colormap import Colormap, get_colormap
+from repro.viz.image import Image
+
+# 5x7 bitmap glyphs, row-major, '#' = on.  Enough for value labels.
+_GLYPHS: dict[str, tuple[str, ...]] = {
+    "0": ("#####", "#...#", "#..##", "#.#.#", "##..#", "#...#", "#####"),
+    "1": ("..#..", ".##..", "..#..", "..#..", "..#..", "..#..", "#####"),
+    "2": ("#####", "....#", "....#", "#####", "#....", "#....", "#####"),
+    "3": ("#####", "....#", "....#", "#####", "....#", "....#", "#####"),
+    "4": ("#...#", "#...#", "#...#", "#####", "....#", "....#", "....#"),
+    "5": ("#####", "#....", "#....", "#####", "....#", "....#", "#####"),
+    "6": ("#####", "#....", "#....", "#####", "#...#", "#...#", "#####"),
+    "7": ("#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#..."),
+    "8": ("#####", "#...#", "#...#", "#####", "#...#", "#...#", "#####"),
+    "9": ("#####", "#...#", "#...#", "#####", "....#", "....#", "#####"),
+    ".": (".....", ".....", ".....", ".....", ".....", ".##..", ".##.."),
+    "-": (".....", ".....", ".....", "#####", ".....", ".....", "....."),
+    "+": (".....", "..#..", "..#..", "#####", "..#..", "..#..", "....."),
+    "=": (".....", ".....", "#####", ".....", "#####", ".....", "....."),
+    " ": (".....",) * 7,
+    "C": (".####", "#....", "#....", "#....", "#....", "#....", ".####"),
+    "K": ("#...#", "#..#.", "#.#..", "##...", "#.#..", "#..#.", "#...#"),
+    "T": ("#####", "..#..", "..#..", "..#..", "..#..", "..#..", "..#.."),
+    "S": (".####", "#....", "#....", ".###.", "....#", "....#", "####."),
+    "W": ("#...#", "#...#", "#...#", "#.#.#", "#.#.#", "##.##", "#...#"),
+    "J": ("..###", "...#.", "...#.", "...#.", "...#.", "#..#.", ".##.."),
+    ":": (".....", ".##..", ".##..", ".....", ".##..", ".##..", "....."),
+}
+
+GLYPH_H, GLYPH_W = 7, 5
+
+
+def draw_text(image: Image, text: str, row: int, col: int,
+              color: tuple[int, int, int] = (255, 255, 255),
+              scale: int = 1) -> None:
+    """Burn ``text`` into ``image`` at (row, col), in place.
+
+    Unknown characters render as blanks; text is clipped at the image
+    border rather than raising (labels near edges are routine).
+    """
+    if scale < 1:
+        raise RenderError("scale must be >= 1")
+    pixels = image.pixels
+    cursor = col
+    for ch in text.upper():
+        glyph = _GLYPHS.get(ch, _GLYPHS[" "])
+        for gr, line in enumerate(glyph):
+            for gc, bit in enumerate(line):
+                if bit != "#":
+                    continue
+                r0 = row + gr * scale
+                c0 = cursor + gc * scale
+                r1 = min(r0 + scale, image.height)
+                c1 = min(c0 + scale, image.width)
+                if r0 < image.height and c0 < image.width and r0 >= 0 and c0 >= 0:
+                    pixels[r0:r1, c0:c1] = color
+        cursor += (GLYPH_W + 1) * scale
+
+
+def text_width(text: str, scale: int = 1) -> int:
+    """Pixel width :func:`draw_text` will use for ``text``."""
+    return len(text) * (GLYPH_W + 1) * scale
+
+
+def draw_colorbar(
+    image: Image,
+    colormap: Colormap | str,
+    vmin: float,
+    vmax: float,
+    width: int = 14,
+    margin: int = 4,
+    ticks: int = 3,
+) -> None:
+    """Burn a vertical colorbar with tick labels onto the right edge."""
+    if vmax <= vmin:
+        raise RenderError("vmax must exceed vmin")
+    if ticks < 2:
+        raise RenderError("need at least two ticks")
+    cmap = get_colormap(colormap) if isinstance(colormap, str) else colormap
+    h = image.height
+    bar_h = h - 2 * margin
+    if bar_h < 10 or image.width < width + 2 * margin + 30:
+        raise RenderError("image too small for a colorbar")
+    col0 = image.width - margin - width
+    # Gradient: top = vmax, bottom = vmin.
+    values = np.linspace(1.0, 0.0, bar_h)
+    strip = cmap(values)[:, None, :].repeat(width, axis=1)
+    image.pixels[margin : margin + bar_h, col0 : col0 + width] = strip
+    # Border.
+    image.pixels[margin, col0 : col0 + width] = 255
+    image.pixels[margin + bar_h - 1, col0 : col0 + width] = 255
+    image.pixels[margin : margin + bar_h, col0] = 255
+    image.pixels[margin : margin + bar_h, col0 + width - 1] = 255
+    # Tick labels.
+    for i in range(ticks):
+        frac = i / (ticks - 1)
+        value = vmax - frac * (vmax - vmin)
+        row = margin + int(frac * (bar_h - 1)) - GLYPH_H // 2
+        label = f"{value:.0f}"
+        col = col0 - text_width(label) - 2
+        draw_text(image, label, max(0, row), max(0, col))
+
+
+def annotate_frame(
+    image: Image,
+    colormap: Colormap | str,
+    vmin: float,
+    vmax: float,
+    caption: str | None = None,
+) -> Image:
+    """Colorbar + optional caption, in place; returns the image."""
+    draw_colorbar(image, colormap, vmin, vmax)
+    if caption:
+        draw_text(image, caption, row=image.height - GLYPH_H - 3, col=4)
+    return image

@@ -1,0 +1,102 @@
+"""Colormaps built from control-point interpolation.
+
+Sequential maps are monotone in relative luminance (property-tested) so
+that hotter always reads as brighter — the basic perceptual requirement
+for a temperature field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RenderError
+
+
+@dataclass(frozen=True)
+class Colormap:
+    """Piecewise-linear RGB colormap over [0, 1].
+
+    ``stops`` are (position, (r, g, b)) control points with positions
+    strictly increasing from 0 to 1 and channels in [0, 255].
+    """
+
+    name: str
+    stops: tuple[tuple[float, tuple[int, int, int]], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.stops) < 2:
+            raise RenderError("colormap needs at least two stops")
+        positions = [p for p, _ in self.stops]
+        if positions[0] != 0.0 or positions[-1] != 1.0:
+            raise RenderError("colormap stops must span [0, 1]")
+        if any(b <= a for a, b in zip(positions, positions[1:])):
+            raise RenderError("colormap stop positions must strictly increase")
+        for _, rgb in self.stops:
+            if len(rgb) != 3 or any(not 0 <= c <= 255 for c in rgb):
+                raise RenderError(f"bad color {rgb}")
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Map values in [0, 1] to uint8 RGB; out-of-range values clip."""
+        v = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+        positions = np.array([p for p, _ in self.stops])
+        colors = np.array([rgb for _, rgb in self.stops], dtype=float)
+        out = np.empty(v.shape + (3,), dtype=np.uint8)
+        for ch in range(3):
+            out[..., ch] = np.interp(v, positions, colors[:, ch]).round().astype(np.uint8)
+        return out
+
+    def luminance(self, values: np.ndarray) -> np.ndarray:
+        """Rec. 709 relative luminance of the mapped colors (0-255 scale)."""
+        rgb = self(values).astype(float)
+        return 0.2126 * rgb[..., 0] + 0.7152 * rgb[..., 1] + 0.0722 * rgb[..., 2]
+
+
+#: Black-body style map for temperature fields (the default).
+HEAT = Colormap("heat", (
+    (0.00, (0, 0, 0)),
+    (0.35, (128, 0, 0)),
+    (0.60, (255, 64, 0)),
+    (0.85, (255, 200, 32)),
+    (1.00, (255, 255, 255)),
+))
+
+#: Blue-to-yellow perceptual-ish sequential map.
+VIRIDIS_LIKE = Colormap("viridis-like", (
+    (0.00, (68, 1, 84)),
+    (0.25, (59, 82, 139)),
+    (0.50, (33, 145, 140)),
+    (0.75, (94, 201, 98)),
+    (1.00, (253, 231, 37)),
+))
+
+#: Simple grayscale.
+GRAY = Colormap("gray", (
+    (0.0, (0, 0, 0)),
+    (1.0, (255, 255, 255)),
+))
+
+#: Diverging map for signed anomalies (not luminance-monotone by design).
+COOLWARM = Colormap("coolwarm", (
+    (0.0, (59, 76, 192)),
+    (0.5, (221, 221, 221)),
+    (1.0, (180, 4, 38)),
+))
+
+COLORMAPS: dict[str, Colormap] = {
+    cm.name: cm for cm in (HEAT, VIRIDIS_LIKE, GRAY, COOLWARM)
+}
+
+#: Maps expected to be monotone in luminance (tested property).
+SEQUENTIAL = ("heat", "viridis-like", "gray")
+
+
+def get_colormap(name: str) -> Colormap:
+    """Look up a registered colormap by name."""
+    try:
+        return COLORMAPS[name]
+    except KeyError:
+        raise RenderError(
+            f"unknown colormap {name!r}; have {sorted(COLORMAPS)}"
+        ) from None

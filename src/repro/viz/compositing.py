@@ -1,0 +1,101 @@
+"""Parallel image compositing (related-work extension).
+
+Implements the communication schedule of binary-swap compositing (Yu et
+al.'s 2-3 swap is its generalization) plus the *over* operator, so the
+multi-node extension can price the compositing traffic of a distributed
+in-situ renderer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RenderError
+
+
+def composite_over(front_rgba: np.ndarray, back_rgba: np.ndarray) -> np.ndarray:
+    """Porter-Duff *over* on premultiplied float RGBA arrays."""
+    if front_rgba.shape != back_rgba.shape or front_rgba.shape[-1] != 4:
+        raise RenderError("over operator needs equal-shaped RGBA arrays")
+    fa = front_rgba[..., 3:4]
+    return front_rgba + (1.0 - fa) * back_rgba
+
+
+def binary_swap_schedule(n_ranks: int) -> list[list[tuple[int, int]]]:
+    """Exchange schedule for binary-swap compositing over 2^k ranks.
+
+    Returns one list of (rank, partner) pairs per round; each pair
+    appears once (rank < partner).  After k = log2(n) rounds every rank
+    owns 1/n of the final image.
+    """
+    if n_ranks < 1 or (n_ranks & (n_ranks - 1)) != 0:
+        raise RenderError(f"binary swap needs a power-of-two rank count, got {n_ranks}")
+    rounds: list[list[tuple[int, int]]] = []
+    stride = 1
+    while stride < n_ranks:
+        pairs = []
+        for rank in range(n_ranks):
+            partner = rank ^ stride
+            if rank < partner:
+                pairs.append((rank, partner))
+        rounds.append(pairs)
+        stride <<= 1
+    return rounds
+
+
+def binary_swap_composite(layers: list[np.ndarray]) -> np.ndarray:
+    """Full binary-swap run executed in one process.
+
+    ``layers[i]`` is rank i's rendered RGBA layer, depth-ordered front
+    (rank 0) to back.  Each round splits the active region in half and
+    exchanges; the final gather concatenates every rank's shard.  The
+    result must equal (and is tested against) a straight sequential
+    front-to-back over-composite.
+    """
+    n = len(layers)
+    if n == 0:
+        raise RenderError("no layers to composite")
+    shape = layers[0].shape
+    if any(l.shape != shape for l in layers):
+        raise RenderError("all layers must share a shape")
+    if n == 1:
+        return layers[0].copy()
+    # own[rank] = (start_row, end_row, buffer) of the region rank holds.
+    height = shape[0]
+    own = [(0, height, layer.astype(float).copy()) for layer in layers]
+    for pairs in binary_swap_schedule(n):
+        new_own = list(own)
+        for a, b in pairs:
+            a0, a1, buf_a = own[a]
+            b0, b1, buf_b = own[b]
+            if (a0, a1) != (b0, b1):
+                raise RenderError("binary swap invariant broken: regions differ")
+            mid = (a0 + a1) // 2
+            # Depth order is by rank: a < b means a's layer is in front.
+            top = composite_over(buf_a[: mid - a0], buf_b[: mid - b0])
+            bottom = composite_over(buf_a[mid - a0 :], buf_b[mid - b0 :])
+            new_own[a] = (a0, mid, top)
+            new_own[b] = (mid, a1, bottom)
+        own = new_own
+    out = np.zeros(shape, dtype=float)
+    for start, end, buf in own:
+        out[start:end] = buf
+    return out
+
+
+def compositing_bytes(n_ranks: int, image_bytes: int) -> int:
+    """Total wire bytes of one binary-swap composite.
+
+    Each round every rank sends half of its current region: n/2 pairs
+    exchange 2 messages of image_bytes / 2^round each.
+    """
+    if n_ranks < 1 or (n_ranks & (n_ranks - 1)) != 0:
+        raise RenderError("binary swap needs a power-of-two rank count")
+    total = 0
+    shard = image_bytes // 2
+    stride = 1
+    while stride < n_ranks:
+        total += n_ranks * shard
+        shard //= 2
+        stride <<= 1
+    return total

@@ -1,0 +1,96 @@
+"""Marching-squares isocontour extraction.
+
+Vectorized case classification (one pass over all cells) with per-segment
+linear interpolation of edge crossings.  Coordinates are returned in
+(row, col) field space, with each segment as ((r0, c0), (r1, c1)).
+
+The ambiguous saddle cases (5 and 10) are resolved with the cell-center
+average, the standard disambiguation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RenderError
+
+Segment = tuple[tuple[float, float], tuple[float, float]]
+
+# Edge identifiers within a cell whose corners are
+#   tl=(r, c)   tr=(r, c+1)
+#   bl=(r+1, c) br=(r+1, c+1)
+# Edges: 0=top (tl-tr), 1=right (tr-br), 2=bottom (bl-br), 3=left (tl-bl).
+_CASE_EDGES: dict[int, tuple[tuple[int, int], ...]] = {
+    0: (), 15: (),
+    1: ((3, 0),), 14: ((3, 0),),
+    2: ((0, 1),), 13: ((0, 1),),
+    3: ((3, 1),), 12: ((3, 1),),
+    4: ((1, 2),), 11: ((1, 2),),
+    6: ((0, 2),), 9: ((0, 2),),
+    7: ((3, 2),), 8: ((3, 2),),
+    # Saddles handled separately: 5 and 10.
+}
+
+
+def _interp(a: float, b: float, level: float) -> float:
+    """Fractional position of ``level`` between corner values a and b."""
+    if a == b:
+        return 0.5
+    t = (level - a) / (b - a)
+    return min(1.0, max(0.0, t))
+
+
+def marching_squares(field: np.ndarray, level: float) -> list[Segment]:
+    """Extract the ``level`` isocontour of a 2-D scalar field."""
+    arr = np.asarray(field, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] < 2 or arr.shape[1] < 2:
+        raise RenderError("field must be 2-D with at least 2x2 samples")
+    if not np.isfinite(arr).all():
+        raise RenderError("field contains non-finite values")
+
+    tl = arr[:-1, :-1]
+    tr = arr[:-1, 1:]
+    bl = arr[1:, :-1]
+    br = arr[1:, 1:]
+    case = (
+        (tl >= level).astype(np.uint8)
+        | ((tr >= level).astype(np.uint8) << 1)
+        | ((br >= level).astype(np.uint8) << 2)
+        | ((bl >= level).astype(np.uint8) << 3)
+    )
+    rows, cols = np.nonzero((case != 0) & (case != 15))
+
+    segments: list[Segment] = []
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        v_tl, v_tr = float(arr[r, c]), float(arr[r, c + 1])
+        v_bl, v_br = float(arr[r + 1, c]), float(arr[r + 1, c + 1])
+
+        def edge_point(edge: int) -> tuple[float, float]:
+            if edge == 0:   # top
+                return (float(r), c + _interp(v_tl, v_tr, level))
+            if edge == 1:   # right
+                return (r + _interp(v_tr, v_br, level), float(c + 1))
+            if edge == 2:   # bottom
+                return (float(r + 1), c + _interp(v_bl, v_br, level))
+            return (r + _interp(v_tl, v_bl, level), float(c))  # left
+
+        k = int(case[r, c])
+        if k in (5, 10):
+            center = (v_tl + v_tr + v_bl + v_br) / 4.0
+            if k == 5:  # tl and br above
+                pairs = ((0, 1), (2, 3)) if center >= level else ((0, 3), (1, 2))
+            else:       # tr and bl above
+                pairs = ((0, 3), (1, 2)) if center >= level else ((0, 1), (2, 3))
+        else:
+            pairs = _CASE_EDGES[k]
+        for e0, e1 in pairs:
+            segments.append((edge_point(e0), edge_point(e1)))
+    return segments
+
+
+def contour_length(segments: list[Segment]) -> float:
+    """Total polyline length (field-space units)."""
+    total = 0.0
+    for (r0, c0), (r1, c1) in segments:
+        total += float(np.hypot(r1 - r0, c1 - c0))
+    return total

@@ -1,0 +1,110 @@
+"""RGB image buffer and pure-Python PPM / PNG encoders.
+
+No imaging libraries: PPM is trivial, and PNG is assembled from zlib
+streams and hand-built chunks (signature, IHDR, IDAT, IEND with CRCs).
+The PNG output is byte-level tested against the spec in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import RenderError
+
+
+class Image:
+    """HxWx3 uint8 RGB image."""
+
+    def __init__(self, height: int, width: int) -> None:
+        if height <= 0 or width <= 0:
+            raise RenderError(f"image dimensions must be positive, got {height}x{width}")
+        self.pixels = np.zeros((height, width, 3), dtype=np.uint8)
+
+    @classmethod
+    def from_array(cls, rgb: np.ndarray) -> "Image":
+        """Wrap an existing HxWx3 uint8 array."""
+        if rgb.ndim != 3 or rgb.shape[2] != 3:
+            raise RenderError(f"expected HxWx3 array, got shape {rgb.shape}")
+        img = cls(rgb.shape[0], rgb.shape[1])
+        img.pixels = np.ascontiguousarray(rgb, dtype=np.uint8)
+        return img
+
+    @property
+    def height(self) -> int:
+        """Image height in pixels."""
+        return self.pixels.shape[0]
+
+    @property
+    def width(self) -> int:
+        """Image width in pixels."""
+        return self.pixels.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the stored data in bytes."""
+        return self.pixels.nbytes
+
+    def fill(self, r: int, g: int, b: int) -> None:
+        """Set every pixel to the given color."""
+        self.pixels[:, :] = (r, g, b)
+
+    def to_ppm(self) -> bytes:
+        """Encode as binary PPM (P6)."""
+        return encode_ppm(self.pixels)
+
+    def to_png(self) -> bytes:
+        """Encode as PNG."""
+        return encode_png(self.pixels)
+
+
+def encode_ppm(rgb: np.ndarray) -> bytes:
+    """Binary PPM (P6) encoding."""
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise RenderError(f"expected HxWx3 array, got shape {rgb.shape}")
+    h, w = rgb.shape[:2]
+    header = f"P6\n{w} {h}\n255\n".encode()
+    return header + np.ascontiguousarray(rgb, dtype=np.uint8).tobytes()
+
+
+def _png_chunk(tag: bytes, payload: bytes) -> bytes:
+    body = tag + payload
+    return struct.pack(">I", len(payload)) + body + struct.pack(
+        ">I", zlib.crc32(body) & 0xFFFFFFFF
+    )
+
+
+PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def encode_png(rgb: np.ndarray, compress_level: int = 6) -> bytes:
+    """Minimal 8-bit truecolor PNG encoding (filter type 0 per scanline)."""
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise RenderError(f"expected HxWx3 array, got shape {rgb.shape}")
+    if rgb.dtype != np.uint8:
+        raise RenderError(f"expected uint8 pixels, got {rgb.dtype}")
+    h, w = rgb.shape[:2]
+    ihdr = struct.pack(">IIBBBBB", w, h, 8, 2, 0, 0, 0)  # 8-bit RGB
+    # Prepend filter byte 0 to every scanline.
+    raw = np.empty((h, 1 + w * 3), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = rgb.reshape(h, w * 3)
+    idat = zlib.compress(raw.tobytes(), compress_level)
+    return (
+        PNG_SIGNATURE
+        + _png_chunk(b"IHDR", ihdr)
+        + _png_chunk(b"IDAT", idat)
+        + _png_chunk(b"IEND", b"")
+    )
+
+
+def decode_png_size(png: bytes) -> tuple[int, int]:
+    """Read (height, width) back out of a PNG header (validation helper)."""
+    if png[:8] != PNG_SIGNATURE:
+        raise RenderError("not a PNG: bad signature")
+    if png[12:16] != b"IHDR":
+        raise RenderError("not a PNG: first chunk is not IHDR")
+    w, h = struct.unpack(">II", png[16:24])
+    return h, w

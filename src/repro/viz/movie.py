@@ -1,0 +1,92 @@
+"""Animated PNG (APNG) encoder for in-situ frame sequences.
+
+"Real-time" in-situ visualization produces a frame stream; this module
+packs it into a single self-playing file using the APNG extension
+(acTL / fcTL / fdAT chunks over a standard PNG), pure Python like the
+still-image encoder.  Any modern browser plays the result.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import RenderError
+from repro.viz.image import PNG_SIGNATURE, _png_chunk
+
+
+def _scanlines(rgb: np.ndarray) -> bytes:
+    h, w = rgb.shape[:2]
+    raw = np.empty((h, 1 + w * 3), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = rgb.reshape(h, w * 3)
+    return raw.tobytes()
+
+
+def encode_apng(frames, fps: float = 10.0, loops: int = 0,
+                compress_level: int = 6) -> bytes:
+    """Encode uint8 HxWx3 frames into an animated PNG.
+
+    ``loops=0`` plays forever.  All frames must share one shape.
+    """
+    frames = [np.asarray(f) for f in frames]
+    if not frames:
+        raise RenderError("no frames to animate")
+    shape = frames[0].shape
+    if len(shape) != 3 or shape[2] != 3:
+        raise RenderError(f"frames must be HxWx3, got {shape}")
+    for f in frames:
+        if f.shape != shape:
+            raise RenderError("all frames must share a shape")
+        if f.dtype != np.uint8:
+            raise RenderError(f"frames must be uint8, got {f.dtype}")
+    if fps <= 0:
+        raise RenderError("fps must be positive")
+    if loops < 0:
+        raise RenderError("loops must be >= 0")
+
+    h, w = shape[:2]
+    delay_den = 1000
+    delay_num = max(1, round(delay_den / fps))
+
+    out = bytearray(PNG_SIGNATURE)
+    out += _png_chunk(b"IHDR", struct.pack(">IIBBBBB", w, h, 8, 2, 0, 0, 0))
+    out += _png_chunk(b"acTL", struct.pack(">II", len(frames), loops))
+
+    seq = 0
+    for i, frame in enumerate(frames):
+        fctl = struct.pack(
+            ">IIIIIHHBB", seq, w, h, 0, 0, delay_num, delay_den, 0, 0
+        )
+        out += _png_chunk(b"fcTL", fctl)
+        seq += 1
+        compressed = zlib.compress(_scanlines(frame), compress_level)
+        if i == 0:
+            out += _png_chunk(b"IDAT", compressed)
+        else:
+            out += _png_chunk(b"fdAT", struct.pack(">I", seq) + compressed)
+            seq += 1
+    out += _png_chunk(b"IEND", b"")
+    return bytes(out)
+
+
+def apng_chunks(blob: bytes) -> list[tuple[bytes, bytes]]:
+    """Parse (tag, payload) chunk pairs; CRCs validated (inspection helper)."""
+    if blob[:8] != PNG_SIGNATURE:
+        raise RenderError("not a PNG: bad signature")
+    chunks = []
+    pos = 8
+    while pos < len(blob):
+        if pos + 12 > len(blob):
+            raise RenderError("truncated chunk")
+        (length,) = struct.unpack(">I", blob[pos : pos + 4])
+        tag = blob[pos + 4 : pos + 8]
+        payload = blob[pos + 8 : pos + 8 + length]
+        (crc,) = struct.unpack(">I", blob[pos + 8 + length : pos + 12 + length])
+        if crc != (zlib.crc32(tag + payload) & 0xFFFFFFFF):
+            raise RenderError(f"chunk {tag!r} failed CRC")
+        chunks.append((tag, payload))
+        pos += 12 + length
+    return chunks

@@ -1,0 +1,28 @@
+"""Workload generators.
+
+* :mod:`repro.workloads.patterns` — block-request stream builders over a
+  device region (sequential / random / strided / zipf).
+* :mod:`repro.workloads.fio` — the fio-equivalent disk benchmark of
+  Table III: 4 GB sequential/random x read/write jobs with full power
+  metering.
+* :mod:`repro.workloads.proxyapp` — convenience wrappers running the
+  paper's three case studies through both pipelines.
+"""
+
+from repro.workloads.patterns import request_stream
+from repro.workloads.fio import FIO_JOBS, FioJob, FioResult, FioRunner
+from repro.workloads.proxyapp import run_case_study, run_all_cases
+from repro.workloads.replay import IoTrace, RecordingQueue, replay
+
+__all__ = [
+    "request_stream",
+    "FioJob",
+    "FioResult",
+    "FioRunner",
+    "FIO_JOBS",
+    "run_case_study",
+    "run_all_cases",
+    "IoTrace",
+    "RecordingQueue",
+    "replay",
+]

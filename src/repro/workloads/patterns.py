@@ -1,0 +1,56 @@
+"""Block-request stream builders.
+
+Translates the abstract access orders of :mod:`repro.storage.layout` into
+concrete :class:`~repro.machine.disk.DiskRequest` streams over a device
+region — the form the fio runner and the runtime advisor consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.machine.disk import DiskRequest, OpKind
+from repro.rng import RngRegistry
+from repro.storage.layout import access_order
+
+
+def request_stream(
+    op: OpKind,
+    pattern: str,
+    region_bytes: int,
+    block_bytes: int,
+    region_offset: int = 0,
+    rng: RngRegistry | None = None,
+) -> list[DiskRequest]:
+    """Build the request stream for one benchmark job.
+
+    ``pattern`` is any :mod:`repro.storage.layout` policy.  The region is
+    divided into ``region_bytes // block_bytes`` blocks; each is visited
+    once (or per the policy's repeat structure for ``zipf``).
+    """
+    if region_bytes <= 0 or block_bytes <= 0:
+        raise ConfigError("region and block sizes must be positive")
+    if block_bytes > region_bytes:
+        raise ConfigError("block larger than region")
+    n_blocks = region_bytes // block_bytes
+    order = access_order(n_blocks, pattern, rng=rng)
+    return [
+        DiskRequest(op, region_offset + index * block_bytes, block_bytes)
+        for index in order
+    ]
+
+
+def offsets_for(
+    pattern: str,
+    region_bytes: int,
+    block_bytes: int,
+    region_offset: int = 0,
+    rng: RngRegistry | None = None,
+) -> np.ndarray:
+    """Vectorized variant: just the byte offsets, for batched servicing."""
+    if region_bytes <= 0 or block_bytes <= 0:
+        raise ConfigError("region and block sizes must be positive")
+    n_blocks = region_bytes // block_bytes
+    order = np.asarray(access_order(n_blocks, pattern, rng=rng), dtype=np.int64)
+    return region_offset + order * block_bytes

@@ -1,0 +1,74 @@
+"""Case-study convenience wrappers.
+
+The figure-reproduction code and the examples all need "run case study N
+through both pipelines on a fresh node"; this module is that one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.calibration import CASE_STUDIES
+from repro.pipelines.base import PipelineConfig, RunResult
+from repro.pipelines.insitu import InSituPipeline
+from repro.pipelines.post import PostProcessingPipeline
+from repro.pipelines.runner import PipelineRunner
+
+
+@dataclass(frozen=True)
+class CaseStudyOutcome:
+    """Paired runs of one case study."""
+
+    case_index: int
+    post: RunResult
+    insitu: RunResult
+
+    @property
+    def energy_savings_fraction(self) -> float:
+        """In-situ energy saving relative to post-processing."""
+        return 1.0 - self.insitu.energy_j / self.post.energy_j
+
+    @property
+    def time_savings_fraction(self) -> float:
+        """In-situ time saving relative to post-processing."""
+        return 1.0 - self.insitu.execution_time_s / self.post.execution_time_s
+
+    @property
+    def avg_power_increase_fraction(self) -> float:
+        """In-situ average-power increase over post-processing."""
+        return self.insitu.average_power_w / self.post.average_power_w - 1.0
+
+    @property
+    def efficiency_improvement_fraction(self) -> float:
+        """In-situ energy-efficiency gain over post-processing."""
+        return (
+            self.insitu.energy_efficiency / self.post.energy_efficiency - 1.0
+        )
+
+
+def run_case_study(
+    case_index: int,
+    runner: PipelineRunner | None = None,
+    **config_kwargs,
+) -> CaseStudyOutcome:
+    """Run one case study through both pipelines."""
+    if case_index not in CASE_STUDIES:
+        raise ConfigError(
+            f"unknown case study {case_index}; have {sorted(CASE_STUDIES)}"
+        )
+    runner = runner or PipelineRunner()
+    config = PipelineConfig(case=CASE_STUDIES[case_index], **config_kwargs)
+    post = runner.run(PostProcessingPipeline(config))
+    insitu = runner.run(InSituPipeline(config))
+    return CaseStudyOutcome(case_index=case_index, post=post, insitu=insitu)
+
+
+def run_all_cases(runner: PipelineRunner | None = None,
+                  **config_kwargs) -> dict[int, CaseStudyOutcome]:
+    """Run all three case studies (the Figs 7-11 data set)."""
+    runner = runner or PipelineRunner()
+    return {
+        idx: run_case_study(idx, runner, **config_kwargs)
+        for idx in sorted(CASE_STUDIES)
+    }

@@ -1,0 +1,122 @@
+"""Block-level I/O trace capture and replay.
+
+The paper's future-work runtime "makes use of our characterization
+studies"; characterization starts with traces.  This module records the
+exact block requests a workload issued and replays them against any
+device/scheduler combination — the standard methodology for answering
+"what would this application's I/O have cost on that hardware?" without
+re-running the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.machine.disk import DiskRequest, OpKind
+from repro.system.blockdev import BlockQueue, IoStats
+from repro.system.iosched import IoScheduler
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded request with its submission order index."""
+
+    index: int
+    op: str          # "read" / "write"
+    offset: int
+    nbytes: int
+
+    def to_request(self) -> DiskRequest:
+        """Materialize this entry as a :class:`DiskRequest`."""
+        return DiskRequest(OpKind(self.op), self.offset, self.nbytes)
+
+
+@dataclass
+class IoTrace:
+    """An ordered block-request trace."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def append(self, request: DiskRequest) -> None:
+        """Record one request at the end of the trace."""
+        self.entries.append(TraceEntry(
+            index=len(self.entries), op=request.op.value,
+            offset=request.offset, nbytes=request.nbytes,
+        ))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes read across the trace."""
+        return sum(e.nbytes for e in self.entries if e.op == "read")
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes written across the trace."""
+        return sum(e.nbytes for e in self.entries if e.op == "write")
+
+    # -- serialization (simple CSV so traces are diffable/shippable) --------
+
+    def to_csv(self) -> str:
+        """Serialize as diffable CSV text."""
+        lines = ["index,op,offset,nbytes"]
+        lines += [f"{e.index},{e.op},{e.offset},{e.nbytes}"
+                  for e in self.entries]
+        return "\n".join(lines)
+
+    @classmethod
+    def from_csv(cls, text: str) -> "IoTrace":
+        """Parse CSV text produced by :meth:`to_csv`."""
+        lines = [l for l in text.splitlines() if l.strip()]
+        if not lines or lines[0] != "index,op,offset,nbytes":
+            raise ConfigError("not an I/O trace CSV")
+        trace = cls()
+        for line in lines[1:]:
+            idx, op, offset, nbytes = line.split(",")
+            if op not in ("read", "write"):
+                raise ConfigError(f"bad op {op!r} in trace")
+            trace.entries.append(TraceEntry(int(idx), op, int(offset),
+                                            int(nbytes)))
+        return trace
+
+
+class RecordingQueue(BlockQueue):
+    """A block queue that captures every submitted request."""
+
+    def __init__(self, device, scheduler: IoScheduler | None = None) -> None:
+        super().__init__(device, scheduler)
+        self.trace = IoTrace()
+
+    def submit(self, requests, through_cache: bool = True) -> IoStats:
+        """Dispatch a batch (recording it first); returns batch stats."""
+        for request in requests:
+            self.trace.append(request)
+        return super().submit(requests, through_cache=through_cache)
+
+
+def replay(trace: IoTrace, device, scheduler: IoScheduler | None = None,
+           batch: int = 32, through_cache: bool = True) -> IoStats:
+    """Replay a trace against ``device`` in submission order.
+
+    Requests are dispatched in windows of ``batch`` (the scheduler's
+    reordering horizon — a real block layer cannot sort requests it has
+    not yet received).  Returns the aggregate stats; the write cache is
+    flushed at the end so write costs are fully accounted.
+    """
+    if batch < 1:
+        raise ConfigError("batch must be >= 1")
+    queue = BlockQueue(device, scheduler)
+    total = IoStats()
+    pending: list[DiskRequest] = []
+    for entry in trace.entries:
+        pending.append(entry.to_request())
+        if len(pending) >= batch:
+            total = total.merge(queue.submit(pending, through_cache))
+            pending = []
+    if pending:
+        total = total.merge(queue.submit(pending, through_cache))
+    total = total.merge(queue.flush())
+    return total

@@ -1,0 +1,195 @@
+"""Analysis layer: comparisons, savings, what-if, tables, plots."""
+
+import os
+
+import pytest
+
+from repro.analysis import (
+    GreennessReport,
+    ascii_bars,
+    ascii_series,
+    compare_cases,
+    format_table,
+    save_csv,
+    whatif_reorganization,
+)
+from repro.analysis.comparison import ComparisonRow, normalized_efficiency
+from repro.analysis.savings import analyze_savings
+from repro.errors import ReproError
+from repro.pipelines import PipelineRunner
+from repro.workloads import FioRunner, run_case_study
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return PipelineRunner(seed=21)
+
+
+@pytest.fixture(scope="module")
+def outcome1(runner):
+    return run_case_study(1, runner)
+
+
+class TestGreennessReport:
+    def test_from_run(self, outcome1):
+        report = GreennessReport.from_run(outcome1.post)
+        assert report.pipeline == "post-processing"
+        assert report.energy_j == outcome1.post.energy_j
+        text = report.render()
+        assert "average power" in text
+        assert "energy" in text
+
+    def test_insitu_notes_no_data_io(self, outcome1):
+        text = GreennessReport.from_run(outcome1.insitu).render()
+        assert "none (in-situ)" in text
+
+
+class TestComparison:
+    def test_rows_built(self, outcome1):
+        rows = compare_cases({1: outcome1})
+        assert len(rows) == 1
+        r = rows[0]
+        assert r.energy_savings_pct == pytest.approx(43, abs=2)
+        assert r.avg_power_increase_pct == pytest.approx(8, abs=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            compare_cases({})
+
+    def test_normalized_efficiency_max_is_one(self, outcome1):
+        rows = compare_cases({1: outcome1})
+        norm = normalized_efficiency(rows)
+        assert max(v for pair in norm.values() for v in pair) == pytest.approx(1.0)
+
+    def test_derived_percentages_consistent(self):
+        row = ComparisonRow(1, 200.0, 100.0, 100.0, 110.0, 150.0, 150.0,
+                            20000.0, 11000.0)
+        assert row.time_reduction_pct == pytest.approx(50)
+        assert row.avg_power_increase_pct == pytest.approx(10)
+        assert row.energy_savings_pct == pytest.approx(45)
+        assert row.efficiency_improvement_pct == pytest.approx(
+            100 * (20000 / 11000 - 1)
+        )
+
+
+class TestSavings:
+    def test_static_dominates(self, runner, outcome1):
+        analysis = analyze_savings(outcome1, runner.node)
+        assert analysis.breakdown.static_fraction > 0.8
+        assert analysis.breakdown.total_savings_j == pytest.approx(
+            outcome1.post.energy_j - outcome1.insitu.energy_j
+        )
+
+    def test_table2_inputs_exposed(self, runner, outcome1):
+        analysis = analyze_savings(outcome1, runner.node)
+        assert analysis.nnread_total_w > analysis.nnread_dynamic_w
+        assert 100 < analysis.nnread_total_w < 130
+
+    def test_unmetered_rejected(self, runner):
+        from repro.calibration import CASE_STUDIES
+        from repro.machine import Node
+        from repro.pipelines import InSituPipeline, PipelineConfig, PostProcessingPipeline
+        from repro.workloads.proxyapp import CaseStudyOutcome
+
+        config = PipelineConfig(case=CASE_STUDIES[3])
+        post = PostProcessingPipeline(config).run(Node())
+        insitu = InSituPipeline(config).run(Node())
+        with pytest.raises(ReproError):
+            analyze_savings(CaseStudyOutcome(3, post, insitu), runner.node)
+
+
+class TestWhatIf:
+    @pytest.fixture(scope="class")
+    def fio(self):
+        return FioRunner(seed=3).run_table3()
+
+    def test_paper_arithmetic(self, fio):
+        report = whatif_reorganization(fio)
+        # Paper: 242.2 kJ random vs 7.3 kJ sequential.
+        assert report.random_io_energy_j == pytest.approx(242_200, rel=0.03)
+        assert report.sequential_io_energy_j == pytest.approx(7_300, rel=0.06)
+        assert report.reorg_saves_fraction > 0.9
+
+    def test_break_even_fast(self, fio):
+        report = whatif_reorganization(fio)
+        assert report.break_even_passes < 0.1
+
+    def test_missing_results_rejected(self, fio):
+        with pytest.raises(ReproError):
+            whatif_reorganization({"seq_read": fio["seq_read"]})
+
+    def test_custom_overhead(self, fio):
+        report = whatif_reorganization(fio, reorg_overhead_j=1e6)
+        assert report.break_even_passes == pytest.approx(
+            1e6 / report.reorg_saves_j
+        )
+
+
+class TestTables:
+    def test_basic_render(self):
+        out = format_table(["a", "b"], [["x", 1.25], ["y", 3.0]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "1.2" in out and "3.0" in out
+
+    def test_title(self):
+        out = format_table(["a"], [], title="T")
+        assert out.startswith("T\n=")
+
+    def test_row_length_checked(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+
+class TestPlots:
+    def test_bars(self):
+        out = ascii_bars(["x", "yy"], [10.0, 20.0], unit=" W")
+        assert "#" in out
+        assert "20.0 W" in out
+
+    def test_bars_validation(self):
+        with pytest.raises(ReproError):
+            ascii_bars(["x"], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            ascii_bars([], [])
+        with pytest.raises(ReproError):
+            ascii_bars(["x"], [0.0])
+
+    def test_series(self):
+        t = list(range(100))
+        out = ascii_series(t, {"sys": [100 + (i % 7) for i in t]})
+        assert "sys" in out
+        assert "|" in out
+
+    def test_series_validation(self):
+        with pytest.raises(ReproError):
+            ascii_series([1, 2], {"a": [1.0]})
+        with pytest.raises(ReproError):
+            ascii_series([], {})
+
+    def test_save_csv(self, tmp_path):
+        path = save_csv(str(tmp_path / "sub" / "fig.csv"),
+                        {"t": [1, 2], "w": [3.0, 4.0]})
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert fh.readline().strip() == "t,w"
+
+
+class TestEnergyDelayProduct:
+    def test_edp_combines_both_wins(self):
+        row = ComparisonRow(1, 240.0, 127.0, 125.0, 135.0, 146.0, 146.0,
+                            30_000.0, 17_150.0)
+        assert row.edp_post == pytest.approx(30_000 * 240)
+        assert row.edp_insitu == pytest.approx(17_150 * 127)
+        # In-situ wins on both factors, so EDP improvement exceeds the
+        # energy savings alone.
+        assert row.edp_improvement_pct > row.energy_savings_pct
+        assert row.edp_improvement_pct == pytest.approx(69.7, abs=0.5)
+
+    def test_paper_case1_edp(self, outcome1):
+        rows = compare_cases({1: outcome1})
+        assert rows[0].edp_improvement_pct == pytest.approx(70, abs=3)

@@ -1,0 +1,84 @@
+"""Power-cap what-if analysis."""
+
+import pytest
+
+from repro.analysis.powercap import CapReport, fit_under_cap
+from repro.calibration import CASE_STUDIES
+from repro.errors import ReproError
+from repro.machine import Node
+from repro.pipelines import InSituPipeline, PipelineConfig, PipelineRunner
+from repro.power import MeterRig
+from repro.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def insitu_run():
+    runner = PipelineRunner(seed=41, jitter=0)
+    return runner.run(InSituPipeline(PipelineConfig(case=CASE_STUDIES[1])))
+
+
+@pytest.fixture(scope="module")
+def node():
+    return Node()
+
+
+class TestFitUnderCap:
+    def test_generous_cap_is_noop(self, insitu_run, node):
+        report = fit_under_cap(insitu_run.timeline, node, cap_w=200.0)
+        assert report.feasible
+        assert report.throttled_spans == 0
+        assert report.slowdown == pytest.approx(1.0)
+
+    def test_tight_cap_throttles_simulation(self, insitu_run, node):
+        # Simulation draws 143 W; cap at 130 W forces DVFS there.
+        report = fit_under_cap(insitu_run.timeline, node, cap_w=130.0)
+        assert report.feasible
+        assert report.throttled_spans == 50  # every simulation span
+        assert report.slowdown > 1.05
+
+    def test_capped_profile_respects_cap(self, insitu_run, node):
+        report = fit_under_cap(insitu_run.timeline, node, cap_w=130.0)
+        # Ground truth: every span's true power is at or under the cap.
+        worst = max(node.power(s.activity).system
+                    for s in report.capped_timeline)
+        assert worst <= 130.0 + 1e-9
+        # The *meter* may read slightly above it (its own noise).
+        rig = MeterRig(node, jitter=0, rng=RngRegistry(13))
+        profile = rig.sample(report.capped_timeline)
+        assert profile["system"].max() <= 130.0 + 2.5
+
+    def test_cap_trades_time_for_power(self, insitu_run, node):
+        loose = fit_under_cap(insitu_run.timeline, node, cap_w=140.0)
+        tight = fit_under_cap(insitu_run.timeline, node, cap_w=125.0)
+        assert tight.slowdown > loose.slowdown
+
+    def test_energy_under_cap(self, insitu_run, node):
+        """Capping is not an energy optimization: the run slows more than
+        the power drops, so energy typically rises (race-to-idle)."""
+        report = fit_under_cap(insitu_run.timeline, node, cap_w=125.0)
+        rig = MeterRig(node, jitter=0, rng=RngRegistry(14))
+        capped_energy = rig.sample(report.capped_timeline).energy()
+        rig2 = MeterRig(node, jitter=0, rng=RngRegistry(14))
+        base_energy = rig2.sample(insitu_run.timeline).energy()
+        assert capped_energy > base_energy
+
+    def test_markers_move_with_stretch(self, insitu_run, node):
+        report = fit_under_cap(insitu_run.timeline, node, cap_w=125.0)
+        names = [m.name for m in report.capped_timeline.markers]
+        assert names == [m.name for m in insitu_run.timeline.markers]
+        # The timeline grew, and no marker sits past the end.
+        assert all(m.t <= report.capped_timeline.now
+                   for m in report.capped_timeline.markers)
+
+    def test_infeasible_cap_rejected(self, insitu_run, node):
+        with pytest.raises(ReproError):
+            fit_under_cap(insitu_run.timeline, node, cap_w=100.0)  # < floor
+        with pytest.raises(ReproError):
+            fit_under_cap(insitu_run.timeline, node, cap_w=0.0)
+
+    def test_barely_feasible_cap(self, insitu_run, node):
+        # Just above the floor: everything throttles to the minimum; the
+        # report is honest about any remaining violations.
+        report = fit_under_cap(insitu_run.timeline, node, cap_w=106.0)
+        assert isinstance(report, CapReport)
+        assert report.throttled_spans > 0

@@ -1,0 +1,117 @@
+"""Calibration constants: internal consistency with the paper's anchors."""
+
+import pytest
+
+from repro.calibration import (
+    CASE_STUDIES,
+    CHUNK_BYTES,
+    ITERATIONS,
+    PAPER,
+    STAGE,
+    CaseStudyConfig,
+    StageCalibration,
+)
+from repro.units import KiB
+
+
+class TestStageDurations:
+    def test_case1_total_time(self):
+        """50 events of each stage must total the derived T1 = 240.6 s."""
+        total = ITERATIONS * sum(
+            STAGE[s].duration_s
+            for s in ("simulation", "nnwrite", "nnread", "visualization")
+        )
+        assert total == pytest.approx(240.6, abs=0.5)
+
+    def test_fig4_shares_follow_from_durations(self):
+        """The calibrated per-event durations reproduce Fig 4 exactly."""
+        for case_idx, shares in PAPER["fig4_shares"].items():
+            case = CASE_STUDIES[case_idx]
+            k = len(case.io_iterations())
+            times = {
+                "simulation": ITERATIONS * STAGE["simulation"].duration_s,
+                "nnwrite": k * STAGE["nnwrite"].duration_s,
+                "nnread": k * STAGE["nnread"].duration_s,
+                "visualization": k * STAGE["visualization"].duration_s,
+            }
+            total = sum(times.values())
+            for stage, expected in shares.items():
+                assert times[stage] / total == pytest.approx(expected, abs=0.012), (
+                    case_idx, stage)
+
+    def test_insitu_time_follows_from_coupling(self):
+        """T_insitu(case 1) = 50 x (sim + vis + coupling) = 127.5 s."""
+        per_iter = (STAGE["simulation"].duration_s
+                    + STAGE["visualization"].duration_s
+                    + STAGE["coupling"].duration_s)
+        assert ITERATIONS * per_iter == pytest.approx(127.5, abs=0.5)
+
+    def test_chunk_size_is_papers(self):
+        assert CHUNK_BYTES == 128 * KiB
+        assert ITERATIONS == 50
+
+
+class TestDurationFor:
+    def test_reference_payload_is_neutral(self):
+        cal = STAGE["nnwrite"]
+        assert cal.duration_for(cal.reference_bytes) == pytest.approx(
+            cal.duration_s)
+
+    def test_payload_term_linear(self):
+        cal = STAGE["nnwrite"]
+        extra = cal.duration_for(cal.reference_bytes + int(cal.bytes_per_s))
+        assert extra == pytest.approx(cal.duration_s + 1.0)
+
+    def test_clamped_below(self):
+        cal = StageCalibration(duration_s=1.0, cpu_util=0.1,
+                               dram_bytes_per_s=0, bytes_per_s=1e6,
+                               reference_bytes=10 ** 9)
+        assert cal.duration_for(1) == pytest.approx(0.05)
+
+    def test_work_scale(self):
+        cal = STAGE["simulation"]
+        assert cal.duration_for(work_scale=4.0) == pytest.approx(
+            4 * cal.duration_s)
+        with pytest.raises(ValueError):
+            cal.duration_for(work_scale=0)
+
+    def test_no_byte_term_ignores_payload(self):
+        cal = STAGE["visualization"]
+        assert cal.duration_for(10 ** 9) == cal.duration_s
+
+
+class TestActivities:
+    def test_byte_rates_derived_from_duration(self):
+        cal = STAGE["nnwrite"]
+        activity = cal.activity(disk_write_bytes=float(128 * KiB))
+        assert activity.disk_write_bytes_per_s == pytest.approx(
+            128 * KiB / cal.duration_s)
+
+    def test_custom_duration_dilutes_rates(self):
+        cal = STAGE["nnwrite"]
+        activity = cal.activity(disk_write_bytes=float(128 * KiB),
+                                duration_s=2 * cal.duration_s)
+        assert activity.disk_write_bytes_per_s == pytest.approx(
+            128 * KiB / (2 * cal.duration_s))
+
+
+class TestCaseStudies:
+    def test_paper_cadences(self):
+        assert CASE_STUDIES[1].io_iterations() == list(range(1, 51))
+        assert len(CASE_STUDIES[2].io_iterations()) == 25
+        assert CASE_STUDIES[3].io_iterations() == [8, 16, 24, 32, 40, 48]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CaseStudyConfig(9, 0, "bad")
+        with pytest.raises(ValueError):
+            CaseStudyConfig(9, 1, "bad", total_iterations=0)
+
+
+class TestPaperAnchors:
+    def test_anchor_tables_complete(self):
+        assert set(PAPER["energy_savings_pct"]) == {1, 2, 3}
+        assert set(PAPER["table3"]) == {
+            "seq_read", "rand_read", "seq_write", "rand_write"}
+        assert PAPER["static_floor_w"] == pytest.approx(104.8)
+        assert PAPER["savings_static_fraction"] == pytest.approx(0.91)

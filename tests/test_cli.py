@@ -1,0 +1,53 @@
+"""Command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in EXPERIMENTS:
+            assert eid in out
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Xeon" in out
+
+    def test_run_unknown_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_fig6_with_csv(self, tmp_path, capsys):
+        assert main(["run", "fig6", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "nnread" in out
+        files = os.listdir(tmp_path)
+        assert any(f.startswith("fig6_") and f.endswith(".csv") for f in files)
+
+    def test_seed_changes_noise(self, capsys):
+        main(["run", "table1", "--seed", "1"])
+        a = capsys.readouterr().out
+        main(["run", "table1", "--seed", "2"])
+        b = capsys.readouterr().out
+        assert a == b  # table1 is static: seed-independent by design
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out

@@ -1,0 +1,65 @@
+"""Top-level configuration and public API surface."""
+
+import pytest
+
+import repro
+from repro.config import ExperimentConfig
+from repro.errors import ConfigError
+from repro.machine import HddModel, NvramModel, SsdModel
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.storage == "hdd"
+        assert cfg.cases == (1, 2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(sample_hz=0)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(jitter=-1)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(storage="tape")
+        with pytest.raises(ConfigError):
+            ExperimentConfig(cases=())
+        with pytest.raises(ConfigError):
+            ExperimentConfig(cases=(1, 7))
+
+    def test_storage_selection(self):
+        assert isinstance(ExperimentConfig(storage="hdd").build_node().storage,
+                          HddModel)
+        assert isinstance(ExperimentConfig(storage="ssd").build_node().storage,
+                          SsdModel)
+        assert isinstance(ExperimentConfig(storage="nvram").build_node().storage,
+                          NvramModel)
+
+    def test_build_runner(self):
+        runner = ExperimentConfig(seed=7, sample_hz=2.0).build_runner()
+        assert runner.sample_hz == 2.0
+        assert runner.rng.seed == 7
+
+    def test_dict_roundtrip(self):
+        cfg = ExperimentConfig(seed=3, storage="ssd", cases=(1, 3))
+        back = ExperimentConfig.from_dict(cfg.to_dict())
+        assert back == cfg
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig.from_dict({"voltage": 12})
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_key_symbols_exported(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_path_works(self):
+        """The README's three-line quickstart must actually run."""
+        outcome = repro.run_case_study(
+            3, repro.PipelineRunner(seed=1)
+        )
+        assert 0.05 < outcome.energy_savings_fraction < 0.25

@@ -1,0 +1,39 @@
+"""Every example script must run end-to-end (deliverable regression)."""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "case_studies.py",
+    "fio_study.py",
+    "insitu_frames.py",
+    "hybrid_pipelines.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    """Execute the example as a script; it must finish and say something.
+
+    (``insitu_frames.py`` writes its PNG frames to ``examples/out/``, the
+    same place a user running it would get them.)
+    """
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), path
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # it reported something substantial
+
+
+def test_examples_all_listed_in_readme():
+    readme = os.path.join(EXAMPLES_DIR, os.pardir, "README.md")
+    with open(readme) as fh:
+        text = fh.read()
+    for script in os.listdir(EXAMPLES_DIR):
+        if script.endswith(".py"):
+            assert f"examples/{script}" in text, script

@@ -1,0 +1,54 @@
+"""The replication verification gate."""
+
+import pytest
+
+from repro.experiments import Lab
+from repro.experiments.verification import (
+    Check,
+    render_verification,
+    run_verification,
+)
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return run_verification(Lab(seed=2015))
+
+
+class TestChecks:
+    def test_all_anchors_pass(self, checks):
+        failing = [c.name for c in checks if not c.passed]
+        assert not failing, failing
+
+    def test_coverage_of_anchor_families(self, checks):
+        names = " ".join(c.name for c in checks)
+        for family in ("fig10", "fig8", "fig9", "fig4", "table2",
+                       "sec5c", "table3"):
+            assert family in names, family
+
+    def test_deliberate_deviation_labeled(self, checks):
+        case3 = next(c for c in checks if "case-3 energy" in c.name)
+        assert "consistent" in case3.note
+
+    def test_check_arithmetic(self):
+        assert Check("x", 10.0, 10.4, 0.5).passed
+        assert not Check("x", 10.0, 10.6, 0.5).passed
+
+    def test_render(self, checks):
+        text = render_verification(checks)
+        assert text.splitlines()[-1].startswith(f"{len(checks)}/{len(checks)}")
+        assert "FAIL" not in text
+
+    def test_render_marks_failures(self):
+        text = render_verification([Check("bad", 1.0, 9.0, 0.1)])
+        assert "FAIL" in text
+        assert text.splitlines()[-1].startswith("0/1")
+
+
+class TestCli:
+    def test_verify_command_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--seed", "2015"]) == 0
+        out = capsys.readouterr().out
+        assert "anchors within tolerance" in out

@@ -1,0 +1,92 @@
+"""CPU model: timing, DVFS and power."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError, MachineError
+from repro.machine import CpuModel, CpuSpec
+
+
+@pytest.fixture
+def cpu() -> CpuModel:
+    return CpuModel(CpuSpec())
+
+
+class TestPower:
+    def test_idle_power(self, cpu):
+        assert cpu.power(0.0) == pytest.approx(44.0)
+
+    def test_full_power(self, cpu):
+        assert cpu.power(1.0) == pytest.approx(144.0)
+
+    def test_sim_stage_anchor(self, cpu):
+        # Calibration: 30 % utilization => +30 W (Fig 5 simulation stage).
+        assert cpu.dynamic_power(0.30) == pytest.approx(30.0)
+
+    def test_power_rejects_out_of_range(self, cpu):
+        with pytest.raises(MachineError):
+            cpu.power(1.2)
+        with pytest.raises(MachineError):
+            cpu.power(-0.1)
+
+    @given(u=st.floats(0, 1))
+    def test_power_monotone_in_util(self, u):
+        cpu = CpuModel(CpuSpec())
+        assert cpu.power(u) >= cpu.power(0.0) - 1e-12
+        assert cpu.power(u) <= cpu.power(1.0) + 1e-12
+
+
+class TestDvfs:
+    def test_default_frequency_is_base(self, cpu):
+        assert cpu.freq_hz == pytest.approx(2.4e9)
+        assert cpu.freq_ratio == pytest.approx(1.0)
+
+    def test_scaling_down_cuts_dynamic_power_cubically(self, cpu):
+        full = cpu.dynamic_power(1.0)
+        cpu.set_frequency(1.2e9)
+        assert cpu.dynamic_power(1.0) == pytest.approx(full / 8)
+
+    def test_scaling_down_slows_compute_linearly(self, cpu):
+        t_full = cpu.compute_time(1e12)
+        cpu.set_frequency(1.2e9)
+        assert cpu.compute_time(1e12) == pytest.approx(2 * t_full)
+
+    def test_rejects_overclock(self, cpu):
+        with pytest.raises(ConfigError):
+            cpu.set_frequency(5e9)
+
+    def test_rejects_zero_frequency(self, cpu):
+        with pytest.raises(ConfigError):
+            cpu.set_frequency(0)
+
+
+class TestTiming:
+    def test_peak_flops(self, cpu):
+        # 16 cores x 2.4 GHz x 8 DP FLOPs/cycle
+        assert cpu.spec.peak_flops == pytest.approx(16 * 2.4e9 * 8)
+
+    def test_compute_time_at_peak(self, cpu):
+        assert cpu.compute_time(cpu.spec.peak_flops) == pytest.approx(1.0)
+
+    def test_efficiency_scales_time(self, cpu):
+        assert cpu.compute_time(1e12, efficiency=0.1) == pytest.approx(
+            10 * cpu.compute_time(1e12)
+        )
+
+    def test_fewer_cores_slower(self, cpu):
+        assert cpu.compute_time(1e12, cores=4) == pytest.approx(
+            4 * cpu.compute_time(1e12, cores=16)
+        )
+
+    def test_rejects_bad_args(self, cpu):
+        with pytest.raises(MachineError):
+            cpu.compute_time(-1)
+        with pytest.raises(MachineError):
+            cpu.compute_time(1e9, cores=17)
+        with pytest.raises(MachineError):
+            cpu.compute_time(1e9, efficiency=0)
+
+    def test_utilization_helper(self, cpu):
+        assert cpu.utilization(8) == pytest.approx(0.5)
+        with pytest.raises(MachineError):
+            cpu.utilization(17)

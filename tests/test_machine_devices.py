@@ -1,0 +1,149 @@
+"""SSD / NVRAM / RAID device models (future-work extensions)."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.machine import (
+    DiskRequest,
+    HddModel,
+    NvramModel,
+    OpKind,
+    RaidArray,
+    RaidLevel,
+    SsdModel,
+)
+from repro.machine.specs import DiskSpec
+from repro.units import GiB, KiB, MiB
+
+
+class TestSsd:
+    def test_random_equals_sequential_nearly(self):
+        """The headline flash property: no mechanical access gap."""
+        ssd = SsdModel()
+        seq = ssd.service(DiskRequest(OpKind.READ, 0, 64 * KiB))
+        rnd = ssd.service(DiskRequest(OpKind.READ, 123 * GiB, 64 * KiB))
+        assert rnd.service_time == pytest.approx(seq.service_time)
+
+    def test_latency_plus_bandwidth(self):
+        ssd = SsdModel()
+        r = ssd.service(DiskRequest(OpKind.READ, 0, 52 * MiB))
+        expected = ssd.spec.read_latency_s + 52 * MiB / ssd.spec.seq_read_bw
+        assert r.service_time == pytest.approx(expected)
+
+    def test_no_mechanics_reported(self):
+        r = SsdModel().service(DiskRequest(OpKind.WRITE, 0, 1 * MiB))
+        assert r.arm_time == 0 and r.rotation_time == 0
+
+    def test_bounds_checked(self):
+        ssd = SsdModel()
+        with pytest.raises(DeviceError):
+            ssd.service(DiskRequest(OpKind.READ, ssd.spec.capacity_bytes, 512))
+
+    def test_writes_cost_more_energy_per_byte(self):
+        s = SsdModel().spec
+        assert s.write_energy_per_byte_j > s.read_energy_per_byte_j
+
+
+class TestNvram:
+    def test_much_faster_than_ssd(self):
+        nv, ssd = NvramModel(), SsdModel()
+        req = DiskRequest(OpKind.READ, 0, 4 * KiB)
+        assert nv.service(req).service_time < ssd.service(req).service_time / 10
+
+    def test_asymmetric_write(self):
+        nv = NvramModel()
+        r = nv.service(DiskRequest(OpKind.READ, 0, 16 * MiB))
+        w = nv.service(DiskRequest(OpKind.WRITE, 0, 16 * MiB))
+        assert w.service_time > r.service_time
+
+
+def _hdds(n):
+    return [HddModel(DiskSpec()) for _ in range(n)]
+
+
+class TestRaid0:
+    def test_capacity_sums(self):
+        array = RaidArray(_hdds(4), RaidLevel.RAID0)
+        assert array.capacity_bytes == 4 * 500 * 10 ** 9
+
+    def test_large_stream_parallelizes(self):
+        single = HddModel(DiskSpec())
+        array = RaidArray(_hdds(4), RaidLevel.RAID0)
+        n = 1 * GiB
+        assert array.stream_time(n, OpKind.READ) < single.stream_time(n, OpKind.READ) / 2
+
+    def test_slices_cover_extent(self):
+        array = RaidArray(_hdds(3), RaidLevel.RAID0, stripe_bytes=64 * KiB)
+        slices = array._slices(10 * KiB, 300 * KiB)
+        assert sum(s.nbytes for s in slices) == 300 * KiB
+        assert {s.member for s in slices} == {0, 1, 2}
+
+    def test_bounds_checked(self):
+        array = RaidArray(_hdds(2), RaidLevel.RAID0)
+        with pytest.raises(DeviceError):
+            array.service(DiskRequest(OpKind.READ, array.capacity_bytes, 512))
+
+
+class TestRaid1:
+    def test_capacity_is_one_member(self):
+        array = RaidArray(_hdds(2), RaidLevel.RAID1)
+        assert array.capacity_bytes == 500 * 10 ** 9
+
+    def test_needs_two_members(self):
+        with pytest.raises(DeviceError):
+            RaidArray(_hdds(1), RaidLevel.RAID1)
+
+    def test_reads_round_robin(self):
+        array = RaidArray(_hdds(2), RaidLevel.RAID1)
+        array.service(DiskRequest(OpKind.READ, 0, 64 * KiB))
+        assert array._rr == 1
+
+    def test_write_gated_by_slowest_member(self):
+        array = RaidArray(_hdds(2), RaidLevel.RAID1)
+        single = HddModel(DiskSpec())
+        req = DiskRequest(OpKind.WRITE, 1 * GiB, 1 * MiB)
+        assert array.service(req).service_time >= single.service(req).service_time - 1e-9
+
+
+class TestRaid5:
+    def test_needs_three_members(self):
+        with pytest.raises(DeviceError):
+            RaidArray(_hdds(2), RaidLevel.RAID5)
+
+    def test_capacity_loses_one_member(self):
+        array = RaidArray(_hdds(4), RaidLevel.RAID5)
+        assert array.capacity_bytes == 3 * 500 * 10 ** 9
+
+    def test_small_write_penalty(self):
+        """RAID 5 small writes pay read-modify-write: slower than RAID 0."""
+        r0 = RaidArray(_hdds(3), RaidLevel.RAID0)
+        r5 = RaidArray(_hdds(3), RaidLevel.RAID5)
+        req = DiskRequest(OpKind.WRITE, 1 * GiB, 16 * KiB)
+        assert r5.service(req).service_time > r0.service(req).service_time
+
+    def test_reads_behave_like_striped(self):
+        r5 = RaidArray(_hdds(3), RaidLevel.RAID5)
+        r = r5.service(DiskRequest(OpKind.READ, 0, 64 * KiB))
+        assert r.service_time > 0
+
+
+class TestRaidCommon:
+    def test_idle_power_sums_members(self):
+        array = RaidArray(_hdds(4), RaidLevel.RAID0)
+        assert array.idle_w == pytest.approx(4 * 5.5)
+
+    def test_flush_cache_aggregates(self):
+        array = RaidArray(_hdds(2), RaidLevel.RAID0)
+        array.submit_write(DiskRequest(OpKind.WRITE, 0, 8 * MiB))
+        assert array.dirty_bytes == 8 * MiB
+        flushed = array.flush_cache()
+        assert array.dirty_bytes == 0
+        assert flushed.nbytes == 8 * MiB
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(DeviceError):
+            RaidArray([], RaidLevel.RAID0)
+
+    def test_bad_stripe_rejected(self):
+        with pytest.raises(DeviceError):
+            RaidArray(_hdds(2), RaidLevel.RAID0, stripe_bytes=0)

@@ -1,0 +1,190 @@
+"""Mechanical disk model: service times, cache behaviour, fio anchors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceError
+from repro.machine import DiskRequest, HddModel, OpKind
+from repro.machine.specs import DiskSpec
+from repro.units import GiB, KiB, MiB
+
+
+@pytest.fixture
+def disk() -> HddModel:
+    return HddModel(DiskSpec())
+
+
+class TestRequests:
+    def test_rejects_negative_offset(self):
+        with pytest.raises(DeviceError):
+            DiskRequest(OpKind.READ, -1, 512)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(DeviceError):
+            DiskRequest(OpKind.READ, 0, 0)
+
+    def test_rejects_extent_past_device(self, disk):
+        with pytest.raises(DeviceError):
+            disk.service(DiskRequest(OpKind.READ, disk.spec.capacity_bytes - 10, 100))
+
+
+class TestMechanics:
+    def test_seek_time_zero_distance(self, disk):
+        assert disk.seek_time(0) == 0.0
+
+    def test_seek_time_monotone_in_distance(self, disk):
+        d1 = disk.seek_time(1 * MiB)
+        d2 = disk.seek_time(100 * GiB)
+        d3 = disk.seek_time(400 * 10 ** 9)
+        assert 0 < d1 < d2 < d3
+
+    def test_average_seek_near_vendor_spec(self, disk):
+        # Seek over one third of the stroke ~ vendor "average seek" ~ 8.5 ms.
+        third = disk.spec.capacity_bytes // 3
+        assert disk.seek_time(third) == pytest.approx(8.5e-3, rel=0.05)
+
+    def test_rotational_latency_7200rpm(self, disk):
+        assert disk.avg_rotational_latency == pytest.approx(1 / 240)
+
+    def test_contiguous_requests_skip_mechanics(self, disk):
+        first = disk.service(DiskRequest(OpKind.READ, 0, 128 * KiB))
+        second = disk.service(DiskRequest(OpKind.READ, 128 * KiB, 128 * KiB))
+        assert first.arm_time > 0 or first.rotation_time > 0
+        assert second.arm_time == 0
+        assert second.rotation_time == 0
+        assert second.service_time == pytest.approx(second.transfer_time)
+
+    def test_direction_change_costs_mechanics(self, disk):
+        disk.service(DiskRequest(OpKind.READ, 0, 128 * KiB))
+        w = disk.service(DiskRequest(OpKind.WRITE, 128 * KiB, 128 * KiB))
+        assert w.service_time > w.transfer_time  # op switch repositions
+
+
+class TestFioAnchors:
+    """The disk model must land on Table III's timing."""
+
+    def test_sequential_read_4gib(self, disk):
+        t = disk.stream_time(4 * GiB, OpKind.READ)
+        assert t == pytest.approx(35.9, rel=0.01)
+
+    def test_sequential_write_media_rate(self, disk):
+        assert 4 * GiB / disk.spec.seq_write_bw == pytest.approx(27.0, rel=0.01)
+
+    def test_random_read_16kib_blocks(self, disk):
+        """Random 16 KiB reads over a 4 GiB span: ~8.5 ms/op => ~2230 s."""
+        rng = np.random.default_rng(42)
+        n_probe = 2000
+        offsets = rng.integers(0, 4 * GiB - 16 * KiB, n_probe)
+        total = sum(
+            disk.service(DiskRequest(OpKind.READ, int(o), 16 * KiB)).service_time
+            for o in offsets
+        )
+        per_op = total / n_probe
+        n_ops = 4 * GiB // (16 * KiB)
+        assert per_op * n_ops == pytest.approx(2230, rel=0.05)
+
+    def test_random_write_absorbed_by_cache(self, disk):
+        """Write-back caching makes 4 GiB of random writes cost ~31 s."""
+        rng = np.random.default_rng(7)
+        block = 1 * MiB  # coarse blocks keep the test fast; same total bytes
+        n_ops = 4 * GiB // block
+        offsets = rng.permutation(n_ops) * block
+        total = 0.0
+        for o in offsets:
+            total += disk.submit_write(DiskRequest(OpKind.WRITE, int(o), block)).service_time
+        total += disk.flush_cache().service_time
+        assert total == pytest.approx(31.0, rel=0.10)
+
+
+class TestWriteCache:
+    def test_cached_write_is_interface_speed(self, disk):
+        r = disk.submit_write(DiskRequest(OpKind.WRITE, 0, 1 * MiB))
+        assert r.cached
+        assert r.service_time == pytest.approx(1 * MiB / 750e6)
+        assert disk.dirty_bytes == 1 * MiB
+
+    def test_flush_clears_dirty(self, disk):
+        disk.submit_write(DiskRequest(OpKind.WRITE, 0, 1 * MiB))
+        flushed = disk.flush_cache()
+        assert flushed.nbytes == 1 * MiB
+        assert disk.dirty_bytes == 0
+
+    def test_flush_empty_cache_is_free(self, disk):
+        assert disk.flush_cache().service_time == 0.0
+
+    def test_single_extent_flush_has_no_penalty(self, disk):
+        accept = disk.submit_write(DiskRequest(OpKind.WRITE, 0, 8 * MiB)).service_time
+        flushed = disk.flush_cache()
+        # Drain overlaps the accept already paid for over the interface.
+        assert flushed.service_time == pytest.approx(
+            8 * MiB / disk.spec.seq_write_bw - accept
+        )
+        assert flushed.arm_time == 0.0
+
+    def test_scattered_extents_flush_pays_penalty(self, disk):
+        accepted = 0.0
+        for i in range(8):
+            accepted += disk.submit_write(
+                DiskRequest(OpKind.WRITE, i * 100 * MiB, 1 * MiB)
+            ).service_time
+        flushed = disk.flush_cache()
+        stream = 8 * MiB / disk.spec.seq_write_bw
+        assert flushed.service_time == pytest.approx(
+            stream * disk.spec.random_write_penalty - accepted
+        )
+        assert flushed.arm_time > 0
+
+    def test_cache_overflow_forces_flush(self, disk):
+        cache = disk.spec.cache_bytes
+        disk.submit_write(DiskRequest(OpKind.WRITE, 0, cache))
+        r = disk.submit_write(DiskRequest(OpKind.WRITE, 200 * MiB, 1 * MiB))
+        assert r.service_time > 1 * MiB / 750e6  # paid for the forced flush
+        assert disk.dirty_bytes == 1 * MiB
+
+    def test_write_cache_disabled_goes_to_platter(self):
+        disk = HddModel(DiskSpec(write_cache=False))
+        r = disk.submit_write(DiskRequest(OpKind.WRITE, 0, 1 * MiB))
+        assert not r.cached
+        assert r.service_time > 1 * MiB / 750e6
+
+    def test_submit_write_rejects_reads(self, disk):
+        with pytest.raises(DeviceError):
+            disk.submit_write(DiskRequest(OpKind.READ, 0, 512))
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        offsets=st.lists(st.integers(0, 10 * GiB), min_size=1, max_size=50),
+        size=st.sampled_from([4 * KiB, 64 * KiB, 1 * MiB]),
+    )
+    def test_service_times_always_positive_and_decomposed(self, offsets, size):
+        disk = HddModel(DiskSpec())
+        for o in offsets:
+            r = disk.service(DiskRequest(OpKind.READ, o, size))
+            assert r.service_time > 0
+            assert r.arm_time >= 0 and r.rotation_time >= 0
+            assert r.transfer_time > 0
+            # settle overhead means service >= parts
+            assert r.service_time >= r.arm_time + r.rotation_time + r.transfer_time - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 4 * MiB), min_size=1, max_size=30))
+    def test_cache_conserves_bytes(self, sizes):
+        disk = HddModel(DiskSpec())
+        flushed_total = 0
+        pos = 0
+        for s in sizes:
+            disk.submit_write(DiskRequest(OpKind.WRITE, pos, s))
+            pos += s + 10 * MiB
+        flushed_total += disk.flush_cache().nbytes
+        assert flushed_total + disk.dirty_bytes == sum(sizes)
+
+    def test_reset_restores_initial_state(self, disk):
+        disk.submit_write(DiskRequest(OpKind.WRITE, 0, 1 * MiB))
+        disk.reset()
+        assert disk.dirty_bytes == 0
+        r1 = HddModel(DiskSpec()).service(DiskRequest(OpKind.READ, 1 * GiB, 4 * KiB))
+        r2 = disk.service(DiskRequest(OpKind.READ, 1 * GiB, 4 * KiB))
+        assert r1.service_time == pytest.approx(r2.service_time)

@@ -1,0 +1,84 @@
+"""Network link / NIC models and the multi-node cluster extension."""
+
+import pytest
+
+from repro.errors import ConfigError, MachineError
+from repro.machine import Cluster, LinkModel, NicModel
+from repro.machine.specs import NetworkSpec
+from repro.trace import Activity
+from repro.units import MiB
+
+
+@pytest.fixture
+def link() -> LinkModel:
+    return LinkModel(NetworkSpec())
+
+
+class TestLink:
+    def test_zero_bytes_is_free(self, link):
+        assert link.transfer_time(0) == 0.0
+
+    def test_alpha_beta_model(self, link):
+        t = link.transfer_time(4 * 10 ** 9)
+        assert t == pytest.approx(link.spec.latency_s + 1.0)
+
+    def test_small_messages_latency_bound(self, link):
+        assert link.effective_bandwidth(64) < link.spec.link_bw_bytes_per_s / 10
+
+    def test_large_messages_reach_bandwidth(self, link):
+        eff = link.effective_bandwidth(1 * 10 ** 9)
+        assert eff == pytest.approx(link.spec.link_bw_bytes_per_s, rel=0.01)
+
+    def test_rejects_negative(self, link):
+        with pytest.raises(MachineError):
+            link.transfer_time(-1)
+
+
+class TestNic:
+    def test_idle_power(self):
+        assert NicModel(NetworkSpec()).power(0) == pytest.approx(2.0)
+
+    def test_traffic_power_linear(self):
+        nic = NicModel(NetworkSpec())
+        assert nic.dynamic_power(1e9) == pytest.approx(0.3)
+
+    def test_overload_rejected(self):
+        with pytest.raises(MachineError):
+            NicModel(NetworkSpec()).power(1e12)
+
+
+class TestCluster:
+    def test_needs_positive_nodes(self):
+        with pytest.raises(ConfigError):
+            Cluster(0)
+
+    def test_idle_power_scales_with_nodes(self):
+        assert Cluster(4).idle_power().total == pytest.approx(
+            4 * Cluster(1).idle_power().total
+        )
+
+    def test_halo_exchange_pairwise_phases(self):
+        c = Cluster(4)
+        one_phase = c.link.transfer_time(2 * MiB)
+        assert c.halo_exchange_time(1 * MiB, neighbors=4) == pytest.approx(2 * one_phase)
+        assert c.halo_exchange_time(1 * MiB, neighbors=2) == pytest.approx(one_phase)
+
+    def test_gather_bottlenecked_by_staging_nic(self):
+        c = Cluster(9)
+        t = c.gather_time(100 * MiB)
+        expected = c.link.spec.latency_s + 8 * 100 * MiB / c.link.spec.link_bw_bytes_per_s
+        assert t == pytest.approx(expected)
+
+    def test_gather_no_senders(self):
+        assert Cluster(1).gather_time(1 * MiB) == 0.0
+
+    def test_power_requires_activity_per_node(self):
+        c = Cluster(2)
+        with pytest.raises(MachineError):
+            c.power([Activity()])
+
+    def test_power_aggregates(self):
+        c = Cluster(2)
+        p = c.power([Activity(cpu_util=1.0), Activity()])
+        assert p.per_node[0] > p.per_node[1]
+        assert p.total == pytest.approx(sum(p.per_node))

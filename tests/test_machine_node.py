@@ -1,0 +1,102 @@
+"""Node composition: the paper's observed stage powers must emerge."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError
+from repro.machine import Node, SsdModel
+from repro.trace import Activity
+from repro.units import GiB
+
+
+@pytest.fixture
+def node() -> Node:
+    return Node()
+
+
+# Stage activities as calibrated (see repro.experiments.calibration).
+SIM = Activity(cpu_util=0.30, dram_bytes_per_s=5e9)
+VIS = Activity(cpu_util=0.13, dram_bytes_per_s=1.95e9)
+
+
+class TestStagePowerAnchors:
+    def test_idle_floor(self, node):
+        assert node.static_power_w == pytest.approx(104.8, abs=0.05)
+
+    def test_simulation_stage_143w(self, node):
+        assert node.power(SIM).system == pytest.approx(143.0, abs=0.1)
+
+    def test_visualization_stage_121w(self, node):
+        assert node.power(VIS).system == pytest.approx(121.0, abs=0.1)
+
+    def test_sim_vis_gap_is_22w(self, node):
+        # Section V.A: "the simulation phase consumes 22 W more power
+        # than the visualization phase".
+        gap = node.power(SIM).system - node.power(VIS).system
+        assert gap == pytest.approx(22.0, abs=0.2)
+
+    def test_sequential_read_118w(self, node):
+        a = Activity(disk_read_bytes_per_s=4 * GiB / 35.9)
+        assert node.power(a).system == pytest.approx(118.3, abs=0.5)
+
+    def test_sequential_write_115w(self, node):
+        a = Activity(disk_write_bytes_per_s=4 * GiB / 27.0)
+        assert node.power(a).system == pytest.approx(115.7, abs=0.5)
+
+
+class TestComponentBreakdown:
+    def test_system_is_sum_of_components(self, node):
+        p = node.power(SIM)
+        assert p.system == pytest.approx(p.package + p.dram + p.disk + p.net + p.rest)
+
+    def test_unmetered_matches_paper_method(self, node):
+        # Paper: rest-of-system = Wattsup - package - DRAM.
+        p = node.power(SIM)
+        assert p.unmetered == pytest.approx(p.disk + p.net + p.rest)
+
+    def test_dram_visible_in_profile(self, node):
+        # Fig 5: DRAM trace around 9 W idle, ~17 W during simulation.
+        assert node.power(Activity()).dram == pytest.approx(9.0)
+        assert node.power(SIM).dram == pytest.approx(17.2, abs=0.1)
+
+    def test_processor_trace_range(self, node):
+        # Fig 5: processor ~44-45 W idle, ~74-75 W during simulation.
+        assert node.power(Activity()).package == pytest.approx(44.0)
+        assert node.power(SIM).package == pytest.approx(74.0)
+
+
+class TestDynamicStaticSplit:
+    def test_dynamic_power_zero_at_idle(self, node):
+        assert node.dynamic_power(Activity()) == pytest.approx(0.0)
+
+    @given(
+        u=st.floats(0, 1),
+        dram=st.floats(0, 2e10),
+        seek=st.floats(0, 1),
+    )
+    def test_dynamic_power_nonnegative(self, u, dram, seek):
+        node = Node()
+        a = Activity(cpu_util=u, dram_bytes_per_s=dram, disk_seek_duty=seek)
+        assert node.dynamic_power(a) >= -1e-9
+
+
+class TestStorageSwap:
+    def test_ssd_node_lower_idle(self):
+        hdd_node = Node()
+        ssd_node = Node(storage=SsdModel())
+        assert ssd_node.static_power_w < hdd_node.static_power_w
+
+    def test_ssd_power_ignores_seek_duty(self):
+        ssd_node = Node(storage=SsdModel())
+        quiet = ssd_node.power(Activity()).disk
+        seeking = ssd_node.power(Activity(disk_seek_duty=1.0)).disk
+        assert quiet == pytest.approx(seeking)
+
+
+class TestValidation:
+    def test_validate_passes_default(self, node):
+        node.validate()
+
+    def test_dram_overload_rejected(self, node):
+        with pytest.raises(MachineError):
+            node.power(Activity(dram_bytes_per_s=1e15))

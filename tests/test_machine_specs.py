@@ -1,0 +1,86 @@
+"""Machine specifications: Table I values and calibration invariants."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import CpuSpec, DiskSpec, DramSpec, MachineSpec, paper_testbed
+from repro.units import GiB, MiB
+
+
+class TestTable1:
+    """Nameplate values must match the paper's Table I exactly."""
+
+    def test_cpu(self):
+        spec = paper_testbed()
+        assert spec.cpu.model == "Intel Xeon E5-2665"
+        assert spec.cpu.sockets == 2
+        assert spec.cpu.total_cores == 16
+        assert spec.cpu.base_freq_hz == pytest.approx(2.4e9)
+        assert spec.cpu.llc_bytes == 20 * MiB
+
+    def test_memory(self):
+        spec = paper_testbed()
+        assert spec.dram.capacity_bytes == 64 * GiB
+        assert spec.dram.dimms == 4
+        assert spec.dram.kind == "DDR3-1333"
+
+    def test_disk(self):
+        spec = paper_testbed()
+        assert spec.disk.capacity_bytes == 500 * 10 ** 9
+        assert spec.disk.rpm == 7200
+        assert spec.disk.interface_bw_bytes_per_s == pytest.approx(750e6)
+
+    def test_table1_rows_render(self):
+        rows = paper_testbed().table1_rows()
+        as_dict = dict(rows)
+        assert as_dict["CPU"] == "2x Intel Xeon E5-2665"
+        assert as_dict["CPU frequency"] == "2.4 GHz"
+        assert as_dict["Last-level cache"] == "20 MB"
+        assert as_dict["Memory size"] == "64 GB"
+        assert as_dict["Storage size"] == "500GB"
+        assert as_dict["Disk bandwidth"] == "6.0 Gbps"
+
+
+class TestCalibration:
+    """Power-floor calibration anchors from Table II / Section V."""
+
+    def test_idle_system_is_static_floor(self):
+        # Table II: nnwrite 114.8 W total at 10.0 W dynamic => 104.8 W floor.
+        assert paper_testbed().idle_system_w == pytest.approx(104.8, abs=0.05)
+
+    def test_disk_bandwidths_match_fio(self):
+        d = paper_testbed().disk
+        assert 4 * GiB / d.seq_read_bw == pytest.approx(35.9)
+        assert 4 * GiB / d.seq_write_bw == pytest.approx(27.0)
+
+    def test_disk_power_coefficients_match_fio(self):
+        d = paper_testbed().disk
+        assert d.read_energy_per_byte_j * d.seq_read_bw == pytest.approx(13.5)
+        assert d.write_energy_per_byte_j * d.seq_write_bw == pytest.approx(10.9)
+
+
+class TestValidation:
+    def test_cpu_rejects_zero_sockets(self):
+        with pytest.raises(ConfigError):
+            CpuSpec(sockets=0)
+
+    def test_cpu_rejects_negative_power(self):
+        with pytest.raises(ConfigError):
+            CpuSpec(idle_w=-1)
+
+    def test_cpu_rejects_bad_alpha(self):
+        with pytest.raises(ConfigError):
+            CpuSpec(alpha=0)
+
+    def test_dram_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            DramSpec(capacity_bytes=0)
+
+    def test_disk_rejects_bad_rpm(self):
+        with pytest.raises(ConfigError):
+            DiskSpec(rpm=0)
+
+    def test_specs_are_frozen(self):
+        spec = paper_testbed()
+        with pytest.raises(AttributeError):
+            spec.cpu.sockets = 4  # type: ignore[misc]

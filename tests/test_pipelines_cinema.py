@@ -1,0 +1,82 @@
+"""Cinema-style image-database pipeline."""
+
+import pytest
+
+from repro.calibration import CASE_STUDIES
+from repro.errors import PipelineError
+from repro.pipelines import PipelineConfig, PipelineRunner, PostProcessingPipeline
+from repro.pipelines.cinema import CinemaPipeline, CinemaSpec, default_spec
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return PipelineRunner(seed=61, jitter=0)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    # Case 3's sparse cadence keeps the (real) rendering work small.
+    return PipelineConfig(case=CASE_STUDIES[3])
+
+
+class TestSpec:
+    def test_combinations_are_cross_product(self):
+        spec = CinemaSpec(
+            colormaps=("heat", "gray"),
+            contour_sets=((), (40.0,)),
+            value_windows=(None, (0.0, 100.0)),
+        )
+        assert spec.n_combinations == 8
+        assert len(spec.combinations) == 8
+
+    def test_unknown_colormap_rejected(self):
+        with pytest.raises(PipelineError):
+            CinemaSpec(colormaps=("rainbow",))
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(PipelineError):
+            CinemaSpec(colormaps=())
+
+    def test_default_spec_size(self):
+        assert default_spec(1).n_combinations >= 1
+        assert default_spec(16).n_combinations >= 12
+        with pytest.raises(PipelineError):
+            default_spec(0)
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def run(self, runner, cfg):
+        spec = CinemaSpec(colormaps=("heat", "gray"), contour_sets=((), (40.0,)))
+        return runner.run(CinemaPipeline(cfg, spec))
+
+    def test_database_complete(self, run):
+        # 6 I/O iterations x 4 combinations.
+        assert run.images_rendered == 24
+        assert run.extra["database_files"] == 24
+        assert run.verification.ok
+        assert run.verification.grids_checked == 24
+
+    def test_render_cost_scales_with_combinations(self, runner, cfg):
+        small = runner.run(CinemaPipeline(cfg, CinemaSpec()), run_id="cin1")
+        big = runner.run(
+            CinemaPipeline(cfg, CinemaSpec(colormaps=("heat", "gray", "coolwarm"))),
+            run_id="cin3")
+        vis_small = small.timeline.stage_totals()["visualization"].total_time
+        vis_big = big.timeline.stage_totals()["visualization"].total_time
+        assert vis_big == pytest.approx(3 * vis_small, rel=1e-6)
+
+    def test_crossover_vs_post_processing(self, runner, cfg):
+        """Few combos beat raw dumps; many combos cost more (the honest
+        trade-off of the image-based approach)."""
+        post = runner.run(PostProcessingPipeline(cfg), run_id="cin-post")
+        lean = runner.run(CinemaPipeline(cfg, default_spec(1)), run_id="cin-l")
+        rich = runner.run(CinemaPipeline(cfg, default_spec(16)), run_id="cin-r")
+        assert lean.energy_j < post.energy_j
+        assert rich.energy_j > post.energy_j
+
+    def test_same_physics(self, runner, cfg, run):
+        post = runner.run(PostProcessingPipeline(cfg), run_id="cin-post2")
+        assert run.extra["final_mean_temperature"] == pytest.approx(
+            post.extra["final_mean_temperature"]
+        )

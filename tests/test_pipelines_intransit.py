@@ -1,0 +1,86 @@
+"""In-transit pipeline: staging-node structure and energy accounting."""
+
+import pytest
+
+from repro.calibration import CASE_STUDIES
+from repro.pipelines import (
+    InSituPipeline,
+    InTransitPipeline,
+    PipelineConfig,
+    PipelineRunner,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return PipelineRunner(seed=51)
+
+
+@pytest.fixture(scope="module")
+def run(runner):
+    return runner.run(InTransitPipeline(PipelineConfig(case=CASE_STUDIES[1])))
+
+
+class TestComputeNode:
+    def test_no_disk_io(self, run):
+        assert run.data_bytes_written == 0
+        totals = run.timeline.stage_totals()
+        assert "nnwrite" not in totals
+        assert "nnread" not in totals
+
+    def test_sends_every_io_iteration(self, run):
+        totals = run.timeline.stage_totals()
+        assert totals["staging-send"].span_count == 50
+
+    def test_send_cost_is_link_bound(self, run):
+        send = run.timeline.stage_totals()["staging-send"].total_time
+        # 50 x 128 KiB over a 4 GB/s link: well under a second in total.
+        assert send < 0.5
+
+    def test_no_visualization_on_compute_node(self, run):
+        assert "visualization" not in run.timeline.stage_totals()
+
+
+class TestStagingNode:
+    def test_staging_timeline_present(self, run):
+        staging = run.extra["staging_timeline"]
+        totals = staging.stage_totals()
+        assert totals["visualization"].span_count == 50
+        assert totals["receive"].span_count == 50
+
+    def test_staging_mostly_idle(self, run):
+        staging = run.extra["staging_timeline"]
+        totals = staging.stage_totals()
+        # Visualization takes 0.481 s of each ~1.6 s simulation interval.
+        assert totals["idle"].total_time > totals["visualization"].total_time
+
+    def test_nodes_finish_together(self, run):
+        staging = run.extra["staging_timeline"]
+        assert staging.duration == pytest.approx(run.timeline.duration)
+
+    def test_frames_rendered(self, run):
+        assert run.images_rendered == 50
+        assert run.image_bytes > 0
+
+
+class TestEnergyAccounting:
+    def test_total_is_sum_of_nodes(self, run):
+        assert run.extra["total_energy_j"] == pytest.approx(
+            run.energy_j + run.extra["staging_energy_j"]
+        )
+
+    def test_staging_energy_near_idle(self, run):
+        # The staging node idles most of the run: its average power sits
+        # close to the static floor.
+        staging_profile = run.extra["staging_profile"]
+        assert staging_profile.average() < 115.0
+
+    def test_pair_costs_more_than_insitu(self, runner, run):
+        insitu = runner.run(InSituPipeline(PipelineConfig(case=CASE_STUDIES[1])))
+        assert run.extra["total_energy_j"] > insitu.energy_j
+
+    def test_same_physics(self, runner, run):
+        insitu = runner.run(InSituPipeline(PipelineConfig(case=CASE_STUDIES[1])))
+        assert run.extra["final_mean_temperature"] == pytest.approx(
+            insitu.extra["final_mean_temperature"]
+        )

@@ -1,0 +1,75 @@
+"""3-D volumetric in-situ pipeline."""
+
+import pytest
+
+from repro.calibration import CASE_STUDIES
+from repro.errors import PipelineError
+from repro.pipelines import PipelineConfig, PipelineRunner
+from repro.pipelines.volumetric import VolumetricInSituPipeline
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return PipelineRunner(seed=67, jitter=0)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return PipelineConfig(case=CASE_STUDIES[3])  # sparse cadence: fast
+
+
+@pytest.fixture(scope="module")
+def run(runner, cfg):
+    return runner.run(VolumetricInSituPipeline(cfg, resolution=24,
+                                               axes=(0, 2), samples=24))
+
+
+class TestVolumetricPipeline:
+    def test_frames_per_event_per_axis(self, run):
+        # 6 I/O events x 2 axes.
+        assert run.images_rendered == 12
+
+    def test_no_raw_data_io(self, run):
+        assert run.data_bytes_written == 0
+        assert "nnwrite" not in run.timeline.stage_totals()
+
+    def test_render_cost_scales_with_volume(self, runner, cfg):
+        small = runner.run(
+            VolumetricInSituPipeline(cfg, resolution=16, samples=16),
+            run_id="vol16")
+        big = runner.run(
+            VolumetricInSituPipeline(cfg, resolution=32, samples=32),
+            run_id="vol32")
+        vis_small = small.timeline.stage_totals()["visualization"].total_time
+        vis_big = big.timeline.stage_totals()["visualization"].total_time
+        # 32^3 vs 16^3 shaded samples: 8x the render work.
+        assert vis_big == pytest.approx(8 * vis_small, rel=1e-6)
+
+    def test_sim_cost_scales_with_cells(self, runner, cfg):
+        run16 = runner.run(VolumetricInSituPipeline(cfg, resolution=16),
+                           run_id="vs16")
+        sim = run16.timeline.stage_totals()["simulation"].total_time
+        # 16^3 cells vs the 2-D 128^2 reference: 0.25x per iteration.
+        assert sim == pytest.approx(50 * 1.588 * (16 ** 3) / (128 ** 2),
+                                    rel=1e-6)
+
+    def test_physics_evolved(self, run):
+        lo, hi = run.extra["field_range"]
+        assert hi > 25.0  # the hot box heated the volume
+        assert lo >= 19.0
+
+    def test_validation(self, cfg):
+        with pytest.raises(PipelineError):
+            VolumetricInSituPipeline(cfg, axes=())
+        with pytest.raises(PipelineError):
+            VolumetricInSituPipeline(cfg, axes=(3,))
+        with pytest.raises(PipelineError):
+            VolumetricInSituPipeline(cfg, resolution=2)
+
+    def test_deterministic(self, cfg):
+        a = PipelineRunner(seed=5, jitter=0).run(
+            VolumetricInSituPipeline(cfg, resolution=16))
+        b = PipelineRunner(seed=5, jitter=0).run(
+            VolumetricInSituPipeline(cfg, resolution=16))
+        assert a.energy_j == b.energy_j
+        assert a.image_bytes == b.image_bytes

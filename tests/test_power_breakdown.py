@@ -1,0 +1,85 @@
+"""Section V.C's savings breakdown and Table II's stage-power table."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.machine import Node
+from repro.power import MeterRig, SavingsBreakdown, stage_power_table
+from repro.power.breakdown import savings_breakdown
+from repro.rng import RngRegistry
+from repro.trace import Activity, Timeline
+
+WRITE = Activity(cpu_util=0.015, dram_bytes_per_s=0.3e9,
+                 disk_write_bytes_per_s=9.1e4, disk_seek_duty=0.90)
+READ = Activity(cpu_util=0.015, dram_bytes_per_s=0.3e9,
+                disk_read_bytes_per_s=1.0e5, disk_seek_duty=0.93)
+
+
+class TestStagePowerTable:
+    def test_table2_shape(self):
+        """nnread/nnwrite total ~115 W, dynamic ~10 W (Table II)."""
+        node = Node()
+        tl = Timeline()
+        for _ in range(25):
+            tl.record("nnwrite", 1.0, WRITE)
+        for _ in range(25):
+            tl.record("nnread", 1.0, READ)
+        profile = MeterRig(node, rng=RngRegistry(5)).sample(tl)
+        table = stage_power_table(tl, profile, static_w=node.static_power_w)
+        assert table["nnwrite"].avg_total_w == pytest.approx(114.8, abs=1.5)
+        assert table["nnread"].avg_total_w == pytest.approx(115.1, abs=1.5)
+        assert table["nnwrite"].avg_dynamic_w == pytest.approx(10.0, abs=1.5)
+        assert table["nnread"].avg_dynamic_w == pytest.approx(10.3, abs=1.5)
+
+    def test_static_is_difference(self):
+        from repro.power.breakdown import StagePower
+
+        row = StagePower("nnread", 115.1, 10.3)
+        assert row.static_w == pytest.approx(104.8)
+
+    def test_absent_stage_omitted(self):
+        node = Node()
+        tl = Timeline()
+        tl.record("simulation", 5.0, Activity(cpu_util=0.3, dram_bytes_per_s=5e9))
+        profile = MeterRig(node, rng=RngRegistry(6)).sample(tl)
+        table = stage_power_table(tl, profile, static_w=node.static_power_w)
+        assert table == {}
+
+
+class TestSavingsBreakdown:
+    def test_paper_case_study_1(self):
+        """Paper: 12.8 kJ static + 1.2 kJ dynamic = 91 % / 9 %."""
+        b = savings_breakdown(
+            baseline_energy_j=30_030.0, baseline_time_s=240.6,
+            insitu_energy_j=17_170.0, insitu_time_s=127.5,
+            io_dynamic_power_w=10.15,
+        )
+        assert b.total_savings_j == pytest.approx(12_860, rel=0.01)
+        assert b.dynamic_savings_j == pytest.approx(1_148, rel=0.01)
+        assert b.static_fraction == pytest.approx(0.91, abs=0.02)
+        assert b.dynamic_fraction == pytest.approx(0.09, abs=0.02)
+
+    def test_fractions_sum_to_one(self):
+        b = savings_breakdown(1000, 10, 500, 5, 20)
+        assert b.static_fraction + b.dynamic_fraction == pytest.approx(1.0)
+
+    def test_dynamic_capped_by_total(self):
+        b = savings_breakdown(1000, 100, 990, 10, 50.0)
+        assert b.dynamic_savings_j <= b.total_savings_j
+
+    def test_no_savings_case(self):
+        b = savings_breakdown(100, 10, 150, 12, 10)
+        assert b.total_savings_j < 0
+        assert b.static_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            savings_breakdown(-1, 1, 1, 1, 1)
+        with pytest.raises(MeasurementError):
+            savings_breakdown(1, -1, 1, 1, 1)
+        with pytest.raises(MeasurementError):
+            savings_breakdown(1, 1, 1, 1, -1)
+
+    def test_dataclass_properties(self):
+        b = SavingsBreakdown(total_savings_j=14_000, dynamic_savings_j=1_200)
+        assert b.static_savings_j == pytest.approx(12_800)

@@ -1,0 +1,59 @@
+"""The paper's Wattsup-minus-RAPL disaggregation method."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.machine import Node
+from repro.power import MeterRig
+from repro.power.disaggregate import evaluate_disaggregation, unmetered_series
+from repro.rng import RngRegistry
+from repro.trace import Activity, Timeline
+
+
+def metered(include_truth=True, seed=7):
+    tl = Timeline()
+    tl.record("simulation", 40.0, Activity(cpu_util=0.30, dram_bytes_per_s=5e9))
+    tl.record("nnwrite", 40.0, Activity(
+        cpu_util=0.015, dram_bytes_per_s=0.3e9,
+        disk_write_bytes_per_s=9e4, disk_seek_duty=0.80))
+    rig = MeterRig(Node(), rng=RngRegistry(seed))
+    return rig.sample(tl, include_truth=include_truth)
+
+
+class TestUnmeteredSeries:
+    def test_estimates_rest_of_system(self):
+        profile = metered()
+        est = unmetered_series(profile)
+        # Rest-of-system truth: disk (~5.5-13.5 W) + NIC 2 W + 44.3 W board.
+        assert 48 < est.mean() < 62
+
+    def test_requires_all_channels(self):
+        from repro.power import PowerProfile
+
+        bad = PowerProfile(dt=1.0, channels={"system": [100.0]})
+        with pytest.raises(MeasurementError):
+            unmetered_series(bad)
+
+
+class TestEvaluation:
+    def test_method_is_nearly_unbiased(self):
+        report = evaluate_disaggregation(metered())
+        # The only systematic error is RAPL's ~1 % model error and the
+        # monitoring overhead attribution; both are sub-watt here.
+        assert abs(report.bias_w) < 1.0
+        assert abs(report.relative_bias) < 0.02
+
+    def test_rms_error_reflects_meter_noise(self):
+        report = evaluate_disaggregation(metered())
+        # Three noisy channels subtract: RMS error is a watt-scale figure,
+        # not negligible — worth knowing when reading the paper's Fig 5.
+        assert 0.1 < report.rms_error_w < 3.0
+
+    def test_estimated_vs_true_mean(self):
+        report = evaluate_disaggregation(metered())
+        assert report.estimated_mean_w == pytest.approx(
+            report.true_mean_w, abs=1.5)
+
+    def test_requires_truth_channels(self):
+        with pytest.raises(MeasurementError):
+            evaluate_disaggregation(metered(include_truth=False))

@@ -1,0 +1,120 @@
+"""MeterRig: synthesizing the paper's power profiles from a timeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.machine import Node
+from repro.power import MeterRig
+from repro.rng import RngRegistry
+from repro.trace import Activity, Timeline
+
+SIM = Activity(cpu_util=0.30, dram_bytes_per_s=5e9)
+VIS = Activity(cpu_util=0.13, dram_bytes_per_s=1.95e9)
+
+
+def two_phase_timeline() -> Timeline:
+    tl = Timeline()
+    tl.mark("simulate")
+    for _ in range(20):
+        tl.record("simulation", 1.0, SIM)
+    tl.mark("visualize")
+    for _ in range(20):
+        tl.record("visualization", 1.0, VIS)
+    return tl
+
+
+@pytest.fixture
+def rig() -> MeterRig:
+    return MeterRig(Node(), rng=RngRegistry(1))
+
+
+class TestSampling:
+    def test_sample_count_matches_duration(self, rig):
+        profile = rig.sample(two_phase_timeline())
+        assert profile.n_samples == 40
+        assert profile.dt == 1.0
+
+    def test_channels_present(self, rig):
+        profile = rig.sample(two_phase_timeline())
+        for channel in ("system", "processor", "dram"):
+            assert channel in profile
+
+    def test_phase_powers_match_calibration(self, rig):
+        profile = rig.sample(two_phase_timeline())
+        phases = profile.phase_average()
+        assert phases["simulate"] == pytest.approx(143.0, abs=1.5)
+        assert phases["visualize"] == pytest.approx(121.0, abs=1.5)
+
+    def test_processor_channel_tracks_package(self, rig):
+        profile = rig.sample(two_phase_timeline())
+        sim_proc = profile.slice(0, 20)["processor"].mean()
+        # package 74 W + 0.2 W monitoring overhead
+        assert sim_proc == pytest.approx(74.2, abs=1.0)
+
+    def test_dram_channel(self, rig):
+        profile = rig.sample(two_phase_timeline())
+        assert profile.slice(0, 20)["dram"].mean() == pytest.approx(17.2, abs=0.8)
+
+    def test_markers_carried_over(self, rig):
+        profile = rig.sample(two_phase_timeline())
+        assert [m.name for m in profile.markers] == ["simulate", "visualize"]
+
+    def test_subsecond_spans_averaged_into_ticks(self, rig):
+        """Stages shorter than the sampling interval blend, as at 1 Hz."""
+        tl = Timeline()
+        for _ in range(20):
+            tl.record("a", 0.5, SIM)
+            tl.record("b", 0.5, VIS)
+        profile = rig.sample(tl)
+        assert profile.average() == pytest.approx((143.0 + 121.0) / 2, abs=1.0)
+
+    def test_deterministic_given_seed(self):
+        p1 = MeterRig(Node(), rng=RngRegistry(9)).sample(two_phase_timeline())
+        p2 = MeterRig(Node(), rng=RngRegistry(9)).sample(two_phase_timeline())
+        np.testing.assert_array_equal(p1["system"], p2["system"])
+
+    def test_different_seeds_differ(self):
+        p1 = MeterRig(Node(), rng=RngRegistry(1)).sample(two_phase_timeline())
+        p2 = MeterRig(Node(), rng=RngRegistry(2)).sample(two_phase_timeline())
+        assert not np.array_equal(p1["system"], p2["system"])
+
+
+class TestFidelity:
+    def test_measured_energy_close_to_truth(self, rig):
+        tl = two_phase_timeline()
+        profile = rig.sample(tl, include_truth=True)
+        truth = float(profile["system_true"].sum() * profile.dt)
+        assert profile.energy() == pytest.approx(truth, rel=0.01)
+
+    def test_monitoring_overhead_visible(self):
+        tl = two_phase_timeline()
+        on = MeterRig(Node(), monitor_on_node=True, jitter=0, rng=RngRegistry(3))
+        off = MeterRig(Node(), monitor_on_node=False, jitter=0, rng=RngRegistry(3))
+        delta = on.sample(tl).average() - off.sample(tl).average()
+        assert delta == pytest.approx(0.2, abs=0.1)
+
+    def test_jitter_zero_gives_flat_phases(self):
+        rig = MeterRig(Node(), jitter=0.0, rng=RngRegistry(4))
+        profile = rig.sample(two_phase_timeline())
+        sim = profile.slice(0, 20)["system"]
+        assert sim.std() < 1.0  # only meter noise remains
+
+    def test_jitter_gives_fig5_texture(self, rig):
+        profile = rig.sample(two_phase_timeline())
+        sim = profile.slice(0, 20)["system"]
+        assert 0.3 < sim.std() < 4.0
+
+
+class TestValidation:
+    def test_bad_sample_rate(self):
+        with pytest.raises(MeasurementError):
+            MeterRig(Node(), sample_hz=0)
+
+    def test_bad_jitter(self):
+        with pytest.raises(MeasurementError):
+            MeterRig(Node(), jitter=-1)
+
+    def test_empty_timeline(self, rig):
+        profile = rig.sample(Timeline())
+        assert profile.n_samples >= 1  # degenerate but well-formed

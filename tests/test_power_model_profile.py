@@ -1,0 +1,145 @@
+"""Power arithmetic helpers and the PowerProfile container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MeasurementError
+from repro.power import (
+    PowerProfile,
+    average_power,
+    dynamic_component,
+    integrate_energy,
+    peak_power,
+)
+from repro.trace.events import PhaseMarker
+
+
+class TestModelHelpers:
+    def test_integrate_constant(self):
+        assert integrate_energy([100.0] * 10, 1.0) == pytest.approx(1000.0)
+
+    def test_integrate_respects_dt(self):
+        assert integrate_energy([100.0] * 10, 0.5) == pytest.approx(500.0)
+
+    def test_integrate_rejects_bad_dt(self):
+        with pytest.raises(MeasurementError):
+            integrate_energy([1.0], 0.0)
+
+    def test_average_and_peak(self):
+        s = [100.0, 140.0, 120.0]
+        assert average_power(s) == pytest.approx(120.0)
+        assert peak_power(s) == pytest.approx(140.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(MeasurementError):
+            average_power([])
+        with pytest.raises(MeasurementError):
+            peak_power([])
+
+    def test_dynamic_component_clips(self):
+        d = dynamic_component([100.0, 110.0, 90.0], static_w=104.8)
+        assert d[0] == 0.0
+        assert d[1] == pytest.approx(5.2)
+        assert d[2] == 0.0
+
+    @given(st.lists(st.floats(0, 1000), min_size=1, max_size=100),
+           st.floats(0.01, 10))
+    def test_energy_equals_avg_times_duration(self, samples, dt):
+        e = integrate_energy(samples, dt)
+        assert e == pytest.approx(average_power(samples) * len(samples) * dt,
+                                  rel=1e-9, abs=1e-6)
+
+
+def profile() -> PowerProfile:
+    sys = np.concatenate([np.full(10, 143.0), np.full(10, 121.0)])
+    return PowerProfile(
+        dt=1.0,
+        channels={"system": sys, "processor": sys - 60, "dram": np.full(20, 15.0)},
+        markers=(PhaseMarker("simulate+write", 0.0), PhaseMarker("read+visualize", 10.0)),
+    )
+
+
+class TestPowerProfile:
+    def test_shape(self):
+        p = profile()
+        assert p.n_samples == 20
+        assert p.duration == 20.0
+        assert p.times[0] == 1.0 and p.times[-1] == 20.0
+
+    def test_metrics(self):
+        p = profile()
+        assert p.average() == pytest.approx(132.0)
+        assert p.peak() == pytest.approx(143.0)
+        assert p.energy() == pytest.approx(2640.0)
+        assert p.energy("dram") == pytest.approx(300.0)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(MeasurementError):
+            profile()["gpu"]
+
+    def test_mismatched_channels_rejected(self):
+        with pytest.raises(MeasurementError):
+            PowerProfile(dt=1.0, channels={"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(MeasurementError):
+            PowerProfile(dt=0.0, channels={})
+
+    def test_slice(self):
+        sub = profile().slice(5.0, 15.0)
+        assert sub.n_samples == 10
+        assert sub.average() == pytest.approx(132.0)
+
+    def test_phase_average_matches_paper_shape(self):
+        # Section V.A: phase 1 ~143 W, phase 2 ~121 W.
+        phases = profile().phase_average()
+        assert phases["simulate+write"] == pytest.approx(143.0)
+        assert phases["read+visualize"] == pytest.approx(121.0)
+
+    def test_column_roundtrip(self):
+        p = profile()
+        cols = p.to_columns()
+        back = PowerProfile.from_columns(1.0, cols)
+        np.testing.assert_allclose(back["system"], p["system"])
+        np.testing.assert_allclose(back["dram"], p["dram"])
+
+
+class TestSampleCoverage:
+    def test_default_coverage_is_full_ticks(self):
+        p = profile()
+        assert (p.sample_seconds == 1.0).all()
+        assert p.energy() == pytest.approx(2640.0)
+
+    def test_partial_final_tick_integrates_exactly(self):
+        import numpy as np
+
+        p = PowerProfile(
+            dt=1.0,
+            channels={"system": np.array([100.0, 100.0, 100.0])},
+            sample_seconds=np.array([1.0, 1.0, 0.25]),
+        )
+        assert p.energy() == pytest.approx(225.0)
+
+    def test_coverage_validated(self):
+        import numpy as np
+
+        with pytest.raises(MeasurementError):
+            PowerProfile(dt=1.0, channels={"system": np.ones(2)},
+                         sample_seconds=np.array([1.0]))
+        with pytest.raises(MeasurementError):
+            PowerProfile(dt=1.0, channels={"system": np.ones(2)},
+                         sample_seconds=np.array([1.0, 0.0]))
+        with pytest.raises(MeasurementError):
+            PowerProfile(dt=1.0, channels={"system": np.ones(2)},
+                         sample_seconds=np.array([1.0, 1.5]))
+
+    def test_slice_carries_coverage(self):
+        import numpy as np
+
+        p = PowerProfile(
+            dt=1.0,
+            channels={"system": np.array([100.0, 100.0, 100.0])},
+            sample_seconds=np.array([1.0, 1.0, 0.5]),
+        )
+        assert p.slice(1.0, 3.0).energy() == pytest.approx(150.0)

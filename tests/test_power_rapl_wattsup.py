@@ -1,0 +1,124 @@
+"""RAPL counter emulation and Wattsup meter emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MeasurementError
+from repro.machine.node import ComponentPower
+from repro.power import RaplDomain, RaplEmulator, WattsupEmulator
+from repro.power.rapl import COUNTER_WRAP, RaplReading, energy_between
+from repro.rng import stream
+from repro.units import RAPL_ENERGY_UNIT_J
+
+
+def cp(package=74.0, dram=17.0) -> ComponentPower:
+    return ComponentPower(package=package, dram=dram, disk=5.5, net=2.0, rest=44.3)
+
+
+class TestRaplCounters:
+    def test_counters_track_truth_within_error(self):
+        rapl = RaplEmulator(stream("t1"))
+        before = rapl.read(RaplDomain.PKG)
+        for _ in range(100):
+            rapl.advance(1.0, cp())
+        after = rapl.read(RaplDomain.PKG)
+        energy = energy_between(before, after)
+        assert energy == pytest.approx(7400.0, rel=0.01)  # < 1 % error
+
+    def test_dram_domain_independent(self):
+        rapl = RaplEmulator(stream("t2"))
+        b = rapl.read(RaplDomain.DRAM)
+        rapl.advance(10.0, cp())
+        a = rapl.read(RaplDomain.DRAM)
+        assert energy_between(b, a) == pytest.approx(170.0, rel=0.02)
+
+    def test_pp0_is_core_share_of_package(self):
+        rapl = RaplEmulator(stream("t3"), model_error_fraction=0.0)
+        b = rapl.read(RaplDomain.PP0)
+        rapl.advance(10.0, cp())
+        a = rapl.read(RaplDomain.PP0)
+        assert energy_between(b, a) == pytest.approx(0.72 * 740.0, rel=1e-3)
+
+    def test_counter_quantization(self):
+        rapl = RaplEmulator(stream("t4"), model_error_fraction=0.0)
+        rapl.advance(1e-9, cp())  # far less than one energy unit
+        assert rapl.read(RaplDomain.PKG).ticks == 0
+
+    def test_reading_converts_to_joules(self):
+        r = RaplReading(RaplDomain.PKG, 1 << 16, 0.0)
+        assert r.joules() == pytest.approx(1.0)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(MeasurementError):
+            RaplEmulator(stream("t5")).advance(-1.0, cp())
+
+
+class TestWraparound:
+    def test_energy_between_handles_wrap(self):
+        a = RaplReading(RaplDomain.PKG, COUNTER_WRAP - 100, 0.0)
+        b = RaplReading(RaplDomain.PKG, 50, 1.0)
+        assert energy_between(a, b) == pytest.approx(150 * RAPL_ENERGY_UNIT_J)
+
+    def test_counter_wraps_on_long_runs(self):
+        # 2^32 ticks = 65536 J; a 143 W node wraps in ~7.6 minutes.
+        rapl = RaplEmulator(stream("t6"), model_error_fraction=0.0)
+        rapl.advance(500.0, cp(package=143.0))
+        assert rapl.read(RaplDomain.PKG).ticks < COUNTER_WRAP
+
+    def test_mismatched_domains_rejected(self):
+        a = RaplReading(RaplDomain.PKG, 0, 0.0)
+        b = RaplReading(RaplDomain.DRAM, 10, 1.0)
+        with pytest.raises(MeasurementError):
+            energy_between(a, b)
+
+    def test_time_travel_rejected(self):
+        a = RaplReading(RaplDomain.PKG, 0, 5.0)
+        b = RaplReading(RaplDomain.PKG, 10, 1.0)
+        with pytest.raises(MeasurementError):
+            energy_between(a, b)
+
+
+class TestMonitoringOverhead:
+    def test_paper_value_at_1hz(self):
+        rapl = RaplEmulator(stream("t7"))
+        assert rapl.monitoring_overhead_w(1.0) == pytest.approx(0.2)
+
+    def test_scales_with_rate(self):
+        rapl = RaplEmulator(stream("t8"))
+        # RAPL's native ~1 kHz rate would visibly perturb the measurement —
+        # the reason the paper throttles to 1 Hz.
+        assert rapl.monitoring_overhead_w(1000.0) == pytest.approx(200.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(MeasurementError):
+            RaplEmulator(stream("t9")).monitoring_overhead_w(0)
+
+
+class TestWattsup:
+    def test_quantizes_to_tenth_watt(self):
+        meter = WattsupEmulator(stream("w1"), noise_fraction=0.0)
+        assert meter.sample(143.27) == pytest.approx(143.3)
+
+    def test_noise_is_small_and_unbiased(self):
+        meter = WattsupEmulator(stream("w2"))
+        samples = meter.sample_series(np.full(2000, 120.0))
+        assert samples.mean() == pytest.approx(120.0, abs=0.1)
+        assert samples.std() < 1.5
+
+    def test_rejects_negative_power(self):
+        meter = WattsupEmulator(stream("w3"))
+        with pytest.raises(MeasurementError):
+            meter.sample(-1.0)
+        with pytest.raises(MeasurementError):
+            meter.sample_series(np.array([1.0, -2.0]))
+
+    def test_never_returns_negative(self):
+        meter = WattsupEmulator(stream("w4"), noise_fraction=0.05)
+        assert (meter.sample_series(np.full(100, 0.5)) >= 0).all()
+
+    @settings(max_examples=30)
+    @given(watts=st.floats(0, 1e4))
+    def test_sample_close_to_truth(self, watts):
+        meter = WattsupEmulator(stream("w5"))
+        assert meter.sample(watts) == pytest.approx(watts, rel=0.05, abs=0.1)

@@ -1,0 +1,154 @@
+"""Cross-cutting property and failure-injection tests.
+
+These pin the reproduction's *invariants* rather than its calibrated
+values: orderings that must hold for any configuration, conservation
+laws across the measurement chain, and the storage stack's behaviour
+under deliberate corruption.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration import CaseStudyConfig
+from repro.errors import FileFormatError, StorageError
+from repro.machine import HddModel, Node
+from repro.machine.specs import DiskSpec
+from repro.pipelines import (
+    InSituPipeline,
+    PipelineConfig,
+    PipelineRunner,
+    PostProcessingPipeline,
+)
+from repro.power import MeterRig
+from repro.rng import RngRegistry
+from repro.sim import Grid2D
+from repro.storage import DataReader, DataWriter
+from repro.system import BlockQueue, FileSystem, PageCache
+from repro.trace import Activity, Timeline
+
+
+class TestPipelineInvariants:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        io_period=st.sampled_from([1, 3, 5, 10]),
+        iterations=st.sampled_from([6, 15, 25]),
+    )
+    def test_insitu_dominates_for_any_cadence(self, io_period, iterations):
+        """For every I/O cadence: in-situ is faster and cheaper, at equal
+        or higher average power — the paper's whole result surface."""
+        case = CaseStudyConfig(9, io_period, "property sweep",
+                               total_iterations=iterations)
+        config = PipelineConfig(case=case, verify_data=False,
+                                render_height=32, render_width=32)
+        runner = PipelineRunner(seed=73, jitter=0)
+        post = runner.run(PostProcessingPipeline(config),
+                          run_id=f"prop-post-{io_period}-{iterations}")
+        insitu = runner.run(InSituPipeline(config),
+                            run_id=f"prop-ins-{io_period}-{iterations}")
+        if not case.io_iterations():
+            # No I/O events at all: the pipelines are the same program.
+            assert insitu.execution_time_s == post.execution_time_s
+            return
+        assert insitu.execution_time_s < post.execution_time_s
+        assert insitu.energy_j < post.energy_j
+        assert insitu.average_power_w > post.average_power_w * 0.999
+
+    @settings(max_examples=4, deadline=None)
+    @given(io_period=st.sampled_from([1, 4]))
+    def test_work_is_identical_across_pipelines(self, io_period):
+        case = CaseStudyConfig(9, io_period, "physics check",
+                               total_iterations=10)
+        config = PipelineConfig(case=case, verify_data=False,
+                                render_height=32, render_width=32)
+        runner = PipelineRunner(seed=74, jitter=0)
+        post = runner.run(PostProcessingPipeline(config),
+                          run_id=f"phys-post-{io_period}")
+        insitu = runner.run(InSituPipeline(config),
+                            run_id=f"phys-ins-{io_period}")
+        assert post.extra["final_mean_temperature"] == pytest.approx(
+            insitu.extra["final_mean_temperature"], rel=1e-12
+        )
+
+
+class TestMeasurementConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        durations=st.lists(st.floats(0.2, 5.0), min_size=2, max_size=12),
+        utils=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=12),
+    )
+    def test_energy_independent_of_sample_rate(self, durations, utils):
+        """Metering the same timeline at 1 Hz and 10 Hz must integrate to
+        the same energy (up to the last partial tick)."""
+        n = min(len(durations), len(utils))
+        tl = Timeline()
+        for d, u in zip(durations[:n], utils[:n]):
+            tl.record("s", d, Activity(cpu_util=u))
+        node = Node()
+        energies = []
+        for hz in (1.0, 10.0):
+            rig = MeterRig(node, sample_hz=hz, jitter=0,
+                           monitor_on_node=False, rng=RngRegistry(3))
+            energies.append(rig.sample(tl).energy())
+        assert energies[0] == pytest.approx(energies[1], rel=0.02)
+
+    def test_rapl_and_wattsup_agree_on_package_share(self):
+        """The two measurement paths see the same underlying power."""
+        tl = Timeline()
+        tl.record("s", 30.0, Activity(cpu_util=0.30, dram_bytes_per_s=5e9))
+        rig = MeterRig(Node(), jitter=0, rng=RngRegistry(4))
+        profile = rig.sample(tl, include_truth=True)
+        # RAPL's package channel vs the truth it was fed.
+        assert profile["processor"].mean() == pytest.approx(
+            profile["package_true"].mean(), rel=0.01
+        )
+        # Wattsup's system channel vs true system power.
+        assert profile["system"].mean() == pytest.approx(
+            profile["system_true"].mean(), rel=0.01
+        )
+
+
+class TestFailureInjection:
+    def _fs(self):
+        queue = BlockQueue(HddModel(DiskSpec()))
+        return FileSystem(queue, cache=PageCache(queue))
+
+    def test_bitflip_detected_by_crc(self):
+        fs = self._fs()
+        grid = Grid2D.paper_grid()
+        grid.data[:] = np.random.default_rng(0).random((128, 128))
+        DataWriter(fs).write_timestep(grid, 0)
+        # Corrupt one byte of the stored container.
+        blob = bytearray(fs._contents["ts0000.dat"])
+        blob[len(blob) // 2] ^= 0x40
+        fs._contents["ts0000.dat"] = blob
+        with pytest.raises(FileFormatError, match="CRC"):
+            DataReader(fs).read_grid(0)
+
+    def test_truncation_detected(self):
+        fs = self._fs()
+        grid = Grid2D.paper_grid()
+        DataWriter(fs).write_timestep(grid, 0)
+        fs._contents["ts0000.dat"] = fs._contents["ts0000.dat"][:100]
+        handle = fs.handle("ts0000.dat")
+        handle.extents[:] = handle.map_range(0, 100)
+        with pytest.raises(FileFormatError):
+            DataReader(fs).read_grid(0)
+
+    def test_header_corruption_detected(self):
+        fs = self._fs()
+        DataWriter(fs).write_timestep(Grid2D.paper_grid(), 0)
+        blob = bytearray(fs._contents["ts0000.dat"])
+        blob[0] = 0x00  # smash the magic
+        fs._contents["ts0000.dat"] = blob
+        with pytest.raises(FileFormatError, match="magic"):
+            DataReader(fs).read_grid(0)
+
+    def test_wrong_codec_flag_rejected(self):
+        fs = self._fs()
+        DataWriter(fs).write_timestep(Grid2D.paper_grid(), 0)
+        blob = bytearray(fs._contents["ts0000.dat"])
+        blob[6] = 0x63  # nonsense codec id in the flags field
+        fs._contents["ts0000.dat"] = blob
+        with pytest.raises(StorageError):
+            DataReader(fs).read_grid(0)

@@ -1,0 +1,190 @@
+"""Future-work runtime: disk power model and technique advisor."""
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.machine.specs import paper_testbed
+from repro.runtime import (
+    DiskPowerModel,
+    Recommendation,
+    RuntimeAdvisor,
+    Technique,
+    WorkloadDescriptor,
+)
+from repro.runtime.advisor import WorkloadProfile
+from repro.units import GiB, KiB
+
+
+@pytest.fixture
+def model() -> DiskPowerModel:
+    return DiskPowerModel.from_spec(paper_testbed().disk)
+
+
+def wl(accesses=120.0, size=16 * KiB, read=1.0, pattern="random"):
+    return WorkloadDescriptor(accesses, size, read, pattern)
+
+
+class TestWorkloadDescriptor:
+    def test_rates(self):
+        w = wl(accesses=100, size=1024, read=0.75)
+        assert w.bytes_per_s == pytest.approx(102_400)
+        assert w.read_bytes_per_s == pytest.approx(76_800)
+        assert w.write_bytes_per_s == pytest.approx(25_600)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            wl(accesses=-1)
+        with pytest.raises(ConfigError):
+            wl(read=1.5)
+        with pytest.raises(ConfigError):
+            WorkloadDescriptor(1, 1, 1.0, "zigzag")
+
+
+class TestDiskPowerModel:
+    def test_sequential_has_no_seek_term(self, model):
+        assert model.seek_duty(wl(pattern="sequential")) == 0.0
+
+    def test_random_seek_duty_saturates(self, model):
+        assert model.seek_duty(wl(accesses=1e6)) == 1.0
+
+    def test_predicts_fio_sequential_read(self, model):
+        # Table III: 13.5 W dynamic at 119.6 MB/s sequential read.
+        w = WorkloadDescriptor(
+            accesses_per_s=913.0, access_bytes=128 * KiB,
+            read_fraction=1.0, pattern="sequential",
+        )
+        assert model.predict_power(w) - model.idle_w == pytest.approx(13.5, abs=0.3)
+
+    def test_predicts_fio_random_read(self, model):
+        # Table III: 2.5 W dynamic at ~118 random 16 KiB reads/s.
+        w = wl(accesses=117.6)
+        assert model.predict_power(w) - model.idle_w == pytest.approx(2.5, abs=0.8)
+
+    def test_energy(self, model):
+        w = wl()
+        assert model.predict_energy(w, 100.0) == pytest.approx(
+            100 * model.predict_power(w)
+        )
+        with pytest.raises(ConfigError):
+            model.predict_energy(w, -1)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ConfigError):
+            DiskPowerModel(-1, 0, 0, 0, 0)
+
+
+class TestFitting:
+    def test_fit_recovers_coefficients(self, model):
+        # Generate observations from the closed-form model, fit, compare.
+        observations = []
+        for pattern in ("sequential", "random"):
+            for accesses, size in ((100.0, 16 * KiB), (900.0, 128 * KiB),
+                                   (50.0, 1 * KiB), (400.0, 64 * KiB)):
+                for read in (1.0, 0.0):
+                    w = WorkloadDescriptor(accesses, size, read, pattern)
+                    observations.append((w, model.predict_power(w)))
+        fitted = DiskPowerModel.fit(
+            observations, seek_s_per_random_access=model.seek_s_per_random_access
+        )
+        assert fitted.idle_w == pytest.approx(model.idle_w, rel=0.05)
+        probe = wl(accesses=200.0)
+        assert fitted.predict_power(probe) == pytest.approx(
+            model.predict_power(probe), rel=0.05
+        )
+
+    def test_fit_needs_enough_observations(self, model):
+        w = wl()
+        with pytest.raises(ReproError):
+            DiskPowerModel.fit([(w, 6.0)] * 3)
+
+    def test_fit_clips_negative(self):
+        # Degenerate observations that would fit a negative coefficient.
+        obs = [
+            (WorkloadDescriptor(1, 1024, 1.0, "sequential"), 5.0),
+            (WorkloadDescriptor(2, 1024, 1.0, "sequential"), 4.0),
+            (WorkloadDescriptor(3, 1024, 1.0, "sequential"), 3.0),
+            (WorkloadDescriptor(4, 1024, 0.0, "random"), 2.0),
+        ]
+        fitted = DiskPowerModel.fit(obs)
+        assert fitted.read_j_per_b >= 0
+        assert fitted.idle_w >= 0
+
+
+class TestAdvisor:
+    @pytest.fixture
+    def advisor(self, model):
+        return RuntimeAdvisor(model)
+
+    def test_no_exploration_means_insitu(self, advisor):
+        profile = WorkloadProfile(wl(), io_time_fraction=0.6,
+                                  needs_exploration=False)
+        rec = advisor.recommend(profile)
+        assert rec.technique is Technique.IN_SITU
+        assert 0 < rec.estimated_savings_fraction <= 0.95
+
+    def test_random_plus_exploration_means_reorg(self, advisor):
+        profile = WorkloadProfile(wl(), io_time_fraction=0.6,
+                                  needs_exploration=True)
+        rec = advisor.recommend(profile)
+        assert rec.technique is Technique.DATA_REORGANIZATION
+        assert rec.estimated_savings_fraction > 0
+
+    def test_sequential_exploration_means_dvfs_or_sampling(self, advisor):
+        profile = WorkloadProfile(
+            wl(accesses=900.0, size=128 * KiB, pattern="sequential"),
+            io_time_fraction=0.4, needs_exploration=True,
+        )
+        rec = advisor.recommend(profile)
+        assert rec.technique in (Technique.FREQUENCY_SCALING,
+                                 Technique.DATA_SAMPLING)
+
+    def test_rationales_present(self, advisor):
+        for explore in (True, False):
+            profile = WorkloadProfile(wl(), io_time_fraction=0.5,
+                                      needs_exploration=explore)
+            assert len(advisor.recommend(profile).rationale) > 20
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile(wl(), io_time_fraction=1.5, needs_exploration=True)
+        with pytest.raises(ConfigError):
+            WorkloadProfile(wl(), io_time_fraction=0.5,
+                            needs_exploration=True, system_static_w=0)
+
+
+class TestFitFromFio:
+    """Closing the future-work loop: fit the model from measured fio runs."""
+
+    @pytest.fixture(scope="class")
+    def fio_results(self):
+        from repro.workloads import FioRunner
+
+        return FioRunner(seed=3).run_table3()
+
+    def test_fit_reproduces_measurements(self, fio_results):
+        from repro.runtime import fit_from_fio, workload_from_fio
+
+        model = fit_from_fio(fio_results)
+        for result in fio_results.values():
+            measured = result.disk_dynamic_power_w + result._disk_spec.idle_w
+            predicted = model.predict_power(workload_from_fio(result))
+            assert predicted == pytest.approx(measured, rel=0.1), result.job.name
+
+    def test_fitted_model_drives_advisor(self, fio_results):
+        from repro.runtime import RuntimeAdvisor, fit_from_fio
+        from repro.runtime.advisor import WorkloadProfile
+
+        advisor = RuntimeAdvisor(fit_from_fio(fio_results))
+        rec = advisor.recommend(WorkloadProfile(
+            wl(), io_time_fraction=0.6, needs_exploration=True))
+        assert rec.technique is Technique.DATA_REORGANIZATION
+
+    def test_workload_from_fio_fields(self, fio_results):
+        from repro.runtime import workload_from_fio
+
+        w = workload_from_fio(fio_results["rand_read"])
+        assert w.pattern == "random"
+        assert w.read_fraction == 1.0
+        assert w.access_bytes == 16 * KiB
+        assert w.accesses_per_s == pytest.approx(
+            (4 * GiB / (16 * KiB)) / fio_results["rand_read"].elapsed_s)

@@ -1,0 +1,83 @@
+"""Domain decomposition: distributed sweep equals the single-domain sweep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import BlockDecomposition, Grid2D
+from repro.sim.stencil import laplacian_5pt
+
+
+def random_grid(n=34, seed=0) -> Grid2D:
+    g = Grid2D(n, n)
+    g.data[:] = np.random.default_rng(seed).random((n, n))
+    return g
+
+
+class TestConstruction:
+    def test_subdomain_count(self):
+        d = BlockDecomposition(random_grid(), 2, 2)
+        assert d.n_ranks == 4
+        assert len(d.subdomains) == 4
+
+    def test_indivisible_mesh_rejected(self):
+        with pytest.raises(SimulationError):
+            BlockDecomposition(random_grid(34), 3, 2)  # 32 % 3 != 0
+
+    def test_bad_mesh_rejected(self):
+        with pytest.raises(SimulationError):
+            BlockDecomposition(random_grid(), 0, 2)
+
+    def test_tiles_partition_interior(self):
+        d = BlockDecomposition(random_grid(), 4, 2)
+        covered = np.zeros((34, 34), dtype=int)
+        for sub in d.subdomains:
+            covered[sub.row0 : sub.row1, sub.col0 : sub.col1] += 1
+        assert (covered[1:-1, 1:-1] == 1).all()
+        assert covered[0].sum() == 0  # boundary not owned
+
+
+class TestHaloExchange:
+    def test_ghosts_match_neighbors(self):
+        d = BlockDecomposition(random_grid(), 2, 2)
+        g = d.grid.data
+        for sub in d.subdomains:
+            np.testing.assert_array_equal(
+                sub.field[0, 1:-1], g[sub.row0 - 1, sub.col0 : sub.col1]
+            )
+            np.testing.assert_array_equal(
+                sub.field[1:-1, -1], g[sub.row0 : sub.row1, sub.col1]
+            )
+
+    def test_wire_bytes_counted(self):
+        d = BlockDecomposition(random_grid(), 2, 2)
+        # 2x2 mesh of 16x16 tiles: 4 internal edges x 2 directions x 16 x 8 B.
+        assert d.halo_bytes_per_exchange() == 8 * 16 * 8
+
+    def test_single_rank_has_no_wire_traffic(self):
+        d = BlockDecomposition(random_grid(), 1, 1)
+        assert d.halo_bytes_per_exchange() == 0
+
+
+class TestEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        mesh=st.sampled_from([(1, 1), (2, 2), (4, 1), (2, 4), (4, 4)]),
+        steps=st.integers(1, 5),
+    )
+    def test_distributed_sweep_equals_serial(self, seed, mesh, steps):
+        """The decomposed FTCS update is bitwise the serial update."""
+        alpha, n = 1e-4, 34
+        serial = random_grid(n, seed)
+        dist_grid = serial.copy()
+        dt = 0.4 * (serial.dx ** 2 / (4 * alpha))
+
+        d = BlockDecomposition(dist_grid, *mesh)
+        for _ in range(steps):
+            # Serial reference sweep (interior update only, frozen boundary).
+            lap = laplacian_5pt(serial.data, serial.dx, serial.dy)
+            serial.data[1:-1, 1:-1] += alpha * dt * lap
+            d.step(alpha, dt)
+        np.testing.assert_array_equal(d.grid.data, serial.data)

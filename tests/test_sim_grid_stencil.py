@@ -1,0 +1,112 @@
+"""Grid geometry, serialization, chunking, and stencil kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Grid2D, laplacian_5pt
+from repro.units import KiB
+
+
+class TestPaperGrid:
+    def test_is_128kb(self):
+        grid = Grid2D.paper_grid()
+        assert grid.nbytes == 128 * KiB
+        assert grid.shape == (128, 128)
+
+    def test_single_chunk_at_paper_config(self):
+        # "The grid size and the chunk size were fixed at 128 KB."
+        chunks = Grid2D.paper_grid().chunks(chunk_bytes=128 * KiB)
+        assert len(chunks) == 1
+        assert len(chunks[0]) == 128 * KiB
+
+
+class TestGeometry:
+    def test_spacing(self):
+        g = Grid2D(11, 21, lx=1.0, ly=2.0)
+        assert g.dx == pytest.approx(0.1)
+        assert g.dy == pytest.approx(0.1)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(SimulationError):
+            Grid2D(2, 10)
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(SimulationError):
+            Grid2D(10, 10, lx=0)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        g = Grid2D(16, 16)
+        g.data[:] = np.arange(256).reshape(16, 16)
+        back = Grid2D.from_bytes(g.to_bytes(), 16, 16)
+        np.testing.assert_array_equal(back.data, g.data)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            Grid2D.from_bytes(b"\x00" * 10, 16, 16)
+
+    def test_chunks_reassemble(self):
+        g = Grid2D(64, 64)
+        g.data[:] = np.random.default_rng(0).random((64, 64))
+        chunks = g.chunks(chunk_bytes=4 * KiB)
+        assert b"".join(chunks) == g.to_bytes()
+        assert len(chunks) == 8  # 8 rows of 512 B per 4 KiB chunk
+
+    @given(nx=st.integers(3, 40), ny=st.integers(3, 40))
+    def test_chunks_cover_exactly(self, nx, ny):
+        g = Grid2D(nx, ny)
+        chunks = g.chunks(chunk_bytes=1 * KiB)
+        assert sum(len(c) for c in chunks) == g.nbytes
+
+    def test_copy_is_deep(self):
+        g = Grid2D(8, 8)
+        c = g.copy()
+        c.data[0, 0] = 99
+        assert g.data[0, 0] == 0
+
+
+class TestStencil:
+    def test_laplacian_of_linear_field_is_zero(self):
+        # u = 3x + 2y is harmonic: Laplacian must vanish identically.
+        x, y = np.meshgrid(np.linspace(0, 1, 20), np.linspace(0, 1, 30),
+                           indexing="ij")
+        lap = laplacian_5pt(3 * x + 2 * y, dx=1 / 19, dy=1 / 29)
+        np.testing.assert_allclose(lap, 0.0, atol=1e-10)
+
+    def test_laplacian_of_quadratic(self):
+        # u = x^2 + y^2 has Laplacian 4 everywhere.
+        x, y = np.meshgrid(np.linspace(0, 1, 50), np.linspace(0, 1, 50),
+                           indexing="ij")
+        lap = laplacian_5pt(x ** 2 + y ** 2, dx=1 / 49, dy=1 / 49)
+        np.testing.assert_allclose(lap, 4.0, rtol=1e-6)
+
+    def test_out_buffer_reused(self):
+        field = np.random.default_rng(1).random((10, 10))
+        out = np.empty((8, 8))
+        result = laplacian_5pt(field, 0.1, 0.1, out=out)
+        assert result is out
+
+    def test_out_shape_checked(self):
+        with pytest.raises(SimulationError):
+            laplacian_5pt(np.zeros((10, 10)), 0.1, 0.1, out=np.empty((3, 3)))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(SimulationError):
+            laplacian_5pt(np.zeros(10), 0.1, 0.1)
+        with pytest.raises(SimulationError):
+            laplacian_5pt(np.zeros((2, 2)), 0.1, 0.1)
+        with pytest.raises(SimulationError):
+            laplacian_5pt(np.zeros((5, 5)), 0.0, 0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_laplacian_is_linear_operator(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((12, 12))
+        b = rng.random((12, 12))
+        lap_sum = laplacian_5pt(a + 2 * b, 0.1, 0.1)
+        expected = laplacian_5pt(a, 0.1, 0.1) + 2 * laplacian_5pt(b, 0.1, 0.1)
+        np.testing.assert_allclose(lap_sum, expected, rtol=1e-10, atol=1e-8)

@@ -1,0 +1,123 @@
+"""Heat solver physics: stability, conservation, analytic convergence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BoundaryCondition, Grid2D, HeatSolver, HeatSource
+
+
+def hot_block_grid(n=32) -> Grid2D:
+    g = Grid2D(n, n)
+    g.data[n // 4 : n // 2, n // 4 : n // 2] = 100.0
+    return g
+
+
+class TestStability:
+    def test_default_dt_under_cfl(self):
+        s = HeatSolver(Grid2D(32, 32))
+        assert s.dt <= s.cfl_limit()
+
+    def test_unstable_dt_rejected(self):
+        g = Grid2D(32, 32)
+        limit = HeatSolver(Grid2D(32, 32)).cfl_limit()
+        with pytest.raises(SimulationError):
+            HeatSolver(g, dt=2 * limit)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(SimulationError):
+            HeatSolver(Grid2D(8, 8), alpha=0)
+
+    def test_divergence_detected(self):
+        # Bypass the constructor check to plant a non-finite value.
+        s = HeatSolver(hot_block_grid())
+        s.grid.data[5, 5] = np.inf
+        with np.errstate(invalid="ignore"), pytest.raises(SimulationError):
+            s.step()
+
+
+class TestPhysics:
+    def test_max_principle_no_source(self):
+        """Without sources, the field stays within its initial bounds."""
+        s = HeatSolver(hot_block_grid())
+        lo0, hi0 = s.grid.minmax()
+        s.step(200)
+        lo, hi = s.grid.minmax()
+        assert lo >= lo0 - 1e-12
+        assert hi <= hi0 + 1e-12
+
+    def test_diffusion_smooths(self):
+        s = HeatSolver(hot_block_grid())
+        var0 = s.grid.data.var()
+        s.step(200)
+        assert s.grid.data.var() < var0
+
+    def test_insulated_boundaries_conserve_energy(self):
+        g = hot_block_grid()
+        s = HeatSolver(g, bc=BoundaryCondition.NEUMANN)
+        # Interior sum is the conserved quantity for the insulated scheme.
+        e0 = g.data[1:-1, 1:-1].sum()
+        s.step(100)
+        assert g.data[1:-1, 1:-1].sum() == pytest.approx(e0, rel=1e-9)
+
+    def test_dirichlet_drains_heat(self):
+        s = HeatSolver(hot_block_grid(), boundary_value=0.0)
+        e0 = s.thermal_energy()
+        s.step(500)
+        assert s.thermal_energy() < e0
+
+    def test_source_heats(self):
+        g = Grid2D(32, 32)
+        src = HeatSource(10, 14, 10, 14, rate=50.0)
+        s = HeatSolver(g, sources=(src,), bc=BoundaryCondition.NEUMANN)
+        s.step(50)
+        assert g.data[11, 11] > 0
+        assert s.thermal_energy() > 0
+
+    def test_source_outside_grid_rejected(self):
+        with pytest.raises(SimulationError):
+            HeatSolver(Grid2D(8, 8), sources=(HeatSource(0, 20, 0, 2, 1.0),))
+
+    def test_degenerate_source_rejected(self):
+        with pytest.raises(SimulationError):
+            HeatSource(3, 3, 0, 2, 1.0)
+
+    def test_converges_to_analytic_fourier_mode(self):
+        """u = sin(pi x) sin(pi y) decays as exp(-2 pi^2 alpha t)."""
+        n = 65
+        g = Grid2D(n, n)
+        x, y = np.meshgrid(np.linspace(0, 1, n), np.linspace(0, 1, n),
+                           indexing="ij")
+        g.data[:] = np.sin(np.pi * x) * np.sin(np.pi * y)
+        alpha = 1e-3
+        s = HeatSolver(g, alpha=alpha, boundary_value=0.0)
+        s.step(400)
+        t = s.time
+        expected = np.exp(-2 * np.pi ** 2 * alpha * t)
+        measured = g.data[n // 2, n // 2]  # peak amplitude
+        assert measured == pytest.approx(expected, rel=5e-3)
+
+
+class TestAccounting:
+    def test_time_advances(self):
+        s = HeatSolver(Grid2D(16, 16), sub_steps=4)
+        s.step(3)
+        assert s.steps_taken == 3
+        assert s.time == pytest.approx(12 * s.dt)
+
+    def test_flops_scale_with_substeps(self):
+        a = HeatSolver(Grid2D(16, 16), sub_steps=1)
+        b = HeatSolver(Grid2D(16, 16), sub_steps=10)
+        assert b.flops_per_step == pytest.approx(10 * a.flops_per_step)
+
+    def test_paper_grid_flops(self):
+        s = HeatSolver(Grid2D.paper_grid())
+        assert s.flops_per_step == pytest.approx(126 * 126 * 10)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(SimulationError):
+            HeatSolver(Grid2D(8, 8)).step(-1)
+
+    def test_bad_substeps_rejected(self):
+        with pytest.raises(SimulationError):
+            HeatSolver(Grid2D(8, 8), sub_steps=0)

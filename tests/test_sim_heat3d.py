@@ -1,0 +1,106 @@
+"""3-D heat solver: stability, physics, analytic convergence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.heat import BoundaryCondition
+from repro.sim.heat3d import Grid3D, HeatSolver3D, HeatSource3D, laplacian_7pt
+
+
+def hot_box(n=20) -> Grid3D:
+    g = Grid3D(n, n, n)
+    lo, hi = n // 4, n // 2
+    g.data[lo:hi, lo:hi, lo:hi] = 100.0
+    return g
+
+
+class TestGrid3D:
+    def test_geometry(self):
+        g = Grid3D(9, 9, 9, extent=2.0)
+        assert g.h == pytest.approx(0.25)
+        assert g.n_cells == 729
+        assert g.nbytes == 729 * 8
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Grid3D(2, 9, 9)
+        with pytest.raises(SimulationError):
+            Grid3D(9, 9, 9, extent=0)
+
+    def test_serialization_size(self):
+        assert len(Grid3D(4, 5, 6).to_bytes()) == 4 * 5 * 6 * 8
+
+
+class TestLaplacian7pt:
+    def test_linear_field_is_harmonic(self):
+        x, y, z = np.meshgrid(*[np.linspace(0, 1, 12)] * 3, indexing="ij")
+        lap = laplacian_7pt(x + 2 * y - z, h=1 / 11)
+        np.testing.assert_allclose(lap, 0.0, atol=1e-9)
+
+    def test_quadratic(self):
+        x, y, z = np.meshgrid(*[np.linspace(0, 1, 24)] * 3, indexing="ij")
+        lap = laplacian_7pt(x ** 2 + y ** 2 + z ** 2, h=1 / 23)
+        np.testing.assert_allclose(lap, 6.0, rtol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            laplacian_7pt(np.zeros((2, 5, 5)), 0.1)
+        with pytest.raises(SimulationError):
+            laplacian_7pt(np.zeros((5, 5, 5)), 0.0)
+
+
+class TestSolver3D:
+    def test_cfl_enforced(self):
+        g = hot_box()
+        limit = HeatSolver3D(hot_box()).cfl_limit()
+        with pytest.raises(SimulationError):
+            HeatSolver3D(g, dt=2 * limit)
+
+    def test_max_principle(self):
+        s = HeatSolver3D(hot_box())
+        lo0, hi0 = s.grid.minmax()
+        s.step(100)
+        lo, hi = s.grid.minmax()
+        assert lo >= lo0 - 1e-12
+        assert hi <= hi0 + 1e-12
+
+    def test_insulated_conservation(self):
+        g = hot_box()
+        s = HeatSolver3D(g, bc=BoundaryCondition.NEUMANN)
+        e0 = g.data[1:-1, 1:-1, 1:-1].sum()
+        s.step(50)
+        assert g.data[1:-1, 1:-1, 1:-1].sum() == pytest.approx(e0, rel=1e-9)
+
+    def test_source_heats(self):
+        g = Grid3D(16, 16, 16)
+        s = HeatSolver3D(g, sources=(HeatSource3D((4, 4, 4), (8, 8, 8), 50.0),),
+                         bc=BoundaryCondition.NEUMANN)
+        s.step(20)
+        assert g.data[5, 5, 5] > 1.0
+
+    def test_source_validation(self):
+        with pytest.raises(SimulationError):
+            HeatSource3D((4, 4, 4), (4, 8, 8), 1.0)
+        with pytest.raises(SimulationError):
+            HeatSolver3D(Grid3D(8, 8, 8),
+                         sources=(HeatSource3D((0, 0, 0), (20, 2, 2), 1.0),))
+
+    def test_converges_to_analytic_mode(self):
+        """sin(pi x) sin(pi y) sin(pi z) decays as exp(-3 pi^2 a t)."""
+        n = 33
+        g = Grid3D(n, n, n)
+        axes = [np.linspace(0, 1, n)] * 3
+        x, y, z = np.meshgrid(*axes, indexing="ij")
+        g.data[:] = np.sin(np.pi * x) * np.sin(np.pi * y) * np.sin(np.pi * z)
+        alpha = 1e-3
+        s = HeatSolver3D(g, alpha=alpha, boundary_value=0.0)
+        s.step(300)
+        expected = np.exp(-3 * np.pi ** 2 * alpha * s.time)
+        assert g.data[n // 2, n // 2, n // 2] == pytest.approx(expected, rel=1e-2)
+
+    def test_divergence_detected(self):
+        s = HeatSolver3D(hot_box())
+        s.grid.data[5, 5, 5] = np.inf
+        with np.errstate(invalid="ignore"), pytest.raises(SimulationError):
+            s.step()

@@ -1,0 +1,83 @@
+"""Chunked container format: round-trips, validation, selective reads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FileFormatError
+from repro.storage import decode_container, encode_container
+from repro.storage.format import chunk_extent, header_size
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        chunks = [b"aaaa", b"bbbbbb", b"c"]
+        blob = encode_container(chunks, nx=4, ny=4, timestep=7, physical_time=1.5)
+        back = decode_container(blob)
+        assert back.chunks == tuple(chunks)
+        assert back.nx == 4 and back.ny == 4
+        assert back.timestep == 7
+        assert back.physical_time == pytest.approx(1.5)
+        assert back.payload == b"aaaabbbbbbc"
+        assert back.nbytes == 11
+
+    @settings(max_examples=40)
+    @given(chunks=st.lists(st.binary(min_size=1, max_size=512), min_size=1, max_size=16))
+    def test_any_chunks_roundtrip(self, chunks):
+        blob = encode_container(chunks, nx=8, ny=8)
+        assert decode_container(blob).chunks == tuple(chunks)
+
+
+class TestValidation:
+    def test_empty_container_rejected(self):
+        with pytest.raises(FileFormatError):
+            encode_container([], 4, 4)
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(FileFormatError):
+            encode_container([b""], 4, 4)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(FileFormatError):
+            encode_container([b"x"], 0, 4)
+        with pytest.raises(FileFormatError):
+            encode_container([b"x"], 4, 4, timestep=-1)
+
+    def test_bad_magic_detected(self):
+        blob = bytearray(encode_container([b"data"], 4, 4))
+        blob[0] = ord("X")
+        with pytest.raises(FileFormatError):
+            decode_container(bytes(blob))
+
+    def test_corrupt_payload_fails_crc(self):
+        blob = bytearray(encode_container([b"hello world!"], 4, 4))
+        blob[-3] ^= 0xFF
+        with pytest.raises(FileFormatError, match="CRC"):
+            decode_container(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = encode_container([b"hello world!"], 4, 4)
+        with pytest.raises(FileFormatError):
+            decode_container(blob[:10])
+        with pytest.raises(FileFormatError):
+            decode_container(blob[:-4])
+
+
+class TestSelectiveAccess:
+    def test_chunk_extent_matches_decode(self):
+        chunks = [b"0" * 100, b"1" * 200, b"2" * 50]
+        blob = encode_container(chunks, 4, 4)
+        for i, chunk in enumerate(chunks):
+            offset, nbytes = chunk_extent(blob, i)
+            assert blob[offset : offset + nbytes] == chunk
+
+    def test_header_size_covers_index(self):
+        chunks = [b"ab"] * 5
+        blob = encode_container(chunks, 4, 4)
+        head = blob[: header_size(5)]
+        offset, nbytes = chunk_extent(head, 4)
+        assert nbytes == 2
+
+    def test_out_of_range_chunk(self):
+        blob = encode_container([b"x"], 4, 4)
+        with pytest.raises(FileFormatError):
+            chunk_extent(blob, 3)

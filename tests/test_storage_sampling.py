@@ -1,0 +1,107 @@
+"""Data sampling: decimation, reconstruction, error accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.sampling import (
+    decimate,
+    reconstruct_bilinear,
+    sample_field,
+)
+
+
+def smooth_field(n=128):
+    x, y = np.meshgrid(np.linspace(0, 1, n), np.linspace(0, 1, n),
+                       indexing="ij")
+    return np.sin(2 * np.pi * x) * np.cos(np.pi * y) * 50 + 100
+
+
+class TestDecimate:
+    def test_factor_one_is_copy(self):
+        f = smooth_field(16)
+        d = decimate(f, 1)
+        np.testing.assert_array_equal(d, f)
+        d[0, 0] = -1
+        assert f[0, 0] != -1  # copy, not view
+
+    def test_keeps_boundaries(self):
+        f = smooth_field(17)
+        d = decimate(f, 4)
+        assert d[0, 0] == f[0, 0]
+        assert d[-1, -1] == f[-1, -1]
+
+    def test_size_reduction(self):
+        d = decimate(smooth_field(128), 4)
+        assert d.shape == (33, 33)  # 0,4,...,124 plus 127
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            decimate(np.zeros(10), 2)
+        with pytest.raises(StorageError):
+            decimate(np.zeros((4, 4)), 0)
+
+
+class TestReconstruct:
+    def test_exact_on_linear_fields(self):
+        """Bilinear reconstruction is exact for (bi)linear data."""
+        x, y = np.meshgrid(np.arange(65.0), np.arange(65.0), indexing="ij")
+        f = 3 * x + 2 * y + 1
+        sampled = decimate(f, 8)
+        back = reconstruct_bilinear(sampled, f.shape, 8)
+        np.testing.assert_allclose(back, f, rtol=1e-12)
+
+    def test_smooth_field_small_error(self):
+        f = smooth_field(128)
+        sampled = decimate(f, 4)
+        back = reconstruct_bilinear(sampled, f.shape, 4)
+        rel = np.max(np.abs(back - f)) / (f.max() - f.min())
+        assert rel < 0.02
+
+    def test_shape_validation(self):
+        with pytest.raises(StorageError):
+            reconstruct_bilinear(np.zeros((8, 8)), (4, 4), 2)
+        with pytest.raises(StorageError):
+            reconstruct_bilinear(np.zeros(8), (16, 16), 2)
+        with pytest.raises(StorageError):
+            # inconsistent sampled shape for the claimed factor
+            reconstruct_bilinear(np.zeros((5, 5)), (16, 16), 2)
+
+
+class TestSampleField:
+    def test_report_quantities(self):
+        f = smooth_field(128)
+        sampled, report = sample_field(f, 4)
+        assert report.factor == 4
+        assert report.original_bytes == f.nbytes
+        assert report.sampled_bytes == sampled.nbytes
+        assert 0 < report.byte_fraction < 0.08
+        assert report.rmse > 0
+        assert report.max_abs_error >= report.rmse
+        assert 0 < report.nrmse < 0.05
+
+    def test_error_grows_with_factor(self):
+        f = smooth_field(128)
+        errors = [sample_field(f, k)[1].rmse for k in (2, 4, 8, 16)]
+        assert errors == sorted(errors)
+
+    def test_bytes_shrink_with_factor(self):
+        f = smooth_field(128)
+        fracs = [sample_field(f, k)[1].byte_fraction for k in (2, 4, 8)]
+        assert fracs == sorted(fracs, reverse=True)
+
+    @settings(max_examples=20, deadline=None)
+    @given(factor=st.sampled_from([2, 3, 4, 8]), seed=st.integers(0, 100))
+    def test_error_bounded_by_range(self, factor, seed):
+        rng = np.random.default_rng(seed)
+        f = rng.random((64, 64)) * 100
+        _, report = sample_field(f, factor)
+        # Bilinear reconstruction can't leave the convex hull of samples
+        # by more than the field range.
+        assert report.max_abs_error <= report.data_range + 1e-9
+
+    def test_constant_field_is_free(self):
+        _, report = sample_field(np.full((64, 64), 7.0), 8)
+        assert report.rmse == 0.0
+        assert report.nrmse == 0.0

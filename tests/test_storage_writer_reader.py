@@ -1,0 +1,109 @@
+"""Timestep writer/reader over the simulated filesystem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.machine import HddModel
+from repro.machine.specs import DiskSpec
+from repro.sim import Grid2D
+from repro.storage import DataReader, DataWriter
+from repro.system import BlockQueue, FileSystem, PageCache
+from repro.units import KiB
+
+
+@pytest.fixture
+def fs() -> FileSystem:
+    queue = BlockQueue(HddModel(DiskSpec()))
+    return FileSystem(queue, cache=PageCache(queue))
+
+
+def sample_grid(seed=0) -> Grid2D:
+    g = Grid2D.paper_grid()
+    g.data[:] = np.random.default_rng(seed).random((128, 128))
+    return g
+
+
+class TestWriter:
+    def test_write_creates_named_file(self, fs):
+        w = DataWriter(fs)
+        report = w.write_timestep(sample_grid(), 3)
+        assert report.name == "ts0003.dat"
+        assert fs.exists("ts0003.dat")
+        assert report.nbytes > 128 * KiB  # payload + header
+
+    def test_sync_each_reaches_platter(self, fs):
+        w = DataWriter(fs, sync_each=True)
+        report = w.write_timestep(sample_grid(), 0)
+        assert report.io.bytes_written >= 128 * KiB
+
+    def test_no_sync_defers_io(self, fs):
+        w = DataWriter(fs, sync_each=False, drop_caches_each=False)
+        report = w.write_timestep(sample_grid(), 0)
+        assert report.io.bytes_written == 0
+
+    def test_duplicate_timestep_rejected(self, fs):
+        w = DataWriter(fs)
+        w.write_timestep(sample_grid(), 0)
+        with pytest.raises(StorageError):
+            w.write_timestep(sample_grid(), 0)
+
+    def test_negative_timestep_rejected(self, fs):
+        with pytest.raises(StorageError):
+            DataWriter(fs).write_timestep(sample_grid(), -1)
+
+    def test_total_bytes(self, fs):
+        w = DataWriter(fs)
+        w.write_timestep(sample_grid(), 0)
+        w.write_timestep(sample_grid(), 1)
+        assert w.total_bytes > 2 * 128 * KiB
+
+
+class TestReader:
+    def test_grid_roundtrip(self, fs):
+        grid = sample_grid(7)
+        DataWriter(fs).write_timestep(grid, 5, physical_time=2.5)
+        back, report = DataReader(fs).read_grid(5)
+        np.testing.assert_array_equal(back.data, grid.data)
+        assert report.nbytes > 128 * KiB
+
+    def test_drop_caches_makes_read_cold(self, fs):
+        DataWriter(fs).write_timestep(sample_grid(), 0)
+        _, report = DataReader(fs, drop_caches_first=True).read_grid(0)
+        assert report.io.bytes_read >= 128 * KiB
+
+    def test_warm_read_without_drop(self, fs):
+        DataWriter(fs).write_timestep(sample_grid(), 0)
+        # First read warms the cache; second without dropping is free.
+        reader = DataReader(fs, drop_caches_first=False)
+        reader.read_grid(0)
+        _, report = reader.read_grid(0)
+        assert report.io.bytes_read == 0
+
+    def test_available_timesteps(self, fs):
+        w = DataWriter(fs)
+        for t in (0, 2, 8):
+            w.write_timestep(sample_grid(t), t)
+        fs.write("unrelated.txt", b"hi")
+        assert DataReader(fs).available_timesteps() == [0, 2, 8]
+
+    def test_timestep_mismatch_detected(self, fs):
+        grid = sample_grid()
+        w = DataWriter(fs)
+        w.write_timestep(grid, 1)
+        # Sneak the file under the wrong name.
+        blob, _ = fs.read("ts0001.dat")
+        fs.write("ts0002.dat", blob)
+        with pytest.raises(StorageError):
+            DataReader(fs).read_timestep(2)
+
+    def test_selective_chunk_read_cheaper(self, fs):
+        g = Grid2D(512, 128)  # 4 chunks of 128 KiB
+        g.data[:] = np.random.default_rng(1).random((512, 128))
+        DataWriter(fs).write_timestep(g, 0)
+        reader = DataReader(fs)
+        chunk, report = reader.read_chunk(0, 2, n_chunks_hint=4)
+        assert len(chunk) == 128 * KiB
+        _, full = DataReader(fs).read_grid(0)
+        assert report.io.bytes_read < full.io.bytes_read / 2
+        assert chunk == g.chunks(128 * KiB)[2]

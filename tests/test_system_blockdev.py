@@ -1,0 +1,94 @@
+"""Block queue dispatch and IoStats accounting."""
+
+import pytest
+
+from repro.machine import DiskRequest, HddModel, OpKind, SsdModel
+from repro.machine.specs import DiskSpec
+from repro.system import BlockQueue, IoStats, ScanScheduler
+from repro.units import GiB, KiB, MiB
+
+
+@pytest.fixture
+def queue() -> BlockQueue:
+    return BlockQueue(HddModel(DiskSpec()))
+
+
+class TestDispatch:
+    def test_stats_accumulate(self, queue):
+        queue.submit([DiskRequest(OpKind.READ, 0, 1 * MiB)])
+        queue.submit([DiskRequest(OpKind.WRITE, 2 * GiB, 1 * MiB)])
+        assert queue.stats.bytes_read == 1 * MiB
+        # Write was accepted into the drive cache: op counted, platter
+        # bytes deferred to the flush.
+        assert queue.stats.bytes_written == 0
+        queue.flush()
+        assert queue.stats.bytes_written == 1 * MiB
+        assert queue.stats.n_reads == 1
+        assert queue.stats.n_writes == 1
+        assert queue.stats.busy_time > 0
+
+    def test_batch_stats_are_returned(self, queue):
+        batch = queue.submit([DiskRequest(OpKind.READ, 0, 4 * KiB)] )
+        assert batch.n_reads == 1
+        assert batch.busy_time > 0
+
+    def test_writes_through_cache_by_default(self, queue):
+        batch = queue.submit([DiskRequest(OpKind.WRITE, 0, 1 * MiB)])
+        assert queue.device.dirty_bytes == 1 * MiB
+        assert batch.arm_time == 0  # cached, no mechanics yet
+
+    def test_write_through_bypasses_cache(self, queue):
+        queue.submit([DiskRequest(OpKind.WRITE, 0, 1 * MiB)], through_cache=False)
+        assert queue.device.dirty_bytes == 0
+
+    def test_flush_accounts_drain(self, queue):
+        queue.submit([DiskRequest(OpKind.WRITE, 0, 8 * MiB)])
+        before = queue.stats.busy_time
+        queue.flush()
+        assert queue.stats.busy_time > before
+        assert queue.device.dirty_bytes == 0
+
+    def test_scheduler_applied(self):
+        q_noop = BlockQueue(HddModel(DiskSpec()))
+        q_scan = BlockQueue(HddModel(DiskSpec()), ScanScheduler())
+        batch = [DiskRequest(OpKind.READ, o * GiB, 4 * KiB) for o in (400, 10, 200, 50)]
+        assert q_scan.submit(batch).busy_time < q_noop.submit(batch).busy_time
+
+    def test_reset_stats(self, queue):
+        queue.submit([DiskRequest(OpKind.READ, 0, 4 * KiB)])
+        queue.reset_stats()
+        assert queue.stats.busy_time == 0
+
+    def test_works_with_ssd(self):
+        q = BlockQueue(SsdModel())
+        batch = q.submit([DiskRequest(OpKind.READ, 7 * GiB, 64 * KiB)])
+        assert batch.arm_time == 0
+        assert batch.busy_time > 0
+
+
+class TestIoStats:
+    def test_merge_adds_fields(self):
+        a, b = IoStats(busy_time=1.0, bytes_read=10), IoStats(busy_time=2.0, bytes_read=5)
+        m = a.merge(b)
+        assert m.busy_time == 3.0
+        assert m.bytes_read == 15
+        # merge must not mutate inputs
+        assert a.busy_time == 1.0
+
+    def test_activity_rates_over_busy_time(self):
+        s = IoStats(busy_time=2.0, arm_time=0.5, bytes_read=100, bytes_written=50)
+        a = s.activity()
+        assert a.disk_read_bytes_per_s == pytest.approx(50)
+        assert a.disk_write_bytes_per_s == pytest.approx(25)
+        assert a.disk_seek_duty == pytest.approx(0.25)
+
+    def test_activity_diluted_over_wall_time(self):
+        s = IoStats(busy_time=1.0, arm_time=1.0, bytes_read=100)
+        a = s.activity(wall_time=10.0)
+        assert a.disk_read_bytes_per_s == pytest.approx(10)
+        assert a.disk_seek_duty == pytest.approx(0.1)
+
+    def test_empty_stats_idle_activity(self):
+        a = IoStats().activity()
+        assert a.disk_bytes_per_s == 0
+        assert a.disk_seek_duty == 0

@@ -1,0 +1,169 @@
+"""Page cache: write-back, sync, drop_caches — the paper's methodology knobs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.machine import HddModel
+from repro.machine.specs import DiskSpec
+from repro.system import BlockQueue, PageCache
+from repro.units import KiB, MiB
+
+
+def make_cache(**kw) -> PageCache:
+    return PageCache(BlockQueue(HddModel(DiskSpec())), **kw)
+
+
+class TestWriteBack:
+    def test_buffered_write_touches_no_disk(self):
+        cache = make_cache()
+        op = cache.write(0, 128 * KiB)
+        assert op.io.busy_time == 0.0
+        assert op.cpu_time > 0
+        assert cache.dirty_pages == 32
+
+    def test_sync_writes_dirty_pages(self):
+        cache = make_cache()
+        cache.write(0, 128 * KiB)
+        op = cache.sync()
+        assert op.io.bytes_written == 128 * KiB
+        assert cache.dirty_pages == 0
+        assert cache.cached_pages == 32  # pages stay cached, now clean
+
+    def test_sync_idempotent(self):
+        cache = make_cache()
+        cache.write(0, 64 * KiB)
+        cache.sync()
+        second = cache.sync()
+        assert second.io.bytes_written == 0
+
+    def test_writeback_coalesces_contiguous_pages(self):
+        cache = make_cache()
+        cache.write(0, 1 * MiB)
+        op = cache.sync()
+        assert op.io.n_writes == 1  # one coalesced request
+
+    def test_dirty_limit_triggers_writeback(self):
+        cache = make_cache(capacity_bytes=1 * MiB, dirty_limit_fraction=0.25)
+        op = cache.write(0, 512 * KiB)  # over the 256 KiB dirty limit
+        assert op.io.n_writes > 0  # kernel pushed pages to the device
+        assert cache.dirty_pages == 0
+
+
+class TestReadPath:
+    def test_cold_read_hits_disk(self):
+        cache = make_cache()
+        op = cache.read(0, 128 * KiB)
+        assert op.io.bytes_read == 128 * KiB
+        assert cache.stats.read_misses == 32
+
+    def test_warm_read_is_memory_speed(self):
+        cache = make_cache()
+        cache.read(0, 128 * KiB)
+        op = cache.read(0, 128 * KiB)
+        assert op.io.busy_time == 0.0
+        assert cache.stats.read_hits == 32
+
+    def test_read_your_writes_without_disk(self):
+        cache = make_cache()
+        cache.write(0, 64 * KiB)
+        op = cache.read(0, 64 * KiB)
+        assert op.io.busy_time == 0.0  # served from dirty pages
+
+    def test_partial_miss_fetches_only_missing(self):
+        cache = make_cache()
+        cache.read(0, 64 * KiB)          # pages 0..15 cached
+        op = cache.read(0, 128 * KiB)    # pages 16..31 missing
+        assert op.io.bytes_read == 64 * KiB
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.read(0, 64 * KiB)
+        cache.read(0, 64 * KiB)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestDropCaches:
+    def test_drop_evicts_clean_pages(self):
+        cache = make_cache()
+        cache.read(0, 128 * KiB)
+        cache.drop_caches()
+        assert cache.cached_pages == 0
+        # Next read is cold again — the paper's guarantee.
+        op = cache.read(0, 128 * KiB)
+        assert op.io.bytes_read == 128 * KiB
+
+    def test_drop_preserves_dirty_pages(self):
+        cache = make_cache()
+        cache.write(0, 64 * KiB)
+        cache.drop_caches()
+        assert cache.dirty_pages == 16
+        assert cache.cached_pages == 16
+
+    def test_sync_then_drop_forces_cold_io(self):
+        """The paper's exact between-phases procedure."""
+        cache = make_cache()
+        cache.write(0, 128 * KiB)
+        cache.sync()
+        cache.drop_caches()
+        assert cache.cached_pages == 0
+        op = cache.read(0, 128 * KiB)
+        assert op.io.bytes_read == 128 * KiB
+
+
+class TestCapacity:
+    def test_eviction_keeps_cache_bounded(self):
+        cache = make_cache(capacity_bytes=64 * KiB)
+        cache.read(0, 256 * KiB)
+        assert cache.cached_pages <= 16
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(StorageError):
+            make_cache(capacity_bytes=0)
+        with pytest.raises(StorageError):
+            make_cache(dirty_limit_fraction=0.0)
+
+    def test_rejects_negative_range(self):
+        cache = make_cache()
+        with pytest.raises(StorageError):
+            cache.read(-1, 10)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 10 * MiB), st.integers(1, 256 * KiB)),
+            min_size=1, max_size=20,
+        )
+    )
+    def test_sync_leaves_no_dirty_pages(self, writes):
+        cache = make_cache()
+        for offset, nbytes in writes:
+            cache.write(offset, nbytes)
+        cache.sync()
+        assert cache.dirty_pages == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["read", "write", "sync", "drop"]),
+                st.integers(0, 4 * MiB),
+                st.integers(1, 64 * KiB),
+            ),
+            max_size=30,
+        )
+    )
+    def test_cache_never_exceeds_capacity(self, ops):
+        cache = make_cache(capacity_bytes=256 * KiB)
+        for kind, offset, nbytes in ops:
+            if kind == "read":
+                cache.read(offset, nbytes)
+            elif kind == "write":
+                cache.write(offset, nbytes)
+            elif kind == "sync":
+                cache.sync()
+            else:
+                cache.drop_caches()
+            assert cache.cached_pages <= cache.capacity_pages

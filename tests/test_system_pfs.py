@@ -1,0 +1,128 @@
+"""Parallel filesystem model (future-work item 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.system.pfs import ParallelFileSystem
+from repro.units import KiB, MiB
+
+
+class TestNamespace:
+    def test_create_on_write(self):
+        pfs = ParallelFileSystem(n_osts=4)
+        pfs.write("dump.dat", b"x" * (4 * MiB))
+        assert pfs.exists("dump.dat")
+        assert pfs.size("dump.dat") == 4 * MiB
+
+    def test_append(self):
+        pfs = ParallelFileSystem(n_osts=2)
+        pfs.write("f", b"a" * MiB)
+        pfs.write("f", b"b" * MiB)
+        data, _ = pfs.read("f")
+        assert data == b"a" * MiB + b"b" * MiB
+
+    def test_missing_file(self):
+        with pytest.raises(StorageError):
+            ParallelFileSystem().read("ghost")
+        with pytest.raises(StorageError):
+            ParallelFileSystem().size("ghost")
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            ParallelFileSystem(n_osts=0)
+        with pytest.raises(StorageError):
+            ParallelFileSystem(stripe_bytes=0)
+        with pytest.raises(StorageError):
+            ParallelFileSystem(n_osts=2, stripe_count=3)
+        with pytest.raises(StorageError):
+            ParallelFileSystem().write("f", b"")
+
+
+class TestStriping:
+    def test_wide_stripe_touches_all_osts(self):
+        pfs = ParallelFileSystem(n_osts=4, stripe_bytes=1 * MiB)
+        result = pfs.write("f", b"x" * (8 * MiB))
+        assert result.osts_touched == 4
+
+    def test_single_stripe_touches_one(self):
+        pfs = ParallelFileSystem(n_osts=4, stripe_count=1)
+        result = pfs.write("f", b"x" * (8 * MiB))
+        assert result.osts_touched == 1
+
+    def test_wide_stripes_cut_wall_time(self):
+        narrow = ParallelFileSystem(n_osts=4, stripe_count=1)
+        wide = ParallelFileSystem(n_osts=4, stripe_count=4)
+        payload = b"x" * (64 * MiB)
+        t_narrow = narrow.write("f", payload).elapsed_s
+        t_wide = wide.write("f", payload).elapsed_s
+        assert t_wide < 0.5 * t_narrow
+
+    def test_wide_stripes_burn_more_seek_activity(self):
+        """The energy flip side: four spindles position instead of one."""
+        narrow = ParallelFileSystem(n_osts=4, stripe_count=1)
+        wide = ParallelFileSystem(n_osts=4, stripe_count=4)
+        payload = b"x" * (16 * MiB)
+        io_narrow = narrow.write("f", payload).io
+        io_wide = wide.write("f", payload).io
+        assert io_wide.n_writes > io_narrow.n_writes
+
+    def test_per_file_stripe_override(self):
+        pfs = ParallelFileSystem(n_osts=4, stripe_count=4)
+        r = pfs.write("narrow", b"x" * (8 * MiB), stripe_count=1)
+        assert r.osts_touched == 1
+
+
+class TestReads:
+    def test_roundtrip(self):
+        pfs = ParallelFileSystem(n_osts=3, stripe_bytes=256 * KiB)
+        payload = np.random.default_rng(0).integers(
+            0, 256, 3 * MiB, dtype=np.uint8).tobytes()
+        pfs.write("f", payload)
+        data, result = pfs.read("f")
+        assert data == payload
+        assert result.osts_touched == 3
+
+    def test_partial_read(self):
+        pfs = ParallelFileSystem(n_osts=2)
+        pfs.write("f", bytes(range(256)) * (MiB // 256))
+        data, _ = pfs.read("f", offset=100, nbytes=56)
+        assert data == bytes(range(100, 156))
+
+    def test_read_outside_rejected(self):
+        pfs = ParallelFileSystem()
+        pfs.write("f", b"x" * 100)
+        with pytest.raises(StorageError):
+            pfs.read("f", offset=50, nbytes=100)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_osts=st.integers(1, 6),
+        stripe_kib=st.sampled_from([64, 256, 1024]),
+        payload=st.binary(min_size=1, max_size=64 * 1024),
+    )
+    def test_roundtrip_any_geometry(self, n_osts, stripe_kib, payload):
+        pfs = ParallelFileSystem(n_osts=n_osts, stripe_bytes=stripe_kib * KiB)
+        pfs.write("f", payload)
+        data, _ = pfs.read("f")
+        assert data == payload
+
+
+class TestAccounting:
+    def test_metadata_cost_charged(self):
+        pfs = ParallelFileSystem(metadata_op_s=0.01)
+        r = pfs.write("f", b"x" * KiB)
+        assert r.metadata_ops == 2  # create + size update
+        assert r.elapsed_s >= 0.02
+
+    def test_idle_power_scales_with_osts(self):
+        assert (ParallelFileSystem(n_osts=8).idle_power_w
+                == 2 * ParallelFileSystem(n_osts=4).idle_power_w)
+
+    def test_reset(self):
+        pfs = ParallelFileSystem()
+        pfs.write("f", b"x" * MiB)
+        pfs.reset()
+        assert not pfs.exists("f")
+        assert pfs.osts[0].stats.busy_time == 0

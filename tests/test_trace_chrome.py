@@ -1,0 +1,61 @@
+"""Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.trace import Activity, Timeline, timeline_to_chrome_trace
+
+
+@pytest.fixture
+def timeline() -> Timeline:
+    tl = Timeline()
+    tl.mark("phase-1")
+    tl.record("simulation", 1.5, Activity(cpu_util=0.3), iteration=1)
+    tl.record("nnwrite", 1.4, Activity(disk_write_bytes_per_s=9e4))
+    tl.mark("phase-2")
+    tl.record("nnread", 1.3, Activity(disk_read_bytes_per_s=1e5))
+    return tl
+
+
+class TestChromeTrace:
+    def test_valid_json(self, timeline):
+        doc = json.loads(timeline_to_chrome_trace(timeline))
+        assert "traceEvents" in doc
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_span_events(self, timeline):
+        doc = json.loads(timeline_to_chrome_trace(timeline))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 3
+        sim = spans[0]
+        assert sim["name"] == "simulation"
+        assert sim["ts"] == 0.0
+        assert sim["dur"] == pytest.approx(1.5e6)
+        assert sim["args"]["cpu_util"] == 0.3
+        assert sim["args"]["iteration"] == "1"
+
+    def test_events_are_contiguous(self, timeline):
+        doc = json.loads(timeline_to_chrome_trace(timeline))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        for prev, nxt in zip(spans, spans[1:]):
+            assert prev["ts"] + prev["dur"] == pytest.approx(nxt["ts"])
+
+    def test_markers_are_instant_events(self, timeline):
+        doc = json.loads(timeline_to_chrome_trace(timeline))
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["phase-1", "phase-2"]
+        assert instants[1]["ts"] == pytest.approx(2.9e6)
+
+    def test_pid_tid_settable(self, timeline):
+        doc = json.loads(timeline_to_chrome_trace(timeline, pid=7, tid=9))
+        assert all(e["pid"] == 7 and e["tid"] == 9 for e in doc["traceEvents"])
+
+    def test_real_pipeline_exports(self):
+        from repro.calibration import CASE_STUDIES
+        from repro.machine import Node
+        from repro.pipelines import InSituPipeline, PipelineConfig
+
+        run = InSituPipeline(PipelineConfig(case=CASE_STUDIES[3])).run(Node())
+        doc = json.loads(timeline_to_chrome_trace(run.timeline))
+        assert len(doc["traceEvents"]) == len(run.timeline) + 1  # + marker

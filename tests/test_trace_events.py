@@ -1,0 +1,82 @@
+"""Activity / Span / PhaseMarker invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.events import IDLE, Activity, PhaseMarker, Span
+
+
+class TestActivity:
+    def test_idle_is_all_zero(self):
+        assert IDLE.cpu_util == 0
+        assert IDLE.disk_bytes_per_s == 0
+        assert IDLE.disk_seek_duty == 0
+
+    def test_rejects_out_of_range_util(self):
+        with pytest.raises(ValueError):
+            Activity(cpu_util=1.5)
+        with pytest.raises(ValueError):
+            Activity(cpu_util=-0.1)
+        with pytest.raises(ValueError):
+            Activity(disk_seek_duty=2.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            Activity(dram_bytes_per_s=-1)
+        with pytest.raises(ValueError):
+            Activity(disk_read_bytes_per_s=-1)
+
+    def test_disk_bytes_sums_directions(self):
+        a = Activity(disk_read_bytes_per_s=10.0, disk_write_bytes_per_s=5.0)
+        assert a.disk_bytes_per_s == 15.0
+
+    def test_combine_adds_rates_and_saturates_utils(self):
+        a = Activity(cpu_util=0.7, dram_bytes_per_s=1e9)
+        b = Activity(cpu_util=0.6, dram_bytes_per_s=2e9, disk_seek_duty=0.5)
+        c = a.combine(b)
+        assert c.cpu_util == 1.0
+        assert c.dram_bytes_per_s == 3e9
+        assert c.disk_seek_duty == 0.5
+
+    def test_replace(self):
+        a = Activity(cpu_util=0.3)
+        b = a.replace(cpu_util=0.5)
+        assert a.cpu_util == 0.3 and b.cpu_util == 0.5
+
+    @given(
+        u1=st.floats(0, 1), u2=st.floats(0, 1),
+        r1=st.floats(0, 1e12), r2=st.floats(0, 1e12),
+    )
+    def test_combine_is_commutative(self, u1, u2, r1, r2):
+        a = Activity(cpu_util=u1, dram_bytes_per_s=r1)
+        b = Activity(cpu_util=u2, dram_bytes_per_s=r2)
+        assert a.combine(b) == b.combine(a)
+
+
+class TestSpan:
+    def test_duration_and_contains(self):
+        s = Span("simulation", 1.0, 3.5)
+        assert s.duration == 2.5
+        assert s.contains(1.0)
+        assert s.contains(3.49)
+        assert not s.contains(3.5)  # half-open
+        assert not s.contains(0.99)
+
+    def test_rejects_reversed_times(self):
+        with pytest.raises(ValueError):
+            Span("x", 2.0, 1.0)
+
+    def test_zero_length_span_allowed(self):
+        s = Span("marker-ish", 1.0, 1.0)
+        assert s.duration == 0.0
+        assert not s.contains(1.0)
+
+    def test_meta_preserved(self):
+        s = Span("nnwrite", 0, 1, meta={"iteration": 7, "bytes": 131072})
+        assert s.meta["iteration"] == 7
+
+
+def test_phase_marker_fields():
+    m = PhaseMarker("read+visualize", 151.2)
+    assert m.name == "read+visualize"
+    assert m.t == 151.2

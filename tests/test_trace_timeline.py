@@ -1,0 +1,168 @@
+"""Timeline construction, queries and accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PipelineError
+from repro.trace import Activity, Timeline
+
+
+SIM = Activity(cpu_util=0.3, dram_bytes_per_s=5e9)
+WRITE = Activity(disk_write_bytes_per_s=9e4, disk_seek_duty=0.9)
+
+
+def small_timeline() -> Timeline:
+    tl = Timeline()
+    tl.mark("simulate+write")
+    tl.record("simulation", 1.5, SIM, iteration=0)
+    tl.record("nnwrite", 1.4, WRITE, iteration=0)
+    tl.mark("read+visualize")
+    tl.record("nnread", 1.3)
+    tl.record("visualization", 0.5)
+    return tl
+
+
+class TestConstruction:
+    def test_now_advances(self):
+        tl = small_timeline()
+        assert tl.now == pytest.approx(4.7)
+        assert tl.duration == pytest.approx(4.7)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(PipelineError):
+            Timeline().record("x", -1.0)
+
+    def test_spans_are_gap_free(self):
+        tl = small_timeline()
+        spans = tl.spans
+        for prev, nxt in zip(spans, spans[1:]):
+            assert prev.t1 == pytest.approx(nxt.t0)
+
+    def test_nonzero_origin(self):
+        tl = Timeline(t0=10.0)
+        tl.record("x", 2.0)
+        assert tl.spans[0].t0 == 10.0
+        assert tl.now == 12.0
+
+    def test_idle_helper(self):
+        tl = Timeline()
+        tl.idle(3.0)
+        assert tl.spans[0].stage == "idle"
+        assert tl.spans[0].activity.cpu_util == 0
+
+
+class TestQueries:
+    def test_span_at_boundaries(self):
+        tl = small_timeline()
+        assert tl.span_at(0.0).stage == "simulation"
+        assert tl.span_at(1.5).stage == "nnwrite"  # half-open: new span wins
+        assert tl.span_at(4.69).stage == "visualization"
+        assert tl.span_at(4.7) is None
+        assert tl.span_at(-0.1) is None
+
+    def test_activity_at_returns_idle_outside(self):
+        tl = small_timeline()
+        assert tl.activity_at(99.0).cpu_util == 0.0
+        assert tl.activity_at(0.5) == SIM
+
+    def test_stage_totals(self):
+        totals = small_timeline().stage_totals()
+        assert totals["simulation"].total_time == pytest.approx(1.5)
+        assert totals["simulation"].span_count == 1
+        assert set(totals) == {"simulation", "nnwrite", "nnread", "visualization"}
+
+    def test_stage_fractions_sum_to_one(self):
+        fracs = small_timeline().stage_fractions()
+        assert sum(fracs.values()) == pytest.approx(1.0)
+        assert fracs["simulation"] == pytest.approx(1.5 / 4.7)
+
+    def test_stage_fractions_exclude_idle(self):
+        tl = small_timeline()
+        tl.idle(10.0)
+        fracs = tl.stage_fractions(include_idle=False)
+        assert "idle" not in fracs
+        assert sum(fracs.values()) == pytest.approx(1.0)
+
+    def test_phase_bounds(self):
+        tl = small_timeline()
+        bounds = tl.phase_bounds()
+        assert bounds["simulate+write"] == (pytest.approx(0.0), pytest.approx(2.9))
+        assert bounds["read+visualize"] == (pytest.approx(2.9), pytest.approx(4.7))
+
+
+class TestSliceAndExtend:
+    def test_slice_clips_spans(self):
+        tl = small_timeline()
+        part = tl.slice(1.0, 3.0)
+        assert part.duration == pytest.approx(2.0)
+        stages = [s.stage for s in part.spans]
+        assert stages == ["simulation", "nnwrite", "nnread"]
+        assert part.spans[0].duration == pytest.approx(0.5)
+
+    def test_slice_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            small_timeline().slice(3.0, 1.0)
+
+    def test_extend_shifts_in_time(self):
+        a = small_timeline()
+        b = small_timeline()
+        total = a.duration + b.duration
+        a.extend(b)
+        assert a.duration == pytest.approx(total)
+        assert len(a) == 8
+
+    @given(durations=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+    def test_duration_is_sum_of_spans(self, durations):
+        tl = Timeline()
+        for i, d in enumerate(durations):
+            tl.record(f"s{i % 3}", d)
+        assert tl.duration == pytest.approx(sum(durations), rel=1e-9, abs=1e-9)
+
+    @given(
+        durations=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=20),
+        probe=st.floats(0.0, 1.0),
+    )
+    def test_span_at_always_finds_inside_run(self, durations, probe):
+        tl = Timeline()
+        for i, d in enumerate(durations):
+            tl.record(f"s{i}", d)
+        t = probe * tl.duration * 0.999999
+        assert tl.span_at(t) is not None
+
+
+class TestExport:
+    def test_csv_roundtrip_columns(self):
+        from repro.trace import timeline_to_csv
+
+        csv_text = timeline_to_csv(small_timeline())
+        header = csv_text.splitlines()[0]
+        assert "stage" in header and "duration" in header
+        assert "meta.iteration" in header
+        assert len(csv_text.splitlines()) == 5  # header + 4 spans
+
+    def test_series_to_csv_checks_lengths(self):
+        from repro.trace import series_to_csv
+
+        with pytest.raises(ValueError):
+            series_to_csv({"t": [1, 2, 3], "w": [1, 2]})
+        out = series_to_csv({"t": [1, 2], "w": [3.5, 4.5]})
+        assert out.splitlines()[0] == "t,w"
+        assert len(out.splitlines()) == 3
+
+
+class TestAddMarker:
+    def test_explicit_marker_time(self):
+        from repro.trace.events import PhaseMarker
+
+        tl = Timeline()
+        tl.record("s", 5.0)
+        tl.add_marker(PhaseMarker("mid", 2.5))
+        assert ("mid", 2.5) in [(m.name, m.t) for m in tl.markers]
+
+    def test_marker_before_origin_rejected(self):
+        from repro.errors import PipelineError
+        from repro.trace.events import PhaseMarker
+
+        tl = Timeline(t0=10.0)
+        with pytest.raises(PipelineError):
+            tl.add_marker(PhaseMarker("early", 5.0))

@@ -1,0 +1,62 @@
+"""Unit constants and formatting helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_sizes(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024 ** 2
+        assert units.GiB == 1024 ** 3
+        assert units.TiB == 1024 ** 4
+
+    def test_decimal_sizes(self):
+        assert units.GB == 10 ** 9
+        assert units.TB == 10 ** 12
+
+    def test_rapl_energy_unit_is_sandy_bridge_quantum(self):
+        assert units.RAPL_ENERGY_UNIT_J == pytest.approx(15.2587890625e-6)
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert units.fmt_bytes(131072) == "128.0 KiB"
+        assert units.fmt_bytes(500) == "500 B"
+        assert units.fmt_bytes(4 * units.GiB) == "4.0 GiB"
+
+    def test_fmt_seconds_ranges(self):
+        assert units.fmt_seconds(5e-7) == "0.5 us"
+        assert units.fmt_seconds(0.0012) == "1.20 ms"
+        assert units.fmt_seconds(35.9) == "35.90 s"
+        assert units.fmt_seconds(95) == "1m35.0s"
+
+    def test_fmt_seconds_negative(self):
+        assert units.fmt_seconds(-2).startswith("-")
+
+    def test_fmt_power(self):
+        assert units.fmt_power(143.21) == "143.2 W"
+        assert units.fmt_power(20e6) == "20.00 MW"  # DOE exascale budget
+
+    def test_fmt_energy(self):
+        assert units.fmt_energy(32650) == "32.65 kJ"
+        assert units.fmt_energy(238600) == "238.60 kJ"
+        assert units.fmt_energy(5.2) == "5.2 J"
+
+
+class TestConversions:
+    def test_sata_rate(self):
+        # Table I: 6.0 Gbps SATA = 750 MB/s
+        assert units.gbps_to_bytes_per_s(6.0) == pytest.approx(750e6)
+
+    def test_rev_time_7200rpm(self):
+        assert units.rpm_to_rev_time(7200) == pytest.approx(1 / 120)
+
+    def test_rev_time_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.rpm_to_rev_time(0)
+        with pytest.raises(ValueError):
+            units.rpm_to_rev_time(-7200)

@@ -1,0 +1,96 @@
+"""Frame annotation: bitmap text and colorbars."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.viz import Image
+from repro.viz.annotate import (
+    GLYPH_H,
+    annotate_frame,
+    draw_colorbar,
+    draw_text,
+    text_width,
+)
+
+
+class TestDrawText:
+    def test_pixels_set(self):
+        img = Image(20, 60)
+        draw_text(img, "123", 2, 2)
+        assert (img.pixels == 255).any()
+
+    def test_color_applied(self):
+        img = Image(20, 60)
+        draw_text(img, "8", 2, 2, color=(255, 0, 0))
+        reds = (img.pixels[..., 0] == 255) & (img.pixels[..., 1] == 0)
+        assert reds.any()
+
+    def test_scale_doubles_footprint(self):
+        small, big = Image(40, 80), Image(40, 80)
+        draw_text(small, "8", 2, 2, scale=1)
+        draw_text(big, "8", 2, 2, scale=2)
+        assert (big.pixels > 0).sum() == pytest.approx(
+            4 * (small.pixels > 0).sum())
+
+    def test_clips_at_border_without_raising(self):
+        img = Image(10, 10)
+        draw_text(img, "123456789", 5, 5)  # runs off the edge
+        assert img.pixels.shape == (10, 10, 3)
+
+    def test_unknown_chars_blank(self):
+        img = Image(20, 60)
+        draw_text(img, "%%%", 2, 2)
+        assert not (img.pixels > 0).any()
+
+    def test_width_helper(self):
+        assert text_width("123") == 18
+        assert text_width("12", scale=2) == 24
+
+    def test_scale_validated(self):
+        with pytest.raises(RenderError):
+            draw_text(Image(10, 10), "1", 0, 0, scale=0)
+
+
+class TestColorbar:
+    def test_gradient_on_right_edge(self):
+        img = Image(128, 128)
+        draw_colorbar(img, "heat", vmin=20.0, vmax=100.0)
+        # Inside the bar: hot (bright) at top, cold (dark) at bottom.
+        top = img.pixels[8, 120].astype(int).sum()
+        bottom = img.pixels[119, 120].astype(int).sum()
+        assert top > bottom
+
+    def test_tick_labels_rendered(self):
+        img = Image(128, 128)
+        draw_colorbar(img, "gray", vmin=0.0, vmax=100.0)
+        # Label pixels appear left of the bar.
+        label_region = img.pixels[:, :110]
+        assert (label_region == 255).any()
+
+    def test_validation(self):
+        with pytest.raises(RenderError):
+            draw_colorbar(Image(128, 128), "heat", vmin=5.0, vmax=5.0)
+        with pytest.raises(RenderError):
+            draw_colorbar(Image(128, 128), "heat", 0, 1, ticks=1)
+        with pytest.raises(RenderError):
+            draw_colorbar(Image(12, 12), "heat", 0, 1)
+
+
+class TestAnnotateFrame:
+    def test_full_annotation_roundtrip(self):
+        from repro.viz import render_field
+        from repro.viz.image import decode_png_size
+
+        field = np.random.default_rng(0).random((64, 64)) * 80 + 20
+        frame = render_field(field, "heat", height=160, width=160)
+        annotate_frame(frame.image, "heat", vmin=20, vmax=100,
+                       caption="T = 12 S")
+        png = frame.image.to_png()
+        assert decode_png_size(png) == (160, 160)
+
+    def test_caption_rendered_bottom_left(self):
+        img = Image(100, 140)
+        annotate_frame(img, "heat", 0, 1, caption="123")
+        bottom_left = img.pixels[100 - GLYPH_H - 4 :, :40]
+        assert (bottom_left == 255).any()

@@ -1,0 +1,136 @@
+"""Marching squares and field rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RenderError
+from repro.viz import marching_squares, render_field, render_with_contours, resample_nearest
+from repro.viz.contour import contour_length
+from repro.viz.render import normalize
+
+
+def radial_field(n=40):
+    x, y = np.meshgrid(np.linspace(-1, 1, n), np.linspace(-1, 1, n), indexing="ij")
+    return np.sqrt(x ** 2 + y ** 2)
+
+
+class TestMarchingSquares:
+    def test_empty_when_level_outside_range(self):
+        assert marching_squares(radial_field(), 5.0) == []
+        assert marching_squares(radial_field(), -1.0) == []
+
+    def test_circle_contour_has_right_length(self):
+        """The r=0.5 isoline of a radial field is a circle of known length."""
+        n = 81
+        field = radial_field(n)
+        segments = marching_squares(field, 0.5)
+        # Field spacing: 2/(n-1) units per cell; circumference pi in field
+        # units = pi * (n-1)/2 in index units.
+        expected = np.pi * (n - 1) / 2
+        assert contour_length(segments) == pytest.approx(expected, rel=0.02)
+
+    def test_segments_lie_on_level(self):
+        field = radial_field(41)
+        for (r0, c0), (r1, c1) in marching_squares(field, 0.5):
+            # Sample the field bilinearly at segment endpoints.
+            for r, c in ((r0, c0), (r1, c1)):
+                ri, ci = int(r), int(c)
+                fr, fc = r - ri, c - ci
+                ri2, ci2 = min(ri + 1, 40), min(ci + 1, 40)
+                val = (
+                    field[ri, ci] * (1 - fr) * (1 - fc)
+                    + field[ri2, ci] * fr * (1 - fc)
+                    + field[ri, ci2] * (1 - fr) * fc
+                    + field[ri2, ci2] * fr * fc
+                )
+                assert val == pytest.approx(0.5, abs=0.02)
+
+    def test_saddle_cases_produce_two_segments(self):
+        field = np.array([[1.0, 0.0], [0.0, 1.0]])
+        segments = marching_squares(field, 0.5)
+        assert len(segments) == 2
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(RenderError):
+            marching_squares(np.zeros(5), 0.5)
+        with pytest.raises(RenderError):
+            marching_squares(np.array([[np.nan, 1.0], [0.0, 1.0]]), 0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), level=st.floats(0.1, 0.9))
+    def test_closed_on_random_fields(self, seed, level):
+        """Every segment endpoint sits on a cell edge (sanity invariant)."""
+        field = np.random.default_rng(seed).random((12, 12))
+        for (r0, c0), (r1, c1) in marching_squares(field, level):
+            for r, c in ((r0, c0), (r1, c1)):
+                on_row_edge = abs(r - round(r)) < 1e-9
+                on_col_edge = abs(c - round(c)) < 1e-9
+                assert on_row_edge or on_col_edge
+
+
+class TestResample:
+    def test_identity(self):
+        f = np.arange(16.0).reshape(4, 4)
+        np.testing.assert_array_equal(resample_nearest(f, 4, 4), f)
+
+    def test_upsample_shape(self):
+        assert resample_nearest(np.zeros((4, 4)), 16, 8).shape == (16, 8)
+
+    def test_downsample_picks_members(self):
+        f = np.arange(64.0).reshape(8, 8)
+        small = resample_nearest(f, 2, 2)
+        assert set(small.ravel()).issubset(set(f.ravel()))
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(RenderError):
+            resample_nearest(np.zeros((4, 4)), 0, 4)
+
+
+class TestNormalize:
+    def test_full_range(self):
+        out = normalize(np.array([[0.0, 50.0], [100.0, 25.0]]))
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_constant_field_is_half(self):
+        assert (normalize(np.full((3, 3), 7.0)) == 0.5).all()
+
+    def test_explicit_limits_clip(self):
+        out = normalize(np.array([[0.0, 200.0]]), vmin=50, vmax=100)
+        assert out[0, 0] == 0.0 and out[0, 1] == 1.0
+
+
+class TestRenderField:
+    def test_shape_and_accounting(self):
+        result = render_field(radial_field(), height=64, width=48)
+        assert result.image.pixels.shape == (64, 48, 3)
+        assert result.pixels_shaded == 64 * 48
+        assert result.nbytes == 64 * 48 * 3
+
+    def test_hot_pixels_brighter(self):
+        field = radial_field()
+        result = render_field(field, "gray", height=40, width=40)
+        center = result.image.pixels[20, 20].astype(int).sum()
+        corner = result.image.pixels[0, 0].astype(int).sum()
+        assert corner > center  # radial field: corners hottest
+
+    def test_contour_overlay_marks_pixels(self):
+        result = render_with_contours(
+            radial_field(), levels=(0.5,), colormap="gray",
+            line_color=(255, 0, 0),
+        )
+        reds = (
+            (result.image.pixels[..., 0] == 255)
+            & (result.image.pixels[..., 1] == 0)
+        ).sum()
+        assert reds > 20
+        assert result.contour_segments > 20
+
+    def test_contours_require_levels(self):
+        with pytest.raises(RenderError):
+            render_with_contours(radial_field(), levels=())
+
+    def test_deterministic(self):
+        a = render_field(radial_field()).image.pixels
+        b = render_field(radial_field()).image.pixels
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,139 @@
+"""Image buffers, PPM/PNG encoders, and colormaps."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RenderError
+from repro.viz import COLORMAPS, Colormap, Image, encode_png, encode_ppm, get_colormap
+from repro.viz.colormap import SEQUENTIAL
+from repro.viz.image import PNG_SIGNATURE, decode_png_size
+
+
+class TestImage:
+    def test_dimensions(self):
+        img = Image(32, 64)
+        assert img.height == 32 and img.width == 64
+        assert img.nbytes == 32 * 64 * 3
+
+    def test_bad_dimensions(self):
+        with pytest.raises(RenderError):
+            Image(0, 10)
+
+    def test_fill(self):
+        img = Image(4, 4)
+        img.fill(10, 20, 30)
+        assert (img.pixels == (10, 20, 30)).all()
+
+    def test_from_array_validates(self):
+        with pytest.raises(RenderError):
+            Image.from_array(np.zeros((4, 4)))
+
+
+class TestPpm:
+    def test_header_and_payload(self):
+        rgb = np.zeros((2, 3, 3), dtype=np.uint8)
+        data = encode_ppm(rgb)
+        assert data.startswith(b"P6\n3 2\n255\n")
+        assert len(data) == len(b"P6\n3 2\n255\n") + 18
+
+
+class TestPng:
+    def test_signature_and_ihdr(self):
+        rgb = np.zeros((5, 7, 3), dtype=np.uint8)
+        png = encode_png(rgb)
+        assert png[:8] == PNG_SIGNATURE
+        assert decode_png_size(png) == (5, 7)
+
+    def test_chunk_crcs_valid(self):
+        rgb = (np.random.default_rng(0).random((8, 8, 3)) * 255).astype(np.uint8)
+        png = encode_png(rgb)
+        pos = 8
+        seen = []
+        while pos < len(png):
+            (length,) = struct.unpack(">I", png[pos : pos + 4])
+            tag = png[pos + 4 : pos + 8]
+            body = png[pos + 4 : pos + 8 + length]
+            (crc,) = struct.unpack(">I", png[pos + 8 + length : pos + 12 + length])
+            assert crc == zlib.crc32(body) & 0xFFFFFFFF
+            seen.append(tag)
+            pos += 12 + length
+        assert seen == [b"IHDR", b"IDAT", b"IEND"]
+
+    def test_idat_decompresses_to_scanlines(self):
+        rgb = (np.arange(4 * 4 * 3) % 256).astype(np.uint8).reshape(4, 4, 3)
+        png = encode_png(rgb)
+        # Extract IDAT payload.
+        pos = 8
+        while True:
+            (length,) = struct.unpack(">I", png[pos : pos + 4])
+            tag = png[pos + 4 : pos + 8]
+            if tag == b"IDAT":
+                payload = png[pos + 8 : pos + 8 + length]
+                break
+            pos += 12 + length
+        raw = zlib.decompress(payload)
+        assert len(raw) == 4 * (1 + 4 * 3)
+        rows = np.frombuffer(raw, dtype=np.uint8).reshape(4, 13)
+        assert (rows[:, 0] == 0).all()  # filter byte
+        np.testing.assert_array_equal(rows[:, 1:].reshape(4, 4, 3), rgb)
+
+    def test_rejects_non_uint8(self):
+        with pytest.raises(RenderError):
+            encode_png(np.zeros((4, 4, 3), dtype=float))
+
+    def test_bad_signature_detected(self):
+        with pytest.raises(RenderError):
+            decode_png_size(b"JUNK" * 10)
+
+
+class TestColormaps:
+    def test_registry(self):
+        assert "heat" in COLORMAPS
+        assert get_colormap("gray").name == "gray"
+        with pytest.raises(RenderError):
+            get_colormap("rainbow")
+
+    def test_endpoints(self):
+        heat = get_colormap("heat")
+        np.testing.assert_array_equal(heat(np.array(0.0)), [0, 0, 0])
+        np.testing.assert_array_equal(heat(np.array(1.0)), [255, 255, 255])
+
+    def test_out_of_range_clips(self):
+        gray = get_colormap("gray")
+        np.testing.assert_array_equal(gray(np.array(-5.0)), gray(np.array(0.0)))
+        np.testing.assert_array_equal(gray(np.array(7.0)), gray(np.array(1.0)))
+
+    def test_vectorized_shape(self):
+        out = get_colormap("heat")(np.zeros((10, 20)))
+        assert out.shape == (10, 20, 3)
+        assert out.dtype == np.uint8
+
+    @pytest.mark.parametrize("name", SEQUENTIAL)
+    def test_sequential_maps_luminance_monotone(self, name):
+        """Hotter must render brighter for temperature readability."""
+        cmap = get_colormap(name)
+        v = np.linspace(0, 1, 64)
+        lum = cmap.luminance(v)
+        assert (np.diff(lum) >= -1.0).all()  # monotone up to rounding
+        assert lum[-1] > lum[0] + 100
+
+    def test_validation(self):
+        with pytest.raises(RenderError):
+            Colormap("x", ((0.0, (0, 0, 0)),))
+        with pytest.raises(RenderError):
+            Colormap("x", ((0.1, (0, 0, 0)), (1.0, (1, 1, 1))))
+        with pytest.raises(RenderError):
+            Colormap("x", ((0.0, (0, 0, 0)), (0.0, (1, 1, 1)), (1.0, (2, 2, 2))))
+        with pytest.raises(RenderError):
+            Colormap("x", ((0.0, (0, 0, 300)), (1.0, (1, 1, 1))))
+
+    @settings(max_examples=25)
+    @given(v=st.floats(0, 1))
+    def test_gray_is_identity_ramp(self, v):
+        rgb = get_colormap("gray")(np.array(v))
+        assert abs(int(rgb[0]) - round(v * 255)) <= 1
+        assert rgb[0] == rgb[1] == rgb[2]

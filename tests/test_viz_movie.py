@@ -1,0 +1,120 @@
+"""APNG animation encoder."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.viz.movie import apng_chunks, encode_apng
+
+
+def frames(n=4, h=8, w=6):
+    rng = np.random.default_rng(0)
+    return [rng.integers(0, 256, (h, w, 3), dtype=np.uint8) for _ in range(n)]
+
+
+class TestStructure:
+    def test_chunk_sequence(self):
+        blob = encode_apng(frames(3))
+        tags = [t for t, _ in apng_chunks(blob)]
+        assert tags[0] == b"IHDR"
+        assert tags[1] == b"acTL"
+        assert tags[-1] == b"IEND"
+        assert tags.count(b"fcTL") == 3
+        assert tags.count(b"IDAT") == 1
+        assert tags.count(b"fdAT") == 2
+
+    def test_actl_counts(self):
+        blob = encode_apng(frames(5), loops=2)
+        chunks = dict(apng_chunks(blob)[:2])
+        num_frames, num_plays = struct.unpack(">II", chunks[b"acTL"])
+        assert num_frames == 5
+        assert num_plays == 2
+
+    def test_sequence_numbers_monotonic(self):
+        blob = encode_apng(frames(4))
+        seqs = []
+        for tag, payload in apng_chunks(blob):
+            if tag == b"fcTL":
+                seqs.append(struct.unpack(">I", payload[:4])[0])
+            elif tag == b"fdAT":
+                seqs.append(struct.unpack(">I", payload[:4])[0])
+        assert seqs == sorted(seqs)
+        assert seqs == list(range(len(seqs)))
+
+    def test_frame_delay_from_fps(self):
+        blob = encode_apng(frames(2), fps=25.0)
+        fctl = next(p for t, p in apng_chunks(blob) if t == b"fcTL")
+        delay_num, delay_den = struct.unpack(">HH", fctl[20:24])
+        assert delay_num / delay_den == pytest.approx(1 / 25, rel=0.01)
+
+
+class TestPayloads:
+    def test_frames_decode_losslessly(self):
+        original = frames(3)
+        blob = encode_apng(original)
+        h, w = original[0].shape[:2]
+        decoded = []
+        for tag, payload in apng_chunks(blob):
+            if tag == b"IDAT":
+                decoded.append(zlib.decompress(payload))
+            elif tag == b"fdAT":
+                decoded.append(zlib.decompress(payload[4:]))
+        assert len(decoded) == 3
+        for raw, frame in zip(decoded, original):
+            rows = np.frombuffer(raw, dtype=np.uint8).reshape(h, 1 + w * 3)
+            assert (rows[:, 0] == 0).all()
+            np.testing.assert_array_equal(
+                rows[:, 1:].reshape(h, w, 3), frame)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(RenderError):
+            encode_apng([])
+
+    def test_shape_mismatch_rejected(self):
+        a = np.zeros((4, 4, 3), dtype=np.uint8)
+        b = np.zeros((4, 5, 3), dtype=np.uint8)
+        with pytest.raises(RenderError):
+            encode_apng([a, b])
+
+    def test_dtype_checked(self):
+        with pytest.raises(RenderError):
+            encode_apng([np.zeros((4, 4, 3))])
+
+    def test_fps_and_loops_checked(self):
+        f = frames(1)
+        with pytest.raises(RenderError):
+            encode_apng(f, fps=0)
+        with pytest.raises(RenderError):
+            encode_apng(f, loops=-1)
+
+    def test_corrupt_blob_detected(self):
+        blob = bytearray(encode_apng(frames(2)))
+        blob[40] ^= 0xFF
+        with pytest.raises(RenderError):
+            apng_chunks(bytes(blob))
+
+
+class TestEndToEnd:
+    def test_movie_from_solver_frames(self, tmp_path):
+        """Render a short in-situ movie from the real solver."""
+        from repro.pipelines.base import make_solver
+        from repro.rng import RngRegistry
+        from repro.viz import render_field
+
+        solver = make_solver(RngRegistry(1))
+        rendered = []
+        for _ in range(5):
+            solver.step(2)
+            rendered.append(render_field(
+                solver.grid.data, height=64, width=64).image.pixels)
+        blob = encode_apng(rendered, fps=5)
+        path = tmp_path / "movie.png"
+        path.write_bytes(blob)
+        assert path.stat().st_size > 1000
+        tags = [t for t, _ in apng_chunks(blob)]
+        assert tags.count(b"fcTL") == 5

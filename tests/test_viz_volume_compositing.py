@@ -1,0 +1,102 @@
+"""Volume rendering and binary-swap compositing extensions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.viz import VolumeCamera, binary_swap_schedule, composite_over, render_volume
+from repro.viz.compositing import binary_swap_composite, compositing_bytes
+
+
+def ball_volume(n=24):
+    x, y, z = np.meshgrid(*[np.linspace(-1, 1, n)] * 3, indexing="ij")
+    return np.exp(-4 * (x ** 2 + y ** 2 + z ** 2))
+
+
+class TestVolume:
+    def test_output_shape_follows_axis(self):
+        vol = np.zeros((8, 12, 16))
+        assert render_volume(vol, VolumeCamera(axis=0)).pixels.shape == (12, 16, 3)
+        assert render_volume(vol, VolumeCamera(axis=1)).pixels.shape == (8, 16, 3)
+        assert render_volume(vol, VolumeCamera(axis=2)).pixels.shape == (8, 12, 3)
+
+    def test_dense_center_brighter_than_edge(self):
+        img = render_volume(ball_volume(), VolumeCamera(axis=0))
+        center = img.pixels[12, 12].astype(int).sum()
+        corner = img.pixels[0, 0].astype(int).sum()
+        assert center > corner
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(RenderError):
+            render_volume(np.zeros((4, 4)))
+
+    def test_camera_validation(self):
+        with pytest.raises(RenderError):
+            VolumeCamera(axis=3)
+        with pytest.raises(RenderError):
+            VolumeCamera(samples=0)
+        with pytest.raises(RenderError):
+            VolumeCamera(opacity_scale=0)
+
+    def test_deterministic(self):
+        a = render_volume(ball_volume()).pixels
+        b = render_volume(ball_volume()).pixels
+        np.testing.assert_array_equal(a, b)
+
+
+class TestOverOperator:
+    def test_opaque_front_wins(self):
+        front = np.zeros((2, 2, 4))
+        front[..., 0] = 0.8
+        front[..., 3] = 1.0
+        back = np.ones((2, 2, 4))
+        out = composite_over(front, back)
+        np.testing.assert_allclose(out[..., 0], 0.8)
+
+    def test_transparent_front_passes_back(self):
+        front = np.zeros((2, 2, 4))
+        back = np.full((2, 2, 4), 0.5)
+        np.testing.assert_allclose(composite_over(front, back), back)
+
+    def test_shape_checked(self):
+        with pytest.raises(RenderError):
+            composite_over(np.zeros((2, 2, 4)), np.zeros((3, 2, 4)))
+
+
+class TestBinarySwap:
+    def test_schedule_rounds(self):
+        rounds = binary_swap_schedule(8)
+        assert len(rounds) == 3
+        assert all(len(pairs) == 4 for pairs in rounds)
+
+    def test_schedule_rejects_non_power_of_two(self):
+        with pytest.raises(RenderError):
+            binary_swap_schedule(6)
+
+    def test_every_rank_paired_each_round(self):
+        for pairs in binary_swap_schedule(8):
+            ranks = [r for pair in pairs for r in pair]
+            assert sorted(ranks) == list(range(8))
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_matches_sequential_composite(self, n):
+        rng = np.random.default_rng(3)
+        layers = []
+        for _ in range(n):
+            rgba = rng.random((8, 6, 4)) * 0.5
+            rgba[..., :3] *= rgba[..., 3:4]  # premultiply
+            layers.append(rgba)
+        expected = layers[0].copy()
+        for layer in layers[1:]:
+            expected = composite_over(expected, layer)
+        result = binary_swap_composite(layers)
+        np.testing.assert_allclose(result, expected, rtol=1e-12, atol=1e-12)
+
+    def test_composite_requires_layers(self):
+        with pytest.raises(RenderError):
+            binary_swap_composite([])
+
+    def test_wire_bytes(self):
+        # 4 ranks, 1 MiB image: round 1 moves 4 x 512 KiB, round 2 4 x 256 KiB.
+        total = compositing_bytes(4, 1 << 20)
+        assert total == 4 * (1 << 19) + 4 * (1 << 18)

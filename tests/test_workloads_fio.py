@@ -1,0 +1,126 @@
+"""fio workload: Table III anchors and pattern plumbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import DiskRequest, HddModel, Node, OpKind, SsdModel
+from repro.machine.specs import DiskSpec
+from repro.rng import RngRegistry
+from repro.workloads import FIO_JOBS, FioJob, FioRunner, request_stream
+from repro.workloads.patterns import offsets_for
+from repro.units import GiB, KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return FioRunner(seed=3).run_table3()
+
+
+class TestPatterns:
+    def test_sequential_stream_is_ascending_contiguous(self):
+        reqs = request_stream(OpKind.READ, "sequential", 1 * MiB, 128 * KiB)
+        assert len(reqs) == 8
+        for a, b in zip(reqs, reqs[1:]):
+            assert b.offset == a.end
+
+    def test_region_offset_applied(self):
+        reqs = request_stream(OpKind.READ, "sequential", 256 * KiB, 128 * KiB,
+                              region_offset=1 * GiB)
+        assert reqs[0].offset == 1 * GiB
+
+    def test_shuffled_covers_region(self):
+        offs = offsets_for("shuffled", 1 * MiB, 128 * KiB)
+        assert sorted(offs) == [i * 128 * KiB for i in range(8)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            request_stream(OpKind.READ, "sequential", 0, 128)
+        with pytest.raises(ConfigError):
+            request_stream(OpKind.READ, "sequential", 128, 1024)
+
+
+class TestJobDefinitions:
+    def test_four_paper_jobs(self):
+        assert set(FIO_JOBS) == {"seq_read", "rand_read", "seq_write", "rand_write"}
+        for job in FIO_JOBS.values():
+            assert job.size_bytes == 4 * GiB
+
+    def test_bad_job_rejected(self):
+        with pytest.raises(ConfigError):
+            FioJob("x", OpKind.READ, "spiral")
+        with pytest.raises(ConfigError):
+            FioJob("x", OpKind.READ, "sequential", size_bytes=0)
+
+
+class TestTable3Anchors:
+    """Measured values must land on the paper's Table III."""
+
+    def test_sequential_read(self, table3):
+        r = table3["seq_read"]
+        assert r.elapsed_s == pytest.approx(35.9, rel=0.02)
+        assert r.system_power_w == pytest.approx(118.0, abs=1.0)
+        assert r.disk_dynamic_power_w == pytest.approx(13.5, abs=0.5)
+
+    def test_random_read(self, table3):
+        r = table3["rand_read"]
+        assert r.elapsed_s == pytest.approx(2230.0, rel=0.03)
+        assert r.system_power_w == pytest.approx(107.0, abs=1.0)
+        assert r.disk_dynamic_power_w == pytest.approx(2.5, abs=0.3)
+        assert r.system_energy_j == pytest.approx(238_600, rel=0.03)
+
+    def test_sequential_write(self, table3):
+        r = table3["seq_write"]
+        assert r.elapsed_s == pytest.approx(27.0, rel=0.02)
+        assert r.system_power_w == pytest.approx(115.4, abs=1.0)
+        assert r.disk_dynamic_power_w == pytest.approx(10.9, abs=0.5)
+
+    def test_random_write(self, table3):
+        r = table3["rand_write"]
+        assert r.elapsed_s == pytest.approx(31.0, rel=0.02)
+        assert r.system_power_w == pytest.approx(117.9, abs=1.2)
+        assert r.disk_dynamic_power_w == pytest.approx(13.4, abs=0.7)
+
+    def test_random_read_dominates_energy(self, table3):
+        """The Section V.D premise: random reads are the energy monster."""
+        rand = table3["rand_read"].system_energy_j
+        others = sum(table3[k].system_energy_j
+                     for k in ("seq_read", "seq_write", "rand_write"))
+        assert rand > 20 * others
+
+    def test_disk_dynamic_energy_consistent(self, table3):
+        for r in table3.values():
+            assert r.disk_dynamic_energy_j == pytest.approx(
+                r.disk_dynamic_power_w * r.elapsed_s
+            )
+
+
+class TestBatchConsistency:
+    def test_vectorized_batch_matches_loop(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        offsets = rng.integers(0, 4 * GiB, 500)
+        loop_disk = HddModel(DiskSpec())
+        total = sum(
+            loop_disk.service(DiskRequest(OpKind.READ, int(o), 16 * KiB)).service_time
+            for o in offsets
+        )
+        batch_disk = HddModel(DiskSpec())
+        batch = batch_disk.service_random_batch(offsets, 16 * KiB, OpKind.READ)
+        assert batch.service_time == pytest.approx(total, rel=1e-9)
+        assert batch.nbytes == 500 * 16 * KiB
+
+
+class TestDeviceSweep:
+    def test_ssd_closes_random_gap(self):
+        node = Node(storage=SsdModel())
+        runner = FioRunner(node, seed=1)
+        seq = runner.run(FIO_JOBS["seq_read"])
+        rand = runner.run(FIO_JOBS["rand_read"])
+        # HDD's random/sequential energy ratio is ~55x; flash is single digit.
+        assert rand.system_energy_j / seq.system_energy_j < 5
+
+    def test_deterministic(self):
+        a = FioRunner(seed=9).run(FIO_JOBS["seq_read"])
+        b = FioRunner(seed=9).run(FIO_JOBS["seq_read"])
+        assert a.system_energy_j == b.system_energy_j

@@ -1,0 +1,93 @@
+"""I/O trace capture and replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import DiskRequest, HddModel, OpKind, SsdModel
+from repro.machine.specs import DiskSpec
+from repro.system import ScanScheduler
+from repro.workloads.replay import IoTrace, RecordingQueue, replay
+from repro.units import GiB, KiB
+
+
+def scattered_requests(n=200, seed=5):
+    rng = np.random.default_rng(seed)
+    return [DiskRequest(OpKind.READ, int(o), 16 * KiB)
+            for o in rng.integers(0, 100 * GiB, n)]
+
+
+class TestRecording:
+    def test_capture(self):
+        queue = RecordingQueue(HddModel(DiskSpec()))
+        reqs = scattered_requests(50)
+        queue.submit(reqs)
+        assert len(queue.trace) == 50
+        assert queue.trace.bytes_read == 50 * 16 * KiB
+        assert queue.trace.bytes_written == 0
+
+    def test_capture_preserves_order_and_geometry(self):
+        queue = RecordingQueue(HddModel(DiskSpec()))
+        reqs = scattered_requests(10)
+        queue.submit(reqs)
+        for entry, req in zip(queue.trace.entries, reqs):
+            assert entry.offset == req.offset
+            assert entry.nbytes == req.nbytes
+
+
+class TestSerialization:
+    def test_csv_roundtrip(self):
+        queue = RecordingQueue(HddModel(DiskSpec()))
+        queue.submit(scattered_requests(20))
+        queue.submit([DiskRequest(OpKind.WRITE, 0, 4 * KiB)])
+        text = queue.trace.to_csv()
+        back = IoTrace.from_csv(text)
+        assert len(back) == 21
+        assert back.entries[-1].op == "write"
+        assert back.to_csv() == text
+
+    def test_bad_csv_rejected(self):
+        with pytest.raises(ConfigError):
+            IoTrace.from_csv("not,a,trace")
+        with pytest.raises(ConfigError):
+            IoTrace.from_csv("index,op,offset,nbytes\n0,erase,0,512")
+
+
+class TestReplay:
+    @pytest.fixture
+    def trace(self):
+        queue = RecordingQueue(HddModel(DiskSpec()))
+        queue.submit(scattered_requests(200))
+        return queue.trace
+
+    def test_replay_conserves_bytes(self, trace):
+        stats = replay(trace, HddModel(DiskSpec()))
+        assert stats.bytes_read == trace.bytes_read
+
+    def test_replay_on_faster_device(self, trace):
+        hdd = replay(trace, HddModel(DiskSpec()))
+        ssd = replay(trace, SsdModel())
+        assert ssd.busy_time < hdd.busy_time / 20
+
+    def test_scheduler_helps_within_window(self, trace):
+        fifo = replay(trace, HddModel(DiskSpec()), batch=32)
+        scan = replay(trace, HddModel(DiskSpec()), ScanScheduler(), batch=32)
+        assert scan.busy_time < fifo.busy_time
+
+    def test_bigger_window_helps_more(self, trace):
+        """The scheduler's benefit is bounded by its reordering horizon."""
+        small = replay(trace, HddModel(DiskSpec()), ScanScheduler(), batch=8)
+        large = replay(trace, HddModel(DiskSpec()), ScanScheduler(), batch=128)
+        assert large.busy_time < small.busy_time
+
+    def test_write_trace_flushes(self):
+        trace = IoTrace()
+        for i in range(8):
+            trace.append(DiskRequest(OpKind.WRITE, i * 100 * 1024 ** 2,
+                                     1024 ** 2))
+        stats = replay(trace, HddModel(DiskSpec()))
+        assert stats.bytes_written == 8 * 1024 ** 2  # drained to platter
+
+    def test_batch_validated(self, trace):
+        with pytest.raises(ConfigError):
+            replay(trace, HddModel(DiskSpec()), batch=0)
