@@ -52,8 +52,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.trace.events import Activity
-from repro.units import KiB
+from repro.units import GiB, KiB
 
 
 @dataclass(frozen=True)
@@ -83,7 +84,7 @@ class StageCalibration:
         ablation grows the problem.
         """
         if work_scale <= 0:
-            raise ValueError("work_scale must be positive")
+            raise ConfigError("work_scale must be positive")
         base = self.duration_s * work_scale
         if nbytes is None or self.bytes_per_s <= 0:
             return base
@@ -112,13 +113,13 @@ STAGE: dict[str, StageCalibration] = {
     "nnwrite": StageCalibration(
         duration_s=1.444, cpu_util=0.015, dram_bytes_per_s=0.3e9,
         disk_seek_duty=0.80,
-        bytes_per_s=4 * 1024 ** 3 / 27.0,   # sustained media write rate
+        bytes_per_s=4 * GiB / 27.0,   # sustained media write rate
         reference_bytes=128 * KiB,
     ),
     "nnread": StageCalibration(
         duration_s=1.299, cpu_util=0.015, dram_bytes_per_s=0.3e9,
         disk_seek_duty=0.83,
-        bytes_per_s=4 * 1024 ** 3 / 35.9,   # sustained media read rate
+        bytes_per_s=4 * GiB / 35.9,   # sustained media read rate
         reference_bytes=128 * KiB,
     ),
     "visualization": StageCalibration(
@@ -162,12 +163,12 @@ class CaseStudyConfig:
 
     def __post_init__(self) -> None:
         if self.total_iterations < 1 or self.io_period < 1:
-            raise ValueError("iterations and io_period must be >= 1")
+            raise ConfigError("iterations and io_period must be >= 1")
         if self.io_schedule is not None:
             bad = [i for i in self.io_schedule
                    if not 1 <= i <= self.total_iterations]
             if bad:
-                raise ValueError(f"io_schedule entries out of range: {bad}")
+                raise ConfigError(f"io_schedule entries out of range: {bad}")
 
     @property
     def name(self) -> str:

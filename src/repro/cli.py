@@ -58,7 +58,35 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser(
         "verify", help="check the reproduction against every paper anchor")
     verify.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    lint = sub.add_parser(
+        "lint", help="run greenlint, the unit/determinism invariant checker")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: the installed repro package)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit machine-readable JSON instead of text")
+    lint.add_argument("--select", metavar="CODES", default=None,
+                      help="comma-separated rule codes to run, e.g. GL1,GL3")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings as well as errors")
     return parser
+
+
+def _run_lint(args) -> int:
+    """Handle ``repro lint``: exit 0 clean, 1 findings, 2 usage error."""
+    from repro.lint import lint_paths, render_json, render_text
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    select = args.select.split(",") if args.select else None
+    try:
+        result = lint_paths(paths, select=select)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.as_json else render_text(result))
+    failing = result.errors() or (args.strict and result.findings)
+    return 1 if failing else 0
 
 
 def _dump_csv(result, directory: str) -> list[str]:
@@ -90,6 +118,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             summary = doc[0] if doc else ""
             print(f"{eid:14s} {summary}")
         return 0
+
+    if args.command == "lint":
+        return _run_lint(args)
 
     if args.command == "verify":
         from repro.experiments.verification import (

@@ -92,8 +92,11 @@ def run_verification(lab: Lab | None = None) -> list[Check]:
     io_dyn = (table["nnread"].avg_dynamic_w + table["nnwrite"].avg_dynamic_w) / 2
     post, insitu = lab.outcomes()[1].post, lab.outcomes()[1].insitu
     breakdown = savings_breakdown(
-        post.energy_j, post.execution_time_s,
-        insitu.energy_j, insitu.execution_time_s, io_dyn)
+        baseline_energy_j=post.energy_j,
+        baseline_time_s=post.execution_time_s,
+        insitu_energy_j=insitu.energy_j,
+        insitu_time_s=insitu.execution_time_s,
+        io_dynamic_power_w=io_dyn)
     checks.append(Check("sec5c: static savings fraction",
                         PAPER["savings_static_fraction"],
                         breakdown.static_fraction, 0.03))

@@ -1,0 +1,55 @@
+"""greenlint — AST-based invariant checking for the repro codebase.
+
+The paper's credibility rests on correct energy accounting: joules must
+be the integral of watts over seconds.  This package mechanically
+enforces the conventions the rest of :mod:`repro` documents informally:
+
+* base-SI quantity suffixes (``_j``/``_w``/``_s``/``_bytes``/``_hz``)
+  must combine dimensionally (GL1),
+* unit constants come from :mod:`repro.units`, never as magic literals
+  (GL2),
+* every ``raise`` uses the :class:`~repro.errors.ReproError` hierarchy
+  (GL3),
+* randomness flows through :mod:`repro.rng` named streams (GL4), and
+* quantity-suffixed parameters are passed by keyword (GL5).
+
+Run it with ``repro lint [paths...]`` or programmatically::
+
+    from repro.lint import lint_paths
+    result = lint_paths(["src/repro"])
+    assert not result.findings
+
+Suppress a single finding with a line comment::
+
+    flags < (1 << 16)   # greenlint: ignore[GL2]  (u16 bitfield, not RAPL)
+"""
+
+from repro.lint.engine import (
+    RULES,
+    Finding,
+    LintResult,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    iter_py_files,
+    lint_paths,
+    lint_source,
+    rule,
+)
+from repro.lint import rules as _rules  # noqa: F401  (populates RULES)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "iter_py_files",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "rule",
+]

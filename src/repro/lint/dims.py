@@ -1,0 +1,166 @@
+"""Quantity-dimension algebra behind greenlint's unit inference (GL1).
+
+Every quantity-suffixed name in :mod:`repro` is modeled as a vector of
+integer exponents over three base dimensions:
+
+* **T** — time (``_s``, ``_hz`` is T^-1)
+* **E** — energy (``_j``; ``_w`` is E·T^-1)
+* **D** — data (``_bytes``)
+
+The suffix grammar mirrors the conventions enforced by
+:mod:`repro.units` (base-SI internals, display-only scaling):
+
+* simple suffixes: ``energy_j``, ``idle_w``, ``duration_s``,
+  ``chunk_bytes``, ``sample_hz``
+* rate forms: ``dram_bytes_per_s`` (D·T^-1), ``write_j_per_b`` (E·D^-1)
+* per-unit-then-base forms: ``read_energy_per_byte_j`` (E·D^-1)
+
+Scale prefixes share a dimension (``system_kj`` is still energy);
+greenlint checks *dimensions*, not scales — mixing kJ and J is a display
+concern handled by the ``fmt_*`` helpers, whereas mixing J and W is a
+physics bug.
+
+Dimensionless values (numeric literals) combine freely: ``t_s + 1.0``
+is fine, ``t_s + e_j`` is not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: A dimension: exponents of (time, energy, data).
+Dim = Tuple[int, int, int]
+
+DIMENSIONLESS: Dim = (0, 0, 0)
+TIME: Dim = (1, 0, 0)
+ENERGY: Dim = (0, 1, 0)
+DATA: Dim = (0, 0, 1)
+POWER: Dim = (-1, 1, 0)
+FREQUENCY: Dim = (-1, 0, 0)
+DATA_RATE: Dim = (-1, 0, 1)
+ENERGY_PER_BYTE: Dim = (0, 1, -1)
+
+#: Name tokens that denote a base quantity.  Deliberately conservative:
+#: single letters that double as loop variables (``j``, ``s``, ``b``,
+#: ``w``) are only recognized as the *final* token after an underscore,
+#: never as a whole name (see :func:`suffix_dim`).
+UNIT_TOKENS: dict[str, Dim] = {
+    # time
+    "s": TIME,
+    "ms": TIME,
+    "us": TIME,
+    "ns": TIME,
+    "sec": TIME,
+    "seconds": TIME,
+    # frequency
+    "hz": FREQUENCY,
+    "khz": FREQUENCY,
+    "mhz": FREQUENCY,
+    "ghz": FREQUENCY,
+    # energy
+    "j": ENERGY,
+    "kj": ENERGY,
+    "mj": ENERGY,
+    # power
+    "w": POWER,
+    "kw": POWER,
+    "mw": POWER,
+    # data
+    "b": DATA,
+    "byte": DATA,
+    "bytes": DATA,
+    "kb": DATA,
+    "mb": DATA,
+    "gb": DATA,
+    "tb": DATA,
+    "kib": DATA,
+    "mib": DATA,
+    "gib": DATA,
+    "tib": DATA,
+}
+
+#: Pretty names for common dimensions, used in diagnostics.
+_DIM_NAMES: dict[Dim, str] = {
+    DIMENSIONLESS: "dimensionless",
+    TIME: "seconds",
+    ENERGY: "joules",
+    DATA: "bytes",
+    POWER: "watts",
+    FREQUENCY: "hertz",
+    DATA_RATE: "bytes/s",
+    ENERGY_PER_BYTE: "J/byte",
+    (2, 0, 0): "s^2",
+    (0, 2, 0): "J^2",
+    (0, 0, 2): "bytes^2",
+    (-1, 0, 0): "hertz",
+    (0, -1, 1): "bytes/J",
+    (1, 0, -1): "s/byte",
+}
+
+
+def mul(a: Dim, b: Dim) -> Dim:
+    """Dimension of a product."""
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def div(a: Dim, b: Dim) -> Dim:
+    """Dimension of a quotient."""
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def pow_(a: Dim, n: int) -> Dim:
+    """Dimension of an integer power."""
+    return (a[0] * n, a[1] * n, a[2] * n)
+
+
+def dim_name(d: Dim) -> str:
+    """Human-readable name of a dimension for diagnostics."""
+    if d in _DIM_NAMES:
+        return _DIM_NAMES[d]
+    parts = []
+    for label, exp in zip(("T", "E", "D"), d):
+        if exp:
+            parts.append(label if exp == 1 else f"{label}^{exp}")
+    return "*".join(parts) if parts else "dimensionless"
+
+
+def suffix_dim(name: str) -> Optional[Dim]:
+    """Infer the dimension a name's quantity suffix declares, if any.
+
+    Returns ``None`` for names that carry no recognized suffix (which
+    greenlint treats as *unknown*, exempt from checking — never as
+    dimensionless).
+
+    >>> suffix_dim("energy_j") == ENERGY
+    True
+    >>> suffix_dim("dram_bytes_per_s") == DATA_RATE
+    True
+    >>> suffix_dim("read_energy_per_byte_j") == ENERGY_PER_BYTE
+    True
+    >>> suffix_dim("j") is None          # bare loop variable, not joules
+    True
+    >>> suffix_dim("accesses_per_s") is None   # unknown numerator
+    True
+    """
+    tokens = [t for t in name.lower().split("_") if t]
+    # Require an actual suffix: at least one token before the unit, so
+    # bare single-letter names (loop counters) are never unitized.
+    if len(tokens) < 2:
+        return None
+    last = tokens[-1]
+    if last not in UNIT_TOKENS:
+        return None
+    dim = UNIT_TOKENS[last]
+    rest = tokens[:-1]
+    if len(rest) >= 2 and rest[-1] == "per":
+        # ``X_per_<unit>``: a rate.  Only meaningful when the numerator
+        # is itself a unit token (``bytes_per_s``); ``accesses_per_s``
+        # has an unknown numerator and stays unknown.
+        if rest[-2] in UNIT_TOKENS:
+            return div(UNIT_TOKENS[rest[-2]], dim)
+        return None
+    if len(rest) >= 2 and rest[-1] in UNIT_TOKENS and rest[-2] == "per":
+        # ``X_per_<unit>_<base>``: the spelled-out per-unit idiom, e.g.
+        # ``read_energy_per_byte_j`` = joules per byte.
+        return div(dim, UNIT_TOKENS[rest[-1]])
+    return dim

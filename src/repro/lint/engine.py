@@ -1,0 +1,390 @@
+"""Greenlint's core: findings, the rule registry, and the lint driver.
+
+The engine parses every target file once, builds project-wide tables
+(callable signatures for GL5, the ``ReproError`` class hierarchy for
+GL3), then runs each registered rule over each module.  Suppressions are
+line-scoped comments::
+
+    x = legacy_flags < (1 << 16)   # greenlint: ignore[GL2]
+    y = whatever()                 # greenlint: ignore
+
+and a file can opt out entirely with ``# greenlint: skip-file`` in its
+first ten lines.  Suppressions are counted, not silently dropped, so the
+reporter can surface how many findings a tree is carrying.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import ConfigError
+
+SEVERITIES = ("error", "warning")
+
+_IGNORE_RE = re.compile(
+    r"#\s*greenlint:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*greenlint:\s*skip-file")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code, self.message)
+
+    def format(self) -> str:
+        """Render as the canonical ``path:line:col CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered greenlint rule."""
+
+    code: str
+    name: str
+    severity: str
+    description: str
+    check: Callable[["ModuleContext"], Iterable[Finding]]
+    #: Base filenames this rule never applies to (e.g. ``units.py`` is
+    #: allowed to define the very constants GL2 bans elsewhere).
+    exempt_files: tuple[str, ...] = ()
+
+
+#: Registry of rules by code, populated by the :func:`rule` decorator.
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, severity: str = "error",
+         exempt_files: Sequence[str] = ()) -> Callable:
+    """Class/function decorator registering a greenlint rule checker."""
+    if severity not in SEVERITIES:
+        raise ConfigError(f"unknown severity {severity!r}")
+
+    def register(check: Callable[["ModuleContext"], Iterable[Finding]]):
+        if code in RULES:
+            raise ConfigError(f"duplicate rule code {code}")
+        RULES[code] = Rule(
+            code=code,
+            name=name,
+            severity=severity,
+            description=(check.__doc__ or "").strip().splitlines()[0]
+            if check.__doc__ else name,
+            check=check,
+            exempt_files=tuple(exempt_files),
+        )
+        return check
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# Contexts
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CallableSig:
+    """Positional parameter names of a project function/constructor."""
+
+    params: tuple[str, ...]
+    has_vararg: bool = False
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file knowledge shared by all rules.
+
+    ``signatures`` maps a simple callable name (function, method, or
+    class constructor) to every distinct signature seen under that name;
+    rules only act when the name resolves unambiguously.
+    ``error_classes`` holds every class transitively derived from
+    ``ReproError`` anywhere in the linted tree.
+    """
+
+    signatures: dict[str, list[CallableSig]] = field(default_factory=dict)
+    error_classes: set[str] = field(default_factory=set)
+
+    def add_signature(self, name: str, sig: CallableSig) -> None:
+        sigs = self.signatures.setdefault(name, [])
+        if all(sig.params != s.params for s in sigs):
+            sigs.append(sig)
+
+    def unique_signature(self, name: str) -> Optional[CallableSig]:
+        sigs = self.signatures.get(name)
+        if sigs and len(sigs) == 1:
+            return sigs[0]
+        return None
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module, ready for rule checks."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    project: ProjectContext
+
+    @property
+    def basename(self) -> str:
+        return os.path.basename(self.path)
+
+
+# ---------------------------------------------------------------------------
+# Project-table construction
+# ---------------------------------------------------------------------------
+
+def _params_of(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+               drop_self: bool) -> CallableSig:
+    args = fn.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args)]
+    if drop_self and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return CallableSig(tuple(names), has_vararg=args.vararg is not None)
+
+
+def _collect_signatures(tree: ast.Module, project: ProjectContext) -> None:
+    class Collector(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.class_depth = 0
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            init = next(
+                (n for n in node.body
+                 if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                 and n.name == "__init__"),
+                None,
+            )
+            if init is not None:
+                project.add_signature(node.name, _params_of(init, drop_self=True))
+            else:
+                # Dataclass-style: ordered class-level annotated fields
+                # become constructor parameters.
+                fields = tuple(
+                    n.target.id for n in node.body
+                    if isinstance(n, ast.AnnAssign)
+                    and isinstance(n.target, ast.Name)
+                    and not (isinstance(n.annotation, ast.Name)
+                             and n.annotation.id == "ClassVar")
+                )
+                if fields:
+                    project.add_signature(node.name, CallableSig(fields))
+            self.class_depth += 1
+            self.generic_visit(node)
+            self.class_depth -= 1
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            project.add_signature(
+                node.name, _params_of(node, drop_self=self.class_depth > 0))
+            self.generic_visit(node)
+
+        visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    Collector().visit(tree)
+
+
+def _collect_error_classes(trees: Iterable[ast.Module],
+                           project: ProjectContext) -> None:
+    bases: dict[str, set[str]] = {}
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                names = set()
+                for b in node.bases:
+                    if isinstance(b, ast.Name):
+                        names.add(b.id)
+                    elif isinstance(b, ast.Attribute):
+                        names.add(b.attr)
+                bases.setdefault(node.name, set()).update(names)
+    known = {"ReproError"}
+    changed = True
+    while changed:
+        changed = False
+        for cls, parents in bases.items():
+            if cls not in known and parents & known:
+                known.add(cls)
+                changed = True
+    project.error_classes = known
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+def _suppressions(source: str) -> dict[int, Optional[frozenset[str]]]:
+    """Map 1-based line number -> suppressed codes (None = all codes)."""
+    out: dict[int, Optional[frozenset[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _IGNORE_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip())
+    return out
+
+
+def _is_skip_file(source: str) -> bool:
+    head = source.splitlines()[:10]
+    return any(_SKIP_FILE_RE.search(line) for line in head)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.code] = out.get(f.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+
+def iter_py_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git"))
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        yield os.path.join(dirpath, fn)
+        else:
+            raise ConfigError(f"no such file or directory: {path}")
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> list[Rule]:
+    # Import the rule implementations on first use so the registry is
+    # populated regardless of which entry point loaded this module.
+    from repro.lint import rules as _rules  # noqa: F401
+
+    if select is None:
+        return [RULES[c] for c in sorted(RULES)]
+    picked = []
+    for code in select:
+        code = code.strip().upper()
+        if code not in RULES:
+            raise ConfigError(
+                f"unknown rule code {code!r}; have {sorted(RULES)}")
+        picked.append(RULES[code])
+    return picked
+
+
+def _lint_module(ctx: ModuleContext, rules: Sequence[Rule]) -> tuple[list[Finding], int]:
+    raw: list[Finding] = []
+    for r in rules:
+        if ctx.basename in r.exempt_files:
+            continue
+        raw.extend(r.check(ctx))
+    suppress = _suppressions(ctx.source)
+    kept: list[Finding] = []
+    suppressed = 0
+    for f in raw:
+        codes = suppress.get(f.line, "missing")
+        if codes == "missing":
+            kept.append(f)
+        elif codes is None or f.code in codes:
+            suppressed += 1
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Sequence[str]] = None,
+                project: Optional[ProjectContext] = None) -> LintResult:
+    """Lint a single source string (the unit-test entry point)."""
+    rules = _select_rules(select)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            code="GL0", severity="error", path=path,
+            line=exc.lineno or 1, col=exc.offset or 0,
+            message=f"syntax error: {exc.msg}")
+        return LintResult([finding], files_checked=1, suppressed=0)
+    if _is_skip_file(source):
+        return LintResult([], files_checked=1, suppressed=0)
+    if project is None:
+        project = ProjectContext()
+        _collect_signatures(tree, project)
+        _collect_error_classes([tree], project)
+    ctx = ModuleContext(path=path, source=source, tree=tree, project=project)
+    findings, suppressed = _lint_module(ctx, rules)
+    findings.sort(key=Finding.sort_key)
+    return LintResult(findings, files_checked=1, suppressed=suppressed)
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint every Python file under ``paths`` with project-wide context."""
+    rules = _select_rules(select)
+    modules: list[ModuleContext] = []
+    findings: list[Finding] = []
+    project = ProjectContext()
+    files_checked = 0
+    for path in iter_py_files(paths):
+        files_checked += 1
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            raise ConfigError(f"cannot read {path}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                code="GL0", severity="error", path=path,
+                line=exc.lineno or 1, col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}"))
+            continue
+        if _is_skip_file(source):
+            continue
+        modules.append(ModuleContext(
+            path=path, source=source, tree=tree, project=project))
+    for ctx in modules:
+        _collect_signatures(ctx.tree, project)
+    _collect_error_classes((m.tree for m in modules), project)
+
+    suppressed = 0
+    for ctx in modules:
+        kept, n_suppressed = _lint_module(ctx, rules)
+        findings.extend(kept)
+        suppressed += n_suppressed
+    findings.sort(key=Finding.sort_key)
+    return LintResult(findings, files_checked=files_checked,
+                      suppressed=suppressed)

@@ -1,0 +1,63 @@
+"""Greenlint output rendering: human text and machine JSON.
+
+The JSON document is the contract consumed by benchmark automation (see
+``EXPERIMENTS.md``): a stable ``version`` field, per-finding records,
+and aggregate counts, so CI can diff lint state across commits without
+scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import RULES, LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """Render findings as ``path:line:col CODE message`` lines + summary."""
+    lines = [f.format() for f in result.findings]
+    n_err = len(result.errors())
+    n_warn = len(result.warnings())
+    if result.findings:
+        lines.append("")
+        lines.append(
+            f"{len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} "
+            f"({n_err} error{'s' if n_err != 1 else ''}, "
+            f"{n_warn} warning{'s' if n_warn != 1 else ''}) "
+            f"in {result.files_checked} files"
+            + (f"; {result.suppressed} suppressed" if result.suppressed else ""))
+    else:
+        lines.append(
+            f"clean: {result.files_checked} files"
+            + (f", {result.suppressed} suppressed finding"
+               f"{'s' if result.suppressed != 1 else ''}"
+               if result.suppressed else ""))
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Render the run as a stable machine-readable JSON document."""
+    doc = {
+        "version": 1,
+        "tool": "greenlint",
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "counts": result.counts(),
+        "rules": {
+            code: {"name": r.name, "severity": r.severity}
+            for code, r in sorted(RULES.items())
+        },
+        "findings": [
+            {
+                "code": f.code,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

@@ -1,0 +1,636 @@
+"""The greenlint rule families (GL1–GL5).
+
+Each rule is a function from a :class:`~repro.lint.engine.ModuleContext`
+to an iterable of findings, registered with the :func:`~repro.lint.engine.rule`
+decorator.  The rules encode the conventions the reproduction's physics
+depends on:
+
+GL1
+    Unit-suffix consistency.  A small dimension-inference layer (see
+    :mod:`repro.lint.dims`) propagates quantity suffixes through locals,
+    parameters, attribute accesses and calls, and flags arithmetic,
+    comparisons, assignments, returns and keyword arguments that mix
+    incompatible quantities (adding watts to joules, assigning a
+    seconds expression to a ``*_bytes`` name, ...).  Products and
+    quotients follow the physics: ``idle_w + energy_per_byte_j *
+    dram_bytes_per_s`` is dimensionally sound (E/D · D/T = W).
+GL2
+    Magic unit constants.  Numeric literals that shadow constants
+    exported by :mod:`repro.units` (``1024``, ``3600``, ``2**16``,
+    ``1 << 30``, ``1e3``...) must be spelled via the named constant.
+GL3
+    Exception hygiene.  Every ``raise`` must raise a
+    :class:`~repro.errors.ReproError` subclass; bare ``except:`` is
+    forbidden.
+GL4
+    Determinism.  No direct ``random`` / ``numpy.random`` use outside
+    :mod:`repro.rng`; randomness must come from named streams.
+GL5
+    Energy-accounting call contracts.  A call to a function or
+    constructor with two or more quantity-suffixed parameters must pass
+    those parameters as keywords, so positional joule/watt swaps are
+    impossible.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, Optional
+
+from repro import units as _units
+from repro.lint.dims import (
+    DIMENSIONLESS,
+    Dim,
+    dim_name,
+    div,
+    mul,
+    pow_,
+    suffix_dim,
+)
+from repro.lint.engine import Finding, ModuleContext, rule
+
+# ---------------------------------------------------------------------------
+# GL1: unit-suffix consistency
+# ---------------------------------------------------------------------------
+
+_CHECKED_CMPOPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _known(d: Optional[Dim]) -> bool:
+    """True for dims that participate in mismatch checks."""
+    return d is not None and d != DIMENSIONLESS
+
+
+class _UnitChecker:
+    """Flow-insensitive, scope-aware dimension inference over one module."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    # -- plumbing -----------------------------------------------------------
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            code="GL1", severity="error", path=self.ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), message=message))
+
+    def name_dim(self, name: str, env: dict) -> Optional[Dim]:
+        sd = suffix_dim(name)
+        if sd is not None:
+            return sd
+        return env.get(name)
+
+    # -- expression inference ----------------------------------------------
+
+    def infer(self, node: Optional[ast.expr], env: dict) -> Optional[Dim]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return None
+            if isinstance(node.value, (int, float)):
+                return DIMENSIONLESS
+            return None
+        if isinstance(node, ast.Name):
+            return self.name_dim(node.id, env)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value, env)
+            return suffix_dim(node.attr)
+        if isinstance(node, ast.Subscript):
+            d = self.infer(node.value, env)
+            self.infer(node.slice, env)
+            return d
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            d = self.infer(node.operand, env)
+            return d if isinstance(node.op, (ast.USub, ast.UAdd)) else None
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self.infer(v, env)
+            return None
+        if isinstance(node, ast.Compare):
+            return self._compare(node, env)
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test, env)
+            body = self.infer(node.body, env)
+            orelse = self.infer(node.orelse, env)
+            return body if body == orelse else None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.infer(elt, env)
+            return None
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if k is not None:
+                    self.infer(k, env)
+            for v in node.values:
+                self.infer(v, env)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self._comprehension(node.generators, env)
+            self.infer(node.elt, env)
+            return None
+        if isinstance(node, ast.DictComp):
+            self._comprehension(node.generators, env)
+            self.infer(node.key, env)
+            self.infer(node.value, env)
+            return None
+        if isinstance(node, ast.Lambda):
+            self.infer(node.body, dict(env))
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for v in node.values:
+                if isinstance(v, ast.FormattedValue):
+                    self.infer(v.value, env)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value, env)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.infer(node.value, env)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self.infer(node.value, env)
+            return None
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.infer(part, env)
+            return None
+        if isinstance(node, ast.NamedExpr):
+            d = self.infer(node.value, env)
+            self._assign_target(node.target, d, env)
+            return d
+        return None
+
+    def _comprehension(self, generators, env: dict) -> None:
+        for gen in generators:
+            self.infer(gen.iter, env)
+            self._clear_target(gen.target, env)
+            for cond in gen.ifs:
+                self.infer(cond, env)
+
+    def _binop(self, node: ast.BinOp, env: dict) -> Optional[Dim]:
+        left = self.infer(node.left, env)
+        right = self.infer(node.right, env)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if _known(left) and _known(right) and left != right:
+                verb = "adding" if isinstance(op, ast.Add) else "subtracting"
+                self.flag(node, f"{verb} {dim_name(right)} "
+                                f"{'to' if isinstance(op, ast.Add) else 'from'} "
+                                f"{dim_name(left)}")
+            if left is None or right is None:
+                return None
+            return right if left == DIMENSIONLESS else left
+        if left is None or right is None:
+            if isinstance(op, ast.Pow) and left == DIMENSIONLESS:
+                return DIMENSIONLESS
+            return None
+        if isinstance(op, ast.Mult):
+            return mul(left, right)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return div(left, right)
+        if isinstance(op, ast.Mod):
+            return left
+        if isinstance(op, ast.Pow):
+            if left == DIMENSIONLESS:
+                return DIMENSIONLESS
+            if (isinstance(node.right, ast.Constant)
+                    and isinstance(node.right.value, int)
+                    and abs(node.right.value) <= 8):
+                return pow_(left, node.right.value)
+            return None
+        return None
+
+    def _compare(self, node: ast.Compare, env: dict) -> None:
+        dims = [self.infer(node.left, env)]
+        dims += [self.infer(c, env) for c in node.comparators]
+        for a, op, b in zip(dims, node.ops, dims[1:]):
+            if (isinstance(op, _CHECKED_CMPOPS)
+                    and _known(a) and _known(b) and a != b):
+                self.flag(node, f"comparing {dim_name(a)} with {dim_name(b)}")
+        return None
+
+    def _call(self, node: ast.Call, env: dict) -> Optional[Dim]:
+        func = node.func
+        fname: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            self.infer(func.value, env)
+            fname = func.attr
+        elif isinstance(func, ast.Name):
+            fname = func.id
+        else:
+            self.infer(func, env)
+        argdims = [self.infer(a, env) for a in node.args]
+        for kw in node.keywords:
+            value_dim = self.infer(kw.value, env)
+            if kw.arg is None:
+                continue
+            kw_dim = suffix_dim(kw.arg)
+            if kw_dim is not None and _known(value_dim) and value_dim != kw_dim:
+                self.flag(kw.value,
+                          f"keyword {kw.arg}= expects {dim_name(kw_dim)} "
+                          f"but receives {dim_name(value_dim)}")
+        if fname in ("abs", "float", "round"):
+            return argdims[0] if argdims else None
+        if fname in ("min", "max", "sum") and len(argdims) >= 2:
+            known = [d for d in argdims if _known(d)]
+            for a, b in zip(known, known[1:]):
+                if a != b:
+                    self.flag(node, f"{fname}() mixes {dim_name(a)} "
+                                    f"and {dim_name(b)}")
+            if known:
+                return known[0]
+            if argdims and all(d == DIMENSIONLESS for d in argdims):
+                return DIMENSIONLESS
+            return None
+        if fname is not None:
+            return suffix_dim(fname)
+        return None
+
+    # -- statements ---------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        self.exec_body(self.ctx.tree.body, {}, None)
+        return self.findings
+
+    def exec_body(self, body, env: dict, ret_dim: Optional[Dim]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt, env, ret_dim)
+
+    def exec_stmt(self, stmt: ast.stmt, env: dict,
+                  ret_dim: Optional[Dim]) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.infer(stmt.value, env)
+        elif isinstance(stmt, ast.Assign):
+            d = self.infer(stmt.value, env)
+            for target in stmt.targets:
+                self._assign_target(target, d, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                d = self.infer(stmt.value, env)
+                self._assign_target(stmt.target, d, env)
+        elif isinstance(stmt, ast.AugAssign):
+            target_dim = self.infer(stmt.target, env)
+            value_dim = self.infer(stmt.value, env)
+            if (isinstance(stmt.op, (ast.Add, ast.Sub))
+                    and _known(target_dim) and _known(value_dim)
+                    and target_dim != value_dim):
+                self.flag(stmt, f"augmenting {dim_name(target_dim)} "
+                                f"with {dim_name(value_dim)}")
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                d = self.infer(stmt.value, env)
+                if ret_dim is not None and _known(d) and d != ret_dim:
+                    self.flag(stmt, f"function declares {dim_name(ret_dim)} "
+                                    f"by suffix but returns {dim_name(d)}")
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for dec in stmt.decorator_list:
+                self.infer(dec, env)
+            args = stmt.args
+            for default in (*args.defaults,
+                            *(d for d in args.kw_defaults if d is not None)):
+                self.infer(default, env)
+            self.exec_body(stmt.body, {}, suffix_dim(stmt.name))
+        elif isinstance(stmt, ast.ClassDef):
+            for dec in stmt.decorator_list:
+                self.infer(dec, env)
+            for base in stmt.bases:
+                self.infer(base, env)
+            self.exec_body(stmt.body, {}, None)
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test, env)
+            self.exec_body(stmt.body, env, ret_dim)
+            self.exec_body(stmt.orelse, env, ret_dim)
+        elif isinstance(stmt, ast.While):
+            self.infer(stmt.test, env)
+            self.exec_body(stmt.body, env, ret_dim)
+            self.exec_body(stmt.orelse, env, ret_dim)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.infer(stmt.iter, env)
+            self._clear_target(stmt.target, env)
+            self.exec_body(stmt.body, env, ret_dim)
+            self.exec_body(stmt.orelse, env, ret_dim)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.infer(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._clear_target(item.optional_vars, env)
+            self.exec_body(stmt.body, env, ret_dim)
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body, env, ret_dim)
+            for handler in stmt.handlers:
+                if handler.type is not None:
+                    self.infer(handler.type, env)
+                self.exec_body(handler.body, env, ret_dim)
+            self.exec_body(stmt.orelse, env, ret_dim)
+            self.exec_body(stmt.finalbody, env, ret_dim)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.infer(stmt.exc, env)
+            if stmt.cause is not None:
+                self.infer(stmt.cause, env)
+        elif isinstance(stmt, ast.Assert):
+            self.infer(stmt.test, env)
+            if stmt.msg is not None:
+                self.infer(stmt.msg, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, ast.Match):
+            self.infer(stmt.subject, env)
+            for case in stmt.cases:
+                if case.guard is not None:
+                    self.infer(case.guard, env)
+                self.exec_body(case.body, env, ret_dim)
+        # Import/Global/Nonlocal/Pass/Break/Continue carry no dimensions.
+
+    def _assign_target(self, target: ast.expr, d: Optional[Dim],
+                       env: dict) -> None:
+        if isinstance(target, ast.Name):
+            declared = suffix_dim(target.id)
+            if declared is not None:
+                if _known(d) and d != declared:
+                    self.flag(target,
+                              f"assigning {dim_name(d)} expression to "
+                              f"'{target.id}' ({dim_name(declared)})")
+                env[target.id] = declared
+            else:
+                env[target.id] = d
+        elif isinstance(target, ast.Attribute):
+            self.infer(target.value, env)
+            declared = suffix_dim(target.attr)
+            if declared is not None and _known(d) and d != declared:
+                self.flag(target,
+                          f"assigning {dim_name(d)} expression to attribute "
+                          f"'{target.attr}' ({dim_name(declared)})")
+        elif isinstance(target, ast.Subscript):
+            container = self.infer(target.value, env)
+            self.infer(target.slice, env)
+            if _known(container) and _known(d) and container != d:
+                self.flag(target,
+                          f"storing {dim_name(d)} into a "
+                          f"{dim_name(container)} container")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, None, env)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, None, env)
+
+    def _clear_target(self, target: ast.expr, env: dict) -> None:
+        self._assign_target(target, None, env)
+
+
+@rule("GL1", "unit-suffix consistency")
+def check_units(ctx: ModuleContext) -> Iterator[Finding]:
+    """Arithmetic/comparison/assignment must not mix quantity suffixes."""
+    return iter(_UnitChecker(ctx).run())
+
+
+# ---------------------------------------------------------------------------
+# GL2: magic unit constants
+# ---------------------------------------------------------------------------
+
+#: Literals (int or float spelling) that must come from repro.units.
+_MAGIC_ANY: dict[int, str] = {
+    int(_units.KiB): "KiB",
+    int(_units.MiB): "MiB",
+    int(_units.GiB): "GiB",
+    int(_units.TiB): "TiB",
+    int(_units.HOUR): "HOUR",
+    int(round(1.0 / _units.RAPL_ENERGY_UNIT_J)): "1 / RAPL_ENERGY_UNIT_J",
+}
+
+#: Literals banned only in float spelling (the int spelling is a common
+#: honest count: ``for _ in range(1000)``).
+_MAGIC_FLOAT: dict[float, str] = {
+    float(_units.KJ): "KJ (or KB)",
+    float(_units.MJ): "MJ (or MB, MHZ)",
+    float(_units.GHZ): "GHZ (or GB)",
+    float(_units.MINUTE): "MINUTE",
+    float(_units.MS): "MS",
+    float(_units.US): "US",
+}
+
+
+def _const_expr_value(node: ast.BinOp) -> Optional[int]:
+    """Evaluate small constant ``a ** b`` / ``a << b`` expressions."""
+    if not (isinstance(node.left, ast.Constant)
+            and isinstance(node.right, ast.Constant)
+            and isinstance(node.left.value, int)
+            and isinstance(node.right.value, int)):
+        return None
+    a, b = node.left.value, node.right.value
+    if not 0 <= b <= 64 or abs(a) > 4096:
+        return None
+    if isinstance(node.op, ast.Pow):
+        return a ** b
+    if isinstance(node.op, ast.LShift):
+        return a << b
+    return None
+
+
+@rule("GL2", "magic unit constants", severity="warning",
+      exempt_files=("units.py",))
+def check_magic_constants(ctx: ModuleContext) -> Iterator[Finding]:
+    """Numeric literals shadowing repro.units constants are banned."""
+    findings: list[Finding] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.BinOp):
+            value = _const_expr_value(node)
+            if value is not None and value in _MAGIC_ANY:
+                findings.append(Finding(
+                    code="GL2", severity="warning", path=ctx.path,
+                    line=node.lineno, col=node.col_offset,
+                    message=f"constant expression (= {value}) shadows "
+                            f"repro.units.{_MAGIC_ANY[value]}"))
+                return  # don't also flag the literal operands
+        if isinstance(node, ast.Constant) and not isinstance(node.value, bool):
+            value = node.value
+            if isinstance(value, int) and value in _MAGIC_ANY:
+                findings.append(Finding(
+                    code="GL2", severity="warning", path=ctx.path,
+                    line=node.lineno, col=node.col_offset,
+                    message=f"magic literal {value} shadows "
+                            f"repro.units.{_MAGIC_ANY[value]}"))
+            elif isinstance(value, float):
+                if value in _MAGIC_ANY:
+                    findings.append(Finding(
+                        code="GL2", severity="warning", path=ctx.path,
+                        line=node.lineno, col=node.col_offset,
+                        message=f"magic literal {value} shadows "
+                                f"repro.units.{_MAGIC_ANY[int(value)]}"))
+                elif value in _MAGIC_FLOAT:
+                    findings.append(Finding(
+                        code="GL2", severity="warning", path=ctx.path,
+                        line=node.lineno, col=node.col_offset,
+                        message=f"magic literal {value} shadows "
+                                f"repro.units.{_MAGIC_FLOAT[value]}"))
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(ctx.tree)
+    return iter(findings)
+
+
+# ---------------------------------------------------------------------------
+# GL3: exception hygiene
+# ---------------------------------------------------------------------------
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+
+def _exception_name(exc: ast.expr) -> Optional[str]:
+    target = exc.func if isinstance(exc, ast.Call) else exc
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+@rule("GL3", "exception hygiene")
+def check_exceptions(ctx: ModuleContext) -> Iterator[Finding]:
+    """Raises must use the ReproError hierarchy; bare except is banned."""
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            name = _exception_name(node.exc)
+            if (name is not None
+                    and name not in ctx.project.error_classes
+                    and name in _BUILTIN_EXCEPTIONS):
+                findings.append(Finding(
+                    code="GL3", severity="error", path=ctx.path,
+                    line=node.lineno, col=node.col_offset,
+                    message=f"raises builtin {name}; raise a ReproError "
+                            f"subclass from repro.errors instead"))
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(Finding(
+                code="GL3", severity="error", path=ctx.path,
+                line=node.lineno, col=node.col_offset,
+                message="bare 'except:' swallows everything; "
+                        "catch a specific exception type"))
+    return iter(findings)
+
+
+# ---------------------------------------------------------------------------
+# GL4: determinism
+# ---------------------------------------------------------------------------
+
+#: numpy.random attributes that are types (dependency-injection surface),
+#: not draws — annotating a parameter as np.random.Generator is the
+#: pattern repro.rng *wants*.
+_ALLOWED_NUMPY_RANDOM = frozenset({"Generator", "BitGenerator", "SeedSequence"})
+
+
+@rule("GL4", "determinism", exempt_files=("rng.py",))
+def check_determinism(ctx: ModuleContext) -> Iterator[Finding]:
+    """All randomness must flow through repro.rng named streams."""
+    findings: list[Finding] = []
+    numpy_aliases: set[str] = set()
+
+    def flag(node: ast.AST, message: str) -> None:
+        findings.append(Finding(
+            code="GL4", severity="error", path=ctx.path,
+            line=node.lineno, col=node.col_offset, message=message))
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_aliases.add(alias.asname or "numpy")
+                elif alias.name == "random":
+                    flag(node, "imports stdlib random; use repro.rng "
+                               "named streams instead")
+                elif alias.name.startswith("numpy.random"):
+                    flag(node, "imports numpy.random directly; use "
+                               "repro.rng named streams instead")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                flag(node, "imports from stdlib random; use repro.rng "
+                           "named streams instead")
+            elif node.module == "numpy.random":
+                bad = [a.name for a in node.names
+                       if a.name not in _ALLOWED_NUMPY_RANDOM]
+                if bad:
+                    flag(node, f"imports {', '.join(bad)} from numpy.random; "
+                               f"use repro.rng named streams instead")
+            elif node.module == "numpy":
+                if any(a.name == "random" for a in node.names):
+                    flag(node, "imports numpy.random directly; use "
+                               "repro.rng named streams instead")
+
+    for node in ast.walk(ctx.tree):
+        if (isinstance(node, ast.Attribute)
+                and node.attr not in _ALLOWED_NUMPY_RANDOM
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "random"
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id in numpy_aliases):
+            flag(node, f"numpy.random.{node.attr} bypasses repro.rng "
+                       f"determinism; draw from a named stream")
+    findings.sort(key=Finding.sort_key)
+    return iter(findings)
+
+
+# ---------------------------------------------------------------------------
+# GL5: energy-accounting call contracts
+# ---------------------------------------------------------------------------
+
+@rule("GL5", "energy-accounting call contract")
+def check_call_contracts(ctx: ModuleContext) -> Iterator[Finding]:
+    """Quantity-suffixed parameters must be passed as keywords."""
+    findings: list[Finding] = []
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.class_stack: list[str] = []
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self.class_stack.append(node.name)
+            self.generic_visit(node)
+            self.class_stack.pop()
+
+        def visit_Call(self, node: ast.Call) -> None:
+            self.generic_visit(node)
+            func = node.func
+            if isinstance(func, ast.Name):
+                fname = func.id
+            elif isinstance(func, ast.Attribute):
+                fname = func.attr
+            else:
+                return
+            if fname == "cls" and self.class_stack:
+                fname = self.class_stack[-1]
+            sig = ctx.project.unique_signature(fname)
+            if sig is None or sig.has_vararg:
+                return
+            if any(isinstance(a, ast.Starred) for a in node.args):
+                return
+            suffixed = [i for i, p in enumerate(sig.params)
+                        if suffix_dim(p) is not None]
+            if len(suffixed) < 2:
+                return
+            for i, arg in enumerate(node.args):
+                if i in suffixed:
+                    findings.append(Finding(
+                        code="GL5", severity="error", path=ctx.path,
+                        line=arg.lineno, col=arg.col_offset,
+                        message=f"argument {i + 1} of {fname}() fills "
+                                f"quantity parameter {sig.params[i]!r} "
+                                f"positionally; pass it as a keyword"))
+
+    Visitor().visit(ctx.tree)
+    return iter(findings)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError, MachineError
 from repro.machine.specs import CpuSpec
+from repro.units import GHZ
 
 
 @dataclass
@@ -31,8 +32,8 @@ class CpuModel:
     def _check_freq(self, f: float) -> None:
         if not 0 < f <= self.spec.max_freq_hz * 1.0001:
             raise ConfigError(
-                f"frequency {f / 1e9:.2f} GHz outside (0, "
-                f"{self.spec.max_freq_hz / 1e9:.2f}] GHz"
+                f"frequency {f / GHZ:.2f} GHz outside (0, "
+                f"{self.spec.max_freq_hz / GHZ:.2f}] GHz"
             )
 
     # -- DVFS -----------------------------------------------------------------

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.errors import MachineError
 from repro.machine.specs import DramSpec
+from repro.units import GB
 
 
 @dataclass
@@ -35,8 +36,8 @@ class DramModel:
             raise MachineError("bytes_per_s must be non-negative")
         if bytes_per_s > self.spec.peak_bw_bytes_per_s * 1.0001:
             raise MachineError(
-                f"DRAM traffic {bytes_per_s / 1e9:.1f} GB/s exceeds peak "
-                f"{self.spec.peak_bw_bytes_per_s / 1e9:.1f} GB/s"
+                f"DRAM traffic {bytes_per_s / GB:.1f} GB/s exceeds peak "
+                f"{self.spec.peak_bw_bytes_per_s / GB:.1f} GB/s"
             )
         return self.spec.idle_w + self.spec.energy_per_byte_j * bytes_per_s
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.errors import MachineError
 from repro.machine.specs import NetworkSpec
+from repro.units import GB
 
 
 @dataclass
@@ -46,7 +47,7 @@ class NicModel:
             raise MachineError("bytes_per_s must be non-negative")
         if bytes_per_s > self.spec.link_bw_bytes_per_s * 1.0001:
             raise MachineError(
-                f"NIC traffic {bytes_per_s / 1e9:.2f} GB/s exceeds link rate"
+                f"NIC traffic {bytes_per_s / GB:.2f} GB/s exceeds link rate"
             )
         return self.spec.idle_w + self.spec.energy_per_byte_j * bytes_per_s
 

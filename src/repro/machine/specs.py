@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
-from repro.units import GB, GiB, KiB, MS, MiB, gbps_to_bytes_per_s
+from repro.units import GB, GHZ, GiB, KiB, MS, MiB, gbps_to_bytes_per_s
 
 
 @dataclass(frozen=True)
@@ -212,13 +212,13 @@ class MachineSpec:
         """The paper's Table I, as (hardware type, detail) rows."""
         return [
             ("CPU", f"{self.cpu.sockets}x {self.cpu.model}"),
-            ("CPU frequency", f"{self.cpu.base_freq_hz / 1e9:.1f} GHz"),
+            ("CPU frequency", f"{self.cpu.base_freq_hz / GHZ:.1f} GHz"),
             ("Last-level cache", f"{self.cpu.llc_bytes // MiB} MB"),
             ("Memory", f"{self.dram.dimms}x {self.dram.capacity_bytes // self.dram.dimms // GiB}GB {self.dram.kind}"),
             ("Memory size", f"{self.dram.capacity_bytes // GiB} GB"),
             ("Hard disk", self.disk.model),
             ("Storage size", f"{self.disk.capacity_bytes // GB}GB"),
-            ("Disk bandwidth", f"{self.disk.interface_bw_bytes_per_s * 8 / 1e9:.1f} Gbps"),
+            ("Disk bandwidth", f"{self.disk.interface_bw_bytes_per_s * 8 / GB:.1f} Gbps"),
         ]
 
 

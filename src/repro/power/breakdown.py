@@ -64,7 +64,8 @@ def stage_power_table(
         if counts[stage] == 0:
             continue
         total = sums[stage] / counts[stage]
-        out[stage] = StagePower(stage, total, max(0.0, total - static_w))
+        out[stage] = StagePower(stage, avg_total_w=total,
+                                avg_dynamic_w=max(0.0, total - static_w))
     return out
 
 

@@ -144,8 +144,10 @@ class DiskPowerModel:
             targets.append(power_w)
         coeffs, *_ = np.linalg.lstsq(np.asarray(rows), np.asarray(targets),
                                      rcond=None)
-        idle, e_r, e_w, act = (max(0.0, float(c)) for c in coeffs)
-        return cls(idle, e_r, e_w, act, seek_s_per_random_access)
+        idle, read_coeff, write_coeff, act = (max(0.0, float(c)) for c in coeffs)
+        return cls(idle_w=idle, read_j_per_b=read_coeff,
+                   write_j_per_b=write_coeff, actuator_w=act,
+                   seek_s_per_random_access=seek_s_per_random_access)
 
 
 def workload_from_fio(result) -> WorkloadDescriptor:

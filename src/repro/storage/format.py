@@ -77,7 +77,8 @@ def encode_container(
         raise FileFormatError("grid dimensions must be positive")
     if timestep < 0:
         raise FileFormatError("timestep must be non-negative")
-    if not 0 <= flags < (1 << 16):
+    # u16 header-field width, unrelated to the RAPL energy quantum.
+    if not 0 <= flags < (1 << 16):  # greenlint: ignore[GL2]
         raise FileFormatError(f"flags out of u16 range: {flags}")
     header = _HEADER.pack(MAGIC, VERSION, flags, nx, ny, len(chunks),
                           timestep, physical_time)

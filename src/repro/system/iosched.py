@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Protocol, Sequence
 
+from repro.errors import ConfigError
 from repro.machine.disk import DiskRequest
 
 
@@ -72,7 +73,7 @@ class DeadlineScheduler:
 
     def __init__(self, batch_limit: int = 16) -> None:
         if batch_limit < 0:
-            raise ValueError("batch_limit must be non-negative")
+            raise ConfigError("batch_limit must be non-negative")
         self.batch_limit = batch_limit
 
     def order(self, requests: Sequence[DiskRequest], head_pos: int) -> list[DiskRequest]:

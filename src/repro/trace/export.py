@@ -11,7 +11,9 @@ import csv
 import io
 from typing import Any, Mapping, Sequence
 
+from repro.errors import ConfigError
 from repro.trace.timeline import Timeline
+from repro.units import US
 
 
 def timeline_to_records(timeline: Timeline) -> list[dict[str, Any]]:
@@ -72,8 +74,8 @@ def timeline_to_chrome_trace(timeline: Timeline, pid: int = 1,
         events.append({
             "name": span.stage,
             "ph": "X",
-            "ts": span.t0 * 1e6,
-            "dur": span.duration * 1e6,
+            "ts": span.t0 / US,
+            "dur": span.duration / US,
             "pid": pid,
             "tid": tid,
             "args": {
@@ -87,7 +89,7 @@ def timeline_to_chrome_trace(timeline: Timeline, pid: int = 1,
         events.append({
             "name": marker.name,
             "ph": "i",
-            "ts": marker.t * 1e6,
+            "ts": marker.t / US,
             "pid": pid,
             "tid": tid,
             "s": "t",
@@ -102,7 +104,7 @@ def series_to_csv(columns: Mapping[str, Sequence[float]]) -> str:
     """
     lengths = {name: len(col) for name, col in columns.items()}
     if len(set(lengths.values())) > 1:
-        raise ValueError(f"column lengths differ: {lengths}")
+        raise ConfigError(f"column lengths differ: {lengths}")
     names = list(columns)
     buf = io.StringIO()
     writer = csv.writer(buf)

@@ -12,7 +12,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
-from repro.errors import PipelineError
+from repro.errors import ConfigError, PipelineError
 from repro.trace.events import IDLE, Activity, PhaseMarker, Span
 
 
@@ -172,7 +172,7 @@ class Timeline:
     def slice(self, t0: float, t1: float) -> "Timeline":
         """New timeline containing the (clipped) spans overlapping [t0, t1)."""
         if t1 < t0:
-            raise ValueError("t1 must be >= t0")
+            raise ConfigError("t1 must be >= t0")
         out = Timeline(t0=t0)
         for span in self._spans:
             lo, hi = max(span.t0, t0), min(span.t1, t1)

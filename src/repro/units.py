@@ -10,6 +10,8 @@ hertz.  Helpers convert for display only.
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
+
 # ---------------------------------------------------------------------------
 # Byte sizes (binary, as used for memory/grid sizes)
 # ---------------------------------------------------------------------------
@@ -32,6 +34,12 @@ MS = 1e-3
 SECOND = 1.0
 MINUTE = 60.0
 HOUR = 3600.0
+
+# ---------------------------------------------------------------------------
+# Frequency
+# ---------------------------------------------------------------------------
+MHZ = 1e6
+GHZ = 1e9
 
 # ---------------------------------------------------------------------------
 # Energy / power
@@ -97,5 +105,5 @@ def gbps_to_bytes_per_s(gbps: float) -> float:
 def rpm_to_rev_time(rpm: float) -> float:
     """Full-revolution time in seconds of a platter spinning at ``rpm``."""
     if rpm <= 0:
-        raise ValueError(f"rpm must be positive, got {rpm}")
+        raise ConfigError(f"rpm must be positive, got {rpm}")
     return 60.0 / rpm

@@ -127,19 +127,23 @@ class FioRunner:
         batch = getattr(disk, "service_random_batch", None)
         if job.op is OpKind.READ and job.pattern == "shuffled" and batch is not None:
             # Vectorized batch path: a quarter-million scattered reads.
-            offsets = offsets_for(job.pattern, job.size_bytes, job.block_bytes,
-                                  job.region_offset, rng)
+            offsets = offsets_for(job.pattern, region_bytes=job.size_bytes,
+                                  block_bytes=job.block_bytes,
+                                  region_offset=job.region_offset, rng=rng)
             stats.add(batch(offsets, job.block_bytes, job.op))
         elif job.op is OpKind.READ:
-            offsets = offsets_for(job.pattern, job.size_bytes, job.block_bytes,
-                                  job.region_offset, rng)
+            offsets = offsets_for(job.pattern, region_bytes=job.size_bytes,
+                                  block_bytes=job.block_bytes,
+                                  region_offset=job.region_offset, rng=rng)
             for off in offsets:
                 stats.add(disk.service(
                     DiskRequest(job.op, int(off), job.block_bytes)
                 ))
         else:
-            requests = request_stream(job.op, job.pattern, job.size_bytes,
-                                      job.block_bytes, job.region_offset, rng)
+            requests = request_stream(job.op, job.pattern,
+                                      region_bytes=job.size_bytes,
+                                      block_bytes=job.block_bytes,
+                                      region_offset=job.region_offset, rng=rng)
             for req in requests:
                 stats.add(disk.submit_write(req))
             stats.add_drain(disk.flush_cache())

@@ -1,0 +1,426 @@
+"""Greenlint rule checks against synthetic snippets.
+
+Every GL rule gets at least one positive (snippet that must be flagged)
+and one negative (idiomatic code that must stay clean) so that rule
+regressions — silently flagging nothing, or flagging everything — show
+up here rather than in the self-lint run.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint import lint_source, render_json, render_text
+from repro.lint.dims import (
+    DATA,
+    DATA_RATE,
+    DIMENSIONLESS,
+    ENERGY,
+    ENERGY_PER_BYTE,
+    FREQUENCY,
+    POWER,
+    TIME,
+    div,
+    mul,
+    suffix_dim,
+)
+
+
+def run(source: str, select=None, path: str = "<test>"):
+    return lint_source(textwrap.dedent(source), path=path, select=select)
+
+
+def codes(result):
+    return [f.code for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# Dimension algebra + suffix grammar
+# ---------------------------------------------------------------------------
+
+class TestSuffixGrammar:
+    def test_simple_suffixes(self):
+        assert suffix_dim("energy_j") == ENERGY
+        assert suffix_dim("elapsed_s") == TIME
+        assert suffix_dim("idle_w") == POWER
+        assert suffix_dim("base_freq_hz") == FREQUENCY
+        assert suffix_dim("size_bytes") == DATA
+
+    def test_rate_idiom(self):
+        assert suffix_dim("bytes_per_s") == DATA_RATE
+        assert suffix_dim("read_energy_per_byte_j") == ENERGY_PER_BYTE
+
+    def test_bare_single_letters_are_not_units(self):
+        # Loop variables named j or s must never be treated as quantities.
+        assert suffix_dim("j") is None
+        assert suffix_dim("s") is None
+        assert suffix_dim("w") is None
+
+    def test_unknown_tokens_stay_unknown(self):
+        assert suffix_dim("accesses_per_s") is None
+        assert suffix_dim("overhead_w_at_1hz") is None
+        assert suffix_dim("read_fraction") is None
+
+    def test_algebra(self):
+        assert div(ENERGY, TIME) == POWER
+        assert mul(POWER, TIME) == ENERGY
+        assert div(DATA, TIME) == DATA_RATE
+        assert mul(DIMENSIONLESS, POWER) == POWER
+
+
+# ---------------------------------------------------------------------------
+# GL1 unit-suffix consistency
+# ---------------------------------------------------------------------------
+
+class TestGL1Units:
+    def test_positive_add_mismatch(self):
+        result = run(
+            """
+            def f(energy_j, elapsed_s):
+                return energy_j + elapsed_s
+            """,
+            select=["GL1"],
+        )
+        assert codes(result) == ["GL1"]
+        assert "joules" in result.findings[0].message
+        assert "seconds" in result.findings[0].message
+
+    def test_positive_assignment_mismatch(self):
+        result = run(
+            """
+            def f(elapsed_s):
+                total_j = elapsed_s
+                return total_j
+            """,
+            select=["GL1"],
+        )
+        assert codes(result) == ["GL1"]
+
+    def test_positive_keyword_argument_mismatch(self):
+        result = run(
+            """
+            def g(power_w):
+                return power_w
+
+            def f(elapsed_s):
+                return g(power_w=elapsed_s)
+            """,
+            select=["GL1"],
+        )
+        assert codes(result) == ["GL1"]
+
+    def test_positive_comparison_mismatch(self):
+        result = run(
+            """
+            def f(energy_j, cap_w):
+                return energy_j > cap_w
+            """,
+            select=["GL1"],
+        )
+        assert codes(result) == ["GL1"]
+
+    def test_negative_consistent_algebra(self):
+        result = run(
+            """
+            def f(energy_j, elapsed_s, nbytes):
+                power_w = energy_j / elapsed_s
+                rate_bytes_per_s = nbytes / elapsed_s
+                cost_j = power_w * elapsed_s
+                return cost_j + energy_j
+            """,
+            select=["GL1"],
+        )
+        assert codes(result) == []
+
+    def test_negative_inference_through_locals(self):
+        # An unsuffixed local carries the dim of its initializer.
+        result = run(
+            """
+            def f(energy_j, elapsed_s):
+                avg = energy_j / elapsed_s
+                headroom_w = avg
+                return headroom_w
+            """,
+            select=["GL1"],
+        )
+        assert codes(result) == []
+
+    def test_negative_unknowns_never_flag(self):
+        result = run(
+            """
+            def f(count, energy_j):
+                return count + energy_j
+            """,
+            select=["GL1"],
+        )
+        assert codes(result) == []
+
+
+# ---------------------------------------------------------------------------
+# GL2 magic unit constants
+# ---------------------------------------------------------------------------
+
+class TestGL2MagicConstants:
+    def test_positive_binary_size(self):
+        result = run("block = 4 * 1024 ** 3\n", select=["GL2"])
+        assert codes(result) == ["GL2"]
+        assert result.findings[0].severity == "warning"
+        assert "GiB" in result.findings[0].message
+
+    def test_positive_hour(self):
+        result = run("window = 3600\n", select=["GL2"])
+        assert codes(result) == ["GL2"]
+
+    def test_positive_float_spelling(self):
+        result = run("freq = f / 1e9\n", select=["GL2"])
+        assert codes(result) == ["GL2"]
+
+    def test_negative_named_constant(self):
+        result = run(
+            """
+            from repro.units import GiB, HOUR
+            block = 4 * GiB
+            window = HOUR
+            """,
+            select=["GL2"],
+        )
+        assert codes(result) == []
+
+    def test_negative_int_1000_not_flagged(self):
+        # Plain 1000 is too common (counters, loop bounds) to ban.
+        result = run("n = 1000\n", select=["GL2"])
+        assert codes(result) == []
+
+    def test_exempt_in_units_py(self):
+        result = run("KiB = 1024\n", select=["GL2"], path="units.py")
+        assert codes(result) == []
+
+
+# ---------------------------------------------------------------------------
+# GL3 exception hygiene
+# ---------------------------------------------------------------------------
+
+class TestGL3Exceptions:
+    def test_positive_stdlib_raise(self):
+        result = run(
+            """
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative")
+            """,
+            select=["GL3"],
+        )
+        assert codes(result) == ["GL3"]
+
+    def test_positive_bare_except(self):
+        result = run(
+            """
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+            """,
+            select=["GL3"],
+        )
+        assert codes(result) == ["GL3"]
+
+    def test_negative_repro_error_subclass(self):
+        result = run(
+            """
+            class ReproError(Exception):
+                pass
+
+            class ConfigError(ReproError, ValueError):
+                pass
+
+            def f(x):
+                if x < 0:
+                    raise ConfigError("negative")
+            """,
+            select=["GL3"],
+        )
+        assert codes(result) == []
+
+    def test_negative_reraise(self):
+        result = run(
+            """
+            def f():
+                try:
+                    g()
+                except OSError:
+                    raise
+            """,
+            select=["GL3"],
+        )
+        assert codes(result) == []
+
+
+# ---------------------------------------------------------------------------
+# GL4 determinism
+# ---------------------------------------------------------------------------
+
+class TestGL4Determinism:
+    def test_positive_import_random(self):
+        result = run("import random\n", select=["GL4"])
+        assert codes(result) == ["GL4"]
+
+    def test_positive_numpy_global_rng(self):
+        result = run(
+            """
+            import numpy as np
+            x = np.random.rand(4)
+            """,
+            select=["GL4"],
+        )
+        assert codes(result) == ["GL4"]
+
+    def test_negative_generator_types_allowed(self):
+        result = run(
+            """
+            from numpy.random import Generator, SeedSequence
+            from repro.rng import RngRegistry
+            """,
+            select=["GL4"],
+        )
+        assert codes(result) == []
+
+    def test_exempt_in_rng_py(self):
+        result = run("import random\n", select=["GL4"], path="rng.py")
+        assert codes(result) == []
+
+
+# ---------------------------------------------------------------------------
+# GL5 keyword-only quantity calls
+# ---------------------------------------------------------------------------
+
+class TestGL5CallContracts:
+    def test_positive_positional_quantities(self):
+        result = run(
+            """
+            def plan(duration_s, energy_j):
+                return energy_j / duration_s
+
+            def f():
+                return plan(10.0, 500.0)
+            """,
+            select=["GL5"],
+        )
+        assert codes(result) == ["GL5", "GL5"]
+
+    def test_positive_dataclass_constructor(self):
+        result = run(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Budget:
+                cap_w: float
+                window_s: float
+
+            def f():
+                return Budget(95.0, 1.0)
+            """,
+            select=["GL5"],
+        )
+        assert codes(result) == ["GL5", "GL5"]
+
+    def test_negative_keyword_call(self):
+        result = run(
+            """
+            def plan(duration_s, energy_j):
+                return energy_j / duration_s
+
+            def f():
+                return plan(duration_s=10.0, energy_j=500.0)
+            """,
+            select=["GL5"],
+        )
+        assert codes(result) == []
+
+    def test_negative_single_quantity_param(self):
+        # One quantity argument cannot be transposed with another.
+        result = run(
+            """
+            def wait(duration_s, label):
+                return label, duration_s
+
+            def f():
+                return wait(10.0, "io")
+            """,
+            select=["GL5"],
+        )
+        assert codes(result) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour: suppressions, skip-file, syntax errors, selection
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_line_suppression_by_code(self):
+        result = run("window = 3600  # greenlint: ignore[GL2]\n")
+        assert codes(result) == []
+        assert result.suppressed == 1
+
+    def test_bare_suppression(self):
+        result = run("window = 3600  # greenlint: ignore\n")
+        assert codes(result) == []
+        assert result.suppressed == 1
+
+    def test_suppression_of_other_code_does_not_hide(self):
+        result = run("window = 3600  # greenlint: ignore[GL4]\n")
+        assert codes(result) == ["GL2"]
+
+    def test_skip_file(self):
+        result = run(
+            """
+            # greenlint: skip-file
+            import random
+            window = 3600
+            """
+        )
+        assert codes(result) == []
+
+    def test_syntax_error_reports_gl0(self):
+        result = run("def broken(:\n")
+        assert codes(result) == ["GL0"]
+        assert result.findings[0].severity == "error"
+
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(ConfigError):
+            run("x = 1\n", select=["GL99"])
+
+    def test_finding_format_is_clickable(self):
+        result = run("import random\n", select=["GL4"], path="mod.py")
+        line = result.findings[0].format()
+        assert line.startswith("mod.py:1:")
+        assert "GL4" in line
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+
+class TestReporters:
+    def test_text_report_lists_findings_and_summary(self):
+        result = run("import random\n", select=["GL4"], path="mod.py")
+        text = render_text(result)
+        assert "mod.py:1:" in text
+        assert "1 finding" in text
+
+    def test_text_report_clean(self):
+        result = run("x = 1\n")
+        assert "clean" in render_text(result)
+
+    def test_json_report_schema(self):
+        result = run("window = 3600\n", select=["GL2"], path="mod.py")
+        payload = json.loads(render_json(result))
+        assert payload["version"] == 1
+        assert payload["tool"] == "greenlint"
+        assert payload["counts"] == {"GL2": 1}
+        assert payload["findings"][0]["path"] == "mod.py"
+        assert payload["findings"][0]["severity"] == "warning"
+        assert "GL2" in payload["rules"]

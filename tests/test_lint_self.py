@@ -1,0 +1,85 @@
+"""Greenlint run over the repo's own source tree (tier-1 gate).
+
+The whole point of the linter is that ``src/repro`` stays clean under
+it.  Any new unit mix-up, stray ``raise ValueError``, unseeded RNG, or
+positional quantity call fails this test, not a code review.
+"""
+
+import json
+import os
+
+from repro.cli import main
+from repro.lint import RULES, lint_paths
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+
+
+class TestSelfLint:
+    def test_source_tree_is_clean(self):
+        result = lint_paths([SRC])
+        formatted = "\n".join(f.format() for f in result.findings)
+        assert not result.findings, f"greenlint findings:\n{formatted}"
+
+    def test_covers_the_whole_tree(self):
+        result = lint_paths([SRC])
+        assert result.files_checked >= 100
+
+    def test_intentional_suppressions_are_counted(self):
+        # powercap's float-tolerance and the u16 flag mask in storage
+        # format are deliberate; they must stay visible as suppressions,
+        # not vanish.
+        result = lint_paths([SRC])
+        assert result.suppressed == 2
+
+    def test_all_five_rule_families_registered(self):
+        assert set(RULES) == {"GL1", "GL2", "GL3", "GL4", "GL5"}
+
+
+class TestCliLint:
+    def test_cli_exits_zero_on_clean_tree(self, capsys):
+        assert main(["lint", SRC]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_strict_on_clean_tree(self, capsys):
+        assert main(["lint", "--strict", SRC]) == 0
+        capsys.readouterr()
+
+    def test_cli_json_output(self, capsys):
+        assert main(["lint", "--json", SRC]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "greenlint"
+        assert payload["findings"] == []
+        assert payload["files_checked"] >= 100
+
+    def test_cli_defaults_to_package_tree(self, capsys):
+        # No path argument lints the installed repro package itself.
+        assert main(["lint"]) == 0
+        capsys.readouterr()
+
+    def test_cli_flags_violations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nraise ValueError('x')\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "GL4" in out
+        assert "GL3" in out
+
+    def test_cli_strict_promotes_warnings(self, tmp_path, capsys):
+        bad = tmp_path / "warn.py"
+        bad.write_text("window = 3600\n")
+        assert main(["lint", str(bad)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--strict", str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_cli_select_subset(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nwindow = 3600\n")
+        assert main(["lint", "--select", "GL2", str(bad)]) == 0
+        out = capsys.readouterr().out
+        assert "GL2" in out
+        assert "GL4" not in out
+
+    def test_cli_bad_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -21,12 +21,35 @@ class TestConstants:
     def test_rapl_energy_unit_is_sandy_bridge_quantum(self):
         assert units.RAPL_ENERGY_UNIT_J == pytest.approx(15.2587890625e-6)
 
+    def test_rapl_energy_unit_round_trip(self):
+        # The MSR counts in 1/2**16 J quanta; 2**16 ticks are exactly 1 J.
+        assert units.RAPL_ENERGY_UNIT_J * 2 ** 16 == 1.0
+
+    def test_frequency_constants(self):
+        assert units.GHZ == 1000 * units.MHZ == 1e9
+
 
 class TestFormatting:
     def test_fmt_bytes(self):
         assert units.fmt_bytes(131072) == "128.0 KiB"
         assert units.fmt_bytes(500) == "500 B"
         assert units.fmt_bytes(4 * units.GiB) == "4.0 GiB"
+
+    def test_fmt_bytes_unit_boundaries(self):
+        # Exactly at a unit boundary the larger suffix wins; one byte
+        # below it stays in the smaller unit.
+        assert units.fmt_bytes(units.KiB) == "1.0 KiB"
+        assert units.fmt_bytes(units.KiB - 1) == "1023 B"
+        assert units.fmt_bytes(units.MiB) == "1.0 MiB"
+        assert units.fmt_bytes(units.MiB - 1) == "1024.0 KiB"
+        assert units.fmt_bytes(units.GiB) == "1.0 GiB"
+        assert units.fmt_bytes(units.GiB - 1) == "1024.0 MiB"
+        assert units.fmt_bytes(units.TiB) == "1.0 TiB"
+
+    def test_fmt_bytes_zero_and_negative(self):
+        assert units.fmt_bytes(0) == "0 B"
+        assert units.fmt_bytes(-2 * units.MiB) == "-2.0 MiB"
+        assert units.fmt_bytes(-500) == "-500 B"
 
     def test_fmt_seconds_ranges(self):
         assert units.fmt_seconds(5e-7) == "0.5 us"
@@ -36,6 +59,13 @@ class TestFormatting:
 
     def test_fmt_seconds_negative(self):
         assert units.fmt_seconds(-2).startswith("-")
+
+    def test_fmt_seconds_boundaries(self):
+        assert units.fmt_seconds(0.0) == "0.0 us"
+        assert units.fmt_seconds(1e-3) == "1.00 ms"
+        assert units.fmt_seconds(1.0) == "1.00 s"
+        assert units.fmt_seconds(units.MINUTE) == "1m0.0s"
+        assert units.fmt_seconds(units.HOUR) == "60m0.0s"
 
     def test_fmt_power(self):
         assert units.fmt_power(143.21) == "143.2 W"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI-style gate: tier-1 tests + greenlint in strict mode.
+#
+# Usage:  tools/check.sh
+#
+# Exits non-zero on the first failing stage.  This is the same pair of
+# checks the test suite itself enforces (tests/test_lint_self.py runs
+# the linter as a tier-1 test), packaged for pre-push / CI use.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== greenlint (strict: warnings fail too) =="
+python -m repro.cli lint --strict src/repro
+
+echo "All checks passed."
