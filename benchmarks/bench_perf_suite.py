@@ -1,0 +1,64 @@
+"""Perf trajectory: wall time for every experiment id and for ``run_all``.
+
+Unlike the figure benches (which reproduce one artifact each), this
+suite times the whole evaluation and writes the numbers to
+``benchmarks/output/BENCH_suite.json`` so future PRs can diff the perf
+trajectory against the recorded baseline.
+
+Methodology: each round builds a cold :class:`Lab` and runs the registry
+in order; per-experiment and whole-suite times are the best over
+``ROUNDS`` rounds (best-of-N discards scheduler noise, which on a busy
+box easily exceeds the 20% headroom a mean would leave).
+"""
+
+import json
+import os
+import time
+
+from repro.experiments import EXPERIMENTS, Lab
+
+#: Serial ``run_all()`` wall time measured immediately before the batch
+#: kernels / caching work landed (commit de149e0, same container class).
+BASELINE_RUN_ALL_S = 14.77
+
+#: The optimization work gates on a 5x improvement over that baseline.
+REQUIRED_SPEEDUP = 5.0
+
+ROUNDS = 3
+
+
+def test_perf_suite(output_dir):
+    per_experiment: dict[str, float] = {}
+    suite_samples = []
+    for _ in range(ROUNDS):
+        lab = Lab(seed=2015)
+        round_start = time.perf_counter()
+        for eid, fn in EXPERIMENTS.items():
+            start = time.perf_counter()
+            fn(lab)
+            elapsed = time.perf_counter() - start
+            per_experiment[eid] = min(per_experiment.get(eid, elapsed), elapsed)
+        suite_samples.append(time.perf_counter() - round_start)
+
+    run_all_s = min(suite_samples)
+    speedup = BASELINE_RUN_ALL_S / run_all_s
+    payload = {
+        "baseline_run_all_s": BASELINE_RUN_ALL_S,
+        "run_all_s": round(run_all_s, 4),
+        "speedup": round(speedup, 2),
+        "rounds": ROUNDS,
+        "method": "best-of-rounds, cold Lab per round",
+        "experiments": {eid: round(t, 4) for eid, t in per_experiment.items()},
+    }
+    path = os.path.join(output_dir, "BENCH_suite.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nrun_all: best {run_all_s:.2f}s of {suite_samples}"
+          f" ({speedup:.1f}x over {BASELINE_RUN_ALL_S:.2f}s baseline)")
+
+    assert per_experiment.keys() == EXPERIMENTS.keys()
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"run_all {run_all_s:.2f}s is only {speedup:.1f}x over the"
+        f" {BASELINE_RUN_ALL_S:.2f}s baseline (need {REQUIRED_SPEEDUP:.0f}x)"
+    )

@@ -89,13 +89,16 @@ def detect_phases(
         for j in range(k * min_len, n + 1):
             lo = max((k - 1) * min_len, 0)
             hi = j - min_len + 1
-            for i in range(lo, hi):
-                if best[k - 1][i] == INF:
-                    continue
-                cost = best[k - 1][i] + _segment_cost(prefix, prefix_sq, i, j)
-                if cost < best[k][j]:
-                    best[k][j] = cost
-                    back[k][j] = i
+            # Vectorized over the candidate split points i: same
+            # arithmetic as _segment_cost, first-minimum tie-breaking.
+            counts = j - np.arange(lo, hi)
+            s = prefix[j] - prefix[lo:hi]
+            sq = prefix_sq[j] - prefix_sq[lo:hi]
+            costs = best[k - 1][lo:hi] + (sq - s * s / counts)
+            i_best = int(np.argmin(costs))
+            if costs[i_best] < best[k][j]:
+                best[k][j] = costs[i_best]
+                back[k][j] = lo + i_best
 
     # Model selection: add segments while the improvement beats the penalty.
     chosen = 1

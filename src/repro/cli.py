@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="measurement-noise seed (default: %(default)s)")
     run.add_argument("--csv", metavar="DIR", default=None,
                      help="also write any power-profile data as CSV here")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="run experiments over N worker processes "
+                          "(default: %(default)s, in-process)")
+    run.add_argument("--cache", metavar="DIR", default=None,
+                     help="persist results here keyed by seed + testbed "
+                          "spec; later runs load instead of recomputing")
 
     report = sub.add_parser(
         "report", help="write a consolidated Markdown replication report")
@@ -144,11 +150,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     # command == "run"
-    lab = Lab(seed=args.seed)
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
-        for eid in ids:
-            result = run_experiment(eid, lab)
+        if args.jobs > 1 or args.cache:
+            from repro.experiments.engine import run_experiments
+
+            report = run_experiments(ids, seed=args.seed, jobs=args.jobs,
+                                     cache_dir=args.cache)
+            results = list(report.results.values())
+            if args.cache:
+                print(f"cache: {len(report.cache_hits)} hit(s), "
+                      f"{len(report.cache_misses)} miss(es)")
+                print()
+        else:
+            lab = Lab(seed=args.seed)
+            results = (run_experiment(eid, lab) for eid in ids)
+        for result in results:
             print(result.text)
             print()
             if args.csv:

@@ -5,9 +5,12 @@
 * :mod:`repro.experiments.figures` — one function per paper figure/table.
 * :mod:`repro.experiments.registry` — experiment ids ("fig7", "table3",
   ...) mapped to those functions.
+* :mod:`repro.experiments.engine` — parallel + cached execution of the
+  registry (``repro run all --jobs N --cache DIR``).
 """
 
 from repro.experiments.calibration import CASE_STUDIES, PAPER, STAGE, CaseStudyConfig
+from repro.experiments.engine import EngineReport, run_experiments
 from repro.experiments.figures import ExperimentResult, Lab
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -27,4 +30,6 @@ __all__ = [
     "get_experiment",
     "run_experiment",
     "run_all",
+    "EngineReport",
+    "run_experiments",
 ]

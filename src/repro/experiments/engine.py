@@ -1,0 +1,200 @@
+"""Parallel, cached experiment engine.
+
+:func:`repro.experiments.registry.run_all` reproduces the evaluation
+section one experiment at a time in one process.  The experiments are
+pure functions of ``(seed, testbed spec)`` — that is the repository's
+central determinism invariant — which makes them embarrassingly parallel
+and their results content-addressable.  This module exploits both:
+
+* **Parallel**: experiments fan out over a process pool.  Every worker
+  owns a :class:`~repro.experiments.figures.Lab` for the run's seed, so
+  experiments that land on the same worker still share memoized pipeline
+  runs, and no state crosses process boundaries (results come back by
+  pickle).  ``jobs=1`` degenerates to exactly ``registry.run_all``.
+* **Cached**: results can persist on disk, keyed by a digest of
+  everything they depend on (engine format version, package version,
+  seed, experiment id, and the full testbed spec).  A second invocation
+  with the same inputs loads instead of recomputing; any change to the
+  inputs changes the key and misses.  Corrupt or unreadable entries are
+  recomputed and overwritten, never trusted.
+
+Either feature is bitwise-faithful: the engine returns the same
+:class:`~repro.experiments.figures.ExperimentResult` payloads, in
+registry order, that the serial path produces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.experiments.figures import ExperimentResult, Lab
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.machine.node import paper_testbed
+from repro.rng import DEFAULT_SEED
+from repro.version import __version__
+
+#: Bump to invalidate every existing cache entry (result format change).
+ENGINE_CACHE_VERSION = 1
+
+#: Fixed pickle protocol so cache entries (and the determinism checks
+#: built on them) do not depend on the interpreter's default.
+_PICKLE_PROTOCOL = 4
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Outcome of one engine invocation."""
+
+    results: dict[str, ExperimentResult]
+    jobs: int
+    cache_dir: str | None = None
+    cache_hits: tuple[str, ...] = field(default=())
+    cache_misses: tuple[str, ...] = field(default=())
+
+
+# -- cache ----------------------------------------------------------------------
+
+
+def cache_key(experiment_id: str, seed: int) -> str:
+    """Digest of everything an experiment's result depends on."""
+    material = ":".join((
+        str(ENGINE_CACHE_VERSION),
+        __version__,
+        str(seed),
+        experiment_id,
+        repr(paper_testbed()),
+    ))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def _cache_path(cache_dir: str, experiment_id: str, seed: int) -> str:
+    return os.path.join(cache_dir,
+                        f"{experiment_id}-{cache_key(experiment_id, seed)[:20]}.pkl")
+
+
+def _cache_load(path: str) -> ExperimentResult | None:
+    """A cached result, or None when absent/corrupt (never raises)."""
+    try:
+        with open(path, "rb") as fh:
+            result = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError):
+        return None
+    return result if isinstance(result, ExperimentResult) else None
+
+
+def _cache_store(path: str, result: ExperimentResult) -> None:
+    """Atomically persist a result (tmp file + rename)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(result, fh, protocol=_PICKLE_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:
+        # Caching is best-effort; the computed result is still returned.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+# -- workers --------------------------------------------------------------------
+
+#: Per-worker-process Lab.  On fork-capable platforms the parent primes
+#: this with the memoized shared pipeline runs before the pool starts,
+#: so every worker inherits them copy-on-write; otherwise the pool
+#: initializer builds a fresh Lab per worker.  Either way the memoized
+#: state only accelerates — it never changes a produced number.
+_WORKER_LAB: Lab | None = None
+
+
+def _worker_init(seed: int) -> None:
+    global _WORKER_LAB
+    if _WORKER_LAB is None or _WORKER_LAB.seed != seed:
+        _WORKER_LAB = Lab(seed=seed)
+
+
+def _prime_shared_lab(seed: int) -> None:
+    """Compute the cross-experiment shared products once, pre-fork."""
+    global _WORKER_LAB
+    if _WORKER_LAB is None or _WORKER_LAB.seed != seed:
+        _WORKER_LAB = Lab(seed=seed)
+    _WORKER_LAB.outcomes()
+    _WORKER_LAB.fio()
+
+
+def _worker_run(experiment_id: str, seed: int) -> ExperimentResult:
+    lab = _WORKER_LAB if _WORKER_LAB is not None else Lab(seed=seed)
+    return get_experiment(experiment_id)(lab)
+
+
+# -- the engine -----------------------------------------------------------------
+
+
+def run_experiments(
+    experiment_ids: list[str] | None = None,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> EngineReport:
+    """Run experiments in parallel, consulting the on-disk cache first.
+
+    Results come back in registry order regardless of completion order,
+    and are bitwise-identical to the serial path for any ``jobs``.
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    ids = list(EXPERIMENTS) if experiment_ids is None else list(experiment_ids)
+    for eid in ids:
+        get_experiment(eid)  # fail fast on unknown ids
+
+    results: dict[str, ExperimentResult] = {}
+    hits: list[str] = []
+    misses: list[str] = []
+    if cache_dir is not None:
+        for eid in ids:
+            cached = _cache_load(_cache_path(cache_dir, eid, seed))
+            if cached is not None:
+                results[eid] = cached
+                hits.append(eid)
+            else:
+                misses.append(eid)
+    else:
+        misses = list(ids)
+
+    if misses:
+        if jobs == 1:
+            lab = Lab(seed=seed)
+            computed = {eid: get_experiment(eid)(lab) for eid in misses}
+        else:
+            if "fork" in multiprocessing.get_all_start_methods():
+                _prime_shared_lab(seed)
+                context = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - non-fork platforms
+                context = multiprocessing.get_context()
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(misses)),
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(seed,),
+            ) as pool:
+                futures = {eid: pool.submit(_worker_run, eid, seed)
+                           for eid in misses}
+                computed = {eid: fut.result() for eid, fut in futures.items()}
+        if cache_dir is not None:
+            for eid, result in computed.items():
+                _cache_store(_cache_path(cache_dir, eid, seed), result)
+        results.update(computed)
+
+    ordered = {eid: results[eid] for eid in ids}
+    return EngineReport(results=ordered, jobs=jobs, cache_dir=cache_dir,
+                        cache_hits=tuple(hits), cache_misses=tuple(misses))

@@ -19,7 +19,8 @@ from repro.machine.specs import (
 )
 from repro.machine.cpu import CpuModel
 from repro.machine.memory import DramModel
-from repro.machine.disk import HddModel, DiskRequest, DiskResult, OpKind
+from repro.machine.device import BlockDevice, LatencyBandwidthModel
+from repro.machine.disk import BatchComponents, HddModel, DiskRequest, DiskResult, OpKind
 from repro.machine.ssd import SsdModel
 from repro.machine.nvram import NvramModel
 from repro.machine.raid import RaidArray, RaidLevel
@@ -36,6 +37,9 @@ __all__ = [
     "paper_testbed",
     "CpuModel",
     "DramModel",
+    "BlockDevice",
+    "LatencyBandwidthModel",
+    "BatchComponents",
     "HddModel",
     "DiskRequest",
     "DiskResult",

@@ -1,0 +1,206 @@
+"""The uniform block-device protocol and the flash-class base model.
+
+Everything the storage stack talks to — :class:`~repro.machine.disk.HddModel`,
+:class:`~repro.machine.ssd.SsdModel`, :class:`~repro.machine.nvram.NvramModel`
+and :class:`~repro.machine.raid.RaidArray` — declares :class:`BlockDevice`:
+scalar servicing (``service`` / ``submit_write`` / ``flush_cache``), batched
+servicing (``service_batch`` / ``submit_write_batch`` plus the per-request
+``*_components`` kernels the RAID merge needs), and lifecycle (``reset``).
+Consumers dispatch on the protocol instead of duck-typed ``getattr`` /
+``hasattr`` probes.
+
+:class:`LatencyBandwidthModel` implements the whole protocol for stateless
+devices whose service time is a fixed per-op latency plus bytes over a
+direction-dependent media rate — the SSD and NVRAM models subclass it and
+only contribute their spec.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.machine.disk import (
+    BatchComponents,
+    DiskRequest,
+    DiskResult,
+    OpKind,
+    batch_arrays,
+    batch_result,
+    empty_components,
+    read_mask,
+)
+
+
+@runtime_checkable
+class BlockDevice(Protocol):
+    """What every storage device model (and RAID of them) provides."""
+
+    @property
+    def spec(self):
+        """Device specification (capacity, rates, power coefficients)."""
+        ...
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable capacity in bytes."""
+        ...
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes accepted but not yet persisted to the media."""
+        ...
+
+    def service(self, request: DiskRequest) -> DiskResult:
+        """Service one request against the media (bypassing write cache)."""
+        ...
+
+    def submit_write(self, request: DiskRequest) -> DiskResult:
+        """Accept one write (through the write cache where present)."""
+        ...
+
+    def flush_cache(self) -> DiskResult:
+        """Drain any write-back cache to the media."""
+        ...
+
+    def service_components(self, offsets, nbytes, op) -> BatchComponents:
+        """Per-request timing for a batched :meth:`service` stream."""
+        ...
+
+    def service_batch(self, offsets, nbytes, op: OpKind) -> DiskResult:
+        """Aggregate result for a batched :meth:`service` stream."""
+        ...
+
+    def submit_write_components(self, offsets, nbytes) -> BatchComponents:
+        """Per-request timing for a batched :meth:`submit_write` stream."""
+        ...
+
+    def submit_write_batch(self, offsets, nbytes) -> DiskResult:
+        """Aggregate result for a batched :meth:`submit_write` stream."""
+        ...
+
+    def stream_time(self, nbytes: int, op: OpKind) -> float:
+        """Seconds to move ``nbytes`` contiguously."""
+        ...
+
+    def reset(self) -> None:
+        """Restore initial state (positions, caches)."""
+        ...
+
+
+class LatencyBandwidthModel:
+    """Stateless device: per-op fixed latency + bytes / media rate.
+
+    Subclasses set ``self.spec`` to an object with ``capacity_bytes``,
+    ``seq_read_bw`` / ``seq_write_bw`` (B/s) and ``read_latency_s`` /
+    ``write_latency_s`` fields.
+    """
+
+    spec = None  # set by subclass __init__
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable capacity in bytes."""
+        return self.spec.capacity_bytes
+
+    def _check_extent(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.spec.capacity_bytes:
+            raise DeviceError(
+                f"extent [{offset}, {offset + nbytes}) outside device "
+                f"of {self.spec.capacity_bytes} bytes"
+            )
+
+    def media_rate(self, op: OpKind) -> float:
+        """Sustained media transfer rate for the given operation (B/s)."""
+        return self.spec.seq_read_bw if op is OpKind.READ else self.spec.seq_write_bw
+
+    def _latency(self, op: OpKind) -> float:
+        return self.spec.read_latency_s if op is OpKind.READ else self.spec.write_latency_s
+
+    # -- scalar servicing -------------------------------------------------------
+
+    def service(self, request: DiskRequest) -> DiskResult:
+        """Service one request; returns its timing decomposition."""
+        self._check_extent(request.offset, request.nbytes)
+        transfer = request.nbytes / self.media_rate(request.op)
+        return DiskResult(
+            service_time=self._latency(request.op) + transfer,
+            arm_time=0.0,
+            rotation_time=0.0,
+            transfer_time=transfer,
+            nbytes=request.nbytes,
+            op=request.op,
+        )
+
+    def submit_write(self, request: DiskRequest) -> DiskResult:
+        """Accept a write (no write-back cache: services immediately)."""
+        if request.op is not OpKind.WRITE:
+            raise DeviceError("submit_write requires a WRITE request")
+        return self.service(request)
+
+    def flush_cache(self) -> DiskResult:
+        """Drain any write-back cache to the media (nothing to drain)."""
+        return DiskResult(0.0, 0.0, 0.0, 0.0, 0, OpKind.WRITE)
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes accepted but not yet persisted to the media."""
+        return 0
+
+    # -- batched servicing ------------------------------------------------------
+
+    def service_components(self, offsets, nbytes, op) -> BatchComponents:
+        """Vectorized :meth:`service` over a request stream."""
+        offs, sizes = batch_arrays(offsets, nbytes)
+        n = offs.size
+        if n == 0:
+            return empty_components(0)
+        if int((offs + sizes).max()) > self.spec.capacity_bytes:
+            raise DeviceError(
+                f"batch extends outside device of {self.spec.capacity_bytes} bytes"
+            )
+        is_read = read_mask(op, n)
+        rate = np.where(is_read, self.spec.seq_read_bw, self.spec.seq_write_bw)
+        latency = np.where(is_read, self.spec.read_latency_s, self.spec.write_latency_s)
+        transfer = sizes / rate
+        zeros = np.zeros(n, dtype=np.float64)
+        return BatchComponents(
+            service=latency + transfer,
+            arm=zeros,
+            rotation=zeros.copy(),
+            transfer=transfer,
+            media_bytes=sizes.copy(),
+        )
+
+    def service_batch(self, offsets, nbytes, op: OpKind) -> DiskResult:
+        """Aggregate result for a batched :meth:`service` stream."""
+        return batch_result(self.service_components(offsets, nbytes, op), op)
+
+    def submit_write_components(self, offsets, nbytes) -> BatchComponents:
+        """Vectorized :meth:`submit_write` (write-through: same as service)."""
+        return self.service_components(offsets, nbytes, OpKind.WRITE)
+
+    def submit_write_batch(self, offsets, nbytes) -> DiskResult:
+        """Aggregate result for a batched :meth:`submit_write` stream."""
+        return batch_result(self.submit_write_components(offsets, nbytes), OpKind.WRITE)
+
+    # -- streaming / lifecycle --------------------------------------------------
+
+    def stream_time(self, nbytes: int, op: OpKind) -> float:
+        """Seconds to move ``nbytes`` contiguously."""
+        if nbytes < 0:
+            raise DeviceError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self._latency(op) + nbytes / self.media_rate(op)
+
+    def seek_time(self, distance_bytes: int) -> float:
+        """No mechanics; 'seeking' is free."""
+        if distance_bytes < 0:
+            raise DeviceError("distance must be non-negative")
+        return 0.0
+
+    def reset(self) -> None:
+        """No mutable state to reset."""

@@ -26,6 +26,8 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import DeviceError
 from repro.machine.specs import DiskSpec
 from repro.units import rpm_to_rev_time
@@ -74,10 +76,90 @@ class DiskResult:
     nbytes: int
     op: OpKind
     cached: bool = False   # absorbed by the drive's write cache
+    #: How many logical requests this result aggregates (batched servicing
+    #: folds a whole request stream into one result; op counters need the
+    #: original multiplicity).
+    n_ops: int = 1
 
     def __post_init__(self) -> None:
         if self.service_time < -1e-12:
             raise DeviceError("negative service time")
+
+
+@dataclass(frozen=True)
+class BatchComponents:
+    """Per-request timing decomposition of a serviced batch.
+
+    Parallel float64 arrays, one entry per logical request, in submission
+    order.  ``media_bytes`` carries the bytes the result *prices*:
+    serviced bytes for direct requests, and for cached write streams only
+    the platter traffic drained by forced flushes — cached acceptances
+    contribute zero, exactly as :class:`~repro.system.blockdev.IoStats`
+    ignores the ``nbytes`` of a ``cached`` scalar result.  Summing
+    ``media_bytes`` therefore lands the aggregate result's ``nbytes``
+    where the scalar stream's accounting would.
+    """
+
+    service: np.ndarray
+    arm: np.ndarray
+    rotation: np.ndarray
+    transfer: np.ndarray
+    media_bytes: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of requests in the batch."""
+        return int(self.service.size)
+
+
+def empty_components(n: int = 0) -> BatchComponents:
+    """All-zero components for ``n`` requests."""
+    zeros = np.zeros(n, dtype=np.float64)
+    return BatchComponents(zeros, zeros.copy(), zeros.copy(), zeros.copy(),
+                           np.zeros(n, dtype=np.int64))
+
+
+def batch_arrays(offsets, nbytes) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce a batch spec into validated (offsets, sizes) int64 arrays.
+
+    ``nbytes`` may be a scalar (uniform request size) or a per-request
+    array broadcastable against ``offsets``.
+    """
+    offs = np.asarray(offsets, dtype=np.int64)
+    if offs.ndim != 1:
+        raise DeviceError(f"batch offsets must be 1-D, got shape {offs.shape}")
+    sizes = np.broadcast_to(np.asarray(nbytes, dtype=np.int64), offs.shape)
+    if offs.size:
+        if int(offs.min()) < 0:
+            raise DeviceError("negative offset in batch")
+        if int(sizes.min()) <= 0:
+            raise DeviceError("request size must be positive")
+    return offs, sizes
+
+
+def read_mask(op, n: int) -> np.ndarray:
+    """Normalize a batch op spec (OpKind or per-request bool mask) to a mask."""
+    if isinstance(op, OpKind):
+        return np.full(n, op is OpKind.READ, dtype=bool)
+    mask = np.asarray(op, dtype=bool)
+    if mask.shape != (n,):
+        raise DeviceError(f"op mask shape {mask.shape} does not match batch of {n}")
+    return mask
+
+
+def batch_result(comp: BatchComponents, op: OpKind,
+                 cached: bool = False) -> DiskResult:
+    """Fold per-request components into one aggregate :class:`DiskResult`."""
+    return DiskResult(
+        service_time=float(np.sum(comp.service)),
+        arm_time=float(np.sum(comp.arm)),
+        rotation_time=float(np.sum(comp.rotation)),
+        transfer_time=float(np.sum(comp.transfer)),
+        nbytes=int(np.sum(comp.media_bytes)),
+        op=op,
+        cached=cached,
+        n_ops=comp.n,
+    )
 
 
 class HddModel:
@@ -100,6 +182,11 @@ class HddModel:
         self._rev_time = rpm_to_rev_time(spec.rpm)
 
     # -- geometry helpers -----------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable capacity in bytes."""
+        return self.spec.capacity_bytes
 
     def _check_extent(self, offset: int, nbytes: int) -> None:
         if offset < 0 or offset + nbytes > self.spec.capacity_bytes:
@@ -258,48 +345,174 @@ class HddModel:
         """Bytes accepted but not yet persisted to the media."""
         return self._cache_dirty
 
-    def service_random_batch(self, offsets, nbytes: int, op: OpKind) -> DiskResult:
-        """Service a batch of same-size scattered requests, vectorized.
+    # -- batched servicing -------------------------------------------------------
 
-        Semantically equivalent to looping :meth:`service` over the batch
-        (tested), but computes all seek distances with NumPy.  Assumes the
-        batch is genuinely scattered — accidental contiguity between
-        consecutive offsets is not detected, which for uniform-random
-        offsets is a vanishing correction.
+    def _check_batch(self, offs: np.ndarray, sizes: np.ndarray) -> None:
+        if offs.size and int((offs + sizes).max()) > self.spec.capacity_bytes:
+            raise DeviceError(
+                f"batch extends outside device of {self.spec.capacity_bytes} bytes"
+            )
+
+    def service_components(self, offsets, nbytes, op) -> BatchComponents:
+        """Vectorized :meth:`service` over a request stream.
+
+        Produces the same per-request timing (and the same final head /
+        extent state) as looping :meth:`service`, including contiguity
+        detection between consecutive batch elements.  ``op`` is an
+        :class:`OpKind` for a uniform batch or a per-request boolean
+        read-mask for mixed streams.
         """
-        import numpy as np
-
-        offs = np.asarray(offsets, dtype=np.int64)
-        if offs.size == 0:
-            return DiskResult(0.0, 0.0, 0.0, 0.0, 0, op)
-        if nbytes <= 0:
-            raise DeviceError("request size must be positive")
-        if offs.min() < 0 or offs.max() + nbytes > self.spec.capacity_bytes:
-            raise DeviceError("batch extends outside the device")
-        # Head travels from its current position through each request end.
-        starts = offs
-        prev_ends = np.empty_like(offs)
-        prev_ends[0] = self._head
-        prev_ends[1:] = offs[:-1] + nbytes
-        d = np.abs(starts - prev_ends) / self.spec.capacity_bytes
-        arm = float(np.sum(
-            self.spec.track_to_track_s + self.spec.seek_curve_b_s * np.sqrt(d)
-        ))
+        offs, sizes = batch_arrays(offsets, nbytes)
         n = offs.size
-        rotation = n * self.avg_rotational_latency
-        settle = n * self.spec.settle_s
-        transfer = n * nbytes / self.media_rate(op)
-        self._head = int(offs[-1]) + nbytes
-        self._last_end = self._head
-        self._last_op = op
-        return DiskResult(
-            service_time=arm + settle + rotation + transfer,
-            arm_time=arm,
-            rotation_time=rotation,
-            transfer_time=transfer,
-            nbytes=n * nbytes,
-            op=op,
+        if n == 0:
+            return empty_components(0)
+        self._check_batch(offs, sizes)
+        is_read = read_mask(op, n)
+        ends = offs + sizes
+        first_op = OpKind.READ if is_read[0] else OpKind.WRITE
+
+        cont = np.empty(n, dtype=bool)
+        cont[0] = (
+            self._last_end is not None
+            and int(offs[0]) == self._last_end
+            and self._last_op is first_op
         )
+        cont[1:] = (offs[1:] == ends[:-1]) & (is_read[1:] == is_read[:-1])
+
+        prev_head = np.empty(n, dtype=np.int64)
+        prev_head[0] = self._head
+        prev_head[1:] = ends[:-1]
+        dist = np.abs(offs - prev_head)
+        frac = np.minimum(1.0, dist / self.spec.capacity_bytes)
+        arm = np.where(
+            dist == 0, 0.0,
+            self.spec.track_to_track_s + self.spec.seek_curve_b_s * np.sqrt(frac),
+        )
+        arm = np.where(cont, 0.0, arm)
+        settle = np.where(cont, 0.0, self.spec.settle_s)
+        rotation = np.where(cont, 0.0, self.avg_rotational_latency)
+        rate = np.where(is_read, self.spec.seq_read_bw, self.spec.seq_write_bw)
+        transfer = sizes / rate
+
+        self._head = int(ends[-1])
+        self._last_end = int(ends[-1])
+        self._last_op = OpKind.READ if is_read[-1] else OpKind.WRITE
+        return BatchComponents(
+            service=arm + settle + rotation + transfer,
+            arm=arm,
+            rotation=rotation,
+            transfer=transfer,
+            media_bytes=sizes.copy(),
+        )
+
+    def service_batch(self, offsets, nbytes, op: OpKind) -> DiskResult:
+        """Batched :meth:`service`: one aggregate result for a request stream."""
+        return batch_result(self.service_components(offsets, nbytes, op), op)
+
+    def submit_write_components(self, offsets, nbytes) -> BatchComponents:
+        """Vectorized :meth:`submit_write` over a write stream.
+
+        Replays the write-back cache generation by generation: requests
+        accumulate at interface speed until one would overflow the cache,
+        which forces a drain whose platter traffic and actuator activity
+        surface on that overflowing request — exactly the scalar
+        semantics, flush crediting included.
+        """
+        offs, sizes = batch_arrays(offsets, nbytes)
+        n = offs.size
+        if n == 0:
+            return empty_components(0)
+        if not self.spec.write_cache:
+            return self.service_components(offs, sizes, OpKind.WRITE)
+        self._check_batch(offs, sizes)
+        ends = offs + sizes
+        interface = sizes / self.spec.interface_bw_bytes_per_s
+
+        cont = np.empty(n, dtype=bool)
+        cont[0] = (
+            self._last_end is not None
+            and int(offs[0]) == self._last_end
+            and self._last_op is OpKind.WRITE
+        )
+        cont[1:] = offs[1:] == ends[:-1]
+        new_extent = (~cont).astype(np.int64)
+
+        # Prefix sums let each cache generation be located in O(log n).
+        size_cum = np.cumsum(sizes)
+        ext_cum = np.cumsum(new_extent)
+        if_cum = np.cumsum(interface)
+
+        def _span(cum: np.ndarray, i: int, k: int):
+            lo = cum[i - 1] if i else 0
+            return cum[k - 1] - lo
+
+        service = interface.copy()
+        transfer = interface.copy()
+        arm = np.zeros(n, dtype=np.float64)
+        # Cached acceptances price zero bytes (IoStats skips the nbytes
+        # of a cached scalar result); only forced drains record the
+        # platter bytes actually flushed.
+        media = np.zeros(n, dtype=np.int64)
+        dirty = self._cache_dirty
+        extents = self._cache_extents
+        accept = self._accept_since_flush
+        cache_bytes = self.spec.cache_bytes
+
+        i = 0
+        while i < n:
+            base = int(size_cum[i - 1] if i else 0) - dirty
+            k = int(np.searchsorted(size_cum, cache_bytes + base, side="right"))
+            k = max(k, i)
+            if k >= n:
+                # Remainder fits in the cache: absorb and finish.
+                dirty += int(_span(size_cum, i, n))
+                extents += int(_span(ext_cum, i, n))
+                accept += float(_span(if_cum, i, n))
+                break
+            if k > i:
+                dirty += int(_span(size_cum, i, k))
+                extents += int(_span(ext_cum, i, k))
+                accept += float(_span(if_cum, i, k))
+            # Request k overflows: forced drain (same math as flush_cache).
+            if dirty > 0:
+                stream = dirty / self.spec.seq_write_bw
+                drain = stream * self.spec.random_write_penalty \
+                    if max(1, extents) > 1 else stream
+                fl_service = max(0.0, drain - accept)
+                fl_arm = min(drain, (max(1, extents) - 1) * self.spec.coalesced_hop_s)
+            else:
+                stream = 0.0
+                fl_service = 0.0
+                fl_arm = 0.0
+            if fl_service > 0.0:
+                service[k] = max(fl_service, float(interface[k]))
+                arm[k] = fl_arm
+                transfer[k] = stream
+                media[k] = dirty
+            # else: the drain was fully credited (or empty) — the scalar
+            # path reports a plain cached acceptance.
+            dirty = int(sizes[k])
+            extents = int(new_extent[k])
+            accept = float(interface[k])
+            i = k + 1
+
+        self._cache_dirty = dirty
+        self._cache_extents = extents
+        self._accept_since_flush = accept
+        self._last_end = int(ends[-1])
+        self._last_op = OpKind.WRITE
+        return BatchComponents(
+            service=service,
+            arm=arm,
+            rotation=np.zeros(n, dtype=np.float64),
+            transfer=transfer,
+            media_bytes=media,
+        )
+
+    def submit_write_batch(self, offsets, nbytes) -> DiskResult:
+        """Batched :meth:`submit_write`: one aggregate result for a stream."""
+        comp = self.submit_write_components(offsets, nbytes)
+        return batch_result(comp, OpKind.WRITE)
 
     # -- convenience for streaming workloads ------------------------------------
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import DeviceError
-from repro.machine.disk import DiskRequest, DiskResult, OpKind
+from repro.machine.device import LatencyBandwidthModel
 from repro.units import GiB, US
 
 
@@ -35,67 +35,13 @@ class NvramSpec:
             raise DeviceError("NVRAM capacity must be positive")
 
 
-class NvramModel:
-    """Byte-addressable persistent memory with latency + bandwidth service."""
+class NvramModel(LatencyBandwidthModel):
+    """Byte-addressable persistent memory with latency + bandwidth service.
+
+    Scalar and batched servicing (the full
+    :class:`~repro.machine.device.BlockDevice` protocol) comes from
+    :class:`~repro.machine.device.LatencyBandwidthModel`.
+    """
 
     def __init__(self, spec: NvramSpec | None = None) -> None:
         self.spec = spec or NvramSpec()
-
-    def _check_extent(self, offset: int, nbytes: int) -> None:
-        if offset < 0 or offset + nbytes > self.spec.capacity_bytes:
-            raise DeviceError(
-                f"extent [{offset}, {offset + nbytes}) outside device "
-                f"of {self.spec.capacity_bytes} bytes"
-            )
-
-    def media_rate(self, op: OpKind) -> float:
-        """Sustained media transfer rate for the given operation (B/s)."""
-        return self.spec.seq_read_bw if op is OpKind.READ else self.spec.seq_write_bw
-
-    def _latency(self, op: OpKind) -> float:
-        return self.spec.read_latency_s if op is OpKind.READ else self.spec.write_latency_s
-
-    def service(self, request: DiskRequest) -> DiskResult:
-        """Service one request; returns its timing decomposition."""
-        self._check_extent(request.offset, request.nbytes)
-        transfer = request.nbytes / self.media_rate(request.op)
-        return DiskResult(
-            service_time=self._latency(request.op) + transfer,
-            arm_time=0.0,
-            rotation_time=0.0,
-            transfer_time=transfer,
-            nbytes=request.nbytes,
-            op=request.op,
-        )
-
-    def submit_write(self, request: DiskRequest) -> DiskResult:
-        """Accept a write (through the write cache where present)."""
-        if request.op is not OpKind.WRITE:
-            raise DeviceError("submit_write requires a WRITE request")
-        return self.service(request)
-
-    def flush_cache(self) -> DiskResult:
-        """Drain any write-back cache to the media."""
-        return DiskResult(0.0, 0.0, 0.0, 0.0, 0, OpKind.WRITE)
-
-    @property
-    def dirty_bytes(self) -> int:
-        """Bytes accepted but not yet persisted to the media."""
-        return 0
-
-    def stream_time(self, nbytes: int, op: OpKind) -> float:
-        """Seconds to move ``nbytes`` contiguously."""
-        if nbytes < 0:
-            raise DeviceError("nbytes must be non-negative")
-        if nbytes == 0:
-            return 0.0
-        return self._latency(op) + nbytes / self.media_rate(op)
-
-    def seek_time(self, distance_bytes: int) -> float:
-        """Actuator travel time for a head movement of the given distance."""
-        if distance_bytes < 0:
-            raise DeviceError("distance must be non-negative")
-        return 0.0
-
-    def reset(self) -> None:
-        """No mutable state."""

@@ -19,8 +19,19 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import DeviceError
-from repro.machine.disk import DiskRequest, DiskResult, OpKind
+from repro.machine.disk import (
+    BatchComponents,
+    DiskRequest,
+    DiskResult,
+    OpKind,
+    batch_arrays,
+    batch_result,
+    empty_components,
+    read_mask,
+)
 from repro.units import KiB
 
 
@@ -93,6 +104,15 @@ class RaidArray:
     def idle_w(self) -> float:
         """Static power of all members combined (W)."""
         return sum(m.spec.idle_w for m in self.members)
+
+    @property
+    def spec(self):
+        """Representative member spec (homogeneous array: member 0).
+
+        Consumers read interface/power coefficients off it; per-array
+        aggregates (capacity, idle power) come from the array itself.
+        """
+        return self.members[0].spec
 
     def _check_extent(self, offset: int, nbytes: int) -> None:
         if offset < 0 or offset + nbytes > self.capacity_bytes:
@@ -225,6 +245,231 @@ class RaidArray:
         merged = self._merge_parallel(results, OpKind.WRITE, request.nbytes)
         return DiskResult(merged.service_time, merged.arm_time, merged.rotation_time,
                           merged.transfer_time, request.nbytes, OpKind.WRITE, cached=True)
+
+    # -- batched servicing -------------------------------------------------------
+
+    def _slices_arrays(self, offs: np.ndarray, sizes: np.ndarray):
+        """Vectorized :meth:`_slices` over a whole batch.
+
+        Returns flat ``(req_idx, member, member_offset, take)`` arrays in
+        the scalar decomposition order: requests in submission order, and
+        each request's stripe pieces in ascending position.
+        """
+        stripe = self.stripe_bytes
+        width = self.data_members
+        first_take = np.minimum(stripe - offs % stripe, sizes)
+        extra = (sizes - first_take + stripe - 1) // stripe
+        counts = 1 + extra
+        total = int(counts.sum())
+        req_idx = np.repeat(np.arange(offs.size, dtype=np.int64), counts)
+        flat_start = np.repeat(np.cumsum(counts) - counts, counts)
+        j = np.arange(total, dtype=np.int64) - flat_start
+        off_r = offs[req_idx]
+        size_r = sizes[req_idx]
+        ft_r = first_take[req_idx]
+        pos = np.where(j == 0, off_r, off_r + ft_r + (j - 1) * stripe)
+        take = np.where(j == 0, ft_r,
+                        np.minimum(stripe, size_r - ft_r - (j - 1) * stripe))
+        stripe_idx = pos // stripe
+        within = pos - stripe_idx * stripe
+        member = stripe_idx % width
+        member_offset = (stripe_idx // width) * stripe + within
+        return req_idx, member, member_offset, take
+
+    def service_components(self, offsets, nbytes, op) -> BatchComponents:
+        """Vectorized :meth:`service` over a request stream.
+
+        ``op`` must be uniform across the batch (an :class:`OpKind`, or an
+        all-equal read-mask); mixed streams fall back to scalar servicing.
+        """
+        offs, sizes = batch_arrays(offsets, nbytes)
+        n = offs.size
+        if n == 0:
+            return empty_components(0)
+        if int((offs + sizes).max()) > self.capacity_bytes:
+            raise DeviceError(
+                f"batch extends outside array of {self.capacity_bytes} bytes"
+            )
+        if not isinstance(op, OpKind):
+            mask = read_mask(op, n)
+            if mask.all():
+                op = OpKind.READ
+            elif not mask.any():
+                op = OpKind.WRITE
+            else:
+                return self._components_scalar_fallback(offs, sizes, mask)
+        if self.level is RaidLevel.RAID1:
+            return self._mirror_components(offs, sizes, op)
+        if self.level is RaidLevel.RAID5 and op is OpKind.WRITE:
+            return self._raid5_write_components(offs, sizes)
+        return self._striped_components(offs, sizes, op)
+
+    def _components_scalar_fallback(self, offs, sizes, mask) -> BatchComponents:
+        comp = empty_components(offs.size)
+        for i in range(offs.size):
+            kind = OpKind.READ if mask[i] else OpKind.WRITE
+            r = self.service(DiskRequest(kind, int(offs[i]), int(sizes[i])))
+            comp.service[i] = r.service_time
+            comp.arm[i] = r.arm_time
+            comp.rotation[i] = r.rotation_time
+            comp.transfer[i] = r.transfer_time
+            comp.media_bytes[i] = r.nbytes
+        return comp
+
+    def _striped_components(self, offs, sizes, op: OpKind) -> BatchComponents:
+        """RAID 0 (and RAID 5 reads): per-member slice streams, max-merged."""
+        n = offs.size
+        req_idx, member, moff, take = self._slices_arrays(offs, sizes)
+        service = np.zeros(n, dtype=np.float64)
+        arm = np.zeros(n, dtype=np.float64)
+        rotation = np.zeros(n, dtype=np.float64)
+        transfer = np.zeros(n, dtype=np.float64)
+        for m, dev in enumerate(self.members):
+            sel = np.nonzero(member == m)[0]
+            if sel.size == 0:
+                continue
+            comp = dev.service_components(moff[sel], take[sel], op)
+            ridx = req_idx[sel]
+            # Per-request totals on this member, then slowest-member merge.
+            np.maximum(service, np.bincount(ridx, comp.service, minlength=n),
+                       out=service)
+            np.maximum(arm, np.bincount(ridx, comp.arm, minlength=n), out=arm)
+            np.maximum(rotation, np.bincount(ridx, comp.rotation, minlength=n),
+                       out=rotation)
+            np.maximum(transfer, np.bincount(ridx, comp.transfer, minlength=n),
+                       out=transfer)
+        return BatchComponents(service, arm, rotation, transfer, sizes.copy())
+
+    def _mirror_components(self, offs, sizes, op: OpKind) -> BatchComponents:
+        """RAID 1: round-robin reads, all-member max-merged writes."""
+        n = offs.size
+        if op is OpKind.READ:
+            target = (self._rr + np.arange(n, dtype=np.int64)) % self.n
+            self._rr += n
+            service = np.zeros(n, dtype=np.float64)
+            arm = np.zeros(n, dtype=np.float64)
+            rotation = np.zeros(n, dtype=np.float64)
+            transfer = np.zeros(n, dtype=np.float64)
+            for m, dev in enumerate(self.members):
+                sel = np.nonzero(target == m)[0]
+                if sel.size == 0:
+                    continue
+                comp = dev.service_components(offs[sel], sizes[sel], OpKind.READ)
+                service[sel] = comp.service
+                arm[sel] = comp.arm
+                rotation[sel] = comp.rotation
+                transfer[sel] = comp.transfer
+            return BatchComponents(service, arm, rotation, transfer, sizes.copy())
+        parts = [dev.service_components(offs, sizes, OpKind.WRITE)
+                 for dev in self.members]
+        return BatchComponents(
+            service=np.maximum.reduce([p.service for p in parts]),
+            arm=np.maximum.reduce([p.arm for p in parts]),
+            rotation=np.maximum.reduce([p.rotation for p in parts]),
+            transfer=np.maximum.reduce([p.transfer for p in parts]),
+            media_bytes=sizes.copy(),
+        )
+
+    def _raid5_write_components(self, offs, sizes) -> BatchComponents:
+        """RAID 5 read-modify-write, vectorized per member stream.
+
+        Each slice issues READ-then-WRITE on both its data and parity
+        member; data and parity operate in parallel while the two phases
+        serialize, matching the scalar :meth:`_service_raid5_write`.
+        """
+        n = offs.size
+        req_idx, member, moff, take = self._slices_arrays(offs, sizes)
+        n_slices = member.size
+        parity = (member + 1) % self.n
+        ro = empty_components(n_slices)   # read old data
+        rp = empty_components(n_slices)   # read old parity
+        wn = empty_components(n_slices)   # write new data
+        wp = empty_components(n_slices)   # write new parity
+        for m, dev in enumerate(self.members):
+            sel = np.nonzero((member == m) | (parity == m))[0]
+            if sel.size == 0:
+                continue
+            # Interleave the member's READ/WRITE pairs in global slice order.
+            offs_m = np.repeat(moff[sel], 2)
+            take_m = np.repeat(take[sel], 2)
+            mask = np.tile(np.array([True, False]), sel.size)
+            comp = dev.service_components(offs_m, take_m, mask)
+            is_data = member[sel] == m
+            for role_sel, reads, writes in ((is_data, ro, wn), (~is_data, rp, wp)):
+                slots = sel[role_sel]
+                reads.service[slots] = comp.service[0::2][role_sel]
+                reads.arm[slots] = comp.arm[0::2][role_sel]
+                reads.rotation[slots] = comp.rotation[0::2][role_sel]
+                reads.transfer[slots] = comp.transfer[0::2][role_sel]
+                writes.service[slots] = comp.service[1::2][role_sel]
+                writes.arm[slots] = comp.arm[1::2][role_sel]
+                writes.rotation[slots] = comp.rotation[1::2][role_sel]
+                writes.transfer[slots] = comp.transfer[1::2][role_sel]
+        slice_service = (np.maximum(ro.service, rp.service)
+                         + np.maximum(wn.service, wp.service))
+        return BatchComponents(
+            service=np.bincount(req_idx, slice_service, minlength=n),
+            arm=np.bincount(req_idx, ro.arm + wn.arm, minlength=n),
+            rotation=np.bincount(req_idx, ro.rotation + wn.rotation, minlength=n),
+            transfer=np.bincount(req_idx, ro.transfer + wn.transfer, minlength=n),
+            media_bytes=sizes.copy(),
+        )
+
+    def service_batch(self, offsets, nbytes, op: OpKind) -> DiskResult:
+        """Aggregate result for a batched :meth:`service` stream."""
+        return batch_result(self.service_components(offsets, nbytes, op), op)
+
+    def submit_write_components(self, offsets, nbytes) -> BatchComponents:
+        """Vectorized :meth:`submit_write` over a write stream."""
+        offs, sizes = batch_arrays(offsets, nbytes)
+        n = offs.size
+        if n == 0:
+            return empty_components(0)
+        if int((offs + sizes).max()) > self.capacity_bytes:
+            raise DeviceError(
+                f"batch extends outside array of {self.capacity_bytes} bytes"
+            )
+        if self.level is RaidLevel.RAID5:
+            return self._raid5_write_components(offs, sizes)
+        if self.level is RaidLevel.RAID1:
+            parts = [dev.submit_write_components(offs, sizes)
+                     for dev in self.members]
+            return BatchComponents(
+                service=np.maximum.reduce([p.service for p in parts]),
+                arm=np.maximum.reduce([p.arm for p in parts]),
+                rotation=np.maximum.reduce([p.rotation for p in parts]),
+                transfer=np.maximum.reduce([p.transfer for p in parts]),
+                # The scalar merge reports the request as uncached, so the
+                # logical bytes are priced at acceptance time.
+                media_bytes=sizes.copy(),
+            )
+        # RAID 0: stripe, then cache on each member; the member time is the
+        # per-request sum of its cached acceptances, the array time the max.
+        req_idx, member, moff, take = self._slices_arrays(offs, sizes)
+        service = np.zeros(n, dtype=np.float64)
+        for m, dev in enumerate(self.members):
+            sel = np.nonzero(member == m)[0]
+            if sel.size == 0:
+                continue
+            comp = dev.submit_write_components(moff[sel], take[sel])
+            np.maximum(service, np.bincount(req_idx[sel], comp.service, minlength=n),
+                       out=service)
+        # Scalar path folds member results into (t, 0, 0, t, ..., cached=True);
+        # cached acceptances price zero bytes, so media_bytes stays zero and
+        # the drained traffic is accounted when the array cache flushes.
+        return BatchComponents(
+            service=service,
+            arm=np.zeros(n, dtype=np.float64),
+            rotation=np.zeros(n, dtype=np.float64),
+            transfer=service.copy(),
+            media_bytes=np.zeros(n, dtype=np.int64),
+        )
+
+    def submit_write_batch(self, offsets, nbytes) -> DiskResult:
+        """Aggregate result for a batched :meth:`submit_write` stream."""
+        comp = self.submit_write_components(offsets, nbytes)
+        cached = self.level is RaidLevel.RAID0
+        return batch_result(comp, OpKind.WRITE, cached=cached)
 
     def flush_cache(self) -> DiskResult:
         """Drain any write-back cache to the media."""

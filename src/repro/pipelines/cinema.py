@@ -133,7 +133,7 @@ class CinemaPipeline:
                         width=self.config.render_width,
                         vmin=vmin, vmax=vmax,
                     )
-                encoded = frame.image.to_png()
+                encoded = frame.image.to_png(self.config.frame_png_level)
                 name = f"db/ts{iteration:04d}_k{k:03d}.png"
                 fs.write(name, encoded)
                 batch_bytes += len(encoded)

@@ -18,13 +18,13 @@ from repro.machine.node import Node
 from repro.pipelines.base import (
     PipelineConfig,
     RunResult,
-    make_solver,
     make_storage,
     record_stage,
+    render_pipeline_frame,
 )
+from repro.pipelines.science import cached_solver
 from repro.rng import RngRegistry
 from repro.trace.timeline import Timeline
-from repro.viz.render import render_field, render_with_contours
 
 
 class InSituPipeline:
@@ -38,8 +38,8 @@ class InSituPipeline:
     def run(self, node: Node, rng: RngRegistry | None = None) -> RunResult:
         """Execute the pipeline on ``node``; returns the unmetered RunResult."""
         rng = rng or RngRegistry()
-        solver = make_solver(rng, self.config.grid_scale,
-                             self.config.solver_sub_steps)
+        solver = cached_solver(rng, self.config.grid_scale,
+                               self.config.solver_sub_steps)
         fs = make_storage(node, rng)
         timeline = Timeline()
         stages = self.config.stage_table
@@ -55,10 +55,10 @@ class InSituPipeline:
                          work_scale=self.config.sim_work_scale,
                          iteration=iteration)
             if iteration in io_iterations:
-                frame = self._render(solver.grid.data)
+                _frame, encoded = render_pipeline_frame(solver.grid.data,
+                                                        self.config)
                 result.images_rendered += 1
                 record_stage(timeline, "visualization", table=stages, iteration=iteration)
-                encoded = self._encode(frame)
                 result.image_bytes += len(encoded)
                 name = f"frame{iteration:04d}.{self.config.image_format}"
                 fs.write(name, encoded)  # buffered; no sync
@@ -71,23 +71,3 @@ class InSituPipeline:
         result.extra["final_mean_temperature"] = solver.grid.mean()
         result.extra["files_written"] = result.images_rendered
         return result
-
-    # -- helpers --------------------------------------------------------------------
-
-    def _render(self, field):
-        if self.config.contour_levels:
-            return render_with_contours(
-                field, self.config.contour_levels,
-                height=self.config.render_height,
-                width=self.config.render_width,
-            )
-        return render_field(
-            field,
-            height=self.config.render_height,
-            width=self.config.render_width,
-        )
-
-    def _encode(self, frame) -> bytes:
-        if self.config.image_format == "png":
-            return frame.image.to_png()
-        return frame.image.to_ppm()

@@ -20,15 +20,15 @@ from repro.pipelines.base import (
     PipelineConfig,
     RunResult,
     VerificationRecord,
-    make_solver,
     make_storage,
     record_stage,
+    render_pipeline_frame,
 )
+from repro.pipelines.science import cached_solver
 from repro.rng import RngRegistry
 from repro.storage.reader import DataReader
 from repro.storage.writer import DataWriter
 from repro.trace.timeline import Timeline
-from repro.viz.render import render_field, render_with_contours
 
 
 class PostProcessingPipeline:
@@ -42,8 +42,8 @@ class PostProcessingPipeline:
     def run(self, node: Node, rng: RngRegistry | None = None) -> RunResult:
         """Execute the pipeline on ``node``; returns the unmetered RunResult."""
         rng = rng or RngRegistry()
-        solver = make_solver(rng, self.config.grid_scale,
-                             self.config.solver_sub_steps)
+        solver = cached_solver(rng, self.config.grid_scale,
+                               self.config.solver_sub_steps)
         fs = make_storage(node, rng)
         writer = DataWriter(fs, chunk_bytes=CHUNK_BYTES,
                             sync_each=True, drop_caches_each=True)
@@ -67,7 +67,8 @@ class PostProcessingPipeline:
                 report = writer.write_timestep(
                     solver.grid, iteration, physical_time=solver.time
                 )
-                written_checksums[iteration] = hash(solver.grid.to_bytes())
+                if self.config.verify_data:
+                    written_checksums[iteration] = hash(solver.grid.to_bytes())
                 result.data_bytes_written += report.nbytes
                 record_stage(
                     timeline, "nnwrite", table=stages,
@@ -89,9 +90,8 @@ class PostProcessingPipeline:
                 result.verification.grids_checked += 1
                 if hash(grid.to_bytes()) == written_checksums.get(timestep):
                     result.verification.grids_matched += 1
-            frame = self._render(grid.data)
+            _frame, encoded = render_pipeline_frame(grid.data, self.config)
             result.images_rendered += 1
-            encoded = self._encode(frame)
             result.image_bytes += len(encoded)
             fs.write(f"frame{timestep:04d}.{self.config.image_format}", encoded)
             record_stage(timeline, "visualization", table=stages, iteration=timestep)
@@ -104,23 +104,3 @@ class PostProcessingPipeline:
         result.extra["files_written"] = len(writer.timesteps_written)
         result.extra["final_mean_temperature"] = solver.grid.mean()
         return result
-
-    # -- helpers --------------------------------------------------------------------
-
-    def _render(self, field):
-        if self.config.contour_levels:
-            return render_with_contours(
-                field, self.config.contour_levels,
-                height=self.config.render_height,
-                width=self.config.render_width,
-            )
-        return render_field(
-            field,
-            height=self.config.render_height,
-            width=self.config.render_width,
-        )
-
-    def _encode(self, frame) -> bytes:
-        if self.config.image_format == "png":
-            return frame.image.to_png()
-        return frame.image.to_ppm()

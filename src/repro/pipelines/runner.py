@@ -39,10 +39,9 @@ class PipelineRunner:
         # pipelines of a comparison simulate the identical physics; the
         # measurement-noise stream is keyed by the full run label.
         science_rng = self.rng.fork(f"science/{pipeline.config.case.name}")
-        # Give each run a pristine storage device (fresh mount).
-        reset = getattr(self.node.storage, "reset", None)
-        if reset is not None:
-            reset()
+        # Give each run a pristine storage device (fresh mount).  Every
+        # storage model declares the BlockDevice protocol, reset included.
+        self.node.storage.reset()
         result = pipeline.run(self.node, science_rng)
         rig = MeterRig(self.node, sample_hz=self.sample_hz,
                        jitter=self.jitter, rng=self.rng.fork(f"meters/{label}"))

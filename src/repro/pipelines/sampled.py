@@ -143,5 +143,5 @@ class SamplingInSituPipeline:
 
     def _encode(self, frame) -> bytes:
         if self.config.image_format == "png":
-            return frame.image.to_png()
+            return frame.image.to_png(self.config.frame_png_level)
         return frame.image.to_ppm()

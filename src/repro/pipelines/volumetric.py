@@ -91,7 +91,7 @@ class VolumetricInSituPipeline:
                     solver.grid.data,
                     VolumeCamera(axis=axis, samples=self.samples),
                 )
-                encoded = image.to_png()
+                encoded = image.to_png(self.config.frame_png_level)
                 batch_bytes += len(encoded)
                 fs.write(f"vol{iteration:04d}_ax{axis}.png", encoded)
                 result.images_rendered += 1

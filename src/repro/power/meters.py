@@ -26,9 +26,10 @@ import math
 import numpy as np
 
 from repro.errors import MeasurementError
-from repro.machine.node import ComponentPower, Node
+from repro.machine.node import Node
 from repro.power.profile import PowerProfile
-from repro.power.rapl import RaplDomain, RaplEmulator, energy_between
+from repro.power.rapl import COUNTER_WRAP, RaplDomain, RaplEmulator
+from repro.units import RAPL_ENERGY_UNIT_J
 from repro.power.wattsup import WattsupEmulator
 from repro.rng import RngRegistry
 from repro.trace.timeline import Timeline
@@ -136,24 +137,20 @@ class MeterRig:
 
         system_true = sum(series.values())
 
-        # RAPL path: accumulate, read, difference.
+        # RAPL path: accumulate, read, difference — vectorized over ticks
+        # (bit-identical to per-tick advance/read/energy_between).
         processor = np.zeros(n)
         dram = np.zeros(n)
         prev = {d: rapl.read(d) for d in (RaplDomain.PKG, RaplDomain.DRAM)}
-        for i in range(n):
-            cp = ComponentPower(
-                package=float(series["package"][i]),
-                dram=float(series["dram"][i]),
-                disk=float(series["disk"][i]),
-                net=float(series["net"][i]),
-                rest=float(series["rest"][i]),
-            )
-            tick = float(coverage[i])
-            rapl.advance(tick, cp)
-            for domain, out in ((RaplDomain.PKG, processor), (RaplDomain.DRAM, dram)):
-                reading = rapl.read(domain)
-                out[i] = energy_between(prev[domain], reading) / tick
-                prev[domain] = reading
+        ticks = rapl.advance_series(coverage, package_w=series["package"],
+                                    dram_w=series["dram"])
+        for domain, out in ((RaplDomain.PKG, processor), (RaplDomain.DRAM, dram)):
+            counters = ticks[domain]
+            prev_counters = np.concatenate(
+                ([prev[domain].ticks], counters[:-1]))
+            delta = counters - prev_counters
+            delta = np.where(delta < 0, delta + COUNTER_WRAP, delta)
+            out[:] = delta * RAPL_ENERGY_UNIT_J / coverage
 
         # Wattsup path: external meter on the jittered truth.
         wattsup = WattsupEmulator(self._rng.get("wattsup-noise"))

@@ -116,6 +116,47 @@ class RaplEmulator:
             self._energy_j[domain] += max(0.0, watts * err) * dt
         self._now += dt
 
+    def advance_series(
+        self,
+        dts: np.ndarray,
+        package_w: np.ndarray,
+        dram_w: np.ndarray,
+    ) -> dict[RaplDomain, np.ndarray]:
+        """Vectorized :meth:`advance` + :meth:`read` over a whole series.
+
+        Consumes the RNG stream and accumulates energy in exactly the
+        same order as the equivalent per-tick loop (three draws per tick
+        in PKG, PP0, DRAM order; sequential float accumulation), so the
+        counter values are bit-identical to scalar stepping.  Returns the
+        post-tick counter ticks per domain.
+        """
+        dts = np.asarray(dts, dtype=np.float64)
+        if np.any(dts < 0):
+            raise MeasurementError("dt must be non-negative")
+        n = dts.size
+        domains = (RaplDomain.PKG, RaplDomain.PP0, RaplDomain.DRAM)
+        watts = np.empty((n, 3))
+        watts[:, 0] = package_w
+        watts[:, 1] = np.asarray(package_w, dtype=np.float64) * PP0_SHARE
+        watts[:, 2] = dram_w
+        errs = 1.0 + self._rng.normal(0.0, self.model_error, size=(n, 3))
+        increments = np.maximum(0.0, watts * errs) * dts[:, None]
+        out = {}
+        for col, domain in enumerate(domains):
+            # Seed the cumsum with the current counter so the additions
+            # happen in the same order as repeated scalar advances.
+            cum = np.cumsum(
+                np.concatenate(([self._energy_j[domain]], increments[:, col]))
+            )[1:]
+            out[domain] = (
+                (cum / RAPL_ENERGY_UNIT_J).astype(np.int64) % COUNTER_WRAP
+            )
+            if n:
+                self._energy_j[domain] = float(cum[-1])
+        for dt in dts:
+            self._now += float(dt)
+        return out
+
     def read(self, domain: RaplDomain) -> RaplReading:
         """Read a counter: quantized to energy units, wrapped at 32 bits."""
         ticks = int(self._energy_j[domain] / RAPL_ENERGY_UNIT_J) % COUNTER_WRAP

@@ -49,6 +49,29 @@ class Grid2D:
         """The 128 KB grid of the paper: 128x128 float64."""
         return cls(nx=128, ny=128)
 
+    @classmethod
+    def from_array(cls, data: np.ndarray, lx: float = 1.0,
+                   ly: float = 1.0) -> "Grid2D":
+        """Wrap an existing 2-D field without allocating fresh storage.
+
+        The array is adopted as-is (no copy); callers that need an
+        independent field must copy first.
+        """
+        if data.ndim != 2:
+            raise SimulationError(f"field must be 2-D, got {data.ndim}-D")
+        nx, ny = data.shape
+        if nx < 3 or ny < 3:
+            raise SimulationError(
+                f"grid must be at least 3x3 for a 5-point stencil, got "
+                f"{nx}x{ny}"
+            )
+        if lx <= 0 or ly <= 0:
+            raise SimulationError("domain extents must be positive")
+        grid = cls.__new__(cls)
+        grid.nx, grid.ny, grid.lx, grid.ly = int(nx), int(ny), lx, ly
+        grid.data = data
+        return grid
+
     # -- geometry -----------------------------------------------------------------
 
     @property
@@ -83,17 +106,22 @@ class Grid2D:
         return self.data.astype("<f8", copy=False).tobytes()
 
     @classmethod
-    def from_bytes(cls, payload: bytes, nx: int, ny: int,
-                   lx: float = 1.0, ly: float = 1.0) -> "Grid2D":
-        """Reconstruct from the serialized byte representation."""
+    def from_bytes(cls, payload: bytes | memoryview, nx: int, ny: int,
+                   lx: float = 1.0, ly: float = 1.0,
+                   copy: bool = True) -> "Grid2D":
+        """Reconstruct from the serialized byte representation.
+
+        With ``copy=False`` the grid wraps a (read-only) view of the
+        payload buffer instead of owning fresh storage — the fast path
+        for readers that only render and checksum what they loaded.
+        """
         expected = nx * ny * 8
         if len(payload) != expected:
             raise SimulationError(
                 f"payload is {len(payload)} bytes; {nx}x{ny} grid needs {expected}"
             )
-        grid = cls(nx, ny, lx, ly)
-        grid.data = np.frombuffer(payload, dtype="<f8").reshape(nx, ny).copy()
-        return grid
+        arr = np.frombuffer(payload, dtype="<f8").reshape(nx, ny)
+        return cls.from_array(arr.copy() if copy else arr, lx, ly)
 
     def chunks(self, chunk_bytes: int = 128 * KiB) -> list[bytes]:
         """Serialize as row-block chunks of at most ``chunk_bytes`` each."""
@@ -124,6 +152,4 @@ class Grid2D:
 
     def copy(self) -> "Grid2D":
         """Deep copy (independent field storage)."""
-        out = Grid2D(self.nx, self.ny, self.lx, self.ly)
-        out.data = self.data.copy()
-        return out
+        return Grid2D.from_array(self.data.copy(), self.lx, self.ly)

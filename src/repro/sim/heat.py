@@ -96,6 +96,7 @@ class HeatSolver:
                 f"dt={self.dt} violates CFL stability limit {limit:.3e}"
             )
         self._lap = np.empty((grid.nx - 2, grid.ny - 2))
+        self._scratch = np.empty_like(self._lap)
         self.steps_taken = 0
         self._validate_sources()
         self.apply_boundary()
@@ -128,8 +129,10 @@ class HeatSolver:
 
     def _sub_step(self) -> None:
         u = self.grid.data
-        lap = laplacian_5pt(u, self.grid.dx, self.grid.dy, out=self._lap)
-        u[1:-1, 1:-1] += self.alpha * self.dt * lap
+        lap = laplacian_5pt(u, self.grid.dx, self.grid.dy,
+                            out=self._lap, scratch=self._scratch)
+        lap *= self.alpha * self.dt
+        u[1:-1, 1:-1] += lap
         for s in self.sources:
             u[s.row0 : s.row1, s.col0 : s.col1] += s.rate * self.dt
         self.apply_boundary()
@@ -141,7 +144,10 @@ class HeatSolver:
         for _ in range(n * self.sub_steps):
             self._sub_step()
         self.steps_taken += n
-        if not np.isfinite(self.grid.data).all():
+        # A single reduction instead of an elementwise isfinite scan: the
+        # sum is NaN/inf exactly when the field holds non-finite values
+        # (or has blown past float range, which is equally diverged).
+        if not np.isfinite(np.sum(self.grid.data)):
             raise SimulationError(
                 "solution diverged (non-finite values) — check dt vs CFL"
             )

@@ -13,12 +13,14 @@ from repro.errors import SimulationError
 
 
 def laplacian_5pt(field: np.ndarray, dx: float, dy: float,
-                  out: np.ndarray | None = None) -> np.ndarray:
+                  out: np.ndarray | None = None,
+                  scratch: np.ndarray | None = None) -> np.ndarray:
     """Interior 5-point Laplacian of ``field``.
 
     Returns an array of shape ``(nx-2, ny-2)`` holding
     ``d2u/dx2 + d2u/dy2`` at interior points.  ``out`` may be supplied to
-    avoid the allocation (it is overwritten).
+    avoid the allocation (it is overwritten); ``scratch`` is a same-shaped
+    work buffer that keeps the kernel allocation-free when provided.
     """
     if field.ndim != 2:
         raise SimulationError(f"expected 2-D field, got {field.ndim}-D")
@@ -37,15 +39,32 @@ def laplacian_5pt(field: np.ndarray, dx: float, dy: float,
         raise SimulationError(
             f"out has shape {out.shape}, interior is {c.shape}"
         )
+    if scratch is None:
+        scratch = np.empty_like(c)
+    elif scratch.shape != c.shape:
+        raise SimulationError(
+            f"scratch has shape {scratch.shape}, interior is {c.shape}"
+        )
+    if dx == dy:
+        # Uniform spacing: (north + south + west + east - 4c) / dx^2 in
+        # five array passes with no temporaries.
+        np.add(north, south, out=out)
+        out += west
+        out += east
+        np.multiply(c, 4.0, out=scratch)
+        out -= scratch
+        out /= dx * dx
+        return out
     # (north - 2c + south)/dx^2 + (west - 2c + east)/dy^2, fused to limit
     # temporaries.
-    np.subtract(north, 2.0 * c, out=out)
+    np.multiply(c, 2.0, out=scratch)
+    np.subtract(north, scratch, out=out)
     out += south
     out /= dx * dx
-    tmp = west - 2.0 * c
-    tmp += east
-    tmp /= dy * dy
-    out += tmp
+    scratch -= west            # scratch = 2c - west
+    np.subtract(east, scratch, out=scratch)
+    scratch /= dy * dy
+    out += scratch
     return out
 
 

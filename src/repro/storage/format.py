@@ -42,18 +42,24 @@ class ChunkedContainer:
 
     ``flags`` carries the codec id the chunks were encoded with; the
     reader resolves it through :mod:`repro.storage.compression`.
+    ``chunks`` holds CRC-validated views into the decoded blob (zero
+    copy); ``payload_view`` spans all of them when they are laid out
+    contiguously, letting whole-grid readers skip the concatenation.
     """
 
     nx: int
     ny: int
     timestep: int
     physical_time: float
-    chunks: tuple[bytes, ...]
+    chunks: tuple[bytes | memoryview, ...]
     flags: int = 0
+    payload_view: memoryview | None = None
 
     @property
     def payload(self) -> bytes:
         """All chunk payloads concatenated."""
+        if self.payload_view is not None:
+            return bytes(self.payload_view)
         return b"".join(self.chunks)
 
     @property
@@ -83,19 +89,17 @@ def encode_container(
     header = _HEADER.pack(MAGIC, VERSION, flags, nx, ny, len(chunks),
                           timestep, physical_time)
     index_size = _INDEX_ENTRY.size * len(chunks)
-    out = bytearray(header)
+    index = bytearray(index_size)
     offset = len(header) + index_size
-    index = bytearray()
+    pos = 0
     for chunk in chunks:
         if not chunk:
             raise FileFormatError("empty chunk")
-        index += _INDEX_ENTRY.pack(offset, len(chunk),
-                                   zlib.crc32(chunk) & 0xFFFFFFFF)
+        _INDEX_ENTRY.pack_into(index, pos, offset, len(chunk),
+                               zlib.crc32(chunk) & 0xFFFFFFFF)
+        pos += _INDEX_ENTRY.size
         offset += len(chunk)
-    out += index
-    for chunk in chunks:
-        out += chunk
-    return bytes(out)
+    return b"".join((header, bytes(index), *chunks))
 
 
 def decode_container(blob: bytes) -> ChunkedContainer:
@@ -110,20 +114,30 @@ def decode_container(blob: bytes) -> ChunkedContainer:
     index_end = _HEADER.size + _INDEX_ENTRY.size * n_chunks
     if len(blob) < index_end:
         raise FileFormatError("container truncated inside chunk index")
+    view = memoryview(blob)
     chunks = []
+    contiguous = True
+    first_offset = prev_end = None
     for i in range(n_chunks):
         offset, nbytes, crc = _INDEX_ENTRY.unpack_from(
             blob, _HEADER.size + i * _INDEX_ENTRY.size
         )
-        chunk = blob[offset : offset + nbytes]
+        chunk = view[offset : offset + nbytes]
         if len(chunk) != nbytes:
             raise FileFormatError(f"chunk {i} truncated")
         if zlib.crc32(chunk) & 0xFFFFFFFF != crc:
             raise FileFormatError(f"chunk {i} failed CRC validation")
         chunks.append(chunk)
+        if first_offset is None:
+            first_offset = offset
+        elif offset != prev_end:
+            contiguous = False
+        prev_end = offset + nbytes
+    payload_view = (view[first_offset:prev_end]
+                    if contiguous and first_offset is not None else None)
     return ChunkedContainer(nx=nx, ny=ny, timestep=timestep,
                             physical_time=phys_t, chunks=tuple(chunks),
-                            flags=flags)
+                            flags=flags, payload_view=payload_view)
 
 
 def chunk_extent(blob_header: bytes, chunk_index: int) -> tuple[int, int]:

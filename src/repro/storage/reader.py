@@ -86,8 +86,16 @@ class DataReader:
         """Load a timestep, decode its codec, reassemble the grid."""
         container, report = self.read_timestep(timestep)
         codec = codec_from_id(container.flags)
-        payload = b"".join(codec.decode(c) for c in container.chunks)
-        grid = Grid2D.from_bytes(payload, container.nx, container.ny)
+        if container.payload_view is not None and codec.name == "identity":
+            # Uncompressed chunks lie contiguously in the blob: hand the
+            # spanning view straight to the grid (one copy, no join).
+            payload = container.payload_view
+        else:
+            payload = b"".join(codec.decode(c) for c in container.chunks)
+        # copy=False: the grid wraps the payload buffer read-only — read
+        # grids are rendered and checksummed, never stepped.
+        grid = Grid2D.from_bytes(payload, container.nx, container.ny,
+                                 copy=False)
         return grid, report
 
     def read_chunk(self, timestep: int, chunk_index: int,

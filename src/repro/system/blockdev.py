@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.machine.disk import DiskRequest, DiskResult, OpKind
 from repro.system.iosched import IoScheduler, NoopScheduler
 from repro.trace.events import Activity
@@ -31,22 +33,22 @@ class IoStats:
     n_writes: int = 0
 
     def add(self, result: DiskResult) -> None:
-        """Accumulate one serviced request's timing and traffic."""
+        """Accumulate one serviced (possibly batched) result's timing and traffic."""
         self.busy_time += result.service_time
         self.arm_time += result.arm_time
         self.rotation_time += result.rotation_time
         self.transfer_time += result.transfer_time
         if result.op is OpKind.READ:
             self.bytes_read += result.nbytes
-            self.n_reads += 1
+            self.n_reads += result.n_ops
         elif result.cached:
             # Write accepted into the drive cache: the op happened, but the
             # bytes have not reached the platter — they are counted (and
             # their write-channel energy priced) when the cache drains.
-            self.n_writes += 1
+            self.n_writes += result.n_ops
         else:
             self.bytes_written += result.nbytes
-            self.n_writes += 1
+            self.n_writes += result.n_ops
 
     def add_drain(self, result: DiskResult) -> None:
         """Account a write-cache drain: platter bytes, but no new op."""
@@ -115,6 +117,31 @@ class BlockQueue:
                 result = self.device.service(req)
             batch.add(result)
             self._head_pos = req.end
+        self.stats = self.stats.merge(batch)
+        return batch
+
+    def submit_arrays(self, op: OpKind, offsets, sizes,
+                      through_cache: bool = True) -> IoStats:
+        """Batched dispatch: arrays of offsets/sizes, one device kernel call.
+
+        Equivalent to :meth:`submit` over the same requests in FIFO order;
+        a non-FIFO scheduler falls back to the scalar path so its ordering
+        policy still applies.
+        """
+        offs = np.asarray(offsets, dtype=np.int64)
+        lens = np.broadcast_to(np.asarray(sizes, dtype=np.int64), offs.shape)
+        if not isinstance(self.scheduler, NoopScheduler):
+            return self.submit(
+                [DiskRequest(op, int(o), int(nb)) for o, nb in zip(offs, lens)],
+                through_cache=through_cache,
+            )
+        batch = IoStats()
+        if offs.size:
+            if op is OpKind.WRITE and through_cache:
+                batch.add(self.device.submit_write_batch(offs, lens))
+            else:
+                batch.add(self.device.service_batch(offs, lens, op))
+            self._head_pos = int(offs[-1] + lens[-1])
         self.stats = self.stats.merge(batch)
         return batch
 

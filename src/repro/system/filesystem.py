@@ -135,7 +135,9 @@ class FileSystem:
         self.journal = journal
         self._rng = (rng or RngRegistry()).get("fs-allocator")
         self._files: dict[str, FileHandle] = {}
-        self._contents: dict[str, bytearray] = {}
+        #: name -> list of immutable segments, one per append; consolidated
+        #: lazily on read so write paths never re-copy file bodies.
+        self._contents: dict[str, list[bytes]] = {}
         #: Journal lives in a reserved region at the front of the device.
         self._journal_offset = 0
         self._journal_region = 128 * MiB
@@ -207,19 +209,19 @@ class FileSystem:
         if handle is None:
             handle = FileHandle(name)
             self._files[name] = handle
-            self._contents[name] = bytearray()
+            self._contents[name] = []
         new_extents = self._allocate(len(data))
         handle.extents.extend(new_extents)
-        self._contents[name].extend(data)
+        self._contents[name].append(bytes(data))
         if self.cache is not None:
             for extent in new_extents:
                 result.absorb(self.cache.write(extent.device_offset, extent.nbytes))
         else:
-            requests = [
-                DiskRequest(OpKind.WRITE, e.device_offset, e.nbytes)
-                for e in new_extents
-            ]
-            result.io = result.io.merge(self.queue.submit(requests))
+            result.io = result.io.merge(self.queue.submit_arrays(
+                OpKind.WRITE,
+                [e.device_offset for e in new_extents],
+                [e.nbytes for e in new_extents],
+            ))
         if sync:
             sync_result = self.fsync(name)
             result.cpu_time += sync_result.cpu_time
@@ -232,15 +234,28 @@ class FileSystem:
         if nbytes is None:
             nbytes = handle.size - offset
         result = FsResult()
-        for extent in handle.map_range(offset, nbytes):
-            if self.cache is not None:
+        extents = handle.map_range(offset, nbytes)
+        if self.cache is not None:
+            for extent in extents:
                 result.absorb(self.cache.read(extent.device_offset, extent.nbytes))
-            else:
-                result.io = result.io.merge(self.queue.submit(
-                    [DiskRequest(OpKind.READ, extent.device_offset, extent.nbytes)]
-                ))
-        data = bytes(self._contents[name][offset : offset + nbytes])
+        elif extents:
+            result.io = result.io.merge(self.queue.submit_arrays(
+                OpKind.READ,
+                [e.device_offset for e in extents],
+                [e.nbytes for e in extents],
+            ))
+        data = self._content_range(name, offset, nbytes)
         return data, result
+
+    def _content_range(self, name: str, offset: int, nbytes: int) -> bytes:
+        """File bytes [offset, offset+nbytes), copying only when needed."""
+        segments = self._contents[name]
+        if len(segments) > 1:
+            segments[:] = [b"".join(segments)]
+        body = segments[0] if segments else b""
+        if offset == 0 and nbytes == len(body):
+            return body
+        return bytes(memoryview(body)[offset : offset + nbytes])
 
     def fsync(self, name: str | None = None) -> FsResult:
         """Flush dirty data (and the journal commit record) to the platter."""

@@ -23,8 +23,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import StorageError
-from repro.machine.disk import DiskRequest, OpKind
+from repro.machine.disk import OpKind
 from repro.system.blockdev import BlockQueue, IoStats
 from repro.units import KiB
 
@@ -88,6 +90,9 @@ class PageCache:
         self.dirty_limit_pages = max(1, int(self.capacity_pages * dirty_limit_fraction))
         #: page index -> dirty flag, in LRU order (oldest first).
         self._pages: OrderedDict[int, bool] = OrderedDict()
+        #: mirror of the dirty pages, so dirty-set queries and writeback
+        #: don't scan every resident page.
+        self._dirty: set[int] = set()
         self.stats = CacheStats()
 
     # -- helpers -----------------------------------------------------------------
@@ -101,7 +106,10 @@ class PageCache:
 
     def _touch(self, page: int, dirty: bool) -> None:
         was_dirty = self._pages.pop(page, False)
-        self._pages[page] = was_dirty or dirty
+        now_dirty = was_dirty or dirty
+        self._pages[page] = now_dirty
+        if now_dirty and not was_dirty:
+            self._dirty.add(page)
 
     def _memcpy_time(self, nbytes: int) -> float:
         return self.syscall_overhead + nbytes / self.memcpy_bw
@@ -114,7 +122,7 @@ class PageCache:
     @property
     def dirty_pages(self) -> int:
         """Resident pages holding unwritten data."""
-        return sum(1 for d in self._pages.values() if d)
+        return len(self._dirty)
 
     def is_cached(self, offset: int, nbytes: int) -> bool:
         """True if the whole byte range is resident."""
@@ -127,8 +135,15 @@ class PageCache:
         if nbytes == 0:
             return CacheOp()
         op = CacheOp(cpu_time=self._memcpy_time(nbytes))
-        for page in self._page_range(offset, nbytes):
-            self._touch(page, dirty=True)
+        pages = self._page_range(offset, nbytes)
+        if self._pages.keys().isdisjoint(pages):
+            # Bulk path for fresh ranges (the common append-only write):
+            # no LRU reordering to preserve, so insert in one shot.
+            self._pages.update(dict.fromkeys(pages, True))
+            self._dirty.update(pages)
+        else:
+            for page in pages:
+                self._touch(page, dirty=True)
         self.stats.writes_buffered += 1
         self._evict_if_needed(op)
         if self.dirty_pages > self.dirty_limit_pages:
@@ -149,8 +164,9 @@ class PageCache:
                 self.stats.read_misses += 1
                 miss_run.append(page)
         if miss_run:
-            requests = self._coalesce(miss_run, OpKind.READ)
-            op.io = op.io.merge(self.queue.submit(requests))
+            run_offsets, run_sizes = self._coalesce(miss_run)
+            op.io = op.io.merge(
+                self.queue.submit_arrays(OpKind.READ, run_offsets, run_sizes))
             for page in miss_run:
                 self._touch(page, dirty=False)
         self._evict_if_needed(op)
@@ -176,33 +192,26 @@ class PageCache:
 
     # -- internals --------------------------------------------------------------
 
-    def _coalesce(self, pages: list[int], op: OpKind) -> list[DiskRequest]:
-        """Merge consecutive page indices into extent-sized requests."""
-        requests: list[DiskRequest] = []
-        run_start = prev = pages[0]
-        for page in pages[1:]:
-            if page == prev + 1:
-                prev = page
-                continue
-            requests.append(DiskRequest(
-                op, run_start * self.page_bytes,
-                (prev - run_start + 1) * self.page_bytes,
-            ))
-            run_start = prev = page
-        requests.append(DiskRequest(
-            op, run_start * self.page_bytes,
-            (prev - run_start + 1) * self.page_bytes,
-        ))
-        return requests
+    def _coalesce(self, pages) -> tuple[np.ndarray, np.ndarray]:
+        """Merge consecutive page indices into extent offset/size arrays."""
+        arr = np.asarray(pages, dtype=np.int64)
+        breaks = np.nonzero(np.diff(arr) != 1)[0] + 1
+        run_starts = np.concatenate(([0], breaks))
+        run_stops = np.concatenate((breaks, [arr.size]))  # exclusive
+        offsets = arr[run_starts] * self.page_bytes
+        sizes = (arr[run_stops - 1] - arr[run_starts] + 1) * self.page_bytes
+        return offsets, sizes
 
     def _writeback(self, op: CacheOp) -> None:
-        dirty = sorted(p for p, d in self._pages.items() if d)
-        if not dirty:
+        if not self._dirty:
             return
-        requests = self._coalesce(dirty, OpKind.WRITE)
-        op.io = op.io.merge(self.queue.submit(requests))
+        dirty = sorted(self._dirty)
+        run_offsets, run_sizes = self._coalesce(dirty)
+        op.io = op.io.merge(
+            self.queue.submit_arrays(OpKind.WRITE, run_offsets, run_sizes))
         for page in dirty:
             self._pages[page] = False
+        self._dirty.clear()
         self.stats.pages_written_back += len(dirty)
 
     def _evict_if_needed(self, op: CacheOp) -> None:

@@ -55,9 +55,9 @@ class Image:
         """Encode as binary PPM (P6)."""
         return encode_ppm(self.pixels)
 
-    def to_png(self) -> bytes:
-        """Encode as PNG."""
-        return encode_png(self.pixels)
+    def to_png(self, compress_level: int = 6) -> bytes:
+        """Encode as PNG (``compress_level`` is zlib's 0..9 knob)."""
+        return encode_png(self.pixels, compress_level)
 
 
 def encode_ppm(rgb: np.ndarray) -> bytes:

@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
-from repro.machine.disk import DiskRequest, HddModel, OpKind
+from repro.machine.device import BlockDevice
+from repro.machine.disk import OpKind
 from repro.machine.node import Node
 from repro.power.meters import MeterRig
 from repro.power.profile import PowerProfile
@@ -31,7 +32,7 @@ from repro.rng import RngRegistry
 from repro.system.blockdev import IoStats
 from repro.trace.timeline import Timeline
 from repro.units import GiB, KiB, MiB
-from repro.workloads.patterns import offsets_for, request_stream
+from repro.workloads.patterns import offsets_for
 
 
 @dataclass(frozen=True)
@@ -110,42 +111,23 @@ class FioRunner:
 
     def __init__(self, node: Node | None = None, seed: int | None = None) -> None:
         self.node = node or Node()
-        if not isinstance(self.node.storage, HddModel):
-            # Jobs run against any block device, but the Table III power
-            # reconstruction reads HDD-style coefficients off the spec;
-            # every provided device spec carries them.
-            pass
         self.rng = RngRegistry() if seed is None else RngRegistry(seed)
 
     def run(self, job: FioJob) -> FioResult:
-        """Execute the pipeline on ``node``; returns the unmetered RunResult."""
-        disk = self.node.storage
+        """Execute one fio job against the node's drive, fully metered."""
+        disk: BlockDevice = self.node.storage
         disk.reset()
         rng = self.rng.fork(f"fio/{job.name}")
         stats = IoStats()
 
-        batch = getattr(disk, "service_random_batch", None)
-        if job.op is OpKind.READ and job.pattern == "shuffled" and batch is not None:
-            # Vectorized batch path: a quarter-million scattered reads.
-            offsets = offsets_for(job.pattern, region_bytes=job.size_bytes,
-                                  block_bytes=job.block_bytes,
-                                  region_offset=job.region_offset, rng=rng)
-            stats.add(batch(offsets, job.block_bytes, job.op))
-        elif job.op is OpKind.READ:
-            offsets = offsets_for(job.pattern, region_bytes=job.size_bytes,
-                                  block_bytes=job.block_bytes,
-                                  region_offset=job.region_offset, rng=rng)
-            for off in offsets:
-                stats.add(disk.service(
-                    DiskRequest(job.op, int(off), job.block_bytes)
-                ))
+        # One batched path for every op, pattern and device.
+        offsets = offsets_for(job.pattern, region_bytes=job.size_bytes,
+                              block_bytes=job.block_bytes,
+                              region_offset=job.region_offset, rng=rng)
+        if job.op is OpKind.READ:
+            stats.add(disk.service_batch(offsets, job.block_bytes, job.op))
         else:
-            requests = request_stream(job.op, job.pattern,
-                                      region_bytes=job.size_bytes,
-                                      block_bytes=job.block_bytes,
-                                      region_offset=job.region_offset, rng=rng)
-            for req in requests:
-                stats.add(disk.submit_write(req))
+            stats.add(disk.submit_write_batch(offsets, job.block_bytes))
             stats.add_drain(disk.flush_cache())
 
         elapsed = stats.busy_time
@@ -157,7 +139,7 @@ class FioRunner:
         profile = rig.sample(timeline)
         result = FioResult(job=job, elapsed_s=elapsed, io=stats,
                            profile=profile, static_w=self.node.static_power_w)
-        result._disk_spec = disk.spec if not hasattr(disk, "members") else disk.members[0].spec
+        result._disk_spec = disk.spec
         return result
 
     def run_table3(self) -> dict[str, FioResult]:

@@ -1,0 +1,95 @@
+"""The parallel + cached experiment engine is bitwise-faithful.
+
+Whatever combination of ``jobs`` and ``cache_dir`` the engine runs
+under, it must hand back the same :class:`ExperimentResult` payloads the
+serial registry path produces — compared here at the pickle-byte level,
+which is also the representation the on-disk cache stores.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.engine import _cache_path, cache_key, run_experiments
+from repro.experiments.figures import Lab
+from repro.experiments.registry import get_experiment
+
+SEED = 2015
+
+#: A small registry subset keeps these tests fast; the two ids share the
+#: Lab's memoized pipeline runs, exercising the worker-sharing path.
+IDS = ["fig4", "table2"]
+
+
+def _bytes(result) -> bytes:
+    return pickle.dumps(result, protocol=4)
+
+
+@pytest.fixture(scope="module")
+def serial() -> dict[str, bytes]:
+    """Reference payloads straight from the registry path."""
+    lab = Lab(seed=SEED)
+    return {eid: _bytes(get_experiment(eid)(lab)) for eid in IDS}
+
+
+def test_serial_engine_matches_registry(serial):
+    report = run_experiments(IDS, seed=SEED, jobs=1)
+    assert list(report.results) == IDS
+    for eid in IDS:
+        assert _bytes(report.results[eid]) == serial[eid]
+
+
+def test_parallel_engine_matches_serial_bitwise(serial):
+    report = run_experiments(IDS, seed=SEED, jobs=2)
+    assert report.jobs == 2
+    assert list(report.results) == IDS
+    for eid in IDS:
+        assert _bytes(report.results[eid]) == serial[eid]
+
+
+def test_cache_round_trip(tmp_path, serial):
+    cache = str(tmp_path)
+    cold = run_experiments(IDS, seed=SEED, jobs=1, cache_dir=cache)
+    assert cold.cache_hits == ()
+    assert cold.cache_misses == tuple(IDS)
+
+    warm = run_experiments(IDS, seed=SEED, jobs=1, cache_dir=cache)
+    assert warm.cache_hits == tuple(IDS)
+    assert warm.cache_misses == ()
+    for eid in IDS:
+        assert _bytes(warm.results[eid]) == serial[eid]
+
+
+def test_corrupt_cache_entry_is_recomputed(tmp_path, serial):
+    cache = str(tmp_path)
+    run_experiments(["fig4"], seed=SEED, jobs=1, cache_dir=cache)
+    with open(_cache_path(cache, "fig4", SEED), "wb") as fh:
+        fh.write(b"definitely not a pickle")
+
+    report = run_experiments(["fig4"], seed=SEED, jobs=1, cache_dir=cache)
+    assert report.cache_misses == ("fig4",)
+    assert _bytes(report.results["fig4"]) == serial["fig4"]
+
+    # The recompute overwrote the corrupt entry with a good one.
+    again = run_experiments(["fig4"], seed=SEED, jobs=1, cache_dir=cache)
+    assert again.cache_hits == ("fig4",)
+
+
+def test_cache_key_covers_its_inputs():
+    base = cache_key("fig4", SEED)
+    assert cache_key("fig4", SEED) == base
+    assert cache_key("fig5", SEED) != base
+    assert cache_key("fig4", SEED + 1) != base
+
+
+def test_unknown_experiment_rejected_before_any_work():
+    with pytest.raises(ConfigError):
+        run_experiments(["no-such-figure"], seed=SEED)
+
+
+def test_nonpositive_jobs_rejected():
+    with pytest.raises(ConfigError):
+        run_experiments(IDS, seed=SEED, jobs=0)

@@ -119,9 +119,9 @@ class TestFailureInjection:
         grid.data[:] = np.random.default_rng(0).random((128, 128))
         DataWriter(fs).write_timestep(grid, 0)
         # Corrupt one byte of the stored container.
-        blob = bytearray(fs._contents["ts0000.dat"])
+        blob = bytearray(b"".join(fs._contents["ts0000.dat"]))
         blob[len(blob) // 2] ^= 0x40
-        fs._contents["ts0000.dat"] = blob
+        fs._contents["ts0000.dat"] = [bytes(blob)]
         with pytest.raises(FileFormatError, match="CRC"):
             DataReader(fs).read_grid(0)
 
@@ -129,7 +129,7 @@ class TestFailureInjection:
         fs = self._fs()
         grid = Grid2D.paper_grid()
         DataWriter(fs).write_timestep(grid, 0)
-        fs._contents["ts0000.dat"] = fs._contents["ts0000.dat"][:100]
+        fs._contents["ts0000.dat"] = [b"".join(fs._contents["ts0000.dat"])[:100]]
         handle = fs.handle("ts0000.dat")
         handle.extents[:] = handle.map_range(0, 100)
         with pytest.raises(FileFormatError):
@@ -138,17 +138,17 @@ class TestFailureInjection:
     def test_header_corruption_detected(self):
         fs = self._fs()
         DataWriter(fs).write_timestep(Grid2D.paper_grid(), 0)
-        blob = bytearray(fs._contents["ts0000.dat"])
+        blob = bytearray(b"".join(fs._contents["ts0000.dat"]))
         blob[0] = 0x00  # smash the magic
-        fs._contents["ts0000.dat"] = blob
+        fs._contents["ts0000.dat"] = [bytes(blob)]
         with pytest.raises(FileFormatError, match="magic"):
             DataReader(fs).read_grid(0)
 
     def test_wrong_codec_flag_rejected(self):
         fs = self._fs()
         DataWriter(fs).write_timestep(Grid2D.paper_grid(), 0)
-        blob = bytearray(fs._contents["ts0000.dat"])
+        blob = bytearray(b"".join(fs._contents["ts0000.dat"]))
         blob[6] = 0x63  # nonsense codec id in the flags field
-        fs._contents["ts0000.dat"] = blob
+        fs._contents["ts0000.dat"] = [bytes(blob)]
         with pytest.raises(StorageError):
             DataReader(fs).read_grid(0)

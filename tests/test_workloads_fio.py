@@ -106,9 +106,10 @@ class TestBatchConsistency:
             for o in offsets
         )
         batch_disk = HddModel(DiskSpec())
-        batch = batch_disk.service_random_batch(offsets, 16 * KiB, OpKind.READ)
+        batch = batch_disk.service_batch(offsets, 16 * KiB, OpKind.READ)
         assert batch.service_time == pytest.approx(total, rel=1e-9)
         assert batch.nbytes == 500 * 16 * KiB
+        assert batch.n_ops == 500
 
 
 class TestDeviceSweep:

@@ -19,4 +19,20 @@ python -m pytest -x -q
 echo "== greenlint (strict: warnings fail too) =="
 python -m repro.cli lint --strict src/repro
 
+echo "== perf smoke (run_all under ceiling) =="
+python - <<'PY'
+import time
+from repro.experiments.registry import run_all
+
+# Generous ceiling: the suite runs in ~1.5-2.5 s on the reference
+# container (14.77 s before the batched kernels); tripping 6 s means a
+# real regression, not scheduler noise.
+CEILING_S = 6.0
+start = time.perf_counter()
+run_all()
+elapsed = time.perf_counter() - start
+print(f"run_all: {elapsed:.2f}s (ceiling {CEILING_S:.1f}s)")
+raise SystemExit(0 if elapsed <= CEILING_S else 1)
+PY
+
 echo "All checks passed."
