@@ -1,0 +1,70 @@
+"""Compare a fresh BENCH_suite.json against a recorded baseline.
+
+Usage::
+
+    python benchmarks/compare_baseline.py FRESH.json BASELINE.json
+
+Exits non-zero when the fresh run regresses past tolerance.  CI runners
+are shared and noisy, so the gate is deliberately loose: a per-metric
+regression only fails when the fresh time exceeds ``TOLERANCE`` times
+the baseline *and* the absolute slowdown is larger than ``FLOOR_S``
+(sub-tenth-of-a-second experiments triple on scheduler jitter alone).
+Stdlib only — runs before any project install.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: A metric must be this many times slower than baseline to fail...
+TOLERANCE = 3.0
+#: ...and slower by at least this many absolute seconds.
+FLOOR_S = 0.5
+
+
+def compare(fresh: dict, baseline: dict) -> list[str]:
+    """Return a list of human-readable regression descriptions."""
+    regressions: list[str] = []
+
+    def check(label: str, new_s: float, old_s: float) -> None:
+        if new_s > old_s * TOLERANCE and new_s - old_s > FLOOR_S:
+            regressions.append(
+                f"{label}: {new_s:.3f}s vs baseline {old_s:.3f}s "
+                f"({new_s / old_s:.1f}x, tolerance {TOLERANCE:.0f}x)"
+            )
+
+    check("run_all", fresh.get("run_all_s", 0.0),
+          baseline.get("run_all_s", 0.0))
+    old_experiments = baseline.get("experiments", {})
+    for eid, new_s in sorted(fresh.get("experiments", {}).items()):
+        old_s = old_experiments.get(eid)
+        if old_s is None:
+            print(f"note: {eid} has no baseline entry; skipping")
+            continue
+        check(eid, new_s, old_s)
+    return regressions
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as fh:
+        fresh = json.load(fh)
+    with open(argv[2]) as fh:
+        baseline = json.load(fh)
+    regressions = compare(fresh, baseline)
+    if regressions:
+        print("PERF REGRESSION:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"perf ok: run_all {fresh.get('run_all_s', 0.0):.2f}s vs baseline "
+          f"{baseline.get('run_all_s', 0.0):.2f}s "
+          f"(tolerance {TOLERANCE:.0f}x, floor {FLOOR_S}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

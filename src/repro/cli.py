@@ -65,6 +65,33 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="check the reproduction against every paper anchor")
     verify.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
+    faults = sub.add_parser(
+        "faults", help="run one pipeline under injected storage faults")
+    faults.add_argument("--pipeline", choices=("post", "insitu"),
+                        default="post",
+                        help="pipeline to run (default: %(default)s)")
+    faults.add_argument("--case", type=int, default=1, metavar="N",
+                        help="case study index (default: %(default)s)")
+    faults.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="fault-plan and measurement seed "
+                             "(default: %(default)s)")
+    faults.add_argument("--transient-rate", type=float, default=0.02,
+                        help="per-op transient I/O error probability "
+                             "(default: %(default)s)")
+    faults.add_argument("--sector-rate", type=float, default=0.005,
+                        help="per-read latent-sector-error probability "
+                             "(default: %(default)s)")
+    faults.add_argument("--bitflip-rate", type=float, default=0.0,
+                        help="per-read DRAM bit-flip probability "
+                             "(default: %(default)s)")
+    faults.add_argument("--fail-at-op", type=int, default=None, metavar="N",
+                        help="kill the device at absolute op N "
+                             "(default: no device failure)")
+    faults.add_argument("--checkpoint-interval", type=int, default=0,
+                        metavar="N",
+                        help="in-situ checkpoint cadence in iterations "
+                             "(default: %(default)s, no checkpoints)")
+
     lint = sub.add_parser(
         "lint", help="run greenlint, the unit/determinism invariant checker")
     lint.add_argument("paths", nargs="*", metavar="PATH",
@@ -93,6 +120,44 @@ def _run_lint(args) -> int:
     print(render_json(result) if args.as_json else render_text(result))
     failing = result.errors() or (args.strict and result.findings)
     return 1 if failing else 0
+
+
+def _run_faults(args) -> int:
+    """Handle ``repro faults``: fault-free vs faulted run of one pipeline."""
+    from repro.experiments.faults import run_faulted
+    from repro.faults.plan import FaultSpec
+
+    try:
+        base, device = run_faulted(
+            args.pipeline, FaultSpec(seed=args.seed), seed=args.seed,
+            case_index=args.case,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+        spec = FaultSpec(
+            seed=args.seed,
+            transient_rate=args.transient_rate,
+            sector_rate=args.sector_rate,
+            bitflip_rate=args.bitflip_rate,
+            fail_at_op=args.fail_at_op,
+        )
+        result, _ = run_faulted(
+            args.pipeline, spec, seed=args.seed, case_index=args.case,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    overhead = (result.energy_j / base.energy_j - 1.0) * 100.0
+    print(f"pipeline {args.pipeline}, case {args.case}, seed {args.seed}")
+    print(f"  fault-free: {base.energy_j / 1000:10.2f} kJ "
+          f"{base.execution_time_s:8.1f} s")
+    print(f"  faulted:    {result.energy_j / 1000:10.2f} kJ "
+          f"{result.execution_time_s:8.1f} s  ({overhead:+.1f}% energy)")
+    print(f"  faults={result.extra.get('io_faults', 0)} "
+          f"retries={result.extra.get('io_retries', 0)} "
+          f"restarts={result.extra.get('restarts', 0)} "
+          f"baseline_ops={device.ops_serviced}")
+    return 0
 
 
 def _dump_csv(result, directory: str) -> list[str]:
@@ -127,6 +192,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "lint":
         return _run_lint(args)
+
+    if args.command == "faults":
+        return _run_faults(args)
 
     if args.command == "verify":
         from repro.experiments.verification import (

@@ -25,6 +25,53 @@ class DeviceError(MachineError):
     """A block device was asked to do something impossible (bad LBA, size...)."""
 
 
+class FaultError(MachineError):
+    """An injected storage fault interrupted an operation.
+
+    Raised by :class:`~repro.faults.device.FaultyDevice`.  Carries the
+    modeled cost of the failed attempt (``elapsed_s``) so the retry layer
+    can charge it, plus batch-resume bookkeeping: ``prefix`` is the
+    aggregate :class:`~repro.machine.disk.DiskResult` of the requests
+    serviced before the fault, ``failed_index`` the batch-relative index
+    of the faulting request.
+    """
+
+    #: Whether a bounded-retry policy may re-attempt the operation.
+    retryable = True
+
+    def __init__(self, message: str, *, elapsed_s: float = 0.0,
+                 op_index: int | None = None,
+                 failed_index: int | None = None,
+                 prefix: object = None) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.op_index = op_index
+        self.failed_index = failed_index
+        self.prefix = prefix
+
+
+class TransientIOError(FaultError):
+    """A transient I/O error (bus glitch, command timeout): retry succeeds."""
+
+
+class LatentSectorError(FaultError):
+    """A latent sector error: the sector fails several re-reads in a row."""
+
+
+class DramBitFlipError(FaultError):
+    """A DRAM bit flip detected on a read path (ECC reported, data re-fetched)."""
+
+
+class DeviceFailedError(FaultError):
+    """The whole device failed; no retry can help, only replacement."""
+
+    retryable = False
+
+
+class RetryExhaustedError(MachineError):
+    """A bounded retry policy gave up on an operation."""
+
+
 class StorageError(ReproError):
     """Filesystem / page-cache / data-format level error."""
 
@@ -43,6 +90,19 @@ class MeasurementError(ReproError):
 
 class PipelineError(ReproError):
     """A pipeline was misconfigured or run out of order."""
+
+
+class PipelineInterrupted(PipelineError):
+    """A device failure interrupted a run mid-way.
+
+    Carries the pipeline's :class:`~repro.pipelines.base.InterruptState`
+    (``state``) so a resilient runner can repair the device and resume
+    from the last durable point.
+    """
+
+    def __init__(self, message: str, *, state: object = None) -> None:
+        super().__init__(message)
+        self.state = state
 
 
 class SimulationError(ReproError):

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ConfigError
-from repro.experiments import figures
+from repro.experiments import faults, figures
 from repro.experiments.figures import ExperimentResult, Lab
 
 EXPERIMENTS: dict[str, Callable[[Lab], ExperimentResult]] = {
@@ -32,6 +32,7 @@ EXPERIMENTS: dict[str, Callable[[Lab], ExperimentResult]] = {
     "ext-multinode": figures.ext_multinode,
     "ext-applications": figures.ext_applications,
     "ext-advisor": figures.ext_advisor,
+    "ext-faults": faults.ext_faults,
 }
 
 

@@ -1,0 +1,276 @@
+"""``FaultyDevice``: a fault-injecting wrapper around any ``BlockDevice``.
+
+The wrapper numbers every logical operation it services (scalar requests
+count one each; a batch of *n* counts *n*, in submission order) and asks
+its :class:`~repro.faults.plan.FaultPlan` whether that op index faults.
+A faulting op raises the matching :class:`~repro.errors.FaultError`
+subclass *without* touching the wrapped device's state, so a retry replays
+against exactly the device state the failed attempt saw.  For batches, the
+prefix of requests before the fault is serviced for real and returned on
+the exception (``prefix`` / ``failed_index``) so the retry layer can
+account it and resume mid-batch.
+
+With a null plan the wrapper is pure delegation (bit-identical results);
+only the op counter ticks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import (
+    DeviceError,
+    DeviceFailedError,
+    DramBitFlipError,
+    FaultError,
+    LatentSectorError,
+    TransientIOError,
+)
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.machine.disk import (
+    BatchComponents,
+    DiskRequest,
+    DiskResult,
+    OpKind,
+    batch_arrays,
+    read_mask,
+)
+
+__all__ = ["FaultyDevice"]
+
+_ERROR_FOR_KIND: dict[FaultKind, type[FaultError]] = {
+    FaultKind.SECTOR: LatentSectorError,
+    FaultKind.BITFLIP: DramBitFlipError,
+    FaultKind.TRANSIENT: TransientIOError,
+}
+
+
+class FaultyDevice:
+    """Inject a :class:`FaultPlan`'s faults into a wrapped block device."""
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self.plan = plan
+        self._ops = 0
+        self._failed = False
+        self._fail_at_op = plan.spec.fail_at_op
+        self._pending_kind: FaultKind | None = None
+        self._pending_left = 0
+
+    # -- delegated surface ------------------------------------------------------
+
+    @property
+    def inner(self):
+        """The wrapped device model."""
+        return self._inner
+
+    @property
+    def spec(self):
+        """Wrapped device's specification."""
+        return self._inner.spec
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Wrapped device's usable capacity in bytes."""
+        return self._inner.capacity_bytes
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Wrapped device's unpersisted write-cache bytes."""
+        return self._inner.dirty_bytes
+
+    def stream_time(self, nbytes: int, op: OpKind) -> float:
+        """Wrapped device's contiguous transfer time (never faults)."""
+        return self._inner.stream_time(nbytes, op)
+
+    @property
+    def ops_serviced(self) -> int:
+        """Logical operations attempted so far (fault-plan op index)."""
+        return self._ops
+
+    @property
+    def failed(self) -> bool:
+        """Whether the whole device has failed."""
+        return self._failed
+
+    # -- fault scheduling -------------------------------------------------------
+
+    def _quiet(self) -> bool:
+        """True when no fault can possibly trigger (pure delegation path)."""
+        return (self.plan.is_null and not self._failed
+                and self._fail_at_op is None and self._pending_left == 0)
+
+    def _check_alive(self) -> None:
+        if self._failed:
+            raise DeviceFailedError("device has failed; replace it before use")
+
+    def _raise_fault(self, kind: FaultKind, op_index: int, nbytes: int,
+                     op: OpKind, prefix: DiskResult | None = None,
+                     failed_index: int | None = None) -> None:
+        if kind is FaultKind.DEVICE:
+            self._failed = True
+            raise DeviceFailedError(
+                f"whole-device failure at op {op_index}",
+                op_index=op_index, failed_index=failed_index, prefix=prefix,
+            )
+        if kind is FaultKind.SECTOR:
+            if self._pending_left > 0:
+                self._pending_left -= 1
+                if self._pending_left == 0:
+                    self._pending_kind = None
+            else:
+                # Fresh latent sector error: it stays bad for the next
+                # ``sector_attempts - 1`` attempts before a re-read maps
+                # the sector out and succeeds.
+                self._pending_kind = FaultKind.SECTOR
+                self._pending_left = self.plan.spec.sector_attempts - 1
+        # The failed attempt still occupied the device for a full
+        # transfer's worth of time before erroring out.
+        elapsed = self._inner.stream_time(nbytes, op)
+        raise _ERROR_FOR_KIND[kind](
+            f"injected {kind.value} fault at op {op_index}",
+            elapsed_s=elapsed, op_index=op_index,
+            failed_index=failed_index, prefix=prefix,
+        )
+
+    def _scheduled(self, op_index: int, is_read: bool) -> FaultKind | None:
+        """Fault kind for one op, honoring sticky sector errors."""
+        if self._fail_at_op is not None and op_index >= self._fail_at_op:
+            return FaultKind.DEVICE
+        if self._pending_left > 0 and is_read:
+            return self._pending_kind
+        return self.plan.fault_at(op_index, is_read)
+
+    # -- scalar servicing -------------------------------------------------------
+
+    def _scalar(self, request: DiskRequest, cached: bool) -> DiskResult:
+        if self._quiet():
+            self._ops += 1
+            if cached:
+                return self._inner.submit_write(request)
+            return self._inner.service(request)
+        self._check_alive()
+        op_index = self._ops
+        self._ops += 1
+        kind = self._scheduled(op_index, request.op is OpKind.READ)
+        if kind is not None:
+            self._raise_fault(kind, op_index, request.nbytes, request.op)
+        if cached:
+            return self._inner.submit_write(request)
+        return self._inner.service(request)
+
+    def service(self, request: DiskRequest) -> DiskResult:
+        """Service one request, possibly raising an injected fault."""
+        return self._scalar(request, cached=False)
+
+    def submit_write(self, request: DiskRequest) -> DiskResult:
+        """Accept one write, possibly raising an injected fault."""
+        return self._scalar(request, cached=True)
+
+    def flush_cache(self) -> DiskResult:
+        """Drain the wrapped device's write cache (fails only if dead)."""
+        self._check_alive()
+        return self._inner.flush_cache()
+
+    # -- batched servicing ------------------------------------------------------
+
+    def _first_scheduled(self, start: int, n: int,
+                         is_read: np.ndarray) -> tuple[int, FaultKind] | None:
+        candidates: list[tuple[int, FaultKind]] = []
+        if self._fail_at_op is not None and self._fail_at_op < start + n:
+            candidates.append((max(0, self._fail_at_op - start), FaultKind.DEVICE))
+        if self._pending_left > 0 and bool(is_read[0]):
+            candidates.append((0, self._pending_kind))
+        hit = self.plan.first_fault(start, n, is_read)
+        if hit is not None:
+            candidates.append(hit)
+        if not candidates:
+            return None
+        # Earliest op wins; at a tie, whole-device failure dominates and
+        # a sticky sector error beats a fresh draw (list order).
+        return min(candidates, key=lambda c: c[0])
+
+    def _batched(self, offsets, nbytes, op, cached: bool) -> DiskResult:
+        if self._quiet():
+            offs, sizes = batch_arrays(offsets, nbytes)
+            self._ops += offs.size
+            if cached:
+                return self._inner.submit_write_batch(offs, sizes)
+            return self._inner.service_batch(offs, sizes, op)
+        self._check_alive()
+        offs, sizes = batch_arrays(offsets, nbytes)
+        n = offs.size
+        if n == 0:
+            if cached:
+                return self._inner.submit_write_batch(offs, sizes)
+            return self._inner.service_batch(offs, sizes, op)
+        is_read = read_mask(OpKind.WRITE if cached else op, n)
+        start = self._ops
+        hit = self._first_scheduled(start, n, is_read)
+        if hit is None:
+            self._ops += n
+            if cached:
+                return self._inner.submit_write_batch(offs, sizes)
+            return self._inner.service_batch(offs, sizes, op)
+        k, kind = hit
+        prefix: DiskResult | None = None
+        if k > 0:
+            if cached:
+                prefix = self._inner.submit_write_batch(offs[:k], sizes[:k])
+            else:
+                prefix = self._inner.service_batch(offs[:k], sizes[:k], op)
+        # The prefix consumed k op indices and the faulted attempt one more.
+        self._ops = start + k + 1
+        fault_op = OpKind.READ if bool(is_read[k]) else OpKind.WRITE
+        self._raise_fault(kind, start + k, int(sizes[k]), fault_op,
+                          prefix=prefix, failed_index=k)
+        raise DeviceError("unreachable: _raise_fault always raises")
+
+    def service_batch(self, offsets, nbytes, op: OpKind) -> DiskResult:
+        """Batched :meth:`service`; faults carry the serviced prefix."""
+        return self._batched(offsets, nbytes, op, cached=False)
+
+    def submit_write_batch(self, offsets, nbytes) -> DiskResult:
+        """Batched :meth:`submit_write`; faults carry the serviced prefix."""
+        return self._batched(offsets, nbytes, OpKind.WRITE, cached=True)
+
+    def service_components(self, offsets, nbytes, op) -> BatchComponents:
+        """Delegate: per-request kernels are the RAID-internal surface.
+
+        Fault injection applies at the request level (scalar and aggregate
+        batch calls); wrap the array members individually to inject below
+        a RAID merge.
+        """
+        self._check_alive()
+        return self._inner.service_components(offsets, nbytes, op)
+
+    def submit_write_components(self, offsets, nbytes) -> BatchComponents:
+        """Delegate (see :meth:`service_components`)."""
+        self._check_alive()
+        return self._inner.submit_write_components(offsets, nbytes)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def replace(self) -> None:
+        """Swap in a fresh device after whole-device failure.
+
+        The replacement starts factory-clean and does not inherit the old
+        drive's scheduled death; per-op fault rates keep applying (the
+        environment, not the drive, causes transients).  The op counter
+        keeps running so the fault schedule never replays.
+        """
+        self._inner.reset()
+        self._failed = False
+        self._fail_at_op = None
+        self._pending_kind = None
+        self._pending_left = 0
+
+    def reset(self) -> None:
+        """Restore the initial state, replaying the fault plan from op 0."""
+        self._inner.reset()
+        self.plan.reset()
+        self._ops = 0
+        self._failed = False
+        self._fail_at_op = self.plan.spec.fail_at_op
+        self._pending_kind = None
+        self._pending_left = 0

@@ -1,0 +1,147 @@
+"""Seeded fault schedules, indexed by device-operation number.
+
+A :class:`FaultPlan` decides, for every operation a device services (scalar
+or batched, in submission order), whether that operation faults and how.
+Decisions are a pure function of ``(seed, kind, op index)``: each fault
+kind draws its own uniform stream via :func:`repro.rng.stream`, and an
+operation faults when its draw falls below the kind's rate.  Because the
+streams are indexed by absolute op number, the schedule is independent of
+how requests are partitioned into batches -- retrying or splitting a batch
+never re-rolls the dice.
+
+Precedence when several kinds hit the same op: latent sector error, then
+DRAM bit flip, then transient I/O error.  Sector and bit-flip faults only
+apply to reads; transient faults apply to any op.  Whole-device failure is
+scheduled separately via ``fail_at_op`` (the op index at which the device
+dies) rather than as a rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import DEFAULT_SEED, stream
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+#: Draws are materialized in chunks of this many ops per kind.
+_CHUNK_OPS = 2048
+
+
+class FaultKind(Enum):
+    """Categories of injected fault, in precedence order."""
+
+    SECTOR = "sector"
+    BITFLIP = "bitflip"
+    TRANSIENT = "transient"
+    DEVICE = "device"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative description of a fault schedule.
+
+    Rates are per-operation probabilities in [0, 1].  ``fail_at_op`` (if
+    set) kills the whole device at that op index.  ``sector_attempts`` is
+    how many consecutive attempts a latent sector error survives before a
+    re-read succeeds (latent sector errors are sticky; transient errors
+    and bit flips re-roll independently per attempt).
+    """
+
+    seed: int = DEFAULT_SEED
+    transient_rate: float = 0.0
+    sector_rate: float = 0.0
+    bitflip_rate: float = 0.0
+    fail_at_op: int | None = None
+    sector_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        for label, rate in (("transient_rate", self.transient_rate),
+                            ("sector_rate", self.sector_rate),
+                            ("bitflip_rate", self.bitflip_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{label} must be in [0, 1], got {rate}")
+        if self.fail_at_op is not None and self.fail_at_op < 0:
+            raise ConfigError(f"fail_at_op must be >= 0, got {self.fail_at_op}")
+        if self.sector_attempts < 1:
+            raise ConfigError(f"sector_attempts must be >= 1, got {self.sector_attempts}")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the spec schedules no faults at all."""
+        return (self.transient_rate == 0.0 and self.sector_rate == 0.0
+                and self.bitflip_rate == 0.0 and self.fail_at_op is None)
+
+
+class FaultPlan:
+    """Materialized fault schedule for one device.
+
+    Lazily extends one uniform array per active fault kind; a kind with
+    rate zero never draws, so a null plan touches no rng state at all.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self._draws: dict[FaultKind, np.ndarray] = {}
+        self._gens: dict[FaultKind, np.random.Generator] = {}
+
+    @property
+    def is_null(self) -> bool:
+        return self.spec.is_null
+
+    def _rates(self) -> tuple[tuple[FaultKind, float, bool], ...]:
+        """Active kinds in precedence order as (kind, rate, reads_only)."""
+        return (
+            (FaultKind.SECTOR, self.spec.sector_rate, True),
+            (FaultKind.BITFLIP, self.spec.bitflip_rate, True),
+            (FaultKind.TRANSIENT, self.spec.transient_rate, False),
+        )
+
+    def _window(self, kind: FaultKind, start: int, count: int) -> np.ndarray:
+        """Uniform draws for ops [start, start+count) of one kind."""
+        if kind not in self._gens:
+            self._gens[kind] = stream(f"faults/{kind.value}", self.spec.seed)
+            self._draws[kind] = np.empty(0)
+        draws = self._draws[kind]
+        needed = start + count
+        if draws.size < needed:
+            grow = max(needed - draws.size, _CHUNK_OPS)
+            draws = np.concatenate([draws, self._gens[kind].random(grow)])
+            self._draws[kind] = draws
+        return draws[start:start + count]
+
+    def first_fault(self, start: int, count: int,
+                    is_read: np.ndarray) -> tuple[int, FaultKind] | None:
+        """Earliest scheduled fault in the op-index window [start, start+count).
+
+        ``is_read`` is a boolean array of length ``count`` (read-only fault
+        kinds never hit writes).  Returns ``(relative_index, kind)`` for
+        the first faulting op, or None if the window is clean.
+        """
+        if count <= 0:
+            return None
+        best: tuple[int, FaultKind] | None = None
+        for kind, rate, reads_only in self._rates():
+            if rate <= 0.0:
+                continue
+            mask = self._window(kind, start, count) < rate
+            if reads_only:
+                mask = mask & is_read
+            hits = np.nonzero(mask)[0]
+            if hits.size and (best is None or int(hits[0]) < best[0]):
+                best = (int(hits[0]), kind)
+        return best
+
+    def fault_at(self, index: int, is_read: bool) -> FaultKind | None:
+        """Fault kind scheduled for a single op, or None."""
+        hit = self.first_fault(index, 1, np.array([is_read]))
+        return None if hit is None else hit[1]
+
+    def reset(self) -> None:
+        """Forget all draws so the schedule replays from op 0."""
+        self._draws.clear()
+        self._gens.clear()

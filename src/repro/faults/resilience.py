@@ -1,0 +1,116 @@
+"""Checkpoint/restart execution: surviving mid-run device failures.
+
+:class:`ResilientPipelineRunner` wraps the normal
+:class:`~repro.pipelines.runner.PipelineRunner` execution with a restart
+loop.  When a run raises :class:`~repro.errors.PipelineInterrupted`, the
+runner repairs the storage (replacing a failed
+:class:`~repro.faults.device.FaultyDevice`), charges a modeled restart
+span (drive swap plus re-reading the last checkpoint), and re-enters the
+pipeline with ``resume=state``.  The attempts' timelines are concatenated
+into one metered timeline, so every joule of redone work, recovery wait
+and restart overhead is priced by the existing meters.
+
+Fault-free runs never interrupt, take the fast path, and return the
+pipeline's result untouched — bit-identical to the base runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PipelineInterrupted
+from repro.faults.device import FaultyDevice
+from repro.machine.disk import OpKind
+from repro.pipelines.base import InterruptState, RunResult, VerificationRecord
+from repro.pipelines.runner import PipelineRunner
+from repro.rng import RngRegistry
+from repro.trace.events import Activity
+from repro.trace.timeline import Timeline
+
+__all__ = ["RestartModel", "ResilientPipelineRunner"]
+
+
+@dataclass(frozen=True)
+class RestartModel:
+    """Modeled fixed cost of one restart (operator swaps the drive,
+    remounts, and the job scheduler re-launches the application)."""
+
+    swap_s: float = 30.0
+
+
+class ResilientPipelineRunner(PipelineRunner):
+    """A :class:`PipelineRunner` that survives injected device failures."""
+
+    def __init__(self, *args, restart: RestartModel | None = None,
+                 max_restarts: int = 3, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.restart = restart or RestartModel()
+        self.max_restarts = max_restarts
+
+    def _execute(self, pipeline, science_rng: RngRegistry) -> RunResult:
+        attempts: list[RunResult] = []
+        merged = Timeline()
+        resume: InterruptState | None = None
+        restarts = 0
+        while True:
+            try:
+                result = pipeline.run(self.node, science_rng, resume=resume)
+            except PipelineInterrupted as exc:
+                state = exc.state
+                if not isinstance(state, InterruptState) \
+                        or restarts >= self.max_restarts:
+                    raise
+                restarts += 1
+                attempts.append(state.result)
+                merged.extend(state.result.timeline)
+                self._record_restart(merged, state, restarts)
+                resume = state
+                continue
+            if not attempts:
+                # Fault-free fast path: nothing to merge.
+                return result
+            attempts.append(result)
+            merged.extend(result.timeline)
+            return self._merge(attempts, merged, restarts)
+
+    def _record_restart(self, merged: Timeline, state: InterruptState,
+                        attempt: int) -> None:
+        """Repair the device and charge the restart on the merged timeline."""
+        device = self.node.storage
+        if isinstance(device, FaultyDevice) and device.failed:
+            device.replace()
+        read_s = 0.0
+        if state.resume_bytes:
+            read_s = self.node.storage.stream_time(state.resume_bytes,
+                                                   OpKind.READ)
+        duration = self.restart.swap_s + read_s
+        activity = Activity()
+        if duration > 0 and state.resume_bytes:
+            activity = Activity(
+                disk_read_bytes_per_s=state.resume_bytes / duration)
+        merged.record("restart", duration, activity,
+                      attempt=attempt, resumed_from=state.iteration,
+                      checkpoint_bytes=state.resume_bytes)
+
+    def _merge(self, attempts: list[RunResult], merged: Timeline,
+               restarts: int) -> RunResult:
+        """One RunResult covering every attempt (redone work included)."""
+        last = attempts[-1]
+        result = RunResult(
+            pipeline=last.pipeline,
+            case=last.case,
+            timeline=merged,
+            images_rendered=sum(a.images_rendered for a in attempts),
+            image_bytes=sum(a.image_bytes for a in attempts),
+            data_bytes_written=sum(a.data_bytes_written for a in attempts),
+            data_bytes_read=sum(a.data_bytes_read for a in attempts),
+            verification=VerificationRecord(
+                grids_checked=sum(a.verification.grids_checked
+                                  for a in attempts),
+                grids_matched=sum(a.verification.grids_matched
+                                  for a in attempts),
+            ),
+            extra=dict(last.extra),
+        )
+        result.extra["restarts"] = restarts
+        return result

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import DeviceError
+from repro.errors import DeviceError, DeviceFailedError
 from repro.machine.disk import (
     BatchComponents,
     DiskRequest,
@@ -32,6 +32,7 @@ from repro.machine.disk import (
     empty_components,
     read_mask,
 )
+from repro.trace.events import Activity
 from repro.units import KiB
 
 
@@ -47,6 +48,31 @@ class _MemberSlice:
     member: int
     offset: int
     nbytes: int
+
+
+@dataclass(frozen=True)
+class RebuildReport:
+    """Cost of reconstructing one member onto a replacement drive.
+
+    ``duration_s`` is wall time (survivor reads and the spare's write
+    stream overlap; the slower side gates).  ``bytes_read`` counts traffic
+    across all survivors (RAID 5 reads every survivor to re-XOR each
+    stripe; RAID 1 reads one mirror).
+    """
+
+    member: int
+    duration_s: float
+    bytes_read: int
+    bytes_written: int
+
+    def activity(self) -> Activity:
+        """Average array activity during the rebuild (for power pricing)."""
+        if self.duration_s <= 0:
+            return Activity()
+        return Activity(
+            disk_read_bytes_per_s=self.bytes_read / self.duration_s,
+            disk_write_bytes_per_s=self.bytes_written / self.duration_s,
+        )
 
 
 class RaidArray:
@@ -77,6 +103,48 @@ class RaidArray:
         self.level = level
         self.stripe_bytes = int(stripe_bytes)
         self._rr = 0  # round-robin read pointer for RAID 1
+        self._failed_members: set[int] = set()
+
+    # -- degraded mode -----------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one member has failed."""
+        return bool(self._failed_members)
+
+    @property
+    def failed_members(self) -> tuple[int, ...]:
+        """Indices of failed members, ascending."""
+        return tuple(sorted(self._failed_members))
+
+    def fail_member(self, index: int) -> None:
+        """Mark one member as failed (it stops servicing requests)."""
+        if not 0 <= index < self.n:
+            raise DeviceError(f"no member {index} in array of {self.n}")
+        self._failed_members.add(index)
+
+    def _fault_tolerance(self) -> int:
+        """How many member losses the level survives."""
+        if self.level is RaidLevel.RAID0:
+            return 0
+        if self.level is RaidLevel.RAID5:
+            return 1
+        return self.n - 1
+
+    def _check_tolerance(self) -> None:
+        lost = len(self._failed_members)
+        if lost > self._fault_tolerance():
+            raise DeviceFailedError(
+                f"{self.level.name} array lost member(s) "
+                f"{self.failed_members}: data is unrecoverable"
+            )
+
+    def _member_result(self, member: int, op: OpKind, offset: int,
+                       nbytes: int) -> DiskResult:
+        """Service one member extent; a failed member contributes nothing."""
+        if member in self._failed_members:
+            return DiskResult(0.0, 0.0, 0.0, 0.0, 0, op)
+        return self.members[member].service(DiskRequest(op, offset, nbytes))
 
     # -- geometry ---------------------------------------------------------------
 
@@ -141,8 +209,17 @@ class RaidArray:
     # -- servicing ---------------------------------------------------------------
 
     def service(self, request: DiskRequest) -> DiskResult:
-        """Service one request; returns its timing decomposition."""
+        """Service one request; returns its timing decomposition.
+
+        A degraded array keeps servicing as long as the level's fault
+        tolerance holds: RAID 1 reads surviving mirrors, RAID 5
+        reconstructs lost slices by reading the same extent from every
+        survivor.  Beyond tolerance (any RAID 0 loss, two RAID 5 losses)
+        every access raises :class:`~repro.errors.DeviceFailedError`.
+        """
         self._check_extent(request.offset, request.nbytes)
+        if self._failed_members:
+            self._check_tolerance()
         if self.level is RaidLevel.RAID1:
             return self._service_mirror(request)
         if self.level is RaidLevel.RAID5 and request.op is OpKind.WRITE:
@@ -165,7 +242,17 @@ class RaidArray:
 
     def _service_striped(self, request: DiskRequest) -> DiskResult:
         per_member: dict[int, list[_MemberSlice]] = {}
+        survivors = [m for m in range(self.n) if m not in self._failed_members]
         for sl in self._slices(request.offset, request.nbytes):
+            if sl.member in self._failed_members:
+                # Degraded RAID 5 read: reconstruct the lost slice by
+                # reading the same stripe extent from every survivor and
+                # XOR-ing (survivors work in parallel; the max-merge
+                # below prices the slowest).
+                for m in survivors:
+                    per_member.setdefault(m, []).append(
+                        _MemberSlice(m, sl.offset, sl.nbytes))
+                continue
             per_member.setdefault(sl.member, []).append(sl)
         results = []
         for member, slices in per_member.items():
@@ -186,10 +273,14 @@ class RaidArray:
 
     def _service_mirror(self, request: DiskRequest) -> DiskResult:
         if request.op is OpKind.READ:
-            dev = self.members[self._rr % self.n]
-            self._rr += 1
-            return dev.service(request)
-        results = [m.service(request) for m in self.members]
+            for _ in range(self.n):
+                target = self._rr % self.n
+                self._rr += 1
+                if target not in self._failed_members:
+                    return self.members[target].service(request)
+            raise DeviceFailedError("no surviving mirror to read from")
+        results = [m.service(request) for i, m in enumerate(self.members)
+                   if i not in self._failed_members]
         return self._merge_parallel(results, OpKind.WRITE, request.nbytes)
 
     def _service_raid5_write(self, request: DiskRequest) -> DiskResult:
@@ -197,12 +288,13 @@ class RaidArray:
         slices = self._slices(request.offset, request.nbytes)
         results = []
         for sl in slices:
-            dev = self.members[sl.member]
-            parity_dev = self.members[(sl.member + 1) % self.n]
-            read_old = dev.service(DiskRequest(OpKind.READ, sl.offset, sl.nbytes))
-            read_parity = parity_dev.service(DiskRequest(OpKind.READ, sl.offset, sl.nbytes))
-            write_new = dev.service(DiskRequest(OpKind.WRITE, sl.offset, sl.nbytes))
-            write_parity = parity_dev.service(DiskRequest(OpKind.WRITE, sl.offset, sl.nbytes))
+            parity_member = (sl.member + 1) % self.n
+            # A failed data or parity drive simply skips its ops (the
+            # write lands on the survivor; parity is recomputed on rebuild).
+            read_old = self._member_result(sl.member, OpKind.READ, sl.offset, sl.nbytes)
+            read_parity = self._member_result(parity_member, OpKind.READ, sl.offset, sl.nbytes)
+            write_new = self._member_result(sl.member, OpKind.WRITE, sl.offset, sl.nbytes)
+            write_parity = self._member_result(parity_member, OpKind.WRITE, sl.offset, sl.nbytes)
             results.append(DiskResult(
                 # data and parity drives operate in parallel; the two phases
                 # (read-old, write-new) serialize.
@@ -228,8 +320,11 @@ class RaidArray:
         """Write-back behaviour is delegated to members only for RAID 0/1."""
         if self.level is RaidLevel.RAID5:
             return self.service(request)
+        if self._failed_members:
+            self._check_tolerance()
         if self.level is RaidLevel.RAID1:
-            results = [m.submit_write(request) for m in self.members]
+            results = [m.submit_write(request) for i, m in enumerate(self.members)
+                       if i not in self._failed_members]
             return self._merge_parallel(results, OpKind.WRITE, request.nbytes)
         # RAID 0: stripe then cache on each member.
         per_member: dict[int, list[_MemberSlice]] = {}
@@ -290,6 +385,11 @@ class RaidArray:
             raise DeviceError(
                 f"batch extends outside array of {self.capacity_bytes} bytes"
             )
+        if self._failed_members:
+            # Degraded arrays take the scalar path so reconstruction and
+            # survivor routing apply per request.
+            self._check_tolerance()
+            return self._components_scalar_fallback(offs, sizes, read_mask(op, n))
         if not isinstance(op, OpKind):
             mask = read_mask(op, n)
             if mask.all():
@@ -429,6 +529,9 @@ class RaidArray:
             raise DeviceError(
                 f"batch extends outside array of {self.capacity_bytes} bytes"
             )
+        if self._failed_members:
+            self._check_tolerance()
+            return self._submit_scalar_fallback(offs, sizes)
         if self.level is RaidLevel.RAID5:
             return self._raid5_write_components(offs, sizes)
         if self.level is RaidLevel.RAID1:
@@ -465,6 +568,18 @@ class RaidArray:
             media_bytes=np.zeros(n, dtype=np.int64),
         )
 
+    def _submit_scalar_fallback(self, offs, sizes) -> BatchComponents:
+        comp = empty_components(offs.size)
+        for i in range(offs.size):
+            r = self.submit_write(DiskRequest(OpKind.WRITE, int(offs[i]),
+                                              int(sizes[i])))
+            comp.service[i] = r.service_time
+            comp.arm[i] = r.arm_time
+            comp.rotation[i] = r.rotation_time
+            comp.transfer[i] = r.transfer_time
+            comp.media_bytes[i] = 0 if r.cached else r.nbytes
+        return comp
+
     def submit_write_batch(self, offsets, nbytes) -> DiskResult:
         """Aggregate result for a batched :meth:`submit_write` stream."""
         comp = self.submit_write_components(offsets, nbytes)
@@ -472,10 +587,57 @@ class RaidArray:
         return batch_result(comp, OpKind.WRITE, cached=cached)
 
     def flush_cache(self) -> DiskResult:
-        """Drain any write-back cache to the media."""
-        results = [m.flush_cache() for m in self.members]
+        """Drain any write-back cache to the media (survivors only)."""
+        results = [m.flush_cache() for i, m in enumerate(self.members)
+                   if i not in self._failed_members]
         return self._merge_parallel(results, OpKind.WRITE,
                                     sum(r.nbytes for r in results))
+
+    # -- rebuild -----------------------------------------------------------------
+
+    def rebuild(self, index: int, used_bytes: int | None = None) -> RebuildReport:
+        """Reconstruct member ``index`` onto a replacement drive.
+
+        ``used_bytes`` bounds the per-member region to copy (a real
+        controller rebuilds the whole drive; bounding it to the allocated
+        region models a smarter, bitmap-driven rebuild and keeps
+        experiment runtimes sane).  Defaults to the full member capacity.
+
+        Survivor reads and the spare's write stream overlap, so the wall
+        time is the slower of the two at streaming rates; the report's
+        :meth:`RebuildReport.activity` prices the traffic for the power
+        model.  On return the member is healthy again (its model reset to
+        factory state).
+        """
+        if index not in self._failed_members:
+            raise DeviceError(f"member {index} is not failed")
+        if self.level is RaidLevel.RAID0:
+            raise DeviceFailedError("RAID0 has no redundancy to rebuild from")
+        self._check_tolerance()
+        span = used_bytes if used_bytes is not None \
+            else min(m.spec.capacity_bytes for m in self.members)
+        if span < 0:
+            raise DeviceError("used_bytes must be non-negative")
+        survivors = [m for i, m in enumerate(self.members)
+                     if i != index and i not in self._failed_members]
+        spare = self.members[index]
+        spare.reset()
+        if self.level is RaidLevel.RAID1:
+            # Copy one surviving mirror.
+            read_s = survivors[0].stream_time(span, OpKind.READ)
+            bytes_read = span
+        else:
+            # RAID 5: re-XOR the lost member from every survivor's span.
+            read_s = max(m.stream_time(span, OpKind.READ) for m in survivors)
+            bytes_read = span * len(survivors)
+        write_s = spare.stream_time(span, OpKind.WRITE)
+        self._failed_members.discard(index)
+        return RebuildReport(
+            member=index,
+            duration_s=max(read_s, write_s),
+            bytes_read=bytes_read,
+            bytes_written=span,
+        )
 
     @property
     def dirty_bytes(self) -> int:
@@ -500,6 +662,7 @@ class RaidArray:
         return max(times)
 
     def reset(self) -> None:
-        """Restore initial state (head position, caches, stats)."""
+        """Restore initial state (head position, caches, failures)."""
         for m in self.members:
             m.reset()
+        self._failed_members.clear()

@@ -22,6 +22,7 @@ from repro.calibration import (
     SUB_STEPS,
     CaseStudyConfig,
 )
+from repro.faults.retry import RetryPolicy, RetrySession
 from repro.machine.node import Node
 from repro.power.profile import PowerProfile
 from repro.rng import RngRegistry
@@ -30,6 +31,7 @@ from repro.sim.heat import HeatSolver, HeatSource
 from repro.system.blockdev import BlockQueue
 from repro.system.filesystem import FileSystem
 from repro.system.pagecache import PageCache
+from repro.trace.events import Activity
 from repro.trace.timeline import Timeline
 from repro.units import KiB
 from repro.viz.render import RenderResult, render_field, render_with_contours
@@ -78,6 +80,14 @@ class PipelineConfig:
     #: deep-memory-hierarchy (NVRAM-staging) study.  Stored as a tuple of
     #: (stage name, StageCalibration) pairs so the config stays hashable.
     stage_overrides: tuple = ()
+    #: Bounded-retry policy for faulted device operations (None = no
+    #: retries: any injected fault propagates).  Fault-free runs are
+    #: bit-identical with or without a policy.
+    retry_policy: RetryPolicy | None = None
+    #: In-situ resilience: write a durable checkpoint of the field every
+    #: this many iterations (0 = never).  Post-processing runs checkpoint
+    #: implicitly through their synced timestep dumps.
+    checkpoint_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.image_format not in ("png", "ppm"):
@@ -90,6 +100,8 @@ class PipelineConfig:
             raise PipelineError("grid_scale must be in [1, 64]")
         if self.solver_sub_steps < 1:
             raise PipelineError("solver_sub_steps must be >= 1")
+        if self.checkpoint_interval < 0:
+            raise PipelineError("checkpoint_interval must be >= 0")
 
     @property
     def sim_work_scale(self) -> float:
@@ -178,6 +190,62 @@ class RunResult:
         if e <= 0:
             raise PipelineError("non-positive energy")
         return self.work_units / e
+
+
+@dataclass
+class InterruptState:
+    """Where a pipeline stood when a device failure interrupted it.
+
+    Carried on :class:`~repro.errors.PipelineInterrupted` so a resilient
+    runner can repair the device and re-enter ``pipeline.run(...,
+    resume=state)``.  ``iteration`` is the last *durable* iteration (post
+    phase 1: last synced dump; in-situ: last checkpoint) or, in the read
+    phase, the last fully visualized timestep.  The surviving filesystem
+    keeps all committed files and the queue's cumulative fault counters.
+    """
+
+    pipeline: str
+    phase: str
+    iteration: int
+    fs: FileSystem
+    result: RunResult
+    checksums: dict[int, int] = field(default_factory=dict)
+    #: Checkpoint bytes a restart has to re-read to restore solver state.
+    resume_bytes: int = 0
+
+
+class RecoveryTracker:
+    """Turn a queue's accumulated fault time into explicit timeline spans.
+
+    Healthy stage durations come from the calibrated stage table; the
+    extra wall time burned by failed attempts and backoff waits is not in
+    that table, so the pipeline polls this tracker after each I/O
+    operation (and before surfacing an interrupt) to emit a ``recovery``
+    span covering the fault-time delta.  The device is erroring or
+    waiting during that window, not streaming, so the span carries idle
+    activity — the node's static floor still prices it.
+    """
+
+    def __init__(self, queue: BlockQueue, timeline: Timeline) -> None:
+        self.queue = queue
+        self.timeline = timeline
+        self._fault_time = queue.stats.fault_time
+        self._faults = queue.stats.n_faults
+        self._retries = queue.stats.n_retries
+
+    def poll(self, **meta: Any) -> None:
+        """Record a ``recovery`` span for any new fault time."""
+        stats = self.queue.stats
+        delta = stats.fault_time - self._fault_time
+        if delta <= 0:
+            return
+        faults = stats.n_faults - self._faults
+        retries = stats.n_retries - self._retries
+        self._fault_time = stats.fault_time
+        self._faults = stats.n_faults
+        self._retries = stats.n_retries
+        self.timeline.record("recovery", delta, Activity(),
+                             faults=faults, retries=retries, **meta)
 
 
 def make_solver(rng: RngRegistry, grid_scale: int = 1,
@@ -277,9 +345,17 @@ def render_pipeline_frame(data: np.ndarray,
 
 
 def make_storage(node: Node, rng: RngRegistry,
-                 layout: str = "contiguous") -> FileSystem:
-    """A fresh filesystem over the node's storage device."""
-    queue = BlockQueue(node.storage)
+                 layout: str = "contiguous",
+                 retry: RetryPolicy | None = None) -> FileSystem:
+    """A fresh filesystem over the node's storage device.
+
+    ``retry`` arms the block queue with a bounded-retry session whose
+    jitter stream comes from the run's rng (deterministic per seed).
+    """
+    session = None
+    if retry is not None:
+        session = RetrySession(retry, rng.get("fault-backoff-jitter"))
+    queue = BlockQueue(node.storage, retry=session)
     cache = PageCache(queue, capacity_bytes=node.spec.dram.capacity_bytes // 2)
     return FileSystem(queue, cache=cache, layout=layout, rng=rng)
 
@@ -309,7 +385,9 @@ def record_stage(
 
 
 __all__ = [
+    "InterruptState",
     "PipelineConfig",
+    "RecoveryTracker",
     "RunResult",
     "VerificationRecord",
     "make_solver",

@@ -10,13 +10,25 @@ in-situ visualization really costs beyond the render itself: image
 encoding/output and the interference of running visualization inside the
 simulation's address space (cache pollution, synchronization points).
 See :mod:`repro.experiments.calibration` for the derivation.
+
+Resilience: with ``checkpoint_interval > 0`` the loop dumps the field to
+a durable (synced) checkpoint file every so many iterations — in-situ has
+no timestep dumps to restart from, so without checkpoints a mid-run
+device failure costs the whole run.  A failure escaping the retry layer
+raises :class:`~repro.errors.PipelineInterrupted`; a resilient runner
+repairs the device and re-enters with ``resume=state`` to continue from
+the last checkpoint.
 """
 
 from __future__ import annotations
 
+from repro.errors import FaultError, PipelineInterrupted, RetryExhaustedError
 from repro.machine.node import Node
 from repro.pipelines.base import (
+    CHUNK_BYTES,
+    InterruptState,
     PipelineConfig,
+    RecoveryTracker,
     RunResult,
     make_storage,
     record_stage,
@@ -24,6 +36,7 @@ from repro.pipelines.base import (
 )
 from repro.pipelines.science import cached_solver
 from repro.rng import RngRegistry
+from repro.storage.writer import DataWriter
 from repro.trace.timeline import Timeline
 
 
@@ -35,21 +48,57 @@ class InSituPipeline:
     def __init__(self, config: PipelineConfig) -> None:
         self.config = config
 
-    def run(self, node: Node, rng: RngRegistry | None = None) -> RunResult:
+    def _interrupt(self, exc: Exception, iteration: int, fs,
+                   result: RunResult, ck_writer: DataWriter | None) -> None:
+        """Package the interrupt state and re-raise as PipelineInterrupted."""
+        resume_bytes = 0
+        if ck_writer is not None and iteration > 0:
+            name = ck_writer.filename(iteration)
+            if fs.exists(name):
+                resume_bytes = fs.size(name)
+        state = InterruptState(
+            pipeline=self.name, phase="loop", iteration=iteration,
+            fs=fs, result=result, resume_bytes=resume_bytes,
+        )
+        raise PipelineInterrupted(
+            f"{self.name} interrupted at durable iteration {iteration}: {exc}",
+            state=state,
+        ) from exc
+
+    def run(self, node: Node, rng: RngRegistry | None = None,
+            resume: InterruptState | None = None) -> RunResult:
         """Execute the pipeline on ``node``; returns the unmetered RunResult."""
         rng = rng or RngRegistry()
         solver = cached_solver(rng, self.config.grid_scale,
                                self.config.solver_sub_steps)
-        fs = make_storage(node, rng)
+        if resume is not None:
+            fs = resume.fs
+            durable = resume.iteration
+        else:
+            fs = make_storage(node, rng, retry=self.config.retry_policy)
+            durable = 0
+        interval = self.config.checkpoint_interval
+        ck_writer = None
+        if interval > 0:
+            # Durable checkpoints; caches are kept warm (the loop reuses
+            # the field immediately), unlike the post pipeline's dumps.
+            ck_writer = DataWriter(fs, prefix="ck", chunk_bytes=CHUNK_BYTES,
+                                   sync_each=True, drop_caches_each=False)
         timeline = Timeline()
         stages = self.config.stage_table
         result = RunResult(self.name, self.config.case, timeline)
+        tracker = RecoveryTracker(fs.queue, timeline)
 
         case = self.config.case
         io_iterations = set(case.io_iterations())
 
         timeline.mark("simulate+visualize")
-        for iteration in range(1, case.iterations + 1):
+        if durable:
+            # Restore the field from the last checkpoint: replayed from
+            # the trajectory cache (the restart span already charged the
+            # checkpoint read).
+            solver.step(durable)
+        for iteration in range(durable + 1, case.iterations + 1):
             solver.step(1)
             record_stage(timeline, "simulation", table=stages,
                          work_scale=self.config.sim_work_scale,
@@ -61,13 +110,43 @@ class InSituPipeline:
                 record_stage(timeline, "visualization", table=stages, iteration=iteration)
                 result.image_bytes += len(encoded)
                 name = f"frame{iteration:04d}.{self.config.image_format}"
-                fs.write(name, encoded)  # buffered; no sync
+                if fs.exists(name):
+                    # A restarted run re-renders frames the interrupt ate.
+                    fs.delete(name)
+                try:
+                    fs.write(name, encoded)  # buffered; no sync
+                except (FaultError, RetryExhaustedError) as exc:
+                    tracker.poll(iteration=iteration)
+                    self._interrupt(exc, durable, fs, result, ck_writer)
+                tracker.poll(iteration=iteration)
                 record_stage(
                     timeline, "coupling", table=stages,
                     disk_write_bytes=len(encoded),
                     iteration=iteration, file=name,
                 )
+            if interval > 0 and iteration % interval == 0:
+                try:
+                    report = ck_writer.write_timestep(
+                        solver.grid, iteration, physical_time=solver.time
+                    )
+                except (FaultError, RetryExhaustedError) as exc:
+                    tracker.poll(iteration=iteration)
+                    ck_name = ck_writer.filename(iteration)
+                    if fs.exists(ck_name):
+                        # Committed but not durably synced: discard it.
+                        fs.delete(ck_name)
+                    self._interrupt(exc, durable, fs, result, ck_writer)
+                tracker.poll(iteration=iteration)
+                result.data_bytes_written += report.nbytes
+                record_stage(
+                    timeline, "nnwrite", table=stages,
+                    disk_write_bytes=report.nbytes,
+                    iteration=iteration, file=report.name, checkpoint=True,
+                )
+                durable = iteration
 
         result.extra["final_mean_temperature"] = solver.grid.mean()
         result.extra["files_written"] = result.images_rendered
+        result.extra["io_faults"] = fs.queue.stats.n_faults
+        result.extra["io_retries"] = fs.queue.stats.n_retries
         return result

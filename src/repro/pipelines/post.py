@@ -9,15 +9,30 @@ Phase 2 — *read + visualize*: for every dumped timestep, drop caches,
 read the container cold, CRC-validate, reassemble the grid, optionally
 verify it bit-for-bit against what was written, render a frame, and store
 the image (buffered; image output is not the measured I/O load).
+
+Resilience: the synced timestep dumps double as checkpoints.  When an
+injected device failure escapes the retry layer, the run raises
+:class:`~repro.errors.PipelineInterrupted` carrying an
+:class:`~repro.pipelines.base.InterruptState`; a resilient runner repairs
+the device and calls :meth:`PostProcessingPipeline.run` again with
+``resume=state`` to continue from the last durable dump (phase 1) or the
+last visualized timestep (phase 2).
 """
 
 from __future__ import annotations
 
-from repro.errors import PipelineError
+from repro.errors import (
+    FaultError,
+    PipelineError,
+    PipelineInterrupted,
+    RetryExhaustedError,
+)
 from repro.machine.node import Node
 from repro.pipelines.base import (
     CHUNK_BYTES,
+    InterruptState,
     PipelineConfig,
+    RecoveryTracker,
     RunResult,
     VerificationRecord,
     make_storage,
@@ -39,47 +54,109 @@ class PostProcessingPipeline:
     def __init__(self, config: PipelineConfig) -> None:
         self.config = config
 
-    def run(self, node: Node, rng: RngRegistry | None = None) -> RunResult:
+    def _interrupt(self, exc: Exception, phase: str, iteration: int,
+                   fs, result: RunResult, checksums: dict[int, int]) -> None:
+        """Package the interrupt state and re-raise as PipelineInterrupted."""
+        resume_bytes = 0
+        if phase == "write" and iteration > 0:
+            name = f"ts{iteration:04d}.dat"
+            if fs.exists(name):
+                resume_bytes = fs.size(name)
+        state = InterruptState(
+            pipeline=self.name, phase=phase, iteration=iteration,
+            fs=fs, result=result, checksums=checksums,
+            resume_bytes=resume_bytes,
+        )
+        raise PipelineInterrupted(
+            f"{self.name} interrupted in phase {phase!r} "
+            f"(last durable iteration {iteration}): {exc}",
+            state=state,
+        ) from exc
+
+    def run(self, node: Node, rng: RngRegistry | None = None,
+            resume: InterruptState | None = None) -> RunResult:
         """Execute the pipeline on ``node``; returns the unmetered RunResult."""
         rng = rng or RngRegistry()
         solver = cached_solver(rng, self.config.grid_scale,
                                self.config.solver_sub_steps)
-        fs = make_storage(node, rng)
+        if resume is not None:
+            fs = resume.fs
+            written_checksums = resume.checksums
+            resume_phase = resume.phase
+            durable = resume.iteration
+        else:
+            fs = make_storage(node, rng, retry=self.config.retry_policy)
+            written_checksums = {}
+            resume_phase = "write"
+            durable = 0
         writer = DataWriter(fs, chunk_bytes=CHUNK_BYTES,
                             sync_each=True, drop_caches_each=True)
         reader = DataReader(fs, drop_caches_first=True)
         timeline = Timeline()
         stages = self.config.stage_table
         result = RunResult(self.name, self.config.case, timeline)
-        written_checksums: dict[int, int] = {}
+        tracker = RecoveryTracker(fs.queue, timeline)
 
         case = self.config.case
         io_iterations = set(case.io_iterations())
+        visualized = 0
 
-        # -- phase 1: simulate + write ------------------------------------------
-        timeline.mark("simulate+write")
-        for iteration in range(1, case.iterations + 1):
-            solver.step(1)
-            record_stage(timeline, "simulation", table=stages,
-                         work_scale=self.config.sim_work_scale,
-                         iteration=iteration)
-            if iteration in io_iterations:
-                report = writer.write_timestep(
-                    solver.grid, iteration, physical_time=solver.time
-                )
-                if self.config.verify_data:
-                    written_checksums[iteration] = hash(solver.grid.to_bytes())
-                result.data_bytes_written += report.nbytes
-                record_stage(
-                    timeline, "nnwrite", table=stages,
-                    disk_write_bytes=report.nbytes,
-                    iteration=iteration, file=report.name,
-                )
+        if resume_phase == "write":
+            # -- phase 1: simulate + write ----------------------------------------
+            timeline.mark("simulate+write")
+            if durable:
+                # Restore solver state at the last durable dump: replayed
+                # from the trajectory cache (the restart span already
+                # charged the checkpoint read).
+                solver.step(durable)
+            for iteration in range(durable + 1, case.iterations + 1):
+                solver.step(1)
+                record_stage(timeline, "simulation", table=stages,
+                             work_scale=self.config.sim_work_scale,
+                             iteration=iteration)
+                if iteration in io_iterations:
+                    try:
+                        report = writer.write_timestep(
+                            solver.grid, iteration, physical_time=solver.time
+                        )
+                    except (FaultError, RetryExhaustedError) as exc:
+                        tracker.poll(iteration=iteration)
+                        name = writer.filename(iteration)
+                        if fs.exists(name):
+                            # Committed but not durably synced: discard so
+                            # the restarted run re-dumps this timestep.
+                            fs.delete(name)
+                        self._interrupt(exc, "write", durable, fs, result,
+                                        written_checksums)
+                    tracker.poll(iteration=iteration)
+                    if self.config.verify_data:
+                        written_checksums[iteration] = hash(solver.grid.to_bytes())
+                    result.data_bytes_written += report.nbytes
+                    record_stage(
+                        timeline, "nnwrite", table=stages,
+                        disk_write_bytes=report.nbytes,
+                        iteration=iteration, file=report.name,
+                    )
+                    durable = iteration
+        else:
+            # Phase 1 completed before the interrupt: replay the physics
+            # (cached, instantaneous) for the final-state metric and skip
+            # already-visualized timesteps.
+            solver.step(case.iterations)
+            visualized = resume.iteration
 
         # -- phase 2: read + visualize -------------------------------------------
         timeline.mark("read+visualize")
         for timestep in reader.available_timesteps():
-            grid, report = reader.read_grid(timestep)
+            if timestep <= visualized:
+                continue
+            try:
+                grid, report = reader.read_grid(timestep)
+            except (FaultError, RetryExhaustedError) as exc:
+                tracker.poll(iteration=timestep)
+                self._interrupt(exc, "read", visualized, fs, result,
+                                written_checksums)
+            tracker.poll(iteration=timestep)
             result.data_bytes_read += report.nbytes
             record_stage(
                 timeline, "nnread", table=stages,
@@ -93,14 +170,29 @@ class PostProcessingPipeline:
             _frame, encoded = render_pipeline_frame(grid.data, self.config)
             result.images_rendered += 1
             result.image_bytes += len(encoded)
-            fs.write(f"frame{timestep:04d}.{self.config.image_format}", encoded)
+            frame_name = f"frame{timestep:04d}.{self.config.image_format}"
+            if fs.exists(frame_name):
+                # A restarted run re-renders the frame the interrupt ate.
+                fs.delete(frame_name)
+            try:
+                fs.write(frame_name, encoded)
+            except (FaultError, RetryExhaustedError) as exc:
+                tracker.poll(iteration=timestep)
+                self._interrupt(exc, "read", visualized, fs, result,
+                                written_checksums)
+            tracker.poll(iteration=timestep)
             record_stage(timeline, "visualization", table=stages, iteration=timestep)
+            visualized = timestep
 
         if self.config.verify_data and not result.verification.ok:
             raise PipelineError(
                 f"data corruption: {result.verification.grids_matched}/"
                 f"{result.verification.grids_checked} grids round-tripped"
             )
-        result.extra["files_written"] = len(writer.timesteps_written)
+        result.extra["files_written"] = sum(
+            1 for name in fs.files if name.startswith(writer.prefix)
+        )
         result.extra["final_mean_temperature"] = solver.grid.mean()
+        result.extra["io_faults"] = fs.queue.stats.n_faults
+        result.extra["io_retries"] = fs.queue.stats.n_retries
         return result

@@ -42,7 +42,7 @@ class PipelineRunner:
         # Give each run a pristine storage device (fresh mount).  Every
         # storage model declares the BlockDevice protocol, reset included.
         self.node.storage.reset()
-        result = pipeline.run(self.node, science_rng)
+        result = self._execute(pipeline, science_rng)
         rig = MeterRig(self.node, sample_hz=self.sample_hz,
                        jitter=self.jitter, rng=self.rng.fork(f"meters/{label}"))
         result.profile = rig.sample(result.timeline)
@@ -62,6 +62,11 @@ class PipelineRunner:
                 result.profile.energy() + staging_profile.energy()
             )
         return result
+
+    def _execute(self, pipeline, science_rng: RngRegistry) -> RunResult:
+        """Execution hook: subclasses may wrap the run with recovery logic
+        (see :class:`~repro.faults.resilience.ResilientPipelineRunner`)."""
+        return pipeline.run(self.node, science_rng)
 
     def compare(self, pipelines) -> list[RunResult]:
         """Run several pipelines under identical conditions."""

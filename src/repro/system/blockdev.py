@@ -14,6 +14,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import FaultError, RetryExhaustedError
+from repro.faults.retry import RetrySession
 from repro.machine.disk import DiskRequest, DiskResult, OpKind
 from repro.system.iosched import IoScheduler, NoopScheduler
 from repro.trace.events import Activity
@@ -31,6 +33,12 @@ class IoStats:
     bytes_written: int = 0
     n_reads: int = 0
     n_writes: int = 0
+    #: Device time burned by failed attempts (timeout-capped) plus the
+    #: backoff waits between retries.  Included in ``busy_time`` too: it
+    #: is real elapsed time on the op path.
+    fault_time: float = 0.0
+    n_faults: int = 0
+    n_retries: int = 0
 
     def add(self, result: DiskResult) -> None:
         """Accumulate one serviced (possibly batched) result's timing and traffic."""
@@ -49,6 +57,14 @@ class IoStats:
         else:
             self.bytes_written += result.nbytes
             self.n_writes += result.n_ops
+
+    def add_fault(self, *, charge_s: float, retried: bool) -> None:
+        """Account one failed attempt: device charge plus any backoff wait."""
+        self.busy_time += charge_s
+        self.fault_time += charge_s
+        self.n_faults += 1
+        if retried:
+            self.n_retries += 1
 
     def add_drain(self, result: DiskResult) -> None:
         """Account a write-cache drain: platter bytes, but no new op."""
@@ -92,13 +108,58 @@ class BlockQueue:
         ``flush_cache`` (HDD, SSD, NVRAM, RAID array).
     scheduler:
         Request-ordering policy; defaults to FIFO.
+    retry:
+        Optional :class:`~repro.faults.retry.RetrySession`.  When set,
+        :class:`~repro.errors.FaultError` raised by the device is charged
+        (timeout-capped) and the operation re-attempted with jittered
+        exponential backoff, up to the policy's attempt budget; beyond it
+        a :class:`~repro.errors.RetryExhaustedError` propagates.  Without
+        a session, faults are charged once and re-raised.  Non-retryable
+        faults (whole-device failure) always propagate.
     """
 
-    def __init__(self, device, scheduler: IoScheduler | None = None) -> None:
+    def __init__(self, device, scheduler: IoScheduler | None = None,
+                 retry: RetrySession | None = None) -> None:
         self.device = device
         self.scheduler = scheduler or NoopScheduler()
+        self.retry = retry
         self.stats = IoStats()
         self._head_pos = 0
+
+    def _account_fault(self, exc: FaultError, attempt: int,
+                       batch: IoStats) -> None:
+        """Charge one failed attempt; raise unless a retry is allowed."""
+        session = self.retry
+        if session is None or not exc.retryable:
+            batch.add_fault(charge_s=exc.elapsed_s, retried=False)
+            self.stats = self.stats.merge(batch)
+            raise exc
+        policy = session.policy
+        charge = policy.charge_s(exc.elapsed_s)
+        if attempt >= policy.max_attempts:
+            batch.add_fault(charge_s=charge, retried=False)
+            self.stats = self.stats.merge(batch)
+            raise RetryExhaustedError(
+                f"giving up after {attempt} attempts: {exc}"
+            ) from exc
+        batch.add_fault(charge_s=charge + session.backoff_s(attempt),
+                        retried=True)
+
+    def _dispatch(self, req: DiskRequest, through_cache: bool,
+                  batch: IoStats) -> None:
+        attempt = 0
+        while True:
+            try:
+                if req.op is OpKind.WRITE and through_cache:
+                    result = self.device.submit_write(req)
+                else:
+                    result = self.device.service(req)
+            except FaultError as exc:
+                attempt += 1
+                self._account_fault(exc, attempt, batch)
+                continue
+            batch.add(result)
+            return
 
     def submit(self, requests: Sequence[DiskRequest],
                through_cache: bool = True) -> IoStats:
@@ -111,11 +172,7 @@ class BlockQueue:
         """
         batch = IoStats()
         for req in self.scheduler.order(requests, self._head_pos):
-            if req.op is OpKind.WRITE and through_cache:
-                result = self.device.submit_write(req)
-            else:
-                result = self.device.service(req)
-            batch.add(result)
+            self._dispatch(req, through_cache, batch)
             self._head_pos = req.end
         self.stats = self.stats.merge(batch)
         return batch
@@ -137,13 +194,39 @@ class BlockQueue:
             )
         batch = IoStats()
         if offs.size:
-            if op is OpKind.WRITE and through_cache:
-                batch.add(self.device.submit_write_batch(offs, lens))
-            else:
-                batch.add(self.device.service_batch(offs, lens, op))
+            self._dispatch_arrays(op, offs, lens, through_cache, batch)
             self._head_pos = int(offs[-1] + lens[-1])
         self.stats = self.stats.merge(batch)
         return batch
+
+    def _dispatch_arrays(self, op: OpKind, offs: np.ndarray, lens: np.ndarray,
+                         through_cache: bool, batch: IoStats) -> None:
+        """One batched kernel call, resuming past faults at the failed index."""
+        start = 0
+        attempt = 0
+        last_failed = -1
+        n = int(offs.size)
+        while start < n:
+            try:
+                if op is OpKind.WRITE and through_cache:
+                    result = self.device.submit_write_batch(offs[start:],
+                                                            lens[start:])
+                else:
+                    result = self.device.service_batch(offs[start:],
+                                                       lens[start:], op)
+            except FaultError as exc:
+                if isinstance(exc.prefix, DiskResult) and exc.prefix.n_ops:
+                    batch.add(exc.prefix)
+                failed = start + (exc.failed_index or 0)
+                # The attempt counter tracks one request: it resets when
+                # the fault moves to a different batch element.
+                attempt = attempt + 1 if failed == last_failed else 1
+                last_failed = failed
+                self._account_fault(exc, attempt, batch)
+                start = failed
+                continue
+            batch.add(result)
+            return
 
     def flush(self) -> IoStats:
         """Flush the device write cache (fsync barrier reaching the drive)."""

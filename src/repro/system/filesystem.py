@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import FileNotFound, StorageError
+from repro.errors import FileNotFound, MachineError, StorageError
 from repro.machine.disk import DiskRequest, OpKind
 from repro.rng import RngRegistry
 from repro.system.blockdev import BlockQueue, IoStats
@@ -210,22 +210,36 @@ class FileSystem:
             handle = FileHandle(name)
             self._files[name] = handle
             self._contents[name] = []
+        n_before = len(handle.extents)
+        created = n_before == 0 and not self._contents[name]
         new_extents = self._allocate(len(data))
         handle.extents.extend(new_extents)
         self._contents[name].append(bytes(data))
-        if self.cache is not None:
-            for extent in new_extents:
-                result.absorb(self.cache.write(extent.device_offset, extent.nbytes))
-        else:
-            result.io = result.io.merge(self.queue.submit_arrays(
-                OpKind.WRITE,
-                [e.device_offset for e in new_extents],
-                [e.nbytes for e in new_extents],
-            ))
-        if sync:
-            sync_result = self.fsync(name)
-            result.cpu_time += sync_result.cpu_time
-            result.io = result.io.merge(sync_result.io)
+        try:
+            if self.cache is not None:
+                for extent in new_extents:
+                    result.absorb(self.cache.write(extent.device_offset, extent.nbytes))
+            else:
+                result.io = result.io.merge(self.queue.submit_arrays(
+                    OpKind.WRITE,
+                    [e.device_offset for e in new_extents],
+                    [e.nbytes for e in new_extents],
+                ))
+            if sync:
+                sync_result = self.fsync(name)
+                result.cpu_time += sync_result.cpu_time
+                result.io = result.io.merge(sync_result.io)
+        except MachineError:
+            # An injected fault escaped the retry layer: roll back the
+            # un-durable append so a restarted pipeline sees only
+            # committed content.  (The allocation cursor is not rewound;
+            # leaked space is what a crashed append leaves behind.)
+            del handle.extents[n_before:]
+            self._contents[name].pop()
+            if created:
+                del self._files[name]
+                del self._contents[name]
+            raise
         return result
 
     def read(self, name: str, offset: int = 0, nbytes: int | None = None) -> tuple[bytes, FsResult]:

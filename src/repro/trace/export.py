@@ -15,6 +15,11 @@ from repro.errors import ConfigError
 from repro.trace.timeline import Timeline
 from repro.units import US
 
+#: Stage labels emitted by the fault/recovery machinery rather than the
+#: pipelines themselves; exporters categorize them separately so the cost
+#: of resilience is visually separable from the science.
+RESILIENCE_STAGES = frozenset({"recovery", "restart", "rebuild"})
+
 
 def timeline_to_records(timeline: Timeline) -> list[dict[str, Any]]:
     """Flatten a timeline into one dict per span (meta flattened in)."""
@@ -74,6 +79,8 @@ def timeline_to_chrome_trace(timeline: Timeline, pid: int = 1,
         events.append({
             "name": span.stage,
             "ph": "X",
+            "cat": ("resilience" if span.stage in RESILIENCE_STAGES
+                    else "pipeline"),
             "ts": span.t0 / US,
             "dur": span.duration / US,
             "pid": pid,

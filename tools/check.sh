@@ -21,13 +21,16 @@ python -m repro.cli lint --strict src/repro
 
 echo "== perf smoke (run_all under ceiling) =="
 python - <<'PY'
+import os
 import time
 from repro.experiments.registry import run_all
 
 # Generous ceiling: the suite runs in ~1.5-2.5 s on the reference
 # container (14.77 s before the batched kernels); tripping 6 s means a
-# real regression, not scheduler noise.
-CEILING_S = 6.0
+# real regression, not scheduler noise.  Shared CI runners are far
+# noisier than the reference container, so the workflow raises the
+# ceiling via REPRO_PERF_CEILING_S instead of weakening the default.
+CEILING_S = float(os.environ.get("REPRO_PERF_CEILING_S", "6.0"))
 start = time.perf_counter()
 run_all()
 elapsed = time.perf_counter() - start
