@@ -1,0 +1,184 @@
+"""Serving-layer throughput: warm pool + two-tier cache vs cold runs.
+
+Drives the in-process :class:`~repro.service.core.ExperimentService`
+with three concurrent mixed workloads and records sustained request
+rates plus latency percentiles to ``benchmarks/output/BENCH_serve.json``:
+
+* **hot repeats** — one key warmed, then ``HOT_THREADS`` request threads
+  hammering it; every request is a memory-tier hit.
+* **cold misses** — a fresh service fans the whole registry out over the
+  worker pool with nothing cached.
+* **coalescing storm** — ``STORM_THREADS`` threads released by a barrier
+  onto one cold key; the single-flight layer must run *exactly one*
+  underlying compute.
+
+The baseline is the pre-serving cost model: every request constructs a
+:class:`Lab` and runs the experiment serially.  The acceptance gate is
+``hot req/s >= MIN_HOT_SPEEDUP x baseline req/s`` — the measured value
+is orders of magnitude past it.  Every served payload is digest-checked
+against a cold serial ``run_experiment``, so the speed is provably not
+changing a byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import threading
+import time
+
+from repro.experiments import EXPERIMENTS, Lab
+from repro.experiments.registry import get_experiment
+from repro.service import ExperimentService, ServiceConfig, result_digest
+
+SEED = 2015
+#: The hot-repeat key; a mid-weight experiment (full case-study sweep).
+HOT_ID = "fig4"
+#: The storm key; distinct from HOT_ID so the storm starts cold.
+STORM_ID = "table2"
+
+BASELINE_REQUESTS = 3
+HOT_THREADS = 8
+HOT_REQUESTS_PER_THREAD = 50
+STORM_THREADS = 32
+
+#: Warm-pool serving must beat per-request cold Labs by at least this
+#: factor on the hot-repeat workload (the PR's acceptance criterion).
+MIN_HOT_SPEEDUP = 10.0
+
+
+def _percentiles(samples_s: list[float]) -> dict[str, float]:
+    ordered = sorted(samples_s)
+    grid = statistics.quantiles(ordered, n=100, method="inclusive")
+    return {
+        "p50_ms": round(grid[49] * 1000.0, 4),
+        "p95_ms": round(grid[94] * 1000.0, 4),
+        "p99_ms": round(grid[98] * 1000.0, 4),
+        "max_ms": round(ordered[-1] * 1000.0, 4),
+    }
+
+
+def _drive(service: ExperimentService, experiment_id: str, threads: int,
+           requests_per_thread: int) -> tuple[float, list[float]]:
+    """Hammer one key from many threads; (elapsed, per-request latencies)."""
+    latencies: list[list[float]] = [[] for _ in range(threads)]
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(slot: int) -> None:
+        barrier.wait()
+        for _ in range(requests_per_thread):
+            start = time.perf_counter()
+            service.run(experiment_id, SEED)
+            latencies[slot].append(time.perf_counter() - start)
+
+    pool = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    for t in pool:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in pool:
+        t.join()
+    elapsed = time.perf_counter() - start
+    return elapsed, [s for slot in latencies for s in slot]
+
+
+def test_bench_serve(output_dir):
+    # -- baseline: per-request cold Lab construction + serial run -------------
+    reference = get_experiment(HOT_ID)(Lab(seed=SEED))
+    reference_digest = result_digest(reference)
+    baseline_samples_s = []
+    for _ in range(BASELINE_REQUESTS):
+        start = time.perf_counter()
+        result = get_experiment(HOT_ID)(Lab(seed=SEED))
+        baseline_samples_s.append(time.perf_counter() - start)
+        assert result_digest(result) == reference_digest
+    baseline_s_per_request = min(baseline_samples_s)
+    baseline_rps = 1.0 / baseline_s_per_request
+
+    # -- hot repeats: every request a memory-tier hit -------------------------
+    with ExperimentService(ServiceConfig(jobs=4)) as service:
+        warm = service.serve(HOT_ID, SEED)
+        assert result_digest(warm.result) == reference_digest
+        hot_elapsed_s, hot_latencies_s = _drive(
+            service, HOT_ID, HOT_THREADS, HOT_REQUESTS_PER_THREAD)
+        hot_requests = HOT_THREADS * HOT_REQUESTS_PER_THREAD
+        hot_stats = service.stats()
+        assert hot_stats["memory"]["hits"] >= hot_requests
+        assert service.run(HOT_ID, SEED).text == reference.text
+    hot_rps = hot_requests / hot_elapsed_s
+    hot_speedup = hot_rps / baseline_rps
+
+    # -- cold misses: the whole registry, nothing cached ----------------------
+    with ExperimentService(ServiceConfig(jobs=4)) as service:
+        start = time.perf_counter()
+        results = service.run_many(list(EXPERIMENTS), seed=SEED)
+        cold_elapsed_s = time.perf_counter() - start
+        cold_stats = service.stats()
+        assert set(results) == set(EXPERIMENTS)
+        assert cold_stats["computed"] == len(EXPERIMENTS)
+    cold_rps = len(EXPERIMENTS) / cold_elapsed_s
+
+    # -- coalescing storm: N concurrent identical cold requests ---------------
+    with ExperimentService(ServiceConfig(jobs=4)) as service:
+        storm_elapsed_s, storm_latencies_s = _drive(
+            service, STORM_ID, STORM_THREADS, 1)
+        storm_stats = service.stats()
+        assert storm_stats["computed"] == 1, (
+            f"coalescing failed: {storm_stats['computed']} computes "
+            f"for one key under a {STORM_THREADS}-thread storm")
+        # Every non-computing thread either joined the in-flight compute
+        # or arrived after it finished and hit the memory tier; both are
+        # dedup wins, and their split depends only on compute latency.
+        storm_mem_hits = storm_stats["memory"]["hits"]
+        assert (storm_stats["coalesced"] + storm_mem_hits
+                == STORM_THREADS - 1), storm_stats
+
+    payload = {
+        "seed": SEED,
+        "baseline": {
+            "workload": f"per-request cold Lab, serial {HOT_ID}",
+            "requests": BASELINE_REQUESTS,
+            "s_per_request": round(baseline_s_per_request, 4),
+            "req_per_s": round(baseline_rps, 4),
+        },
+        "hot_repeats": {
+            "workload": f"{HOT_THREADS} threads x "
+                        f"{HOT_REQUESTS_PER_THREAD} requests of {HOT_ID}",
+            "requests": hot_requests,
+            "elapsed_s": round(hot_elapsed_s, 4),
+            "req_per_s": round(hot_rps, 1),
+            "speedup_vs_cold": round(hot_speedup, 1),
+            **_percentiles(hot_latencies_s),
+        },
+        "cold_misses": {
+            "workload": f"whole registry ({len(EXPERIMENTS)} ids), "
+                        "empty cache, jobs=4",
+            "requests": len(EXPERIMENTS),
+            "elapsed_s": round(cold_elapsed_s, 4),
+            "req_per_s": round(cold_rps, 2),
+        },
+        "coalescing_storm": {
+            "workload": f"{STORM_THREADS} concurrent requests of one "
+                        f"cold key ({STORM_ID})",
+            "requests": STORM_THREADS,
+            "computes": storm_stats["computed"],
+            "coalesced": storm_stats["coalesced"],
+            "memory_hits": storm_mem_hits,
+            "elapsed_s": round(storm_elapsed_s, 4),
+            **_percentiles(storm_latencies_s),
+        },
+        "min_hot_speedup": MIN_HOT_SPEEDUP,
+    }
+    path = os.path.join(output_dir, "BENCH_serve.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nhot {hot_rps:,.0f} req/s ({hot_speedup:,.0f}x cold baseline "
+          f"{baseline_rps:.2f} req/s); cold sweep {cold_rps:.2f} req/s; "
+          f"storm: {storm_stats['computed']} compute / "
+          f"{storm_stats['coalesced']} coalesced")
+
+    assert hot_speedup >= MIN_HOT_SPEEDUP, (
+        f"hot-repeat serving only {hot_speedup:.1f}x the cold baseline "
+        f"(need {MIN_HOT_SPEEDUP:.0f}x)")

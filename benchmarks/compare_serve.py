@@ -1,0 +1,83 @@
+"""Compare a fresh BENCH_serve.json against a recorded baseline.
+
+Usage::
+
+    python benchmarks/compare_serve.py FRESH.json BASELINE.json
+
+The serving benchmark's gate is throughput, so unlike
+``compare_baseline.py`` (lower-is-better wall times) this checks
+higher-is-better request rates: the fresh hot-repeat rate must clear an
+absolute floor *and* stay within ``TOLERANCE`` of the recorded baseline
+rate.  Coalescing is a correctness property, not a noise-prone timing —
+any fresh storm that needed more than one compute fails outright.
+Stdlib only — runs before any project install.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Absolute floor on hot-repeat serving throughput.  The reference
+#: container sustains tens of thousands req/s; even a shared CI runner
+#: has two orders of magnitude of headroom over this.
+FLOOR_HOT_REQ_PER_S = 500.0
+#: ...and the rate must not fall below baseline/TOLERANCE.
+TOLERANCE = 10.0
+
+
+def compare(fresh: dict, baseline: dict) -> list[str]:
+    """Return a list of human-readable regression descriptions."""
+    regressions: list[str] = []
+
+    fresh_hot = fresh.get("hot_repeats", {}).get("req_per_s", 0.0)
+    base_hot = baseline.get("hot_repeats", {}).get("req_per_s", 0.0)
+    if fresh_hot < FLOOR_HOT_REQ_PER_S:
+        regressions.append(
+            f"hot repeats: {fresh_hot:.0f} req/s is below the "
+            f"{FLOOR_HOT_REQ_PER_S:.0f} req/s floor")
+    if base_hot > 0 and fresh_hot < base_hot / TOLERANCE:
+        regressions.append(
+            f"hot repeats: {fresh_hot:.0f} req/s vs baseline "
+            f"{base_hot:.0f} req/s ({base_hot / max(fresh_hot, 1e-9):.1f}x "
+            f"slower, tolerance {TOLERANCE:.0f}x)")
+
+    storm = fresh.get("coalescing_storm", {})
+    computes = storm.get("computes")
+    if computes != 1:
+        regressions.append(
+            f"coalescing storm: {computes} underlying computes for one "
+            f"key (must be exactly 1)")
+
+    speedup = fresh.get("hot_repeats", {}).get("speedup_vs_cold", 0.0)
+    need = fresh.get("min_hot_speedup", 10.0)
+    if speedup < need:
+        regressions.append(
+            f"hot repeats: only {speedup:.1f}x the cold baseline "
+            f"(need {need:.0f}x)")
+    return regressions
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as fh:
+        fresh = json.load(fh)
+    with open(argv[2]) as fh:
+        baseline = json.load(fh)
+    regressions = compare(fresh, baseline)
+    if regressions:
+        print("SERVE REGRESSION:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"serve ok: hot {fresh['hot_repeats']['req_per_s']:,.0f} req/s "
+          f"(baseline {baseline['hot_repeats']['req_per_s']:,.0f}), "
+          f"storm computes {fresh['coalescing_storm']['computes']}, "
+          f"floor {FLOOR_HOT_REQ_PER_S:.0f} req/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

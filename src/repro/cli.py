@@ -92,6 +92,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="in-situ checkpoint cadence in iterations "
                              "(default: %(default)s, no checkpoints)")
 
+    serve = sub.add_parser(
+        "serve", help="serve experiments over JSON/HTTP from warm workers")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="TCP port (default: 8077)")
+    serve.add_argument("--jobs", type=int, default=2, metavar="J",
+                       help="concurrent compute workers, each holding "
+                            "primed Labs (default: %(default)s)")
+    serve.add_argument("--cache", metavar="DIR", default=None,
+                       help="persistent disk tier shared with 'repro run "
+                            "--cache' (default: memory tier only)")
+    serve.add_argument("--mem-entries", type=int, default=None, metavar="N",
+                       help="memory-tier LRU entry bound (default: 128)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+
+    query = sub.add_parser(
+        "query", help="run one experiment on a running 'repro serve'")
+    query.add_argument("experiment", help="experiment id from 'list'")
+    query.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                       help="measurement-noise seed (default: %(default)s)")
+    query.add_argument("--host", default="127.0.0.1",
+                       help="server address (default: %(default)s)")
+    query.add_argument("--port", type=int, default=None, metavar="N",
+                       help="server port (default: 8077)")
+    query.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the raw JSON reply instead of the text")
+
     lint = sub.add_parser(
         "lint", help="run greenlint, the unit/determinism invariant checker")
     lint.add_argument("paths", nargs="*", metavar="PATH",
@@ -160,6 +189,58 @@ def _run_faults(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """Handle ``repro serve``: block until interrupted."""
+    from repro.service import DEFAULT_PORT, ExperimentService, ServiceConfig
+    from repro.service.http import make_server
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    config_kwargs = {"jobs": args.jobs, "cache_dir": args.cache}
+    if args.mem_entries is not None:
+        config_kwargs["mem_entries"] = args.mem_entries
+    try:
+        service = ExperimentService(ServiceConfig(**config_kwargs))
+        server = make_server(args.host, port, service, verbose=args.verbose)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving {len(EXPERIMENTS)} experiments on "
+          f"http://{args.host}:{port} (jobs={args.jobs}, "
+          f"cache={args.cache or 'memory only'})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _run_query(args) -> int:
+    """Handle ``repro query``: one request against a running server."""
+    import json as _json
+
+    from repro.service.client import query
+    from repro.service.http import DEFAULT_PORT
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    try:
+        reply = query(args.experiment, seed=args.seed,
+                      host=args.host, port=port)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(_json.dumps(reply, indent=2, sort_keys=True))
+    else:
+        print(reply.get("text", ""))
+        print(f"[{reply.get('source')} in {reply.get('elapsed_ms')} ms, "
+              f"digest {str(reply.get('digest'))[:12]}]", file=sys.stderr)
+    return 0
+
+
 def _dump_csv(result, directory: str) -> list[str]:
     """Write any PowerProfile payloads of a result as CSV files."""
     written: list[str] = []
@@ -195,6 +276,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "faults":
         return _run_faults(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "query":
+        return _run_query(args)
 
     if args.command == "verify":
         from repro.experiments.verification import (

@@ -88,6 +88,10 @@ class MeasurementError(ReproError):
     """Power-measurement substrate misuse (unsampled meter, bad domain...)."""
 
 
+class ServiceError(ReproError):
+    """Experiment-serving layer failure (transport, shutdown, bad reply)."""
+
+
 class PipelineError(ReproError):
     """A pipeline was misconfigured or run out of order."""
 

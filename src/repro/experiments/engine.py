@@ -90,6 +90,28 @@ def _cache_load(path: str) -> ExperimentResult | None:
     return result if isinstance(result, ExperimentResult) else None
 
 
+def pickle_result(result: ExperimentResult) -> bytes:
+    """Canonical byte representation of a result.
+
+    The fixed protocol makes this stable across interpreters, so it is
+    the representation the disk cache stores *and* the one byte-identity
+    checks (tests, the serving layer's digests) compare.
+    """
+    return pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
+
+
+def load_result(cache_dir: str, experiment_id: str,
+                seed: int) -> ExperimentResult | None:
+    """Load one experiment's cached result, or None (never raises)."""
+    return _cache_load(_cache_path(cache_dir, experiment_id, seed))
+
+
+def store_result(cache_dir: str, experiment_id: str, seed: int,
+                 result: ExperimentResult) -> None:
+    """Persist one experiment's result (atomic, best-effort)."""
+    _cache_store(_cache_path(cache_dir, experiment_id, seed), result)
+
+
 def _cache_store(path: str, result: ExperimentResult) -> None:
     """Atomically persist a result (tmp file + rename)."""
     directory = os.path.dirname(path) or "."

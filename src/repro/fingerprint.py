@@ -1,0 +1,116 @@
+"""Content fingerprints and bounded memos for repeat-heavy hot paths.
+
+Several layers of the reproduction recompute pure functions of bulk
+content: the renderer rasterizes the same field both pipelines of a
+comparison observed, the timestep writer re-encodes the same snapshot a
+repeated experiment dumps again, the reader re-validates a container it
+decoded moments ago.  This module centralizes the two ingredients those
+caches share:
+
+* **fingerprints** — cheap double-hash content keys (a full crc32 plus
+  an adler32 over a prefix, alongside shape/length metadata), so a
+  collision must beat two different checksums *and* the metadata at
+  once without paying for two full scans;
+* **:class:`ContentMemo`** — a FIFO-bounded, thread-tolerant store
+  bounded by entry count and approximate bytes.  Memos only ever
+  accelerate: a miss recomputes the pure function, so eviction policy
+  cannot change a produced number.
+
+Immutable arrays (science-cache snapshots, zero-copy read-back grids)
+additionally pin their fingerprint under ``id(array)``, making repeat
+fingerprinting O(1) instead of a full scan.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.units import KiB, MiB
+
+#: How much of the content the secondary (adler32) hash covers.
+_PREFIX_BYTES = 64 * KiB
+
+#: id -> (array ref, fingerprint) for *immutable* arrays; the stored
+#: reference keeps the id from being recycled.
+_FP_MEMO: dict[int, tuple[np.ndarray, tuple]] = {}
+_FP_MEMO_MAX_ENTRIES = 512
+
+
+def field_fingerprint(data: np.ndarray) -> tuple | None:
+    """Content key of a 2-D field, or None when hashing isn't cheap."""
+    if not isinstance(data, np.ndarray) or not data.flags.c_contiguous:
+        return None
+    immutable = not data.flags.writeable
+    if immutable:
+        hit = _FP_MEMO.get(id(data))
+        if hit is not None and hit[0] is data:
+            return hit[1]
+    buf = data.data.cast("B")
+    fingerprint = (data.shape, data.dtype.str,
+                   zlib.crc32(buf), zlib.adler32(buf[:_PREFIX_BYTES]))
+    if immutable:
+        if len(_FP_MEMO) >= _FP_MEMO_MAX_ENTRIES:
+            try:
+                _FP_MEMO.pop(next(iter(_FP_MEMO)))
+            except (KeyError, RuntimeError, StopIteration):
+                pass  # concurrent evictor got there first
+        _FP_MEMO[id(data)] = (data, fingerprint)
+    return fingerprint
+
+
+def blob_fingerprint(blob: bytes | memoryview) -> tuple:
+    """Content key of a byte blob (same double-hash scheme as fields)."""
+    view = memoryview(blob)
+    return (len(view), zlib.crc32(view), zlib.adler32(view[:_PREFIX_BYTES]))
+
+
+class ContentMemo:
+    """FIFO-bounded memo for content-keyed pure-function results.
+
+    Bounded by entry count and approximate bytes; inserting past either
+    bound drops oldest entries first.  All operations take a lock, so
+    serving-layer threads can share one memo; the worst concurrent
+    outcome is a duplicated recompute, never a wrong value.
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 max_bytes: int = 256 * MiB) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: dict[Any, tuple[Any, int]] = {}
+        self._bytes = 0
+
+    def get(self, key: Any) -> Any | None:
+        """The memoized value, or None."""
+        with self._lock:
+            hit = self._entries.get(key)
+            return None if hit is None else hit[0]
+
+    def put(self, key: Any, value: Any, nbytes: int) -> None:
+        """Store ``value`` charged at ``nbytes`` (oversized values skip)."""
+        if nbytes > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            while (len(self._entries) > self.max_entries
+                   or self._bytes > self.max_bytes):
+                oldest = next(iter(self._entries))
+                self._bytes -= self._entries.pop(oldest)[1]
+
+    def clear(self) -> None:
+        """Drop every entry (mainly for tests)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -9,13 +9,13 @@ are deterministic and land where the paper's testbed did.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 from repro.errors import PipelineError
+from repro.fingerprint import field_fingerprint
 from repro.calibration import (
     CHUNK_BYTES,
     STAGE,
@@ -33,7 +33,6 @@ from repro.system.filesystem import FileSystem
 from repro.system.pagecache import PageCache
 from repro.trace.events import Activity
 from repro.trace.timeline import Timeline
-from repro.units import KiB
 from repro.viz.render import RenderResult, render_field, render_with_contours
 
 
@@ -275,37 +274,6 @@ _FRAME_CACHE: dict[tuple, tuple[RenderResult, bytes]] = {}
 _FRAME_CACHE_MAX_ENTRIES = 256
 
 
-#: id -> (array ref, fingerprint) for *immutable* arrays.  Read-only
-#: fields (science-cache snapshots, zero-copy read-back grids) can't
-#: change content, so their fingerprint is hashed once and pinned; the
-#: stored reference keeps the id from being recycled.
-_FP_MEMO: dict[int, tuple[np.ndarray, tuple]] = {}
-_FP_MEMO_MAX_ENTRIES = 512
-#: How much of the field the secondary (adler32) hash covers.
-_FP_PREFIX_BYTES = 64 * KiB
-
-
-def _field_fingerprint(data: np.ndarray) -> tuple | None:
-    """Content key of a 2-D field, or None when hashing isn't cheap."""
-    if not isinstance(data, np.ndarray) or not data.flags.c_contiguous:
-        return None
-    immutable = not data.flags.writeable
-    if immutable:
-        hit = _FP_MEMO.get(id(data))
-        if hit is not None and hit[0] is data:
-            return hit[1]
-    buf = data.data.cast("B")
-    # Full crc32 plus an adler32 over a prefix: a collision must beat
-    # both (and the shape) at once, without paying for two full scans.
-    fingerprint = (data.shape, data.dtype.str,
-                   zlib.crc32(buf), zlib.adler32(buf[:_FP_PREFIX_BYTES]))
-    if immutable:
-        if len(_FP_MEMO) >= _FP_MEMO_MAX_ENTRIES:
-            _FP_MEMO.pop(next(iter(_FP_MEMO)))
-        _FP_MEMO[id(data)] = (data, fingerprint)
-    return fingerprint
-
-
 def render_pipeline_frame(data: np.ndarray,
                           config: PipelineConfig) -> tuple[RenderResult, bytes]:
     """Render + encode one output frame for ``config``, deduplicated.
@@ -315,7 +283,7 @@ def render_pipeline_frame(data: np.ndarray,
     pipelines (and repeated experiments) visualize identical fields and
     skip the raster + encode entirely on the second sighting.
     """
-    fingerprint = _field_fingerprint(data)
+    fingerprint = field_fingerprint(data)
     key = None
     if fingerprint is not None:
         key = (fingerprint, config.render_height, config.render_width,
@@ -339,7 +307,10 @@ def render_pipeline_frame(data: np.ndarray,
         encoded = frame.image.to_ppm()
     if key is not None:
         if len(_FRAME_CACHE) >= _FRAME_CACHE_MAX_ENTRIES:
-            _FRAME_CACHE.pop(next(iter(_FRAME_CACHE)))
+            try:
+                _FRAME_CACHE.pop(next(iter(_FRAME_CACHE)))
+            except (KeyError, RuntimeError, StopIteration):
+                pass  # a concurrent serving thread evicted first
         _FRAME_CACHE[key] = (frame, encoded)
     return frame, encoded
 

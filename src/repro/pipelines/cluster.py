@@ -65,16 +65,18 @@ class ClusterInSituPipeline:
     def __init__(self, config: PipelineConfig, n_nodes: int) -> None:
         if n_nodes < 1:
             raise PipelineError("n_nodes must be >= 1")
-        if n_nodes & (n_nodes - 1) and n_nodes != 1:
-            # Binary-swap compositing wants a power of two; pad the
-            # schedule conceptually by allowing any count but pricing the
-            # next power of two's traffic.
-            pass
         self.config = config
         self.n_nodes = n_nodes
 
     def _composite_ranks(self) -> int:
-        """Binary-swap rank count: next power of two >= n_nodes."""
+        """Binary-swap rank count: next power of two >= n_nodes.
+
+        Binary-swap compositing wants a power-of-two rank count; any
+        node count is accepted, and non-power-of-two counts are priced
+        as if the schedule were padded to the next power of two — the
+        padded ranks' exchange traffic is what the composite stage
+        bills.
+        """
         n = 1
         while n < self.n_nodes:
             n <<= 1

@@ -1,0 +1,29 @@
+"""Warm experiment-serving layer: cache tiers, coalescing, transport.
+
+The batch engine (:mod:`repro.experiments.engine`) answers "reproduce
+the evaluation once, fast"; this package answers "keep answering".  An
+:class:`ExperimentService` holds warm per-worker Labs behind a two-tier
+(memory LRU over content-addressed disk) cache with single-flight
+request coalescing; :mod:`repro.service.http` exposes it over JSON/HTTP
+for ``repro serve`` and ``repro query``.
+"""
+
+from repro.service.cache import LruCache
+from repro.service.core import ExperimentService, Served, ServiceConfig
+from repro.service.http import (
+    DEFAULT_PORT,
+    ExperimentHTTPServer,
+    make_server,
+    result_digest,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ExperimentHTTPServer",
+    "ExperimentService",
+    "LruCache",
+    "Served",
+    "ServiceConfig",
+    "make_server",
+    "result_digest",
+]

@@ -1,0 +1,125 @@
+"""Thread-safe in-memory LRU — the hot tier of the serving cache.
+
+The serving layer keeps two result tiers that share one key scheme
+(:func:`repro.experiments.engine.cache_key`'s sha256 digest, covering
+engine version, package version, seed, experiment id, and the testbed
+spec), so the tiers can never disagree about what a key means:
+
+* **memory** (this module): an LRU bounded by entry count *and*
+  approximate bytes, holding live :class:`ExperimentResult` objects for
+  microsecond hits;
+* **disk** (:mod:`repro.experiments.engine`): the content-addressed
+  pickle store that survives restarts; memory misses fall through to it
+  and promote what they find.
+
+The LRU is deliberately generic (any value, caller-supplied size) so
+tests can exercise the bound and eviction order without building
+experiment results.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.units import MiB
+
+#: Default bounds: plenty for the whole registry at several seeds while
+#: keeping the resident set far below the science-cache budget.
+DEFAULT_MAX_ENTRIES = 128
+DEFAULT_MAX_BYTES = 256 * MiB
+
+
+class LruCache:
+    """Bounded, thread-safe LRU mapping keys to (value, approx bytes).
+
+    Either bound evicts: inserting past ``max_entries`` or past
+    ``max_bytes`` drops least-recently-used entries until both hold.  A
+    single value larger than ``max_bytes`` is refused outright (storing
+    it would evict the entire working set for one entry).  ``get`` marks
+    recency; hit/miss/eviction counters are monotonic.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_entries < 1:
+            raise ConfigError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ConfigError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Any) -> Any | None:
+        """The cached value (marked most recent), or None."""
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return hit[0]
+
+    def put(self, key: Any, value: Any, nbytes: int) -> bool:
+        """Insert ``value`` charged at ``nbytes``; False when refused."""
+        if nbytes < 0:
+            raise ConfigError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes > self.max_bytes:
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            while (len(self._entries) > self.max_entries
+                   or self._bytes > self.max_bytes):
+                _evicted_key, (_value, evicted_bytes) = self._entries.popitem(
+                    last=False)
+                self._bytes -= evicted_bytes
+                self.evictions += 1
+            return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[Any]:
+        """Keys from least to most recently used (a snapshot)."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes currently held."""
+        return self._bytes
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for the /stats endpoint."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

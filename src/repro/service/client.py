@@ -1,0 +1,75 @@
+"""Client side of the serving protocol (``repro query``), stdlib only.
+
+A thin :mod:`urllib` wrapper around the endpoints of
+:mod:`repro.service.http`.  Transport failures — connection refused, a
+non-JSON reply, an HTTP error status — surface as
+:class:`~repro.errors.ServiceError` carrying the server's message, so
+the CLI can report them without a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+from repro.rng import DEFAULT_SEED
+from repro.service.http import DEFAULT_PORT
+
+DEFAULT_TIMEOUT_S = 300.0
+
+
+def _request(url: str, body: dict | None = None,
+             timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
+    """One JSON round trip; raises ServiceError on any transport failure."""
+    data = None
+    headers = {"Accept": "application/json"}
+    if body is not None:
+        data = json.dumps(body).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout_s) as reply:
+            raw = reply.read()
+    except urllib.error.HTTPError as exc:
+        try:
+            message = json.loads(exc.read()).get("error", str(exc))
+        except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+            message = str(exc)
+        raise ServiceError(f"server rejected request: {message}") from exc
+    except (urllib.error.URLError, TimeoutError, OSError) as exc:
+        raise ServiceError(f"cannot reach {url}: {exc}") from exc
+    try:
+        payload = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ServiceError(f"non-JSON reply from {url}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(f"malformed reply from {url}")
+    return payload
+
+
+def base_url(host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> str:
+    """Root URL of a serving endpoint."""
+    return f"http://{host}:{port}"
+
+
+def query(experiment_id: str, seed: int = DEFAULT_SEED,
+          host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+          timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
+    """Run one experiment on a remote service; the /run reply dict."""
+    return _request(f"{base_url(host, port)}/run",
+                    body={"experiment": experiment_id, "seed": seed},
+                    timeout_s=timeout_s)
+
+
+def stats(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+          timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
+    """The service's counter snapshot."""
+    return _request(f"{base_url(host, port)}/stats", timeout_s=timeout_s)
+
+
+def health(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+           timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
+    """Liveness probe."""
+    return _request(f"{base_url(host, port)}/health", timeout_s=timeout_s)

@@ -1,0 +1,178 @@
+"""JSON-over-HTTP transport for the experiment service (stdlib only).
+
+``repro serve`` binds an :class:`~repro.service.core.ExperimentService`
+behind :class:`http.server.ThreadingHTTPServer` — every connection gets
+a handler thread, so concurrent identical requests genuinely race into
+the service and exercise its single-flight path.
+
+Endpoints (all JSON):
+
+``GET /health``
+    Liveness: package version and a constant ``{"status": "ok"}``.
+``GET /status``
+    Identity: experiment ids, serving config, uptime, in-flight count.
+``GET /stats``
+    The service's counter snapshot (tiers, coalescing, pool).
+``POST /run`` (or ``GET /run?experiment=ID&seed=N``)
+    Fulfill a request.  Body: ``{"experiment": "fig10", "seed": 2015}``.
+    Reply carries the rendered text, the serving ``source`` (memory /
+    disk / computed / coalesced), the wall latency, and the sha256
+    digest of the result's canonical pickle — the transport-level
+    witness that served payloads are byte-identical to a cold serial
+    run.
+
+Errors map to status codes: unknown route 404, malformed request 400,
+unknown experiment id 400, internal failure 500.  Nothing here touches
+experiment math; the transport is a thin shell over the in-process API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigError, ReproError
+from repro.experiments.engine import pickle_result
+from repro.experiments.registry import EXPERIMENTS
+from repro.rng import DEFAULT_SEED
+from repro.service.core import ExperimentService, Served
+from repro.units import KiB, MS
+from repro.version import __version__
+
+#: Default TCP port: "RP" on a phone keypad, above the ephemeral floor.
+DEFAULT_PORT = 8077
+#: Cap on accepted request bodies; run requests are a few dozen bytes.
+MAX_BODY_BYTES = 64 * KiB
+
+
+def result_digest(result) -> str:
+    """sha256 hex digest of the result's canonical pickle bytes."""
+    return hashlib.sha256(pickle_result(result)).hexdigest()
+
+
+def _served_payload(served: Served) -> dict:
+    return {
+        "experiment": served.experiment_id,
+        "seed": served.seed,
+        "title": served.result.title,
+        "text": served.result.text,
+        "source": served.source,
+        "elapsed_ms": round(served.elapsed_s / MS, 3),
+        "digest": result_digest(served.result),
+    }
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the wrapped ExperimentService."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    @property
+    def _service(self) -> ExperimentService:
+        return self.server.service
+
+    def _run_params(self) -> tuple[str, int]:
+        """(experiment id, seed) from the query string or JSON body."""
+        split = urlsplit(self.path)
+        params = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        if self.command == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                raise ConfigError(f"request body over {MAX_BODY_BYTES} bytes")
+            if length:
+                try:
+                    body = json.loads(self.rfile.read(length) or b"{}")
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise ConfigError(f"request body is not JSON: {exc}") from exc
+                if not isinstance(body, dict):
+                    raise ConfigError("request body must be a JSON object")
+                params.update(body)
+        experiment_id = params.get("experiment")
+        if not experiment_id or not isinstance(experiment_id, str):
+            raise ConfigError("missing 'experiment' parameter")
+        try:
+            seed = int(params.get("seed", DEFAULT_SEED))
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"seed must be an integer: {exc}") from exc
+        return experiment_id, seed
+
+    def _handle_run(self) -> None:
+        try:
+            experiment_id, seed = self._run_params()
+            served = self._service.serve(experiment_id, seed)
+        except ConfigError as exc:
+            self._error(400, str(exc))
+        except ReproError as exc:
+            self._error(500, str(exc))
+        else:
+            self._reply(200, _served_payload(served))
+
+    # -- verbs ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        route = urlsplit(self.path).path.rstrip("/") or "/"
+        if route == "/health":
+            self._reply(200, {"status": "ok", "version": __version__})
+        elif route == "/stats":
+            self._reply(200, self._service.stats())
+        elif route == "/status":
+            stats = self._service.stats()
+            self._reply(200, {
+                "version": __version__,
+                "experiments": list(EXPERIMENTS),
+                "jobs": self._service.config.jobs,
+                "cache_dir": self._service.config.cache_dir,
+                "uptime_s": round(stats["uptime_s"], 3),
+                "inflight": stats["inflight"],
+            })
+        elif route == "/run":
+            self._handle_run()
+        else:
+            self._error(404, f"unknown route {route!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        route = urlsplit(self.path).path.rstrip("/")
+        if route == "/run":
+            self._handle_run()
+        else:
+            self._error(404, f"unknown route {route!r}")
+
+
+class ExperimentHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns an ExperimentService."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: ExperimentService,
+                 verbose: bool = False) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                service: ExperimentService | None = None,
+                verbose: bool = False) -> ExperimentHTTPServer:
+    """Bind (but do not start) the serving endpoint."""
+    return ExperimentHTTPServer((host, port), service or ExperimentService(),
+                                verbose=verbose)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import StorageError
+from repro.fingerprint import ContentMemo, blob_fingerprint
 from repro.sim.grid import Grid2D
 from repro.storage.compression import codec_from_id
 from repro.storage.format import (
@@ -22,6 +23,14 @@ from repro.storage.format import (
 )
 from repro.system.blockdev import IoStats
 from repro.system.filesystem import FileSystem
+
+#: blob fingerprint -> (timestep, read-only grid array).  Decode + CRC
+#: validation + grid reassembly is a pure function of the container
+#: bytes; repeated reads of identical containers (paired runs, repeated
+#: experiments) serve the already-validated array.  Serving the *same*
+#: array object also lets downstream content caches (frame rendering)
+#: key it by identity instead of re-hashing the field.
+_GRID_MEMO = ContentMemo()
 
 
 @dataclass
@@ -62,9 +71,8 @@ class DataReader:
                     out.append(int(digits))
         return sorted(out)
 
-    def read_timestep(self, timestep: int) -> tuple[ChunkedContainer, ReadReport]:
-        """Load and validate a whole timestep container."""
-        name = self.filename(timestep)
+    def _load_blob(self, name: str) -> tuple[bytes, float, IoStats]:
+        """Pull a whole container file through the storage stack."""
         cpu = 0.0
         io = IoStats()
         if self.drop_caches_first:
@@ -74,6 +82,12 @@ class DataReader:
         blob, result = self.fs.read(name)
         cpu += result.cpu_time
         io = io.merge(result.io)
+        return blob, cpu, io
+
+    def read_timestep(self, timestep: int) -> tuple[ChunkedContainer, ReadReport]:
+        """Load and validate a whole timestep container."""
+        name = self.filename(timestep)
+        blob, cpu, io = self._load_blob(name)
         container = decode_container(blob)
         if container.timestep != timestep:
             raise StorageError(
@@ -84,7 +98,23 @@ class DataReader:
 
     def read_grid(self, timestep: int) -> tuple[Grid2D, ReadReport]:
         """Load a timestep, decode its codec, reassemble the grid."""
-        container, report = self.read_timestep(timestep)
+        name = self.filename(timestep)
+        blob, cpu, io = self._load_blob(name)
+        report = ReadReport(name=name, nbytes=len(blob), cpu_time=cpu, io=io)
+        memo_key = blob_fingerprint(blob)
+        hit = _GRID_MEMO.get(memo_key)
+        if hit is not None:
+            stored_timestep, data = hit
+            if stored_timestep != timestep:
+                raise StorageError(
+                    f"file {name!r} claims timestep {stored_timestep}"
+                )
+            return Grid2D.from_array(data), report
+        container = decode_container(blob)
+        if container.timestep != timestep:
+            raise StorageError(
+                f"file {name!r} claims timestep {container.timestep}"
+            )
         codec = codec_from_id(container.flags)
         if container.payload_view is not None and codec.name == "identity":
             # Uncompressed chunks lie contiguously in the blob: hand the
@@ -96,6 +126,8 @@ class DataReader:
         # grids are rendered and checksummed, never stepped.
         grid = Grid2D.from_bytes(payload, container.nx, container.ny,
                                  copy=False)
+        _GRID_MEMO.put(memo_key, (container.timestep, grid.data),
+                       grid.data.nbytes)
         return grid, report
 
     def read_chunk(self, timestep: int, chunk_index: int,

@@ -1,0 +1,215 @@
+"""The warm serving layer: caching, coalescing, byte-identity.
+
+Covers the four properties ``repro serve`` promises:
+
+* the in-memory LRU honours both bounds and evicts oldest-first;
+* a thread storm of identical requests performs exactly one compute
+  (single-flight coalescing), and distinct keys do not coalesce;
+* the memory and disk tiers agree (same key scheme, promote-on-miss);
+* every registry experiment served from a warm Lab is byte-identical
+  to a cold serial ``run_experiment``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import ConfigError, ServiceError
+from repro.experiments.engine import load_result
+from repro.experiments.figures import Lab
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.service import ExperimentService, LruCache, ServiceConfig
+
+SEED = 2015
+
+
+def _bytes(result) -> bytes:
+    return pickle.dumps(result, protocol=4)
+
+
+class TestLruCache:
+    def test_entry_bound_evicts_oldest_first(self):
+        cache = LruCache(max_entries=3, max_bytes=10_000)
+        for key in "abcd":
+            cache.put(key, key.upper(), 1)
+        assert cache.keys() == ["b", "c", "d"]
+        assert cache.get("a") is None
+        assert cache.evictions == 1
+
+    def test_get_marks_recency(self):
+        cache = LruCache(max_entries=3, max_bytes=10_000)
+        for key in "abc":
+            cache.put(key, key.upper(), 1)
+        assert cache.get("a") == "A"  # refresh a past b and c
+        cache.put("d", "D", 1)
+        assert cache.keys() == ["c", "a", "d"]
+        assert "b" not in cache
+
+    def test_byte_bound_evicts_independently_of_entry_bound(self):
+        cache = LruCache(max_entries=100, max_bytes=10)
+        cache.put("a", 1, 4)
+        cache.put("b", 2, 4)
+        cache.put("c", 3, 4)  # 12 bytes > 10: "a" must go
+        assert cache.keys() == ["b", "c"]
+        assert cache.nbytes == 8
+
+    def test_oversized_value_is_refused_not_destructive(self):
+        cache = LruCache(max_entries=4, max_bytes=10)
+        assert cache.put("a", 1, 4)
+        assert not cache.put("huge", 2, 11)
+        assert cache.keys() == ["a"]
+
+    def test_replacing_a_key_updates_the_byte_charge(self):
+        cache = LruCache(max_entries=4, max_bytes=100)
+        cache.put("a", 1, 40)
+        cache.put("a", 2, 10)
+        assert cache.nbytes == 10
+        assert len(cache) == 1
+
+    def test_counters(self):
+        cache = LruCache(max_entries=2, max_bytes=100)
+        cache.put("a", 1, 1)
+        assert cache.get("a") == 1
+        assert cache.get("zzz") is None
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            LruCache(max_entries=0)
+        with pytest.raises(ConfigError):
+            LruCache(max_bytes=0)
+
+
+class TestSingleFlight:
+    def test_storm_on_one_key_computes_once(self):
+        """N concurrent identical requests -> exactly one compute."""
+        n_threads = 16
+        release = threading.Event()
+        calls = []
+        call_lock = threading.Lock()
+
+        def slow_compute(eid, lab):
+            with call_lock:
+                calls.append(eid)
+            release.wait(timeout=30)
+            return run_experiment(eid, lab)
+
+        with ExperimentService(ServiceConfig(jobs=4),
+                               compute=slow_compute) as service:
+            barrier = threading.Barrier(n_threads + 1)
+            served = []
+            served_lock = threading.Lock()
+
+            def request():
+                barrier.wait()
+                s = service.serve("table2", seed=SEED)
+                with served_lock:
+                    served.append(s)
+
+            threads = [threading.Thread(target=request)
+                       for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            barrier.wait()       # all requesters lined up...
+            release.set()        # ...then let the one compute finish
+            for t in threads:
+                t.join(timeout=30)
+
+            assert len(calls) == 1
+            assert len(served) == n_threads
+            stats = service.stats()
+            assert stats["computed"] == 1
+            assert stats["coalesced"] == n_threads - 1
+            # Every waiter got the same result object as the computer.
+            results = {id(s.result) for s in served}
+            assert len(results) == 1
+            assert sorted(s.source for s in served) == (
+                ["coalesced"] * (n_threads - 1) + ["computed"])
+
+    def test_distinct_keys_do_not_coalesce(self):
+        """Different ids (and different seeds) each compute once."""
+        with ExperimentService(ServiceConfig(jobs=4)) as service:
+            service.serve("fig4", seed=SEED)
+            service.serve("table2", seed=SEED)
+            service.serve("fig4", seed=SEED + 1)
+            stats = service.stats()
+            assert stats["computed"] == 3
+            assert stats["coalesced"] == 0
+
+    def test_compute_error_propagates_and_does_not_wedge(self):
+        boom = ConfigError("injected failure")
+
+        def failing_compute(eid, lab):
+            raise boom
+
+        with ExperimentService(ServiceConfig(jobs=1),
+                               compute=failing_compute) as service:
+            with pytest.raises(ConfigError):
+                service.serve("fig4", seed=SEED)
+            assert service.stats()["errors"] == 1
+            assert service.stats()["inflight"] == 0
+
+    def test_closed_service_rejects_requests(self):
+        service = ExperimentService(ServiceConfig(jobs=1))
+        service.close()
+        with pytest.raises(ServiceError):
+            service.serve("fig4", seed=SEED)
+
+
+class TestTwoTierCache:
+    def test_repeat_request_is_a_memory_hit(self):
+        with ExperimentService(ServiceConfig(jobs=1)) as service:
+            first = service.serve("fig4", seed=SEED)
+            second = service.serve("fig4", seed=SEED)
+            assert first.source == "computed"
+            assert second.source == "memory"
+            assert second.result is first.result
+
+    def test_disk_tier_round_trip_and_promotion(self, tmp_path):
+        cache_dir = str(tmp_path)
+        config = ServiceConfig(jobs=1, cache_dir=cache_dir)
+        with ExperimentService(config) as service:
+            computed = service.serve("fig4", seed=SEED)
+            assert computed.source == "computed"
+        # The computed result landed in the engine's disk store...
+        on_disk = load_result(cache_dir, "fig4", SEED)
+        assert _bytes(on_disk) == _bytes(computed.result)
+        # ...and a fresh service (cold memory) serves it from disk,
+        # promoting it so the next request hits memory.
+        with ExperimentService(config) as fresh:
+            warm = fresh.serve("fig4", seed=SEED)
+            assert warm.source == "disk"
+            assert _bytes(warm.result) == _bytes(computed.result)
+            again = fresh.serve("fig4", seed=SEED)
+            assert again.source == "memory"
+            stats = fresh.stats()
+            assert stats["disk_hits"] == 1
+            assert stats["computed"] == 0
+
+    def test_mem_tier_respects_entry_bound(self):
+        config = ServiceConfig(jobs=1, mem_entries=1)
+        with ExperimentService(config) as service:
+            service.serve("fig4", seed=SEED)
+            service.serve("table2", seed=SEED)  # evicts fig4
+            refetch = service.serve("fig4", seed=SEED)
+            assert refetch.source == "computed"
+            assert service.stats()["memory"]["evictions"] >= 1
+
+
+class TestByteIdentity:
+    @pytest.fixture(scope="class")
+    def warm_service(self):
+        with ExperimentService(ServiceConfig(jobs=2)) as service:
+            yield service
+
+    @pytest.mark.parametrize("eid", sorted(EXPERIMENTS))
+    def test_served_matches_cold_serial(self, warm_service, eid):
+        """Warm-Lab serving == cold serial run, at the pickle-byte level."""
+        cold = run_experiment(eid, Lab(seed=SEED))
+        served = warm_service.serve(eid, seed=SEED)
+        assert _bytes(served.result) == _bytes(cold)

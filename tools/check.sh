@@ -19,6 +19,37 @@ python -m pytest -x -q
 echo "== greenlint (strict: warnings fail too) =="
 python -m repro.cli lint --strict src/repro
 
+echo "== serve smoke (in-process service, coalescing) =="
+python - <<'PY'
+import threading
+
+from repro.service import ExperimentService, ServiceConfig
+
+with ExperimentService(ServiceConfig(jobs=2)) as service:
+    # A storm of identical concurrent queries must coalesce onto one
+    # underlying compute; repeats after it must hit the memory tier.
+    n_threads = 8
+    barrier = threading.Barrier(n_threads)
+
+    def request():
+        barrier.wait()
+        service.serve("fig4")
+
+    threads = [threading.Thread(target=request) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    repeat = service.serve("fig4")
+    stats = service.stats()
+
+print(f"serve: computed={stats['computed']} coalesced={stats['coalesced']} "
+      f"memory_hits={stats['memory']['hits']} repeat_source={repeat.source}")
+assert stats["computed"] == 1, stats
+assert stats["coalesced"] + stats["memory"]["hits"] == n_threads, stats
+assert repeat.source == "memory", repeat
+PY
+
 echo "== perf smoke (run_all under ceiling) =="
 python - <<'PY'
 import os
