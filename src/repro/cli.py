@@ -132,22 +132,44 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule codes to run, e.g. GL1,GL3")
     lint.add_argument("--strict", action="store_true",
                       help="exit non-zero on warnings as well as errors")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="subtract known findings recorded in FILE; "
+                           "stale entries fail the run")
+    lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                      dest="write_baseline",
+                      help="record the run's findings as the new baseline "
+                           "FILE and exit 0")
     return parser
 
 
 def _run_lint(args) -> int:
     """Handle ``repro lint``: exit 0 clean, 1 findings, 2 usage error."""
-    from repro.lint import lint_paths, render_json, render_text
+    from repro.lint import (apply_baseline, lint_paths, load_baseline,
+                            render_json, render_text, write_baseline)
 
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
     select = args.select.split(",") if args.select else None
     try:
         result = lint_paths(paths, select=select)
+        if args.write_baseline:
+            n = write_baseline(args.write_baseline, result)
+            print(f"wrote {n} finding{'s' if n != 1 else ''} to "
+                  f"{args.write_baseline}")
+            return 0
+        stale = []
+        if args.baseline:
+            result, stale = apply_baseline(result,
+                                           load_baseline(args.baseline))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_json(result) if args.as_json else render_text(result))
-    failing = result.errors() or (args.strict and result.findings)
+    for code, path, message in stale:
+        print(f"stale baseline entry: {path} {code} {message} "
+              f"(fixed? regenerate with --write-baseline)",
+              file=sys.stderr)
+    failing = (result.errors() or stale
+               or (args.strict and result.findings))
     return 1 if failing else 0
 
 

@@ -9,7 +9,6 @@ a replication reviewer reads first.  Exposed on the CLI as
 from __future__ import annotations
 
 import os
-from datetime import date
 
 from repro.calibration import PAPER
 from repro.errors import ReproError

@@ -82,8 +82,8 @@ class ContentMemo:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
-        self._entries: dict[Any, tuple[Any, int]] = {}
-        self._bytes = 0
+        self._entries: dict[Any, tuple[Any, int]] = {}  # gl: guarded-by=_lock
+        self._bytes = 0  # gl: guarded-by=_lock
 
     def get(self, key: Any) -> Any | None:
         """The memoized value, or None."""

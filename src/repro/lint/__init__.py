@@ -13,6 +13,22 @@ enforces the conventions the rest of :mod:`repro` documents informally:
 * randomness flows through :mod:`repro.rng` named streams (GL4), and
 * quantity-suffixed parameters are passed by keyword (GL5).
 
+On top of those per-file checks, :mod:`repro.lint.graph` builds a
+whole-program call graph with per-function purity/lock/energy summaries
+that powers the cross-module rules in :mod:`repro.lint.graph_rules`:
+
+* experiment-reachable code is pure and deterministic (GL6),
+* ``# gl: guarded-by=<lock>`` fields are written only under their lock
+  (GL7),
+* the observed lock-acquisition order is cycle-free (GL8),
+* energy-carrying results are never dropped (GL9), and
+* every scalar ``BlockDevice`` implementer also serves the batched
+  path (GL10).
+
+Known pre-existing findings live in ``tools/greenlint-baseline.json``
+and are subtracted by ``repro lint --baseline`` (see
+:mod:`repro.lint.baseline`).
+
 Run it with ``repro lint [paths...]`` or programmatically::
 
     from repro.lint import lint_paths
@@ -24,6 +40,12 @@ Suppress a single finding with a line comment::
     flags < (1 << 16)   # greenlint: ignore[GL2]  (u16 bitfield, not RAPL)
 """
 
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    normalize_path,
+    write_baseline,
+)
 from repro.lint.engine import (
     RULES,
     Finding,
@@ -36,7 +58,9 @@ from repro.lint.engine import (
     lint_source,
     rule,
 )
+from repro.lint import graph_rules as _graph_rules  # noqa: F401  (populates RULES)
 from repro.lint import rules as _rules  # noqa: F401  (populates RULES)
+from repro.lint.graph import ProjectGraph
 from repro.lint.report import render_json, render_text
 
 __all__ = [
@@ -45,11 +69,16 @@ __all__ = [
     "LintResult",
     "ModuleContext",
     "ProjectContext",
+    "ProjectGraph",
     "Rule",
+    "apply_baseline",
     "iter_py_files",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "normalize_path",
     "render_json",
     "render_text",
     "rule",
+    "write_baseline",
 ]

@@ -26,7 +26,7 @@ is fine, ``t_s + e_j`` is not.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 #: A dimension: exponents of (time, energy, data).
 Dim = Tuple[int, int, int]
@@ -124,7 +124,7 @@ def dim_name(d: Dim) -> str:
     return "*".join(parts) if parts else "dimensionless"
 
 
-def suffix_dim(name: str) -> Optional[Dim]:
+def suffix_dim(name: str) -> Dim | None:
     """Infer the dimension a name's quantity suffix declares, if any.
 
     Returns ``None`` for names that carry no recognized suffix (which

@@ -19,9 +19,12 @@ import ast
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectGraph
 
 SEVERITIES = ("error", "warning")
 
@@ -58,7 +61,7 @@ class Rule:
     name: str
     severity: str
     description: str
-    check: Callable[["ModuleContext"], Iterable[Finding]]
+    check: Callable[[ModuleContext], Iterable[Finding]]
     #: Base filenames this rule never applies to (e.g. ``units.py`` is
     #: allowed to define the very constants GL2 bans elsewhere).
     exempt_files: tuple[str, ...] = ()
@@ -74,7 +77,8 @@ def rule(code: str, name: str, severity: str = "error",
     if severity not in SEVERITIES:
         raise ConfigError(f"unknown severity {severity!r}")
 
-    def register(check: Callable[["ModuleContext"], Iterable[Finding]]):
+    def register(check: Callable[[ModuleContext], Iterable[Finding]],
+                 ) -> Callable[[ModuleContext], Iterable[Finding]]:
         if code in RULES:
             raise ConfigError(f"duplicate rule code {code}")
         RULES[code] = Rule(
@@ -111,18 +115,21 @@ class ProjectContext:
     class constructor) to every distinct signature seen under that name;
     rules only act when the name resolves unambiguously.
     ``error_classes`` holds every class transitively derived from
-    ``ReproError`` anywhere in the linted tree.
+    ``ReproError`` anywhere in the linted tree.  ``graph`` is the
+    whole-program call graph the cross-module rules (GL6–GL10) query;
+    the driver builds it once over every parsed module.
     """
 
     signatures: dict[str, list[CallableSig]] = field(default_factory=dict)
     error_classes: set[str] = field(default_factory=set)
+    graph: ProjectGraph | None = None
 
     def add_signature(self, name: str, sig: CallableSig) -> None:
         sigs = self.signatures.setdefault(name, [])
         if all(sig.params != s.params for s in sigs):
             sigs.append(sig)
 
-    def unique_signature(self, name: str) -> Optional[CallableSig]:
+    def unique_signature(self, name: str) -> CallableSig | None:
         sigs = self.signatures.get(name)
         if sigs and len(sigs) == 1:
             return sigs[0]
@@ -224,9 +231,9 @@ def _collect_error_classes(trees: Iterable[ast.Module],
 # Suppressions
 # ---------------------------------------------------------------------------
 
-def _suppressions(source: str) -> dict[int, Optional[frozenset[str]]]:
+def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
     """Map 1-based line number -> suppressed codes (None = all codes)."""
-    out: dict[int, Optional[frozenset[str]]] = {}
+    out: dict[int, frozenset[str] | None] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         m = _IGNORE_RE.search(line)
         if not m:
@@ -256,6 +263,8 @@ class LintResult:
     findings: list[Finding]
     files_checked: int
     suppressed: int
+    #: Findings matched (and subtracted) by an accepted baseline file.
+    baselined: int = 0
 
     def counts(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -287,9 +296,10 @@ def iter_py_files(paths: Sequence[str]) -> Iterator[str]:
             raise ConfigError(f"no such file or directory: {path}")
 
 
-def _select_rules(select: Optional[Sequence[str]]) -> list[Rule]:
+def _select_rules(select: Sequence[str] | None) -> list[Rule]:
     # Import the rule implementations on first use so the registry is
     # populated regardless of which entry point loaded this module.
+    from repro.lint import graph_rules as _graph_rules  # noqa: F401
     from repro.lint import rules as _rules  # noqa: F401
 
     if select is None:
@@ -325,8 +335,8 @@ def _lint_module(ctx: ModuleContext, rules: Sequence[Rule]) -> tuple[list[Findin
 
 
 def lint_source(source: str, path: str = "<string>",
-                select: Optional[Sequence[str]] = None,
-                project: Optional[ProjectContext] = None) -> LintResult:
+                select: Sequence[str] | None = None,
+                project: ProjectContext | None = None) -> LintResult:
     """Lint a single source string (the unit-test entry point)."""
     rules = _select_rules(select)
     try:
@@ -339,18 +349,23 @@ def lint_source(source: str, path: str = "<string>",
         return LintResult([finding], files_checked=1, suppressed=0)
     if _is_skip_file(source):
         return LintResult([], files_checked=1, suppressed=0)
+    ctx = ModuleContext(path=path, source=source, tree=tree,
+                        project=project if project is not None
+                        else ProjectContext())
     if project is None:
-        project = ProjectContext()
-        _collect_signatures(tree, project)
-        _collect_error_classes([tree], project)
-    ctx = ModuleContext(path=path, source=source, tree=tree, project=project)
+        _collect_signatures(tree, ctx.project)
+        _collect_error_classes([tree], ctx.project)
+    if ctx.project.graph is None:
+        from repro.lint.graph import ProjectGraph
+
+        ctx.project.graph = ProjectGraph.build([ctx])
     findings, suppressed = _lint_module(ctx, rules)
     findings.sort(key=Finding.sort_key)
     return LintResult(findings, files_checked=1, suppressed=suppressed)
 
 
 def lint_paths(paths: Sequence[str],
-               select: Optional[Sequence[str]] = None) -> LintResult:
+               select: Sequence[str] | None = None) -> LintResult:
     """Lint every Python file under ``paths`` with project-wide context."""
     rules = _select_rules(select)
     modules: list[ModuleContext] = []
@@ -379,6 +394,9 @@ def lint_paths(paths: Sequence[str],
     for ctx in modules:
         _collect_signatures(ctx.tree, project)
     _collect_error_classes((m.tree for m in modules), project)
+    from repro.lint.graph import ProjectGraph
+
+    project.graph = ProjectGraph.build(modules)
 
     suppressed = 0
     for ctx in modules:

@@ -1,0 +1,908 @@
+"""Whole-program module/call graph with per-function summaries.
+
+The per-file rules (GL1–GL5) check what a single module can prove.  The
+concurrency and conservation rules (GL6–GL10) need to know what happens
+*across* modules: whether a pipeline ``run()`` transitively reaches a
+wall-clock read three calls away, whether two locks are ever taken in
+opposite orders, whether every ``StagePower`` a stage produces rolls up
+into a report.  This module builds the shared substrate those rules
+query:
+
+* a :class:`FunctionInfo` per function/method — its signature, every
+  call site (with the receiver type when it can be resolved), every
+  lock acquisition, every ``self.attr`` write (with the locks held at
+  the write), and its direct *impurity facts* (wall-clock reads,
+  ``os.urandom``, unseeded RNG, iteration over unordered sources);
+* a :class:`ClassInfo` per class — bases, methods, lock-typed
+  attributes, attribute types inferred from ``__init__`` constructor
+  assignments, and ``# gl: guarded-by=<lock>`` declarations;
+* name-based call resolution with three precision tiers: exact receiver
+  type (``self``, annotated parameters, locally constructed objects),
+  then unique global name, then *signature-compatible dynamic dispatch*
+  (an untyped ``device.service(req)`` reaches every project method
+  named ``service`` whose signature accepts that call — how protocol
+  dispatch stays visible to the analysis);
+* memoized whole-program analyses on top: reachability from the
+  experiment/pipeline roots, and per-function transitive lock sets.
+
+Everything is resolved by name over the linted tree only; nothing is
+imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import ModuleContext
+
+#: ``# gl: guarded-by=<lock>`` — declares that the attribute assigned on
+#: this line must only ever be written while ``self.<lock>`` is held.
+_GUARDED_BY_RE = re.compile(r"#\s*gl:\s*guarded-by=([A-Za-z_]\w*)")
+
+#: Wall-clock and entropy sources banned on experiment-reachable paths.
+_WALL_CLOCK_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "sleep",
+})
+_DATETIME_NOW_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: Sources whose iteration order depends on hash seeds / environment.
+_UNORDERED_PRODUCERS = frozenset({"set", "frozenset", "vars", "globals"})
+
+#: Container methods that mutate their receiver in place.  A call to one
+#: of these on a guarded attribute is a write for lock-discipline checks.
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+    "move_to_end", "pop", "popitem", "remove", "setdefault", "update",
+})
+
+#: Lowercase constructor names that still type a receiver: ``x = dict()``
+#: followed by ``x.get(...)`` is a builtin call, never project dispatch.
+_BUILTIN_CONTAINER_CTORS = frozenset({
+    "dict", "list", "set", "frozenset", "tuple", "defaultdict", "deque",
+})
+
+
+# ---------------------------------------------------------------------------
+# Summaries
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParamSig:
+    """Call-compatibility signature (``self``/``cls`` already dropped)."""
+
+    params: tuple[str, ...]
+    n_required: int
+    kwonly: tuple[str, ...]
+    kwonly_required: frozenset[str]
+    has_vararg: bool = False
+    has_kwarg: bool = False
+
+    def accepts(self, n_pos: int, kwnames: Sequence[str]) -> bool:
+        """Could a call with this shape bind to the signature?"""
+        if n_pos > len(self.params) and not self.has_vararg:
+            return False
+        known = set(self.params) | set(self.kwonly)
+        if not self.has_kwarg and any(k not in known for k in kwnames):
+            return False
+        # Positionally-filled params cannot also be passed by keyword.
+        if any(k in self.params[:n_pos] for k in kwnames):
+            return False
+        bound = set(self.params[:n_pos]) | set(kwnames)
+        required = set(self.params[:self.n_required]) | self.kwonly_required
+        return required <= bound
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: str                        #: simple callee name (attr or bare)
+    is_attr: bool                    #: obj.name(...) vs name(...)
+    recv_type: str | None         #: receiver class when resolvable
+    n_pos: int
+    kwnames: tuple[str, ...]
+    held_locks: tuple[str, ...]      #: lock ids held lexically at the call
+    lineno: int
+    col: int
+    discarded: bool = False          #: an expression statement by itself
+
+
+@dataclass(frozen=True)
+class LockAcquisition:
+    """One ``with <lock>:`` entry, with the locks already held."""
+
+    lock: str                        #: lock id, e.g. ``LruCache._lock``
+    held: tuple[str, ...]
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """One mutation of ``self.<attr>`` inside a method."""
+
+    attr: str
+    kind: str                        #: assign | augassign | item | mutcall
+    held_locks: tuple[str, ...]
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Impurity:
+    """One direct non-deterministic act inside a function body."""
+
+    reason: str
+    lineno: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    """Summary of one function or method."""
+
+    qualname: str                    #: ``path::Class.name`` / ``path::name``
+    name: str
+    cls: str | None
+    module: str                      #: source path as linted
+    lineno: int
+    sig: ParamSig
+    returns: tuple[str, ...] = ()    #: names in the return annotation
+    is_root: bool = False
+    calls: list[CallSite] = field(default_factory=list)
+    lock_acqs: list[LockAcquisition] = field(default_factory=list)
+    writes: list[AttrWrite] = field(default_factory=list)
+    impurities: list[Impurity] = field(default_factory=list)
+    #: (target, callee-name-if-value-is-a-call, line, col) per local assign.
+    local_assigns: list[tuple[str, str | None, int, int]] = field(
+        default_factory=list)
+    #: every local name read anywhere in the body (flow-insensitive).
+    loaded_names: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    """Summary of one class definition."""
+
+    name: str
+    module: str
+    lineno: int
+    bases: tuple[str, ...]
+    is_protocol: bool = False
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attr -> class name, inferred from ``self.attr = ClassName(...)``.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attrs assigned ``threading.Lock()`` / ``threading.RLock()``.
+    lock_attrs: set[str] = field(default_factory=set)
+    #: attr -> declared lock attr (``# gl: guarded-by=<lock>``).
+    guarded: dict[str, str] = field(default_factory=dict)
+    #: attr -> line of its guarded-by declaration (for findings).
+    guarded_lines: dict[str, int] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Per-module collection
+# ---------------------------------------------------------------------------
+
+def _param_sig(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+               drop_self: bool) -> ParamSig:
+    args = fn.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args)]
+    if drop_self and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    n_required = max(0, len(names) - len(args.defaults))
+    kwonly = tuple(a.arg for a in args.kwonlyargs)
+    kwonly_required = frozenset(
+        a.arg for a, d in zip(args.kwonlyargs, args.kw_defaults) if d is None)
+    return ParamSig(
+        params=tuple(names), n_required=n_required, kwonly=kwonly,
+        kwonly_required=kwonly_required,
+        has_vararg=args.vararg is not None,
+        has_kwarg=args.kwarg is not None,
+    )
+
+
+def _annotation_names(node: ast.expr | None) -> list[str]:
+    """Every plain class name mentioned in an annotation expression."""
+    if node is None:
+        return []
+    names: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotations: take the identifier tokens.
+            names.extend(re.findall(r"[A-Za-z_]\w*", sub.value))
+    return names
+
+
+def _outer_annotation_name(node: ast.expr | None) -> str | None:
+    """The root class of an annotation: ``dict[Any, int]`` -> ``dict``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _guard_annotations(source: str) -> dict[int, str]:
+    """Map 1-based line number -> declared lock name."""
+    out: dict[int, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _GUARDED_BY_RE.search(line)
+        if m:
+            out[lineno] = m.group(1)
+    return out
+
+
+def _call_shape(node: ast.Call) -> tuple[int, tuple[str, ...]]:
+    n_pos = sum(1 for a in node.args if not isinstance(a, ast.Starred))
+    kwnames = tuple(k.arg for k in node.keywords if k.arg is not None)
+    return n_pos, kwnames
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    """``threading.Lock()`` / ``threading.RLock()`` / bare ``Lock()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None)
+    return name in ("Lock", "RLock")
+
+
+class _ModuleCollector(ast.NodeVisitor):
+    """Walk one module, filling a :class:`ProjectGraph`'s tables."""
+
+    def __init__(self, graph: ProjectGraph, path: str, source: str,
+                 tree: ast.Module) -> None:
+        self.graph = graph
+        self.path = path
+        self.tree = tree
+        self.guards = _guard_annotations(source)
+        self.class_stack: list[ClassInfo] = []
+        self.is_pipeline_module = "pipelines" in path.replace("\\", "/")
+
+    # -- structure ----------------------------------------------------------
+
+    def run(self) -> None:
+        self.visit(self.tree)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = []
+        for b in node.bases:
+            if isinstance(b, ast.Name):
+                bases.append(b.id)
+            elif isinstance(b, ast.Attribute):
+                bases.append(b.attr)
+            elif isinstance(b, ast.Subscript):
+                # Generic[...] / Protocol[...] style bases.
+                inner = b.value
+                if isinstance(inner, ast.Name):
+                    bases.append(inner.id)
+                elif isinstance(inner, ast.Attribute):
+                    bases.append(inner.attr)
+        cls = ClassInfo(
+            name=node.name, module=self.path, lineno=node.lineno,
+            bases=tuple(bases), is_protocol="Protocol" in bases)
+        # Class-level guarded-by declarations on annotated fields.
+        for stmt in node.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.lineno in self.guards):
+                cls.guarded[stmt.target.id] = self.guards[stmt.lineno]
+                cls.guarded_lines[stmt.target.id] = stmt.lineno
+        self.graph.classes.setdefault(node.name, []).append(cls)
+        self.class_stack.append(cls)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function(node)
+
+    # -- function summary ---------------------------------------------------
+
+    def _function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        cls = self.class_stack[-1] if self.class_stack else None
+        in_class = cls is not None
+        qual = (f"{self.path}::{cls.name}.{node.name}" if cls is not None
+                else f"{self.path}::{node.name}")
+        info = FunctionInfo(
+            qualname=qual, name=node.name,
+            cls=cls.name if cls is not None else None,
+            module=self.path, lineno=node.lineno,
+            sig=_param_sig(node, drop_self=in_class),
+            returns=tuple(_annotation_names(node.returns)),
+        )
+        info.is_root = self._is_root(node, cls)
+        _BodyScanner(self, info, cls, node).run()
+        self.graph.functions[qual] = info
+        if cls is not None:
+            # First definition wins (overloads/conditionals are rare).
+            cls.methods.setdefault(node.name, info)
+            self.graph.methods_by_name.setdefault(node.name, []).append(info)
+        else:
+            self.graph.module_funcs.setdefault(
+                (self.path, node.name), info)
+            self.graph.funcs_by_name.setdefault(node.name, []).append(info)
+        # Decorated/nested defs keep their summaries; do not recurse here
+        # (the body scanner already visited nested defs).
+
+    def _is_root(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                 cls: ClassInfo | None) -> bool:
+        """Experiment/pipeline entry points the purity rule anchors on."""
+        if node.name in ("run_experiment", "run_all") and cls is None:
+            return True
+        if node.name == "run" and self.is_pipeline_module and cls is not None:
+            return True
+        # A function taking a Lab *itself* (not e.g. a ``Callable[[Lab],
+        # ...]`` factory) is an experiment body wired into the registry.
+        all_args = (*node.args.posonlyargs, *node.args.args,
+                    *node.args.kwonlyargs)
+        return any(_annotation_names(a.annotation) == ["Lab"]
+                   for a in all_args)
+
+
+class _BodyScanner(ast.NodeVisitor):
+    """Scan one function body: calls, locks, writes, impurities."""
+
+    def __init__(self, mod: _ModuleCollector, info: FunctionInfo,
+                 cls: ClassInfo | None,
+                 node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.mod = mod
+        self.info = info
+        self.cls = cls
+        self.node = node
+        self.held: list[str] = []
+        self._discarded_calls: set[int] = set()
+        #: local name -> class name (constructor assignments, annotations).
+        self.local_types: dict[str, str] = {}
+        for a in (*node.args.posonlyargs, *node.args.args,
+                  *node.args.kwonlyargs):
+            for name in _annotation_names(a.annotation):
+                if name[:1].isupper():
+                    self.local_types[a.arg] = name
+                    break
+
+    def run(self) -> None:
+        for stmt in self.node.body:
+            self.visit(stmt)
+
+    # -- lock identification ------------------------------------------------
+
+    def _lock_id(self, expr: ast.expr) -> str | None:
+        """Identity of a lock expression, or None if not lock-like."""
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and self.cls is not None):
+            attr = expr.attr
+            if attr in self.cls.lock_attrs or "lock" in attr.lower():
+                return f"{self.cls.name}.{attr}"
+            return None
+        if isinstance(expr, ast.Name) and "lock" in expr.id.lower():
+            return f"{self.info.module}::{expr.id}"
+        return None
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with(node)
+
+    def _with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            lock = self._lock_id(item.context_expr)
+            if lock is not None:
+                self.info.lock_acqs.append(LockAcquisition(
+                    lock=lock, held=tuple(self.held),
+                    lineno=item.context_expr.lineno,
+                    col=item.context_expr.col_offset))
+                self.held.append(lock)
+                acquired.append(lock)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    # -- attribute writes ---------------------------------------------------
+
+    def _self_attr(self, expr: ast.expr) -> str | None:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            return expr.attr
+        return None
+
+    def _record_write(self, attr: str, kind: str, node: ast.AST) -> None:
+        self.info.writes.append(AttrWrite(
+            attr=attr, kind=kind, held_locks=tuple(self.held),
+            lineno=getattr(node, "lineno", self.node.lineno),
+            col=getattr(node, "col_offset", 0)))
+
+    def _scan_target(self, target: ast.expr, kind: str) -> None:
+        attr = self._self_attr(target)
+        if attr is not None:
+            self._record_write(attr, kind, target)
+            return
+        if isinstance(target, ast.Subscript):
+            attr = self._self_attr(target.value)
+            if attr is not None:
+                self._record_write(attr, "item", target)
+            self.visit(target.value)
+            self.visit(target.slice)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._scan_target(elt, kind)
+            return
+        if isinstance(target, ast.Starred):
+            self._scan_target(target.value, kind)
+            return
+        self.visit(target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        # Type inference: x = ClassName(...) / self.x = ClassName(...)
+        inferred = self._ctor_class(node.value)
+        value_call = self._call_name(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.info.local_assigns.append(
+                    (target.id, value_call, target.lineno, target.col_offset))
+                if inferred is not None:
+                    self.local_types[target.id] = inferred
+                else:
+                    self.local_types.pop(target.id, None)
+            attr = self._self_attr(target)
+            if attr is not None and self.cls is not None:
+                if _is_lock_ctor(node.value):
+                    self.cls.lock_attrs.add(attr)
+                if inferred is not None:
+                    self.cls.attr_types.setdefault(attr, inferred)
+                if node.lineno in self.mod.guards:
+                    self.cls.guarded.setdefault(
+                        attr, self.mod.guards[node.lineno])
+                    self.cls.guarded_lines.setdefault(attr, node.lineno)
+            self._scan_target(target, "assign")
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        if isinstance(node.target, ast.Name):
+            # ``x += e`` reads x even though the target ctx is Store.
+            self.info.loaded_names.add(node.target.id)
+        self._scan_target(node.target, "augassign")
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+            attr = self._self_attr(node.target)
+            if attr is not None and self.cls is not None:
+                if _is_lock_ctor(node.value):
+                    self.cls.lock_attrs.add(attr)
+                inferred = (self._ctor_class(node.value)
+                            or _outer_annotation_name(node.annotation))
+                if inferred is not None:
+                    self.cls.attr_types.setdefault(attr, inferred)
+                if node.lineno in self.mod.guards:
+                    self.cls.guarded.setdefault(
+                        attr, self.mod.guards[node.lineno])
+                    self.cls.guarded_lines.setdefault(attr, node.lineno)
+            self._scan_target(node.target, "assign")
+        if isinstance(node.target, ast.Name):
+            for name in _annotation_names(node.annotation):
+                if name[:1].isupper():
+                    self.local_types[node.target.id] = name
+                    break
+
+    def _ctor_class(self, value: ast.expr) -> str | None:
+        # Container literals type the receiver too: ``x = {}`` followed
+        # by ``x.get(...)`` must not dynamically dispatch to a project
+        # method that happens to be called ``get``.
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            return "dict"
+        if isinstance(value, (ast.List, ast.ListComp)):
+            return "list"
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return "set"
+        name = self._call_name(value)
+        if name in _BUILTIN_CONTAINER_CTORS:
+            return name
+        if name is not None and name[:1].isupper():
+            return name
+        return None
+
+    @staticmethod
+    def _call_name(value: ast.expr) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        return func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+
+    # -- calls and impurities ----------------------------------------------
+
+    def _receiver_type(self, recv: ast.expr) -> str | None:
+        if isinstance(recv, ast.Name):
+            if recv.id == "self" and self.cls is not None:
+                return self.cls.name
+            return self.local_types.get(recv.id)
+        attr = self._self_attr(recv)
+        if attr is not None and self.cls is not None:
+            return self.cls.attr_types.get(attr)
+        if (isinstance(recv, ast.Call) and isinstance(recv.func, ast.Name)
+                and recv.func.id == "super" and self.cls is not None
+                and self.cls.bases):
+            return self.cls.bases[0]
+        return self._ctor_class(recv)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if isinstance(node.value, ast.Call):
+            self._discarded_calls.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.info.loaded_names.add(node.id)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        n_pos, kwnames = _call_shape(node)
+        discarded = id(node) in self._discarded_calls
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            recv_type = self._receiver_type(func.value)
+            self.info.calls.append(CallSite(
+                name=func.attr, is_attr=True, recv_type=recv_type,
+                n_pos=n_pos, kwnames=kwnames, held_locks=tuple(self.held),
+                lineno=node.lineno, col=node.col_offset,
+                discarded=discarded))
+            # An in-place mutation of a guarded container is a write.
+            attr = self._self_attr(func.value)
+            if attr is not None and func.attr in _MUTATOR_METHODS:
+                self._record_write(attr, "mutcall", node)
+            self._check_impure_attr_call(node, func)
+        elif isinstance(func, ast.Name):
+            self.info.calls.append(CallSite(
+                name=func.id, is_attr=False, recv_type=None,
+                n_pos=n_pos, kwnames=kwnames, held_locks=tuple(self.held),
+                lineno=node.lineno, col=node.col_offset,
+                discarded=discarded))
+            self._check_impure_name_call(node, func)
+
+    def _check_impure_attr_call(self, node: ast.Call,
+                                func: ast.Attribute) -> None:
+        recv = func.value
+        mod_name = recv.id if isinstance(recv, ast.Name) else (
+            recv.attr if isinstance(recv, ast.Attribute) else None)
+        attr = func.attr
+        if mod_name == "time" and attr in _WALL_CLOCK_TIME_ATTRS:
+            self._impure(node, f"wall-clock call time.{attr}()")
+        elif mod_name == "os" and attr == "urandom":
+            self._impure(node, "entropy call os.urandom()")
+        elif mod_name == "uuid" and attr in ("uuid1", "uuid4"):
+            self._impure(node, f"entropy call uuid.{attr}()")
+        elif mod_name == "secrets":
+            self._impure(node, f"entropy call secrets.{attr}()")
+        elif (mod_name in ("datetime", "date") and attr in _DATETIME_NOW_ATTRS):
+            self._impure(node, f"wall-clock call {mod_name}.{attr}()")
+        elif attr == "default_rng" and not node.args and not node.keywords:
+            self._impure(
+                node, "unseeded default_rng(); seed it from a named stream")
+
+    def _check_impure_name_call(self, node: ast.Call, func: ast.Name) -> None:
+        if func.id in _WALL_CLOCK_TIME_ATTRS and func.id != "time":
+            # ``from time import perf_counter`` style; a bare ``time()``
+            # is far more often a local helper than stdlib time.time.
+            self._impure(node, f"wall-clock call {func.id}()")
+        elif func.id == "urandom":
+            self._impure(node, "entropy call urandom()")
+        elif func.id == "default_rng" and not node.args and not node.keywords:
+            self._impure(
+                node, "unseeded default_rng(); seed it from a named stream")
+
+    def _impure(self, node: ast.AST, reason: str) -> None:
+        self.info.impurities.append(Impurity(
+            reason=reason, lineno=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0)))
+
+    # -- unordered iteration ------------------------------------------------
+
+    def _unordered_source(self, expr: ast.expr) -> str | None:
+        """Describe ``expr`` if its iteration order is hash/env-dependent."""
+        if isinstance(expr, ast.Set):
+            return "a set literal"
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name in _UNORDERED_PRODUCERS:
+                return f"{name}()"
+        if (isinstance(expr, ast.Attribute) and expr.attr == "environ"
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "os"):
+            return "os.environ"
+        return None
+
+    def _check_iteration(self, iter_expr: ast.expr) -> None:
+        src = self._unordered_source(iter_expr)
+        if src is not None:
+            self._impure(
+                iter_expr,
+                f"iteration over {src} is hash-order dependent; "
+                f"sort or use an ordered container")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    # Nested defs get their own FunctionInfo via the module collector.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.mod._function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.mod._function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.mod.visit_ClassDef(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.visit(node.body)
+
+
+# ---------------------------------------------------------------------------
+# The graph
+# ---------------------------------------------------------------------------
+
+class ProjectGraph:
+    """Project-wide function/class tables plus memoized analyses."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, list[ClassInfo]] = {}
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self.funcs_by_name: dict[str, list[FunctionInfo]] = {}
+        self.module_funcs: dict[tuple[str, str], FunctionInfo] = {}
+        self._callees: dict[str, tuple[str, ...]] = {}
+        self._reachable: frozenset[str] | None = None
+        self._transitive_locks: dict[str, frozenset[str]] | None = None
+        self._lock_edges: (
+            dict[tuple[str, str], list[tuple[str, int, int, str]]] | None
+        ) = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: Iterable[ModuleContext]) -> ProjectGraph:
+        graph = cls()
+        for ctx in modules:
+            _ModuleCollector(graph, ctx.path, ctx.source, ctx.tree).run()
+        return graph
+
+    # -- class helpers ------------------------------------------------------
+
+    def iter_classes(self) -> Iterator[ClassInfo]:
+        for infos in self.classes.values():
+            yield from infos
+
+    def class_method(self, cls: ClassInfo,
+                     name: str) -> FunctionInfo | None:
+        """Method ``name`` on ``cls`` or (project-known) bases, depth-first."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            c = stack.pop(0)
+            if c.name in seen:
+                continue
+            seen.add(c.name)
+            if name in c.methods:
+                return c.methods[name]
+            for base in c.bases:
+                stack.extend(self.classes.get(base, []))
+        return None
+
+    def mro_has_method(self, cls: ClassInfo, name: str) -> bool:
+        return self.class_method(cls, name) is not None
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve(self, caller: FunctionInfo,
+                site: CallSite) -> list[FunctionInfo]:
+        """Project functions a call site may dispatch to."""
+        if site.is_attr:
+            found: list[FunctionInfo] = []
+            if site.recv_type is not None:
+                candidates = self.classes.get(site.recv_type, [])
+                for cls in candidates:
+                    m = self.class_method(cls, site.name)
+                    if m is not None:
+                        found.append(m)
+                if not any(cls.is_protocol for cls in candidates):
+                    # A typed receiver is authoritative: a builtin or
+                    # out-of-project type means the call cannot land in
+                    # project code, so no dynamic-dispatch fallback.
+                    return found
+            # Untyped or Protocol-typed receiver: signature-compatible
+            # dynamic dispatch over every project callable of that name
+            # (protocol implementations stay visible; incompatible
+            # same-name methods are excluded).
+            seen = {m.qualname for m in found}
+            out = found + [
+                m for m in self.methods_by_name.get(site.name, ())
+                if m.qualname not in seen
+                and m.sig.accepts(site.n_pos, site.kwnames)]
+            out += [f for f in self.funcs_by_name.get(site.name, ())
+                    if f.sig.accepts(site.n_pos, site.kwnames)]
+            return out
+        # Bare name: same module first, then a unique project-wide name,
+        # then a class constructor.
+        local = self.module_funcs.get((caller.module, site.name))
+        if local is not None:
+            return [local]
+        funcs = self.funcs_by_name.get(site.name, [])
+        if len(funcs) == 1:
+            return list(funcs)
+        ctors: list[FunctionInfo] = []
+        for cls in self.classes.get(site.name, []):
+            init = self.class_method(cls, "__init__")
+            if init is not None:
+                ctors.append(init)
+        return ctors
+
+    def callees(self, qualname: str) -> tuple[str, ...]:
+        """Memoized resolved callee qualnames of one function."""
+        cached = self._callees.get(qualname)
+        if cached is None:
+            info = self.functions[qualname]
+            names = sorted({t.qualname for site in info.calls
+                            for t in self.resolve(info, site)})
+            cached = self._callees[qualname] = tuple(names)
+        return cached
+
+    # -- analyses -----------------------------------------------------------
+
+    def reachable_from_roots(self) -> frozenset[str]:
+        """Qualnames reachable from experiment/pipeline roots (memoized)."""
+        if self._reachable is None:
+            seen: set[str] = set()
+            frontier = [q for q, f in self.functions.items() if f.is_root]
+            while frontier:
+                qual = frontier.pop()
+                if qual in seen:
+                    continue
+                seen.add(qual)
+                frontier.extend(q for q in self.callees(qual)
+                                if q not in seen)
+            self._reachable = frozenset(seen)
+        return self._reachable
+
+    def root_path_to(self, qualname: str) -> tuple[str, ...]:
+        """A shortest root→function call chain, for diagnostics."""
+        parents: dict[str, str | None] = {
+            q: None for q, f in self.functions.items() if f.is_root}
+        frontier = sorted(parents)
+        while frontier:
+            nxt: list[str] = []
+            for qual in frontier:
+                if qual == qualname:
+                    chain = [qual]
+                    while parents[chain[-1]] is not None:
+                        chain.append(parents[chain[-1]])  # type: ignore[arg-type]
+                    return tuple(reversed(chain))
+                for callee in self.callees(qual):
+                    if callee not in parents:
+                        parents[callee] = qual
+                        nxt.append(callee)
+            frontier = nxt
+        return ()
+
+    def transitive_locks(self) -> dict[str, frozenset[str]]:
+        """Locks each function may acquire, directly or via callees."""
+        if self._transitive_locks is None:
+            locks: dict[str, set[str]] = {
+                q: {a.lock for a in f.lock_acqs}
+                for q, f in self.functions.items()}
+            changed = True
+            while changed:
+                changed = False
+                for qual in self.functions:
+                    mine = locks[qual]
+                    before = len(mine)
+                    for callee in self.callees(qual):
+                        mine |= locks.get(callee, set())
+                    if len(mine) != before:
+                        changed = True
+            self._transitive_locks = {
+                q: frozenset(s) for q, s in locks.items()}
+        return self._transitive_locks
+
+    def lock_order_edges(
+            self) -> dict[tuple[str, str], list[tuple[str, int, int, str]]]:
+        """Observed lock orders: (outer, inner) -> witness sites.
+
+        An edge exists when ``inner`` is acquired — directly, or
+        transitively through a call — while ``outer`` is held.  A
+        self-edge ``(L, L)`` means a non-reentrant lock may be
+        re-acquired while held (a self-deadlock).  Sites are
+        ``(module, line, col, holder qualname)``.
+        """
+        if self._lock_edges is None:
+            edges: dict[tuple[str, str], list[tuple[str, int, int, str]]] = {}
+
+            def witness(outer: str, inner: str, module: str, lineno: int,
+                        col: int, qual: str) -> None:
+                edges.setdefault((outer, inner), []).append(
+                    (module, lineno, col, qual))
+
+            trans = self.transitive_locks()
+            for qual in sorted(self.functions):
+                f = self.functions[qual]
+                for acq in f.lock_acqs:
+                    for outer in acq.held:
+                        witness(outer, acq.lock, f.module,
+                                acq.lineno, acq.col, qual)
+                for site in f.calls:
+                    if not site.held_locks:
+                        continue
+                    inner_locks: set[str] = set()
+                    for target in self.resolve(f, site):
+                        inner_locks |= trans.get(target.qualname, frozenset())
+                    for inner in sorted(inner_locks):
+                        for outer in site.held_locks:
+                            witness(outer, inner, f.module,
+                                    site.lineno, site.col, qual)
+            self._lock_edges = edges
+        return self._lock_edges
+
+    def lock_cycles(self) -> list[tuple[str, ...]]:
+        """Lock-order cycles (each a tuple of lock ids), deterministic."""
+        edges = self.lock_order_edges()
+        adj: dict[str, set[str]] = {}
+        for (outer, inner) in edges:
+            adj.setdefault(outer, set()).add(inner)
+            adj.setdefault(inner, set())
+        cycles: list[tuple[str, ...]] = []
+        seen_cycles: set[frozenset[str]] = set()
+        for start in sorted(adj):
+            if (start, start) in edges:
+                key = frozenset((start,))
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append((start,))
+            # Bounded DFS for cycles through ``start`` (lock graphs are
+            # tiny; this is exact and deterministic).
+            stack: list[tuple[str, tuple[str, ...]]] = [(start, (start,))]
+            while stack:
+                node, path = stack.pop()
+                for nxt in sorted(adj.get(node, ()), reverse=True):
+                    if nxt == start and len(path) > 1:
+                        key = frozenset(path)
+                        if key not in seen_cycles:
+                            seen_cycles.add(key)
+                            cycles.append(path)
+                    elif nxt not in path and len(path) < 8:
+                        stack.append((nxt, path + (nxt,)))
+        return cycles

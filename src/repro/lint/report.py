@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 
+from repro.lint.baseline import normalize_path
 from repro.lint.engine import RULES, LintResult
 
 
@@ -26,38 +27,50 @@ def render_text(result: LintResult) -> str:
             f"({n_err} error{'s' if n_err != 1 else ''}, "
             f"{n_warn} warning{'s' if n_warn != 1 else ''}) "
             f"in {result.files_checked} files"
-            + (f"; {result.suppressed} suppressed" if result.suppressed else ""))
+            + (f"; {result.suppressed} suppressed" if result.suppressed else "")
+            + (f"; {result.baselined} baselined" if result.baselined else ""))
     else:
         lines.append(
             f"clean: {result.files_checked} files"
             + (f", {result.suppressed} suppressed finding"
                f"{'s' if result.suppressed != 1 else ''}"
-               if result.suppressed else ""))
+               if result.suppressed else "")
+            + (f", {result.baselined} baselined finding"
+               f"{'s' if result.baselined != 1 else ''}"
+               if result.baselined else ""))
     return "\n".join(lines)
 
 
 def render_json(result: LintResult) -> str:
-    """Render the run as a stable machine-readable JSON document."""
+    """Render the run as a stable machine-readable JSON document.
+
+    Paths are normalized (POSIX separators, relative to the working
+    directory where possible) and records re-sorted on the normalized
+    spelling, so the same tree produces byte-identical output on every
+    filesystem — a requirement for baseline files and CI artifact diffs.
+    """
+    records = sorted(
+        ({
+            "code": f.code,
+            "severity": f.severity,
+            "path": normalize_path(f.path),
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+        } for f in result.findings),
+        key=lambda r: (r["path"], r["line"], r["col"], r["code"],
+                       r["message"]))
     doc = {
         "version": 1,
         "tool": "greenlint",
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
+        "baselined": result.baselined,
         "counts": result.counts(),
         "rules": {
             code: {"name": r.name, "severity": r.severity}
             for code, r in sorted(RULES.items())
         },
-        "findings": [
-            {
-                "code": f.code,
-                "severity": f.severity,
-                "path": f.path,
-                "line": f.line,
-                "col": f.col,
-                "message": f.message,
-            }
-            for f in result.findings
-        ],
+        "findings": records,
     }
     return json.dumps(doc, indent=2, sort_keys=False)

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import ast
 import builtins
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro import units as _units
 from repro.lint.dims import (
@@ -57,7 +57,7 @@ from repro.lint.engine import Finding, ModuleContext, rule
 _CHECKED_CMPOPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
 
 
-def _known(d: Optional[Dim]) -> bool:
+def _known(d: Dim | None) -> bool:
     """True for dims that participate in mismatch checks."""
     return d is not None and d != DIMENSIONLESS
 
@@ -77,7 +77,7 @@ class _UnitChecker:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0), message=message))
 
-    def name_dim(self, name: str, env: dict) -> Optional[Dim]:
+    def name_dim(self, name: str, env: dict) -> Dim | None:
         sd = suffix_dim(name)
         if sd is not None:
             return sd
@@ -85,7 +85,7 @@ class _UnitChecker:
 
     # -- expression inference ----------------------------------------------
 
-    def infer(self, node: Optional[ast.expr], env: dict) -> Optional[Dim]:
+    def infer(self, node: ast.expr | None, env: dict) -> Dim | None:
         if node is None:
             return None
         if isinstance(node, ast.Constant):
@@ -168,14 +168,14 @@ class _UnitChecker:
             return d
         return None
 
-    def _comprehension(self, generators, env: dict) -> None:
+    def _comprehension(self, generators: list, env: dict) -> None:
         for gen in generators:
             self.infer(gen.iter, env)
             self._clear_target(gen.target, env)
             for cond in gen.ifs:
                 self.infer(cond, env)
 
-    def _binop(self, node: ast.BinOp, env: dict) -> Optional[Dim]:
+    def _binop(self, node: ast.BinOp, env: dict) -> Dim | None:
         left = self.infer(node.left, env)
         right = self.infer(node.right, env)
         op = node.op
@@ -217,9 +217,9 @@ class _UnitChecker:
                 self.flag(node, f"comparing {dim_name(a)} with {dim_name(b)}")
         return None
 
-    def _call(self, node: ast.Call, env: dict) -> Optional[Dim]:
+    def _call(self, node: ast.Call, env: dict) -> Dim | None:
         func = node.func
-        fname: Optional[str] = None
+        fname: str | None = None
         if isinstance(func, ast.Attribute):
             self.infer(func.value, env)
             fname = func.attr
@@ -260,12 +260,13 @@ class _UnitChecker:
         self.exec_body(self.ctx.tree.body, {}, None)
         return self.findings
 
-    def exec_body(self, body, env: dict, ret_dim: Optional[Dim]) -> None:
+    def exec_body(self, body: list, env: dict,
+                  ret_dim: Dim | None) -> None:
         for stmt in body:
             self.exec_stmt(stmt, env, ret_dim)
 
     def exec_stmt(self, stmt: ast.stmt, env: dict,
-                  ret_dim: Optional[Dim]) -> None:
+                  ret_dim: Dim | None) -> None:
         if isinstance(stmt, ast.Expr):
             self.infer(stmt.value, env)
         elif isinstance(stmt, ast.Assign):
@@ -352,7 +353,7 @@ class _UnitChecker:
                 self.exec_body(case.body, env, ret_dim)
         # Import/Global/Nonlocal/Pass/Break/Continue carry no dimensions.
 
-    def _assign_target(self, target: ast.expr, d: Optional[Dim],
+    def _assign_target(self, target: ast.expr, d: Dim | None,
                        env: dict) -> None:
         if isinstance(target, ast.Name):
             declared = suffix_dim(target.id)
@@ -420,7 +421,7 @@ _MAGIC_FLOAT: dict[float, str] = {
 }
 
 
-def _const_expr_value(node: ast.BinOp) -> Optional[int]:
+def _const_expr_value(node: ast.BinOp) -> int | None:
     """Evaluate small constant ``a ** b`` / ``a << b`` expressions."""
     if not (isinstance(node.left, ast.Constant)
             and isinstance(node.right, ast.Constant)
@@ -492,7 +493,7 @@ _BUILTIN_EXCEPTIONS = frozenset(
 )
 
 
-def _exception_name(exc: ast.expr) -> Optional[str]:
+def _exception_name(exc: ast.expr) -> str | None:
     target = exc.func if isinstance(exc, ast.Call) else exc
     if isinstance(target, ast.Name):
         return target.id

@@ -51,11 +51,11 @@ class LruCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
-        self._entries: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
-        self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._entries: OrderedDict[Any, tuple[Any, int]] = OrderedDict()  # gl: guarded-by=_lock
+        self._bytes = 0  # gl: guarded-by=_lock
+        self.hits = 0  # gl: guarded-by=_lock
+        self.misses = 0  # gl: guarded-by=_lock
+        self.evictions = 0  # gl: guarded-by=_lock
 
     def get(self, key: Any) -> Any | None:
         """The cached value (marked most recent), or None."""

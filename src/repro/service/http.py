@@ -47,7 +47,7 @@ DEFAULT_PORT = 8077
 MAX_BODY_BYTES = 64 * KiB
 
 
-def result_digest(result) -> str:
+def result_digest(result: object) -> str:
     """sha256 hex digest of the result's canonical pickle bytes."""
     return hashlib.sha256(pickle_result(result)).hexdigest()
 
@@ -70,7 +70,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     server_version = f"repro-serve/{__version__}"
     protocol_version = "HTTP/1.1"
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
 

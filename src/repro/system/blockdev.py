@@ -9,7 +9,7 @@ quantity the node power model prices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Sequence
 
 import numpy as np
@@ -77,8 +77,9 @@ class IoStats:
     def merge(self, other: "IoStats") -> "IoStats":
         """Return a new IoStats summing this and ``other``."""
         out = IoStats()
-        for name in vars(out):
-            setattr(out, name, getattr(self, name) + getattr(other, name))
+        for f in fields(IoStats):
+            setattr(out, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
         return out
 
     def activity(self, wall_time: float | None = None) -> Activity:

@@ -25,14 +25,15 @@ class TestSelfLint:
         assert result.files_checked >= 100
 
     def test_intentional_suppressions_are_counted(self):
-        # powercap's float-tolerance and the u16 flag mask in storage
-        # format are deliberate; they must stay visible as suppressions,
-        # not vanish.
+        # powercap's float-tolerance, the u16 flag mask in storage
+        # format, and the serving layer's three wall-clock latency reads
+        # are deliberate; they must stay visible as suppressions, not
+        # vanish.
         result = lint_paths([SRC])
-        assert result.suppressed == 2
+        assert result.suppressed == 5
 
-    def test_all_five_rule_families_registered(self):
-        assert set(RULES) == {"GL1", "GL2", "GL3", "GL4", "GL5"}
+    def test_all_ten_rule_families_registered(self):
+        assert set(RULES) == {f"GL{i}" for i in range(1, 11)}
 
 
 class TestCliLint:

@@ -19,6 +19,21 @@ python -m pytest -x -q
 echo "== greenlint (strict: warnings fail too) =="
 python -m repro.cli lint --strict src/repro
 
+echo "== greenlint whole-program (GL6-GL10, baselined) =="
+# On failure, leave the machine-readable findings where CI can pick
+# them up as an artifact (see .github/workflows/ci.yml).
+mkdir -p tools/out
+if ! python -m repro.cli lint --strict \
+    --select GL6,GL7,GL8,GL9,GL10 \
+    --baseline tools/greenlint-baseline.json \
+    src tests tools; then
+  python -m repro.cli lint --json \
+      --select GL6,GL7,GL8,GL9,GL10 \
+      src tests tools > tools/out/greenlint-findings.json || true
+  echo "findings written to tools/out/greenlint-findings.json" >&2
+  exit 1
+fi
+
 echo "== serve smoke (in-process service, coalescing) =="
 python - <<'PY'
 import threading
