@@ -139,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
                       dest="write_baseline",
                       help="record the run's findings as the new baseline "
                            "FILE and exit 0")
+    lint.add_argument("--no-cache", action="store_true", dest="no_cache",
+                      help="bypass the incremental per-file cache under "
+                           "tools/out/lint-cache/")
     return parser
 
 
@@ -149,8 +152,14 @@ def _run_lint(args) -> int:
 
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
     select = args.select.split(",") if args.select else None
+    if args.no_cache:
+        cache_dir = None
+    else:
+        from repro.lint.cache import DEFAULT_CACHE_DIR
+
+        cache_dir = DEFAULT_CACHE_DIR
     try:
-        result = lint_paths(paths, select=select)
+        result = lint_paths(paths, select=select, cache_dir=cache_dir)
         if args.write_baseline:
             n = write_baseline(args.write_baseline, result)
             print(f"wrote {n} finding{'s' if n != 1 else ''} to "

@@ -25,9 +25,24 @@ that powers the cross-module rules in :mod:`repro.lint.graph_rules`:
 * every scalar ``BlockDevice`` implementer also serves the batched
   path (GL10).
 
+One layer further up, :mod:`repro.lint.dataflow` abstractly interprets
+every function over the dimension lattice — propagating units through
+assignments, tuple unpacking, and call-return summaries to a fixpoint —
+which powers the semantic rules in :mod:`repro.lint.dataflow_rules`:
+
+* no arithmetic/comparison mixes dimensions anywhere along a flow
+  (GL11),
+* no suffixed name is rebound to another dimension, even through a
+  helper return (GL12),
+* component sums over accounting records are complete (GL13), and
+* no shared attribute is written from two thread roots without a
+  common lock — Eraser-style static race detection (GL14).
+
 Known pre-existing findings live in ``tools/greenlint-baseline.json``
 and are subtracted by ``repro lint --baseline`` (see
-:mod:`repro.lint.baseline`).
+:mod:`repro.lint.baseline`).  ``repro lint`` reuses per-file work via a
+content-keyed cache (:mod:`repro.lint.cache`); ``--no-cache`` bypasses
+it.
 
 Run it with ``repro lint [paths...]`` or programmatically::
 
@@ -42,6 +57,7 @@ Suppress a single finding with a line comment::
 
 from repro.lint.baseline import (
     apply_baseline,
+    finding_records,
     load_baseline,
     normalize_path,
     write_baseline,
@@ -58,13 +74,16 @@ from repro.lint.engine import (
     lint_source,
     rule,
 )
+from repro.lint import dataflow_rules as _dataflow_rules  # noqa: F401  (populates RULES)
 from repro.lint import graph_rules as _graph_rules  # noqa: F401  (populates RULES)
 from repro.lint import rules as _rules  # noqa: F401  (populates RULES)
+from repro.lint.dataflow import DimDataflow
 from repro.lint.graph import ProjectGraph
 from repro.lint.report import render_json, render_text
 
 __all__ = [
     "RULES",
+    "DimDataflow",
     "Finding",
     "LintResult",
     "ModuleContext",
@@ -72,6 +91,7 @@ __all__ = [
     "ProjectGraph",
     "Rule",
     "apply_baseline",
+    "finding_records",
     "iter_py_files",
     "lint_paths",
     "lint_source",

@@ -22,6 +22,7 @@ import json
 import os
 from collections import Counter
 from dataclasses import replace
+from typing import Iterable
 
 from repro.errors import ConfigError
 from repro.lint.engine import Finding, LintResult
@@ -43,6 +44,31 @@ def normalize_path(path: str) -> str:
 def finding_key(finding: Finding) -> BaselineKey:
     """The identity a baseline entry matches on."""
     return (finding.code, normalize_path(finding.path), finding.message)
+
+
+def finding_records(findings: Iterable[Finding], *,
+                    location: bool = True) -> list[dict]:
+    """Normalized, deterministically ordered finding records.
+
+    The single spelling shared by the JSON reporter and the baseline
+    writer: paths normalized via :func:`normalize_path`, records sorted
+    on the normalized path (then location, code, message) so the same
+    tree serializes byte-identically on every filesystem.  With
+    ``location=False`` the line/col fields are omitted — the baseline
+    identity deliberately excludes them.
+    """
+    records = []
+    for f in findings:
+        rec = {"code": f.code, "path": normalize_path(f.path),
+               "message": f.message}
+        if location:
+            rec = {"code": f.code, "severity": f.severity,
+                   "path": rec["path"], "line": f.line, "col": f.col,
+                   "message": f.message}
+        records.append(rec)
+    records.sort(key=lambda r: (r["path"], r.get("line", 0), r.get("col", 0),
+                                r["code"], r["message"]))
+    return records
 
 
 def load_baseline(path: str) -> Counter[BaselineKey]:
@@ -70,10 +96,7 @@ def load_baseline(path: str) -> Counter[BaselineKey]:
 
 def write_baseline(path: str, result: LintResult) -> int:
     """Snapshot the run's findings as the new baseline; returns count."""
-    entries = sorted(
-        ({"code": code, "path": norm, "message": message}
-         for code, norm, message in map(finding_key, result.findings)),
-        key=lambda e: (e["path"], e["code"], e["message"]))
+    entries = finding_records(result.findings, location=False)
     doc = {
         "version": BASELINE_VERSION,
         "tool": "greenlint-baseline",

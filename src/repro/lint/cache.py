@@ -1,0 +1,127 @@
+"""Incremental lint cache: per-file findings and graph summaries.
+
+``repro lint`` re-lints the whole tree on every invocation; most of
+that work is per-file and purely content-determined — the file-scope
+rules (GL1–GL5) and the module's :class:`~repro.lint.graph.ModuleSummary`
+are functions of the source text plus a small amount of project state.
+This module persists exactly that unit under ``tools/out/lint-cache/``:
+
+* the key is ``sha256(salt + path + source)``, where the salt (computed
+  by the engine) folds in the selected file-scope rules, the project
+  signature/error tables, and the lint package's own sources — any of
+  those changing invalidates every entry at once, so a hit is always
+  exact;
+* the value is a pickled :class:`CacheEntry` — the file's
+  post-suppression findings, its suppressed count, and its module
+  summary, which the engine merges into the project graph without
+  re-walking the AST.
+
+Whole-program state (graph analyses, the dataflow fixpoint, the
+project-scope rules GL6–GL14) is never cached: it depends on every
+file, and recomputing it is what the per-file savings pay for.
+
+Corrupt or unreadable entries are treated as misses; writes go through
+a temp file and ``os.replace`` so a killed run never leaves a torn
+entry behind.  ``repro lint --no-cache`` bypasses the cache entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import Finding
+    from repro.lint.graph import ModuleSummary
+
+#: Default location, relative to the invoking working directory (the
+#: repo root for ``tools/check.sh`` and CI).
+DEFAULT_CACHE_DIR = os.path.join("tools", "out", "lint-cache")
+
+#: Soft bound on resident entries; the prune pass drops the oldest
+#: beyond it so an often-edited tree cannot grow the cache unboundedly.
+MAX_ENTRIES = 4096
+
+
+@dataclass
+class CacheEntry:
+    """Everything per-file work produces for one (salt, path, source)."""
+
+    findings: list[Finding]
+    suppressed: int
+    summary: ModuleSummary
+
+
+class LintCache:
+    """Content-keyed store of :class:`CacheEntry` pickles."""
+
+    def __init__(self, root: str, salt: str) -> None:
+        self.root = root
+        self.salt = salt
+        os.makedirs(root, exist_ok=True)
+
+    def _entry_path(self, path: str, source: str) -> str:
+        digest = hashlib.sha256(
+            b"\0".join((self.salt.encode(), path.encode(),
+                        source.encode()))).hexdigest()
+        return os.path.join(self.root, f"{digest}.pkl")
+
+    def load(self, path: str, source: str) -> CacheEntry | None:
+        """The cached entry for this exact content, or None."""
+        entry_path = self._entry_path(path, source)
+        try:
+            with open(entry_path, "rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(entry, CacheEntry):
+            return None
+        # Freshen mtime so the prune pass evicts by recency of use.
+        try:
+            os.utime(entry_path)
+        except OSError:
+            pass
+        return entry
+
+    def store(self, path: str, source: str, entry: CacheEntry) -> None:
+        """Persist an entry; failures are silent (the cache is advisory)."""
+        entry_path = self._entry_path(path, source)
+        tmp_path = f"{entry_path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, entry_path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    def prune(self) -> int:
+        """Drop least-recently-used entries beyond the bound."""
+        try:
+            names = [n for n in os.listdir(self.root) if n.endswith(".pkl")]
+        except OSError:
+            return 0
+        if len(names) <= MAX_ENTRIES:
+            return 0
+        stamped = []
+        for name in names:
+            full = os.path.join(self.root, name)
+            try:
+                stamped.append((os.path.getmtime(full), full))
+            except OSError:
+                continue
+        stamped.sort()
+        removed = 0
+        for _mtime, full in stamped[:len(stamped) - MAX_ENTRIES]:
+            try:
+                os.unlink(full)
+                removed += 1
+            except OSError:
+                continue
+        return removed

@@ -13,7 +13,8 @@ The suffix grammar mirrors the conventions enforced by
 * simple suffixes: ``energy_j``, ``idle_w``, ``duration_s``,
   ``chunk_bytes``, ``sample_hz``
 * rate forms: ``dram_bytes_per_s`` (D·T^-1), ``write_j_per_b`` (E·D^-1)
-* per-unit-then-base forms: ``read_energy_per_byte_j`` (E·D^-1)
+* per-unit-then-base forms: ``read_energy_per_byte_j`` (E·D^-1),
+  chaining freely: ``energy_per_byte_per_s_j`` (E·D^-1·T^-1)
 
 Scale prefixes share a dimension (``system_kj`` is still energy);
 greenlint checks *dimensions*, not scales — mixing kJ and J is a display
@@ -137,6 +138,8 @@ def suffix_dim(name: str) -> Dim | None:
     True
     >>> suffix_dim("read_energy_per_byte_j") == ENERGY_PER_BYTE
     True
+    >>> suffix_dim("energy_per_byte_per_s_j") == (-1, 1, -1)
+    True
     >>> suffix_dim("j") is None          # bare loop variable, not joules
     True
     >>> suffix_dim("accesses_per_s") is None   # unknown numerator
@@ -159,8 +162,10 @@ def suffix_dim(name: str) -> Dim | None:
         if rest[-2] in UNIT_TOKENS:
             return div(UNIT_TOKENS[rest[-2]], dim)
         return None
-    if len(rest) >= 2 and rest[-1] in UNIT_TOKENS and rest[-2] == "per":
-        # ``X_per_<unit>_<base>``: the spelled-out per-unit idiom, e.g.
-        # ``read_energy_per_byte_j`` = joules per byte.
-        return div(dim, UNIT_TOKENS[rest[-1]])
+    # ``X(_per_<unit>)+_<base>``: the spelled-out per-unit idiom, e.g.
+    # ``read_energy_per_byte_j`` = joules per byte.  ``per`` groups
+    # chain: ``energy_per_byte_per_s_j`` = joules per byte per second.
+    while len(rest) >= 2 and rest[-1] in UNIT_TOKENS and rest[-2] == "per":
+        dim = div(dim, UNIT_TOKENS[rest[-1]])
+        rest = rest[:-2]
     return dim

@@ -24,9 +24,15 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.dataflow import DimDataflow
     from repro.lint.graph import ProjectGraph
 
 SEVERITIES = ("error", "warning")
+
+#: Rule scopes: ``file`` rules are pure functions of one module's source
+#: (cacheable per file); ``project`` rules read whole-program state (the
+#: call graph, the dataflow fixpoint) and always run fresh.
+SCOPES = ("file", "project")
 
 _IGNORE_RE = re.compile(
     r"#\s*greenlint:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
@@ -65,6 +71,8 @@ class Rule:
     #: Base filenames this rule never applies to (e.g. ``units.py`` is
     #: allowed to define the very constants GL2 bans elsewhere).
     exempt_files: tuple[str, ...] = ()
+    #: ``file`` (per-module, cacheable) or ``project`` (whole-program).
+    scope: str = "file"
 
 
 #: Registry of rules by code, populated by the :func:`rule` decorator.
@@ -72,10 +80,12 @@ RULES: dict[str, Rule] = {}
 
 
 def rule(code: str, name: str, severity: str = "error",
-         exempt_files: Sequence[str] = ()) -> Callable:
+         exempt_files: Sequence[str] = (), scope: str = "file") -> Callable:
     """Class/function decorator registering a greenlint rule checker."""
     if severity not in SEVERITIES:
         raise ConfigError(f"unknown severity {severity!r}")
+    if scope not in SCOPES:
+        raise ConfigError(f"unknown rule scope {scope!r}")
 
     def register(check: Callable[[ModuleContext], Iterable[Finding]],
                  ) -> Callable[[ModuleContext], Iterable[Finding]]:
@@ -89,6 +99,7 @@ def rule(code: str, name: str, severity: str = "error",
             if check.__doc__ else name,
             check=check,
             exempt_files=tuple(exempt_files),
+            scope=scope,
         )
         return check
 
@@ -117,12 +128,15 @@ class ProjectContext:
     ``error_classes`` holds every class transitively derived from
     ``ReproError`` anywhere in the linted tree.  ``graph`` is the
     whole-program call graph the cross-module rules (GL6–GL10) query;
-    the driver builds it once over every parsed module.
+    the driver builds it once over every parsed module.  ``dataflow``
+    is the interprocedural dimension analysis (GL11/GL12) layered on
+    the graph; its fixpoint runs lazily on first query.
     """
 
     signatures: dict[str, list[CallableSig]] = field(default_factory=dict)
     error_classes: set[str] = field(default_factory=set)
     graph: ProjectGraph | None = None
+    dataflow: DimDataflow | None = None
 
     def add_signature(self, name: str, sig: CallableSig) -> None:
         sigs = self.signatures.setdefault(name, [])
@@ -265,6 +279,9 @@ class LintResult:
     suppressed: int
     #: Findings matched (and subtracted) by an accepted baseline file.
     baselined: int = 0
+    #: Incremental-cache accounting; both stay 0 when caching is off.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def counts(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -299,6 +316,7 @@ def iter_py_files(paths: Sequence[str]) -> Iterator[str]:
 def _select_rules(select: Sequence[str] | None) -> list[Rule]:
     # Import the rule implementations on first use so the registry is
     # populated regardless of which entry point loaded this module.
+    from repro.lint import dataflow_rules as _dataflow_rules  # noqa: F401
     from repro.lint import graph_rules as _graph_rules  # noqa: F401
     from repro.lint import rules as _rules  # noqa: F401
 
@@ -359,15 +377,28 @@ def lint_source(source: str, path: str = "<string>",
         from repro.lint.graph import ProjectGraph
 
         ctx.project.graph = ProjectGraph.build([ctx])
+    if ctx.project.dataflow is None:
+        from repro.lint.dataflow import DimDataflow
+
+        ctx.project.dataflow = DimDataflow(ctx.project.graph, [ctx])
     findings, suppressed = _lint_module(ctx, rules)
     findings.sort(key=Finding.sort_key)
     return LintResult(findings, files_checked=1, suppressed=suppressed)
 
 
 def lint_paths(paths: Sequence[str],
-               select: Sequence[str] | None = None) -> LintResult:
-    """Lint every Python file under ``paths`` with project-wide context."""
+               select: Sequence[str] | None = None,
+               cache_dir: str | None = None) -> LintResult:
+    """Lint every Python file under ``paths`` with project-wide context.
+
+    With ``cache_dir`` set, per-file work (the file-scope rules and the
+    module's graph summary) is reused from an on-disk cache keyed by
+    file content; project-scope rules always run fresh over the merged
+    summaries.
+    """
     rules = _select_rules(select)
+    file_rules = [r for r in rules if r.scope == "file"]
+    project_rules = [r for r in rules if r.scope == "project"]
     modules: list[ModuleContext] = []
     findings: list[Finding] = []
     project = ProjectContext()
@@ -394,15 +425,78 @@ def lint_paths(paths: Sequence[str],
     for ctx in modules:
         _collect_signatures(ctx.tree, project)
     _collect_error_classes((m.tree for m in modules), project)
-    from repro.lint.graph import ProjectGraph
+    from repro.lint.dataflow import DimDataflow
+    from repro.lint.graph import ModuleSummary, ProjectGraph, summarize_module
 
-    project.graph = ProjectGraph.build(modules)
+    cache = None
+    if cache_dir is not None:
+        from repro.lint.cache import LintCache
 
+        cache = LintCache(cache_dir, salt=_cache_salt(file_rules, project))
+
+    # Per-file phase: file-scope rules plus the module's graph summary,
+    # served from the cache when the content is unchanged.
     suppressed = 0
+    cache_hits = 0
+    cache_misses = 0
+    summaries: list[ModuleSummary] = []
     for ctx in modules:
-        kept, n_suppressed = _lint_module(ctx, rules)
+        entry = cache.load(ctx.path, ctx.source) if cache is not None else None
+        if entry is not None:
+            cache_hits += 1
+            findings.extend(entry.findings)
+            suppressed += entry.suppressed
+            summaries.append(entry.summary)
+            continue
+        kept, n_suppressed = _lint_module(ctx, file_rules)
+        summary = summarize_module(ctx.path, ctx.source, ctx.tree)
+        findings.extend(kept)
+        suppressed += n_suppressed
+        summaries.append(summary)
+        if cache is not None:
+            cache_misses += 1
+            from repro.lint.cache import CacheEntry
+
+            cache.store(ctx.path, ctx.source, CacheEntry(
+                findings=kept, suppressed=n_suppressed, summary=summary))
+
+    # Whole-program phase: merge summaries, layer the dataflow analysis
+    # on top, and run the project-scope rules fresh.
+    project.graph = ProjectGraph.from_summaries(summaries)
+    project.dataflow = DimDataflow(project.graph, modules)
+    for ctx in modules:
+        kept, n_suppressed = _lint_module(ctx, project_rules)
         findings.extend(kept)
         suppressed += n_suppressed
     findings.sort(key=Finding.sort_key)
     return LintResult(findings, files_checked=files_checked,
-                      suppressed=suppressed)
+                      suppressed=suppressed,
+                      cache_hits=cache_hits, cache_misses=cache_misses)
+
+
+def _cache_salt(file_rules: Sequence[Rule], project: ProjectContext) -> str:
+    """Everything beyond file content a cached entry depends on.
+
+    File-scope rules read the project tables (GL5 signatures, GL3 error
+    classes), so those digests are part of the key: a new overload in
+    *any* file conservatively invalidates every entry.  The lint
+    package's own sources are hashed too, so editing a rule never
+    serves stale findings.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for r in file_rules:
+        h.update(f"rule:{r.code}\n".encode())
+    for name in sorted(project.signatures):
+        for sig in project.signatures[name]:
+            h.update(f"sig:{name}:{','.join(sig.params)}"
+                     f":{int(sig.has_vararg)}\n".encode())
+    for name in sorted(project.error_classes):
+        h.update(f"err:{name}\n".encode())
+    pkg_dir = os.path.dirname(__file__)
+    for fn in sorted(os.listdir(pkg_dir)):
+        if fn.endswith(".py"):
+            with open(os.path.join(pkg_dir, fn), "rb") as fh:
+                h.update(fn.encode() + b"\0" + fh.read())
+    return h.hexdigest()

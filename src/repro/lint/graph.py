@@ -163,6 +163,11 @@ class FunctionInfo:
         default_factory=list)
     #: every local name read anywhere in the body (flow-insensitive).
     loaded_names: set[str] = field(default_factory=set)
+    #: callables handed to another thread of control: ``pool.submit(f)``,
+    #: ``Thread(target=f)``, ``Executor(initializer=f)``.  Each entry is
+    #: ``(kind, name, lineno)`` with kind ``"self"`` (``self.f``) or
+    #: ``"bare"`` (a plain name).  These seed the GL14 thread roots.
+    thread_targets: list[tuple[str, str, int]] = field(default_factory=list)
 
 
 @dataclass
@@ -458,8 +463,11 @@ class _BodyScanner(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         self.visit(node.value)
-        # Type inference: x = ClassName(...) / self.x = ClassName(...)
+        # Type inference: x = ClassName(...) / self.x = ClassName(...),
+        # plus ``self.x = param`` where the parameter is annotated.
         inferred = self._ctor_class(node.value)
+        if inferred is None and isinstance(node.value, ast.Name):
+            inferred = self.local_types.get(node.value.id)
         value_call = self._call_name(node.value)
         for target in node.targets:
             if isinstance(target, ast.Name):
@@ -584,6 +592,35 @@ class _BodyScanner(ast.NodeVisitor):
                 lineno=node.lineno, col=node.col_offset,
                 discarded=discarded))
             self._check_impure_name_call(node, func)
+        self._scan_thread_targets(node)
+
+    def _callable_ref(self, expr: ast.expr) -> tuple[str, str] | None:
+        """A handed-off callable as (kind, name), or None."""
+        attr = self._self_attr(expr)
+        if attr is not None:
+            return ("self", attr)
+        if isinstance(expr, ast.Name):
+            return ("bare", expr.id)
+        return None
+
+    def _scan_thread_targets(self, node: ast.Call) -> None:
+        """Record callables this call hands to another thread of control."""
+        func = node.func
+        fname = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        refs: list[tuple[str, str] | None] = []
+        if fname == "submit" and isinstance(func, ast.Attribute) and node.args:
+            # executor.submit(worker, ...): the worker runs on a pool thread.
+            refs.append(self._callable_ref(node.args[0]))
+        if fname in ("Thread", "Timer"):
+            refs.extend(self._callable_ref(kw.value) for kw in node.keywords
+                        if kw.arg == "target")
+        # Pool initializers run once per worker, concurrently with the rest.
+        refs.extend(self._callable_ref(kw.value) for kw in node.keywords
+                    if kw.arg == "initializer")
+        for ref in refs:
+            if ref is not None:
+                self.info.thread_targets.append((*ref, node.lineno))
 
     def _check_impure_attr_call(self, node: ast.Call,
                                 func: ast.Attribute) -> None:
@@ -677,6 +714,40 @@ class _BodyScanner(ast.NodeVisitor):
 # The graph
 # ---------------------------------------------------------------------------
 
+@dataclass
+class ModuleSummary:
+    """One module's contribution to the project tables.
+
+    Pure function of the module's source text, which makes it the unit
+    the incremental lint cache (:mod:`repro.lint.cache`) persists: a
+    cache hit merges the pickled summary instead of re-walking the AST.
+    """
+
+    path: str
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, list[ClassInfo]] = field(default_factory=dict)
+    methods_by_name: dict[str, list[FunctionInfo]] = field(
+        default_factory=dict)
+    funcs_by_name: dict[str, list[FunctionInfo]] = field(default_factory=dict)
+    module_funcs: dict[tuple[str, str], FunctionInfo] = field(
+        default_factory=dict)
+
+
+def summarize_module(path: str, source: str, tree: ast.Module,
+                     ) -> ModuleSummary:
+    """Collect one module's function/class summaries in isolation."""
+    scratch = ProjectGraph()
+    _ModuleCollector(scratch, path, source, tree).run()
+    return ModuleSummary(
+        path=path,
+        functions=scratch.functions,
+        classes=scratch.classes,
+        methods_by_name=scratch.methods_by_name,
+        funcs_by_name=scratch.funcs_by_name,
+        module_funcs=scratch.module_funcs,
+    )
+
+
 class ProjectGraph:
     """Project-wide function/class tables plus memoized analyses."""
 
@@ -697,9 +768,25 @@ class ProjectGraph:
 
     @classmethod
     def build(cls, modules: Iterable[ModuleContext]) -> ProjectGraph:
+        return cls.from_summaries(
+            summarize_module(ctx.path, ctx.source, ctx.tree)
+            for ctx in modules)
+
+    @classmethod
+    def from_summaries(cls, summaries: Iterable[ModuleSummary],
+                       ) -> ProjectGraph:
+        """Merge per-module summaries (fresh or cache-loaded) into a graph."""
         graph = cls()
-        for ctx in modules:
-            _ModuleCollector(graph, ctx.path, ctx.source, ctx.tree).run()
+        for s in summaries:
+            graph.functions.update(s.functions)
+            for name, infos in s.classes.items():
+                graph.classes.setdefault(name, []).extend(infos)
+            for name, infos in s.methods_by_name.items():
+                graph.methods_by_name.setdefault(name, []).extend(infos)
+            for name, infos in s.funcs_by_name.items():
+                graph.funcs_by_name.setdefault(name, []).extend(infos)
+            for key, info in s.module_funcs.items():
+                graph.module_funcs.setdefault(key, info)
         return graph
 
     # -- class helpers ------------------------------------------------------

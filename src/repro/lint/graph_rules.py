@@ -84,7 +84,8 @@ def _short(qualname: str) -> str:
 # GL6: purity/determinism propagation
 # ---------------------------------------------------------------------------
 
-@rule("GL6", "purity/determinism propagation", exempt_files=("rng.py",))
+@rule("GL6", "purity/determinism propagation", exempt_files=("rng.py",),
+      scope="project")
 def check_purity(ctx: ModuleContext) -> Iterator[Finding]:
     """Experiment-reachable code may not read wall clocks or entropy."""
     graph = _graph(ctx)
@@ -118,7 +119,7 @@ def check_purity(ctx: ModuleContext) -> Iterator[Finding]:
 _CONSTRUCTION_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
 
 
-@rule("GL7", "lock discipline")
+@rule("GL7", "lock discipline", scope="project")
 def check_lock_discipline(ctx: ModuleContext) -> Iterator[Finding]:
     """Guarded fields must be written only under their declared lock."""
     graph = _graph(ctx)
@@ -176,7 +177,7 @@ def _method_write_findings(ctx: ModuleContext, cls: ClassInfo,
 # GL8: lock-order inversion
 # ---------------------------------------------------------------------------
 
-@rule("GL8", "lock-order inversion")
+@rule("GL8", "lock-order inversion", scope="project")
 def check_lock_order(ctx: ModuleContext) -> Iterator[Finding]:
     """Cycles in the observed lock-acquisition order are deadlocks."""
     graph = _graph(ctx)
@@ -238,7 +239,7 @@ def _energy_callee(graph: ProjectGraph, caller: FunctionInfo,
     return None
 
 
-@rule("GL9", "energy conservation")
+@rule("GL9", "energy conservation", scope="project")
 def check_energy_conservation(ctx: ModuleContext) -> Iterator[Finding]:
     """Energy-carrying results must flow into a roll-up, never be dropped."""
     graph = _graph(ctx)
@@ -278,7 +279,7 @@ def check_energy_conservation(ctx: ModuleContext) -> Iterator[Finding]:
 # GL10: block-device protocol completeness
 # ---------------------------------------------------------------------------
 
-@rule("GL10", "block-device protocol completeness")
+@rule("GL10", "block-device protocol completeness", scope="project")
 def check_protocol_completeness(ctx: ModuleContext) -> Iterator[Finding]:
     """Scalar BlockDevice implementers must also serve the batched path."""
     graph = _graph(ctx)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 
-from repro.lint.baseline import normalize_path
+from repro.lint.baseline import finding_records
 from repro.lint.engine import RULES, LintResult
 
 
@@ -19,6 +19,12 @@ def render_text(result: LintResult) -> str:
     lines = [f.format() for f in result.findings]
     n_err = len(result.errors())
     n_warn = len(result.warnings())
+    cache_note = (
+        f"; cache: {result.cache_hits} hit"
+        f"{'s' if result.cache_hits != 1 else ''}, "
+        f"{result.cache_misses} miss"
+        f"{'es' if result.cache_misses != 1 else ''}"
+        if result.cache_hits or result.cache_misses else "")
     if result.findings:
         lines.append("")
         lines.append(
@@ -28,7 +34,8 @@ def render_text(result: LintResult) -> str:
             f"{n_warn} warning{'s' if n_warn != 1 else ''}) "
             f"in {result.files_checked} files"
             + (f"; {result.suppressed} suppressed" if result.suppressed else "")
-            + (f"; {result.baselined} baselined" if result.baselined else ""))
+            + (f"; {result.baselined} baselined" if result.baselined else "")
+            + cache_note)
     else:
         lines.append(
             f"clean: {result.files_checked} files"
@@ -37,7 +44,8 @@ def render_text(result: LintResult) -> str:
                if result.suppressed else "")
             + (f", {result.baselined} baselined finding"
                f"{'s' if result.baselined != 1 else ''}"
-               if result.baselined else ""))
+               if result.baselined else "")
+            + cache_note)
     return "\n".join(lines)
 
 
@@ -49,23 +57,14 @@ def render_json(result: LintResult) -> str:
     spelling, so the same tree produces byte-identical output on every
     filesystem — a requirement for baseline files and CI artifact diffs.
     """
-    records = sorted(
-        ({
-            "code": f.code,
-            "severity": f.severity,
-            "path": normalize_path(f.path),
-            "line": f.line,
-            "col": f.col,
-            "message": f.message,
-        } for f in result.findings),
-        key=lambda r: (r["path"], r["line"], r["col"], r["code"],
-                       r["message"]))
+    records = finding_records(result.findings)
     doc = {
         "version": 1,
         "tool": "greenlint",
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
         "baselined": result.baselined,
+        "cache": {"hits": result.cache_hits, "misses": result.cache_misses},
         "counts": result.counts(),
         "rules": {
             code: {"name": r.name, "severity": r.severity}

@@ -69,6 +69,28 @@ class TestSuffixGrammar:
         assert div(DATA, TIME) == DATA_RATE
         assert mul(DIMENSIONLESS, POWER) == POWER
 
+    def test_chained_per_groups(self):
+        # Each _per_<unit> group divides the base unit once more.
+        assert suffix_dim("energy_per_byte_per_s_j") == div(
+            ENERGY_PER_BYTE, TIME)
+        assert suffix_dim("read_energy_per_byte_per_s_j") == div(
+            ENERGY_PER_BYTE, TIME)
+
+    def test_suffix_only_at_word_end(self):
+        # Unit tokens in the middle of a name are not a suffix.
+        assert suffix_dim("j_total") is None
+        assert suffix_dim("energy_j_cache") is None
+
+    def test_algebra_identities(self):
+        from repro.lint.dims import pow_
+
+        assert pow_(TIME, 2) == mul(TIME, TIME)
+        assert pow_(POWER, 0) == DIMENSIONLESS
+        assert pow_(POWER, 1) == POWER
+        assert div(ENERGY, ENERGY) == DIMENSIONLESS
+        assert mul(div(ENERGY, TIME), TIME) == ENERGY
+        assert div(mul(DATA, FREQUENCY), FREQUENCY) == DATA
+
 
 # ---------------------------------------------------------------------------
 # GL1 unit-suffix consistency

@@ -32,8 +32,52 @@ class TestSelfLint:
         result = lint_paths([SRC])
         assert result.suppressed == 5
 
-    def test_all_ten_rule_families_registered(self):
-        assert set(RULES) == {f"GL{i}" for i in range(1, 11)}
+    def test_all_fourteen_rule_families_registered(self):
+        assert set(RULES) == {f"GL{i}" for i in range(1, 15)}
+
+
+class TestLintCache:
+    def test_round_trip_hits_and_identical_findings(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("import random\nwindow = 3600\n")
+        cache = str(tmp_path / "cache")
+        cold = lint_paths([str(mod)], cache_dir=cache)
+        warm = lint_paths([str(mod)], cache_dir=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+        assert ([f.format() for f in warm.findings]
+                == [f.format() for f in cold.findings])
+
+    def test_edit_invalidates_entry(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("import random\n")
+        cache = str(tmp_path / "cache")
+        lint_paths([str(mod)], cache_dir=cache)
+        mod.write_text("window = 3600\n")
+        fresh = lint_paths([str(mod)], cache_dir=cache)
+        assert fresh.cache_misses == 1
+        assert [f.code for f in fresh.findings] == ["GL2"]
+
+    def test_no_cache_dir_never_counts(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("import random\n")
+        result = lint_paths([str(mod)], cache_dir=None)
+        assert (result.cache_hits, result.cache_misses) == (0, 0)
+
+    def test_cli_reports_cache_in_json(self, tmp_path, capsys,
+                                       monkeypatch):
+        mod = tmp_path / "m.py"
+        mod.write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--json", str(mod)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"] == {"hits": 0, "misses": 1}
+        assert main(["lint", "--json", str(mod)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"] == {"hits": 1, "misses": 0}
+        assert main(["lint", "--json", "--no-cache", str(mod)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"] == {"hits": 0, "misses": 0}
 
 
 class TestCliLint:

@@ -19,20 +19,50 @@ python -m pytest -x -q
 echo "== greenlint (strict: warnings fail too) =="
 python -m repro.cli lint --strict src/repro
 
-echo "== greenlint whole-program (GL6-GL10, baselined) =="
+echo "== greenlint whole-program (GL6-GL14, baselined) =="
 # On failure, leave the machine-readable findings where CI can pick
 # them up as an artifact (see .github/workflows/ci.yml).
 mkdir -p tools/out
 if ! python -m repro.cli lint --strict \
-    --select GL6,GL7,GL8,GL9,GL10 \
+    --select GL6,GL7,GL8,GL9,GL10,GL11,GL12,GL13,GL14 \
     --baseline tools/greenlint-baseline.json \
     src tests tools; then
   python -m repro.cli lint --json \
-      --select GL6,GL7,GL8,GL9,GL10 \
+      --select GL6,GL7,GL8,GL9,GL10,GL11,GL12,GL13,GL14 \
       src tests tools > tools/out/greenlint-findings.json || true
   echo "findings written to tools/out/greenlint-findings.json" >&2
   exit 1
 fi
+
+echo "== greenlint runtime budget (full rule set, warm cache) =="
+# The linter is a tier-1 test, so its own latency is a gated quantity:
+# a full 14-rule run over src/repro must finish inside the budget.  The
+# first run above has warmed the per-file cache; the JSON stats double
+# as a CI artifact next to the findings file.
+python - <<'PY'
+import json
+import time
+
+from repro.lint import lint_paths
+
+BUDGET_S = 6.0
+start = time.perf_counter()
+result = lint_paths(["src/repro"],
+                    cache_dir="tools/out/lint-cache")
+elapsed = time.perf_counter() - start
+stats = {
+    "elapsed_s": round(elapsed, 3),
+    "budget_s": BUDGET_S,
+    "files_checked": result.files_checked,
+    "cache": {"hits": result.cache_hits, "misses": result.cache_misses},
+}
+with open("tools/out/lint-cache-stats.json", "w") as fh:
+    json.dump(stats, fh, indent=2)
+    fh.write("\n")
+print(f"lint src/repro: {elapsed:.2f}s (budget {BUDGET_S:.1f}s, "
+      f"{result.cache_hits} hits / {result.cache_misses} misses)")
+raise SystemExit(0 if elapsed <= BUDGET_S else 1)
+PY
 
 echo "== serve smoke (in-process service, coalescing) =="
 python - <<'PY'
