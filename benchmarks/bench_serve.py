@@ -7,7 +7,10 @@ rates plus latency percentiles to ``benchmarks/output/BENCH_serve.json``:
 * **hot repeats** — one key warmed, then ``HOT_THREADS`` request threads
   hammering it; every request is a memory-tier hit.
 * **cold misses** — a fresh service fans the whole registry out over the
-  worker pool with nothing cached.
+  worker pool with no *result* cached.  The cache directory holds only a
+  warm-Lab snapshot (what a prior batch run or serve leaves behind), so
+  workers deserialize primed Labs in milliseconds and every request is
+  still a genuine compute.
 * **coalescing storm** — ``STORM_THREADS`` threads released by a barrier
   onto one cold key; the single-flight layer must run *exactly one*
   underlying compute.
@@ -25,10 +28,12 @@ from __future__ import annotations
 import json
 import os
 import statistics
+import tempfile
 import threading
 import time
 
 from repro.experiments import EXPERIMENTS, Lab
+from repro.experiments.engine import warm_lab
 from repro.experiments.registry import get_experiment
 from repro.service import ExperimentService, ServiceConfig, result_digest
 
@@ -46,6 +51,12 @@ STORM_THREADS = 32
 #: Warm-pool serving must beat per-request cold Labs by at least this
 #: factor on the hot-repeat workload (the PR's acceptance criterion).
 MIN_HOT_SPEEDUP = 10.0
+
+#: Snapshot-primed cold-miss floor: computing the whole registry on a
+#: fresh service must sustain at least this many requests per second on
+#: the reference container.  In-process the assert allows 3x for
+#: scheduler noise (CI gates via ``compare_serve.py`` the same way).
+MIN_COLD_REQ_PER_S = 30.0
 
 
 def _percentiles(samples_s: list[float]) -> dict[str, float]:
@@ -109,14 +120,21 @@ def test_bench_serve(output_dir):
     hot_rps = hot_requests / hot_elapsed_s
     hot_speedup = hot_rps / baseline_rps
 
-    # -- cold misses: the whole registry, nothing cached ----------------------
-    with ExperimentService(ServiceConfig(jobs=4)) as service:
-        start = time.perf_counter()
-        results = service.run_many(list(EXPERIMENTS), seed=SEED)
-        cold_elapsed_s = time.perf_counter() - start
-        cold_stats = service.stats()
-        assert set(results) == set(EXPERIMENTS)
-        assert cold_stats["computed"] == len(EXPERIMENTS)
+    # -- cold misses: the whole registry, snapshot-primed labs ----------------
+    with tempfile.TemporaryDirectory() as snap_dir:
+        # A prior batch run (or serve) left a warm-Lab snapshot behind;
+        # no result entries exist, so every request still computes.
+        warm_lab(SEED, snap_dir)
+        with ExperimentService(ServiceConfig(jobs=4,
+                                             cache_dir=snap_dir)) as service:
+            start = time.perf_counter()
+            results = service.run_many(list(EXPERIMENTS), seed=SEED)
+            cold_elapsed_s = time.perf_counter() - start
+            cold_stats = service.stats()
+            assert set(results) == set(EXPERIMENTS)
+            assert cold_stats["computed"] == len(EXPERIMENTS)
+            assert cold_stats["labs_restored"] >= 1, cold_stats
+            assert cold_stats["labs_built"] == 0, cold_stats
     cold_rps = len(EXPERIMENTS) / cold_elapsed_s
 
     # -- coalescing storm: N concurrent identical cold requests ---------------
@@ -153,10 +171,11 @@ def test_bench_serve(output_dir):
         },
         "cold_misses": {
             "workload": f"whole registry ({len(EXPERIMENTS)} ids), "
-                        "empty cache, jobs=4",
+                        "snapshot-primed labs, no results cached, jobs=4",
             "requests": len(EXPERIMENTS),
             "elapsed_s": round(cold_elapsed_s, 4),
             "req_per_s": round(cold_rps, 2),
+            "min_req_per_s": MIN_COLD_REQ_PER_S,
         },
         "coalescing_storm": {
             "workload": f"{STORM_THREADS} concurrent requests of one "
@@ -182,3 +201,6 @@ def test_bench_serve(output_dir):
     assert hot_speedup >= MIN_HOT_SPEEDUP, (
         f"hot-repeat serving only {hot_speedup:.1f}x the cold baseline "
         f"(need {MIN_HOT_SPEEDUP:.0f}x)")
+    assert cold_rps >= MIN_COLD_REQ_PER_S / 3, (
+        f"snapshot-primed cold sweep only {cold_rps:.1f} req/s, past even "
+        f"3x headroom under the {MIN_COLD_REQ_PER_S:.0f} req/s floor")

@@ -22,6 +22,13 @@ TOLERANCE = 3.0
 #: ...and slower by at least this many absolute seconds.
 FLOOR_S = 0.5
 
+#: Raw-speed ceiling on the whole serial suite, mirrored from
+#: ``bench_perf_suite.CEILING_RUN_ALL_S`` via the committed payload.
+#: Unlike the relative checks above, this gate is absolute: whatever
+#: the baseline drifts to, a fresh ``run_all`` past TOLERANCE times the
+#: recorded ceiling fails.
+DEFAULT_CEILING_RUN_ALL_S = 0.4
+
 
 def compare(fresh: dict, baseline: dict) -> list[str]:
     """Return a list of human-readable regression descriptions."""
@@ -36,6 +43,16 @@ def compare(fresh: dict, baseline: dict) -> list[str]:
 
     check("run_all", fresh.get("run_all_s", 0.0),
           baseline.get("run_all_s", 0.0))
+    ceiling_s = fresh.get("ceiling_run_all_s",
+                          baseline.get("ceiling_run_all_s",
+                                       DEFAULT_CEILING_RUN_ALL_S))
+    run_all_s = fresh.get("run_all_s", 0.0)
+    if run_all_s > ceiling_s * TOLERANCE:
+        regressions.append(
+            f"run_all: {run_all_s:.3f}s breaks the absolute "
+            f"{ceiling_s:.1f}s raw-speed ceiling "
+            f"(tolerance {TOLERANCE:.0f}x)"
+        )
     old_experiments = baseline.get("experiments", {})
     for eid, new_s in sorted(fresh.get("experiments", {}).items()):
         old_s = old_experiments.get(eid)

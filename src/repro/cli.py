@@ -235,6 +235,12 @@ def _run_serve(args) -> int:
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.cache is not None:
+        # Prime (or restore) the default-seed warm-Lab snapshot now, so
+        # worker threads deserialize a ready Lab in milliseconds instead
+        # of each paying the cold construction on their first request.
+        from repro.experiments.engine import warm_lab
+        warm_lab(DEFAULT_SEED, args.cache)
     print(f"serving {len(EXPERIMENTS)} experiments on "
           f"http://{args.host}:{port} (jobs={args.jobs}, "
           f"cache={args.cache or 'memory only'})")

@@ -92,6 +92,10 @@ class ServiceError(ReproError):
     """Experiment-serving layer failure (transport, shutdown, bad reply)."""
 
 
+class CodecError(ReproError):
+    """Binary result codec failure (truncated, corrupt, or foreign bytes)."""
+
+
 class PipelineError(ReproError):
     """A pipeline was misconfigured or run out of order."""
 

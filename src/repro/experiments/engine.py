@@ -9,8 +9,10 @@ and their results content-addressable.  This module exploits both:
 * **Parallel**: experiments fan out over a process pool.  Every worker
   owns a :class:`~repro.experiments.figures.Lab` for the run's seed, so
   experiments that land on the same worker still share memoized pipeline
-  runs, and no state crosses process boundaries (results come back by
-  pickle).  ``jobs=1`` degenerates to exactly ``registry.run_all``.
+  runs, and no state crosses process boundaries (results come back as
+  flat :mod:`~repro.experiments.codec` frames, with pickle as the
+  fallback transport).  ``jobs=1`` degenerates to exactly
+  ``registry.run_all``.
 * **Cached**: results can persist on disk, keyed by a digest of
   everything they depend on (engine format version, package version,
   seed, experiment id, and the full testbed spec).  A second invocation
@@ -26,14 +28,18 @@ registry order, that the serial path produces.
 from __future__ import annotations
 
 import hashlib
+import io
 import multiprocessing
 import os
 import pickle
+import struct
+import sys
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError
+from repro.errors import CodecError, ConfigError, ReproError
+from repro.experiments.codec import decode_result, encode_result, is_codec_frame
 from repro.experiments.figures import ExperimentResult, Lab
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.machine.node import paper_testbed
@@ -62,6 +68,20 @@ class EngineReport:
 # -- cache ----------------------------------------------------------------------
 
 
+#: Memoized ``repr(paper_testbed())``.  The testbed spec is a process
+#: constant, but rebuilding the Node tree and rendering its repr costs
+#: real time, and ``run_experiments`` derives one key per experiment id
+#: — so the spec portion is computed once and reused.
+_TESTBED_REPR: str | None = None
+
+
+def _testbed_repr() -> str:
+    global _TESTBED_REPR
+    if _TESTBED_REPR is None:
+        _TESTBED_REPR = repr(paper_testbed())
+    return _TESTBED_REPR
+
+
 def cache_key(experiment_id: str, seed: int) -> str:
     """Digest of everything an experiment's result depends on."""
     material = ":".join((
@@ -69,7 +89,7 @@ def cache_key(experiment_id: str, seed: int) -> str:
         __version__,
         str(seed),
         experiment_id,
-        repr(paper_testbed()),
+        _testbed_repr(),
     ))
     return hashlib.sha256(material.encode()).hexdigest()
 
@@ -80,11 +100,26 @@ def _cache_path(cache_dir: str, experiment_id: str, seed: int) -> str:
 
 
 def _cache_load(path: str) -> ExperimentResult | None:
-    """A cached result, or None when absent/corrupt (never raises)."""
+    """A cached result, or None when absent/corrupt (never raises).
+
+    Entries are sniffed by magic: codec frames (the format new entries
+    are written in) decode through the flat binary path; anything else
+    falls back to the pickle loader, so pre-codec cache directories stay
+    readable without a flag day.
+    """
     try:
         with open(path, "rb") as fh:
-            result = pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            blob = fh.read()
+    except OSError:
+        return None
+    if is_codec_frame(blob):
+        try:
+            return decode_result(blob)
+        except CodecError:
+            return None
+    try:
+        result = pickle.loads(blob)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
             ImportError, IndexError, ValueError):
         return None
     return result if isinstance(result, ExperimentResult) else None
@@ -94,10 +129,23 @@ def pickle_result(result: ExperimentResult) -> bytes:
     """Canonical byte representation of a result.
 
     The fixed protocol makes this stable across interpreters, so it is
-    the representation the disk cache stores *and* the one byte-identity
-    checks (tests, the serving layer's digests) compare.
+    the representation byte-identity checks (tests, the serving layer's
+    digests) compare.  The disk cache itself now stores codec frames
+    (:func:`codec_result`); this stays the digest representation so
+    existing digests and determinism checks are unchanged.
     """
     return pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
+
+
+def codec_result(result: ExperimentResult) -> bytes:
+    """Codec-frame byte representation of a result.
+
+    The flat-binary counterpart of :func:`pickle_result`: this is what
+    :func:`store_result` writes and what the pool workers ship back to
+    the parent.  Cache keys are unchanged — the same sha256
+    :func:`cache_key` addresses an entry whichever format holds it.
+    """
+    return encode_result(result)
 
 
 def load_result(cache_dir: str, experiment_id: str,
@@ -114,12 +162,18 @@ def store_result(cache_dir: str, experiment_id: str, seed: int,
 
 def _cache_store(path: str, result: ExperimentResult) -> None:
     """Atomically persist a result (tmp file + rename)."""
+    try:
+        blob = encode_result(result)
+    except Exception:
+        # The codec is an optimization; an unencodable result falls back
+        # to the pickle entry format, which the loader also accepts.
+        blob = pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
-            pickle.dump(result, fh, protocol=_PICKLE_PROTOCOL)
+            fh.write(blob)
         os.replace(tmp, path)
     except OSError:
         # Caching is best-effort; the computed result is still returned.
@@ -127,6 +181,242 @@ def _cache_store(path: str, result: ExperimentResult) -> None:
             os.unlink(tmp)
         except OSError:
             pass
+
+
+# -- warm-Lab snapshots ---------------------------------------------------------
+
+#: Bump to invalidate every existing Lab snapshot (Lab layout change).
+LAB_SNAPSHOT_VERSION = 2
+
+_SNAP_MAGIC = b"RPLS"
+_SNAP_HEADER = struct.Struct("<4sHq")  # magic | version | seed
+
+
+def _snapshot_singletons() -> dict[str, object]:
+    """Module-level constants a Lab's products may reference.
+
+    Experiments mix Lab-held products with objects they compute fresh,
+    and the fresh objects reference these calibration singletons
+    directly.  A naively unpickled Lab would hold *copies*, silently
+    breaking the sharing structure (and thus the pickle-byte identity)
+    of any result that touches both.  The snapshot pickler therefore
+    maps each singleton to a stable persistent id and the unpickler
+    resolves it back to the canonical module object.
+    """
+    import dataclasses
+
+    from repro.calibration import CASE_STUDIES, PAPER, STAGE
+    from repro.workloads.fio import FIO_JOBS
+
+    consts: dict[str, object] = {}
+    seen: set[int] = set()
+
+    def walk(name: str, obj: object) -> None:
+        # pickle never memoizes these, so their identity is irrelevant
+        if obj is None or type(obj) in (bool, int, float):
+            return
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        consts[name] = obj
+        if isinstance(obj, dict):
+            for i, (key, value) in enumerate(obj.items()):
+                walk(f"{name}.k{i}", key)
+                walk(f"{name}.v{i}", value)
+        elif isinstance(obj, (list, tuple)):
+            for i, item in enumerate(obj):
+                walk(f"{name}[{i}]", item)
+        elif dataclasses.is_dataclass(obj):
+            for f in dataclasses.fields(obj):
+                walk(f"{name}.{f.name}", getattr(obj, f.name))
+
+    for name, table in (("CASE_STUDIES", CASE_STUDIES), ("PAPER", PAPER),
+                        ("STAGE", STAGE), ("FIO_JOBS", FIO_JOBS)):
+        walk(f"c:{name}", table)
+
+    # numpy's builtin dtypes are interpreter-wide singletons, but a
+    # pickle round-trip reconstructs them as copies — register them so
+    # restored arrays keep sharing the live singletons.  Keyed by type
+    # code, not .str: 'l' and 'q' can be equal-width yet distinct.
+    import numpy as np
+    for code in "?bBhHiIlLqQfd":
+        walk(f"c:np.dtype[{code}]", np.dtype(code))
+    return consts
+
+
+_SNAP_BY_NAME: dict[str, object] | None = None
+_SNAP_BY_ID: dict[int, str] | None = None
+
+
+def _snapshot_registry() -> tuple[dict[str, object], dict[int, str]]:
+    global _SNAP_BY_NAME, _SNAP_BY_ID
+    if _SNAP_BY_NAME is None:
+        by_name = _snapshot_singletons()
+        _SNAP_BY_ID = {id(obj): name for name, obj in by_name.items()}
+        _SNAP_BY_NAME = by_name
+    return _SNAP_BY_NAME, _SNAP_BY_ID
+
+
+class _SnapshotPickler(pickle.Pickler):
+    """Pickler that externalizes calibration singletons and identifiers.
+
+    Two kinds of persistent id, both plain strings (a string pid never
+    re-enters ``persistent_id`` problematically — the prefixes below are
+    not identifiers and are not registered):
+
+    * ``c:<path>`` — a calibration singleton from the registry, matched
+      by identity.
+    * ``i:<text>`` — any ASCII identifier-like string.  These are the
+      strings CPython interns (literals, attribute and keyword-argument
+      names), which experiments share between Lab-held products and
+      freshly computed objects; restoring them through :func:`sys.intern`
+      re-merges them with the live interpreter's copies.
+    """
+
+    def __init__(self, file) -> None:
+        super().__init__(file, protocol=_PICKLE_PROTOCOL)
+        self._by_id = _snapshot_registry()[1]
+
+    def persistent_id(self, obj: object) -> str | None:
+        name = self._by_id.get(id(obj))
+        if name is not None:
+            return name
+        if type(obj) is str and obj.isascii() and obj.isidentifier():
+            return "i:" + obj
+        return None
+
+
+class _SnapshotUnpickler(pickle.Unpickler):
+    """Unpickler that resolves snapshot pids to live canonical objects."""
+
+    def __init__(self, file) -> None:
+        super().__init__(file)
+        self._by_name = _snapshot_registry()[0]
+
+    def persistent_load(self, pid: object) -> object:
+        if isinstance(pid, str):
+            if pid.startswith("i:"):
+                return sys.intern(pid[2:])
+            try:
+                return self._by_name[pid]
+            except KeyError:
+                pass
+        raise CodecError(
+            f"lab snapshot references unknown singleton {pid!r}")
+
+
+def lab_snapshot_key(seed: int) -> str:
+    """Digest of everything a warm-Lab snapshot depends on.
+
+    Mirrors :func:`cache_key`: any change to the snapshot format, the
+    engine format, the package version, the seed, or the testbed spec
+    changes the key, so a stale snapshot simply misses.
+    """
+    material = ":".join((
+        "lab-snapshot",
+        str(LAB_SNAPSHOT_VERSION),
+        str(ENGINE_CACHE_VERSION),
+        __version__,
+        str(seed),
+        _testbed_repr(),
+    ))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def _snapshot_path(cache_dir: str, seed: int) -> str:
+    return os.path.join(cache_dir,
+                        f"lab-{seed}-{lab_snapshot_key(seed)[:20]}.snap")
+
+
+def snapshot_lab(lab: Lab) -> bytes:
+    """Serialize a (preferably primed) Lab to a versioned snapshot blob."""
+    buf = io.BytesIO()
+    buf.write(_SNAP_HEADER.pack(_SNAP_MAGIC, LAB_SNAPSHOT_VERSION, lab.seed))
+    _SnapshotPickler(buf).dump(lab)
+    return buf.getvalue()
+
+
+def restore_lab(blob: bytes, seed: int) -> Lab:
+    """Deserialize a snapshot blob; raises :class:`CodecError` on mismatch."""
+    if len(blob) < _SNAP_HEADER.size:
+        raise CodecError("lab snapshot truncated")
+    magic, version, snap_seed = _SNAP_HEADER.unpack_from(blob)
+    if magic != _SNAP_MAGIC:
+        raise CodecError("not a lab snapshot")
+    if version != LAB_SNAPSHOT_VERSION:
+        raise CodecError(f"lab snapshot version {version} != "
+                         f"{LAB_SNAPSHOT_VERSION}")
+    if snap_seed != seed:
+        raise CodecError(f"lab snapshot seed {snap_seed} != {seed}")
+    try:
+        lab = _SnapshotUnpickler(io.BytesIO(blob[_SNAP_HEADER.size:])).load()
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"lab snapshot failed to load: {exc}") from None
+    if not isinstance(lab, Lab) or lab.seed != seed:
+        raise CodecError("lab snapshot holds the wrong object")
+    return lab
+
+
+def save_lab_snapshot(cache_dir: str, lab: Lab) -> str | None:
+    """Atomically persist a Lab snapshot (best-effort, never raises)."""
+    path = _snapshot_path(cache_dir, lab.seed)
+    try:
+        blob = snapshot_lab(lab)
+    except Exception:
+        return None
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+    except OSError:
+        return None
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return None
+    return path
+
+
+def load_lab_snapshot(cache_dir: str, seed: int) -> Lab | None:
+    """Load a Lab snapshot, or None when absent/stale/corrupt (never raises)."""
+    try:
+        with open(_snapshot_path(cache_dir, seed), "rb") as fh:
+            blob = fh.read()
+    except OSError:
+        return None
+    try:
+        return restore_lab(blob, seed)
+    except ReproError:
+        return None
+
+
+def warm_lab(seed: int, cache_dir: str | None = None) -> Lab:
+    """A fully primed Lab — deserialized from a snapshot when one exists.
+
+    Priming (the memoized case-study and application pipeline runs plus
+    the fio table) costs ~100x what loading the snapshot does.  On a
+    miss the
+    Lab is primed the slow way and, when ``cache_dir`` is given, saved
+    so the next cold start skips the priming.
+    """
+    if cache_dir is not None:
+        lab = load_lab_snapshot(cache_dir, seed)
+        if lab is not None:
+            return lab
+    lab = Lab(seed=seed)
+    lab.outcomes()
+    lab.fio()
+    lab.apps()
+    if cache_dir is not None:
+        save_lab_snapshot(cache_dir, lab)
+    return lab
 
 
 # -- workers --------------------------------------------------------------------
@@ -145,18 +435,39 @@ def _worker_init(seed: int) -> None:
         _WORKER_LAB = Lab(seed=seed)
 
 
-def _prime_shared_lab(seed: int) -> None:
-    """Compute the cross-experiment shared products once, pre-fork."""
+def _prime_shared_lab(seed: int, cache_dir: str | None = None) -> None:
+    """Warm the pre-fork shared Lab, via snapshot when one is cached."""
     global _WORKER_LAB
     if _WORKER_LAB is None or _WORKER_LAB.seed != seed:
-        _WORKER_LAB = Lab(seed=seed)
-    _WORKER_LAB.outcomes()
-    _WORKER_LAB.fio()
+        _WORKER_LAB = warm_lab(seed, cache_dir)
+    else:
+        _WORKER_LAB.outcomes()
+        _WORKER_LAB.fio()
+        _WORKER_LAB.apps()
 
 
-def _worker_run(experiment_id: str, seed: int) -> ExperimentResult:
+def _worker_run(experiment_id: str, seed: int) -> bytes | ExperimentResult:
+    """Run one experiment and ship the result back as a codec frame.
+
+    The flat frame crosses the pool pipe as one bytes object (which
+    multiprocessing moves cheaply) instead of a pickled object graph.
+    If the result resists encoding, the raw object is returned and the
+    stock pickle transport carries it — a worker never dies over the
+    transport format.
+    """
     lab = _WORKER_LAB if _WORKER_LAB is not None else Lab(seed=seed)
-    return get_experiment(experiment_id)(lab)
+    result = get_experiment(experiment_id)(lab)
+    try:
+        return encode_result(result)
+    except Exception:
+        return result
+
+
+def _from_worker(payload: bytes | ExperimentResult) -> ExperimentResult:
+    """Decode a worker payload, whichever transport carried it."""
+    if isinstance(payload, bytes):
+        return decode_result(payload)
+    return payload
 
 
 # -- the engine -----------------------------------------------------------------
@@ -199,7 +510,7 @@ def run_experiments(
             computed = {eid: get_experiment(eid)(lab) for eid in misses}
         else:
             if "fork" in multiprocessing.get_all_start_methods():
-                _prime_shared_lab(seed)
+                _prime_shared_lab(seed, cache_dir)
                 context = multiprocessing.get_context("fork")
             else:  # pragma: no cover - non-fork platforms
                 context = multiprocessing.get_context()
@@ -211,7 +522,8 @@ def run_experiments(
             ) as pool:
                 futures = {eid: pool.submit(_worker_run, eid, seed)
                            for eid in misses}
-                computed = {eid: fut.result() for eid, fut in futures.items()}
+                computed = {eid: _from_worker(fut.result())
+                            for eid, fut in futures.items()}
         if cache_dir is not None:
             for eid, result in computed.items():
                 _cache_store(_cache_path(cache_dir, eid, seed), result)

@@ -63,6 +63,7 @@ class Lab:
         self.node = self.runner.node
         self._outcomes = None
         self._fio = None
+        self._apps = None
 
     def outcomes(self):
         """Paired case-study runs (memoized)."""
@@ -75,6 +76,22 @@ class Lab:
         if self._fio is None:
             self._fio = FioRunner(Node(), seed=self.seed).run_table3()
         return self._fio
+
+    def apps(self):
+        """Application-profile pipeline runs (memoized).
+
+        Heaviest single computation in the registry (the mpas-like
+        profile integrates an 8x grid), and — like the case studies —
+        a pure function of the seed, so one set of runs serves every
+        request for ``ext-applications``.
+        """
+        if self._apps is None:
+            from repro.workloads.apps import APP_PROFILES, run_app
+
+            runner = PipelineRunner(seed=self.seed, jitter=0)
+            self._apps = {name: run_app(name, runner)
+                          for name in APP_PROFILES}
+        return self._apps
 
 
 # ---------------------------------------------------------------------------
@@ -452,10 +469,7 @@ def ext_multinode(lab: Lab) -> ExperimentResult:
 
 def ext_applications(lab: Lab) -> ExperimentResult:
     """In-situ advantage across synthetic real-application shapes."""
-    from repro.workloads.apps import APP_PROFILES, run_app
-
-    runner = PipelineRunner(seed=lab.seed, jitter=0)
-    outcomes = {name: run_app(name, runner) for name in APP_PROFILES}
+    outcomes = lab.apps()
     rows = []
     for name, outcome in outcomes.items():
         rows.append([

@@ -62,10 +62,33 @@ def field_fingerprint(data: np.ndarray) -> tuple | None:
     return fingerprint
 
 
+#: id -> (blob ref, fingerprint) for ``bytes`` blobs.  Safe for the same
+#: reason as ``_FP_MEMO``: ``bytes`` is immutable and the stored reference
+#: keeps the id from being recycled.  The writer's encode memo hands the
+#: *same* blob object to every repeat store, and the in-memory filesystem
+#: returns the stored body object on full-range reads, so repeat decode
+#: paths hit this in O(1) instead of re-scanning multi-MiB blobs.
+_BLOB_MEMO: dict[int, tuple[bytes, tuple]] = {}
+_BLOB_MEMO_MAX_ENTRIES = 512
+
+
 def blob_fingerprint(blob: bytes | memoryview) -> tuple:
     """Content key of a byte blob (same double-hash scheme as fields)."""
+    if type(blob) is bytes:
+        hit = _BLOB_MEMO.get(id(blob))
+        if hit is not None and hit[0] is blob:
+            return hit[1]
     view = memoryview(blob)
-    return (len(view), zlib.crc32(view), zlib.adler32(view[:_PREFIX_BYTES]))
+    fingerprint = (len(view), zlib.crc32(view),
+                   zlib.adler32(view[:_PREFIX_BYTES]))
+    if type(blob) is bytes:
+        if len(_BLOB_MEMO) >= _BLOB_MEMO_MAX_ENTRIES:
+            try:
+                _BLOB_MEMO.pop(next(iter(_BLOB_MEMO)))
+            except (KeyError, RuntimeError, StopIteration):
+                pass  # concurrent evictor got there first
+        _BLOB_MEMO[id(blob)] = (blob, fingerprint)
+    return fingerprint
 
 
 class ContentMemo:

@@ -354,6 +354,15 @@ class RaidArray:
         width = self.data_members
         first_take = np.minimum(stripe - offs % stripe, sizes)
         extra = (sizes - first_take + stripe - 1) // stripe
+        if not extra.any():
+            # No request crosses a stripe boundary (the common small-block
+            # fio case): one slice per request, no repeat/scatter needed.
+            stripe_idx = offs // stripe
+            within = offs - stripe_idx * stripe
+            member = stripe_idx % width
+            member_offset = (stripe_idx // width) * stripe + within
+            req_idx = np.arange(offs.size, dtype=np.int64)
+            return req_idx, member, member_offset, sizes
         counts = 1 + extra
         total = int(counts.sum())
         req_idx = np.repeat(np.arange(offs.size, dtype=np.int64), counts)

@@ -27,6 +27,7 @@ from repro.errors import (
     PipelineInterrupted,
     RetryExhaustedError,
 )
+from repro.fingerprint import field_fingerprint
 from repro.machine.node import Node
 from repro.pipelines.base import (
     CHUNK_BYTES,
@@ -130,7 +131,7 @@ class PostProcessingPipeline:
                                         written_checksums)
                     tracker.poll(iteration=iteration)
                     if self.config.verify_data:
-                        written_checksums[iteration] = hash(solver.grid.to_bytes())
+                        written_checksums[iteration] = field_fingerprint(solver.grid.data)
                     result.data_bytes_written += report.nbytes
                     record_stage(
                         timeline, "nnwrite", table=stages,
@@ -165,7 +166,7 @@ class PostProcessingPipeline:
             )
             if self.config.verify_data:
                 result.verification.grids_checked += 1
-                if hash(grid.to_bytes()) == written_checksums.get(timestep):
+                if field_fingerprint(grid.data) == written_checksums.get(timestep):
                     result.verification.grids_matched += 1
             _frame, encoded = render_pipeline_frame(grid.data, self.config)
             result.images_rendered += 1

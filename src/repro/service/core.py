@@ -6,8 +6,10 @@ stack shaped like an inference server:
 * **Warm worker pool** — requests execute on a fixed thread pool whose
   workers each hold primed :class:`~repro.experiments.figures.Lab`\\ s
   (one per seed, LRU-bounded).  A Lab is constructed once per
-  (worker, seed) and reused across requests, so repeat traffic skips
-  testbed construction and shares the Lab's memoized pipeline runs.
+  (worker, seed) — restored from the engine's warm-Lab snapshot when
+  the disk tier holds one — and reused across requests, so repeat
+  traffic skips testbed construction and shares the Lab's memoized
+  pipeline runs.
   Experiments are pure functions of ``(seed, testbed spec)``, so a warm
   Lab returns byte-identical payloads to a cold serial run.
 * **Two-tier cache** — a thread-safe in-memory LRU
@@ -38,6 +40,7 @@ from typing import Callable
 from repro.errors import ConfigError, ServiceError
 from repro.experiments.engine import (
     cache_key,
+    load_lab_snapshot,
     load_result,
     pickle_result,
     store_result,
@@ -116,19 +119,33 @@ class ExperimentService:
         self._computed = 0  # gl: guarded-by=_lock
         self._errors = 0  # gl: guarded-by=_lock
         self._labs_built = 0  # gl: guarded-by=_lock
+        self._labs_restored = 0  # gl: guarded-by=_lock
 
     # -- worker side ------------------------------------------------------------
 
     def _lab_for(self, seed: int) -> Lab:
-        """This worker thread's primed Lab for ``seed`` (LRU of seeds)."""
+        """This worker thread's primed Lab for ``seed`` (LRU of seeds).
+
+        When the disk tier is armed and holds a warm-Lab snapshot for
+        the seed, the Lab is deserialized from it (milliseconds) instead
+        of constructed cold — the snapshot carries the memoized shared
+        pipeline runs, so even a fresh process computes requests at
+        warm-Lab speed.
+        """
         labs: OrderedDict[int, Lab] | None = getattr(self._local, "labs", None)
         if labs is None:
             labs = self._local.labs = OrderedDict()
         lab = labs.get(seed)
         if lab is None:
-            lab = Lab(seed=seed)
-            with self._lock:
-                self._labs_built += 1
+            if self.config.cache_dir is not None:
+                lab = load_lab_snapshot(self.config.cache_dir, seed)
+            if lab is not None:
+                with self._lock:
+                    self._labs_restored += 1
+            else:
+                lab = Lab(seed=seed)
+                with self._lock:
+                    self._labs_built += 1
         else:
             del labs[seed]
         labs[seed] = lab
@@ -236,6 +253,7 @@ class ExperimentService:
                 "computed": self._computed,
                 "errors": self._errors,
                 "labs_built": self._labs_built,
+                "labs_restored": self._labs_restored,
                 "inflight": len(self._inflight),
                 "uptime_s": time.monotonic() - self._started_monotonic,
                 "jobs": self.config.jobs,

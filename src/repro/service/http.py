@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
+import weakref
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -47,9 +49,31 @@ DEFAULT_PORT = 8077
 MAX_BODY_BYTES = 64 * KiB
 
 
+#: Digest memo keyed by result identity.  ``/run`` digests its payload on
+#: every reply, but the hot path serves the *same* result object out of
+#: the in-memory LRU over and over — repickling ~100 KB per request just
+#: to rehash it would dominate warm-hit latency.  While a result object
+#: is alive its id is unique, and a finalizer evicts the entry when the
+#: LRU drops it, before the id can be reused.
+_DIGESTS: dict[int, str] = {}
+_DIGESTS_LOCK = threading.Lock()
+
+
 def result_digest(result: object) -> str:
     """sha256 hex digest of the result's canonical pickle bytes."""
-    return hashlib.sha256(pickle_result(result)).hexdigest()
+    key = id(result)
+    with _DIGESTS_LOCK:
+        hit = _DIGESTS.get(key)
+    if hit is not None:
+        return hit
+    digest = hashlib.sha256(pickle_result(result)).hexdigest()
+    try:
+        weakref.finalize(result, _DIGESTS.pop, key, None)
+    except TypeError:  # pragma: no cover - non-weakref-able payload
+        return digest
+    with _DIGESTS_LOCK:
+        _DIGESTS[key] = digest
+    return digest
 
 
 def _served_payload(served: Served) -> dict:

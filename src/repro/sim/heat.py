@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.grid import Grid2D
-from repro.sim.stencil import STENCIL_FLOPS_PER_CELL, laplacian_5pt
+from repro.sim.stencil import STENCIL_FLOPS_PER_CELL, ftcs_update
 
 
 class BoundaryCondition(enum.Enum):
@@ -129,10 +129,8 @@ class HeatSolver:
 
     def _sub_step(self) -> None:
         u = self.grid.data
-        lap = laplacian_5pt(u, self.grid.dx, self.grid.dy,
-                            out=self._lap, scratch=self._scratch)
-        lap *= self.alpha * self.dt
-        u[1:-1, 1:-1] += lap
+        ftcs_update(u, self.grid.dx, self.grid.dy, self.alpha * self.dt,
+                    out=self._lap, scratch=self._scratch)
         for s in self.sources:
             u[s.row0 : s.row1, s.col0 : s.col1] += s.rate * self.dt
         self.apply_boundary()

@@ -68,6 +68,21 @@ def laplacian_5pt(field: np.ndarray, dx: float, dy: float,
     return out
 
 
+def ftcs_update(field: np.ndarray, dx: float, dy: float, coeff: float,
+                out: np.ndarray, scratch: np.ndarray) -> None:
+    """One fused FTCS sweep: ``field[1:-1, 1:-1] += coeff * laplacian``.
+
+    Performs exactly the array-op sequence of :func:`laplacian_5pt`
+    followed by the scale-and-accumulate the solver used to issue
+    separately, so results are bit-identical; fusing them keeps the whole
+    update in one call with zero allocations.  ``coeff`` is the solver's
+    ``alpha * dt``.
+    """
+    lap = laplacian_5pt(field, dx, dy, out=out, scratch=scratch)
+    lap *= coeff
+    field[1:-1, 1:-1] += lap
+
+
 #: FLOPs per interior cell of one 5-point Laplacian + Euler update:
 #: 5 adds/subs + 2 divides for the Laplacian, 2 (scale + add) for the
 #: update; rounded to the conventional 10 used for cost modeling.

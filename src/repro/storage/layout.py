@@ -23,6 +23,45 @@ from repro.rng import RngRegistry
 POLICIES = ("sequential", "reverse", "strided", "shuffled", "zipf")
 
 
+def access_order_array(
+    n: int,
+    policy: str = "sequential",
+    stride: int = 8,
+    zipf_s: float = 1.3,
+    rng: RngRegistry | None = None,
+) -> np.ndarray:
+    """The chunk-index visit order as an int64 array (batched-dispatch form).
+
+    Same orders as :func:`access_order`; the array form feeds straight
+    into offset arithmetic without a list round-trip.
+    """
+    if n <= 0:
+        raise StorageError("n must be positive")
+    if policy not in POLICIES:
+        raise StorageError(f"unknown access policy {policy!r}; have {POLICIES}")
+    registry = rng or RngRegistry()
+    if policy == "sequential":
+        return np.arange(n, dtype=np.int64)
+    if policy == "reverse":
+        return np.arange(n - 1, -1, -1, dtype=np.int64)
+    if policy == "strided":
+        if stride <= 0:
+            raise StorageError("stride must be positive")
+        return np.concatenate([
+            np.arange(start, n, stride, dtype=np.int64)
+            for start in range(min(stride, n))
+        ])
+    if policy == "shuffled":
+        gen = registry.get("layout-shuffle")
+        perm = np.arange(n, dtype=np.int64)
+        gen.shuffle(perm)
+        return perm
+    # zipf: skewed repeats over the chunk space.
+    gen = registry.get("layout-zipf")
+    draws = gen.zipf(zipf_s, size=n)
+    return ((draws - 1) % n).astype(np.int64)
+
+
 def access_order(
     n: int,
     policy: str = "sequential",
@@ -31,31 +70,7 @@ def access_order(
     rng: RngRegistry | None = None,
 ) -> list[int]:
     """Return the chunk-index visit order for ``n`` chunks under ``policy``."""
-    if n <= 0:
-        raise StorageError("n must be positive")
-    if policy not in POLICIES:
-        raise StorageError(f"unknown access policy {policy!r}; have {POLICIES}")
-    registry = rng or RngRegistry()
-    if policy == "sequential":
-        return list(range(n))
-    if policy == "reverse":
-        return list(range(n - 1, -1, -1))
-    if policy == "strided":
-        if stride <= 0:
-            raise StorageError("stride must be positive")
-        order = []
-        for start in range(min(stride, n)):
-            order.extend(range(start, n, stride))
-        return order
-    if policy == "shuffled":
-        gen = registry.get("layout-shuffle")
-        perm = np.arange(n)
-        gen.shuffle(perm)
-        return perm.tolist()
-    # zipf: skewed repeats over the chunk space.
-    gen = registry.get("layout-zipf")
-    draws = gen.zipf(zipf_s, size=n)
-    return ((draws - 1) % n).tolist()
+    return access_order_array(n, policy, stride, zipf_s, rng).tolist()
 
 
 def seek_distance(order: list[int]) -> int:

@@ -105,11 +105,16 @@ class PageCache:
         return range(first, last + 1)
 
     def _touch(self, page: int, dirty: bool) -> None:
-        was_dirty = self._pages.pop(page, False)
-        now_dirty = was_dirty or dirty
-        self._pages[page] = now_dirty
-        if now_dirty and not was_dirty:
-            self._dirty.add(page)
+        pages = self._pages
+        if page in pages:
+            if dirty and not pages[page]:
+                pages[page] = True
+                self._dirty.add(page)
+            pages.move_to_end(page)
+        else:
+            pages[page] = dirty
+            if dirty:
+                self._dirty.add(page)
 
     def _memcpy_time(self, nbytes: int) -> float:
         return self.syscall_overhead + nbytes / self.memcpy_bw
@@ -155,20 +160,38 @@ class PageCache:
         if nbytes == 0:
             return CacheOp()
         op = CacheOp(cpu_time=self._memcpy_time(nbytes))
-        miss_run: list[int] = []
-        for page in self._page_range(offset, nbytes):
-            if page in self._pages:
-                self.stats.read_hits += 1
-                self._touch(page, dirty=False)
+        pages = self._page_range(offset, nbytes)
+        resident = self._pages
+        if resident.keys().isdisjoint(pages):
+            # Bulk miss path (cold sweep): the page range is contiguous,
+            # so it coalesces to one extent, and the fresh clean pages
+            # insert in one shot with no LRU reordering to preserve.
+            self.stats.read_misses += len(pages)
+            op.io = op.io.merge(self.queue.submit_arrays(
+                OpKind.READ,
+                np.array([pages.start * self.page_bytes], dtype=np.int64),
+                np.array([len(pages) * self.page_bytes], dtype=np.int64)))
+            resident.update(dict.fromkeys(pages, False))
+        else:
+            miss_run = [p for p in pages if p not in resident]
+            if not miss_run:
+                # Bulk hit path (warm re-read): nothing dirties, so the
+                # only state change is the LRU touch of every page.
+                self.stats.read_hits += len(pages)
+                move = resident.move_to_end
+                for page in pages:
+                    move(page)
             else:
-                self.stats.read_misses += 1
-                miss_run.append(page)
-        if miss_run:
-            run_offsets, run_sizes = self._coalesce(miss_run)
-            op.io = op.io.merge(
-                self.queue.submit_arrays(OpKind.READ, run_offsets, run_sizes))
-            for page in miss_run:
-                self._touch(page, dirty=False)
+                self.stats.read_hits += len(pages) - len(miss_run)
+                self.stats.read_misses += len(miss_run)
+                for page in pages:
+                    if page in resident:
+                        self._touch(page, dirty=False)
+                run_offsets, run_sizes = self._coalesce(miss_run)
+                op.io = op.io.merge(self.queue.submit_arrays(
+                    OpKind.READ, run_offsets, run_sizes))
+                for page in miss_run:
+                    self._touch(page, dirty=False)
         self._evict_if_needed(op)
         return op
 
@@ -182,12 +205,19 @@ class PageCache:
     def drop_caches(self) -> CacheOp:
         """Evict all clean pages (dirty pages survive, as on Linux)."""
         op = CacheOp()
-        clean = [p for p, d in self._pages.items() if not d]
-        for page in clean:
-            del self._pages[page]
-        self.stats.pages_dropped += len(clean)
+        if not self._dirty:
+            # Nothing pinned: the whole LRU empties in one shot (the
+            # common sync-then-drop sequence between phases).
+            n_clean = len(self._pages)
+            self._pages.clear()
+        else:
+            clean = [p for p, d in self._pages.items() if not d]
+            for page in clean:
+                del self._pages[page]
+            n_clean = len(clean)
+        self.stats.pages_dropped += n_clean
         # Walking the LRU lists is cheap but not free.
-        op.cpu_time = self.syscall_overhead + 1e-9 * len(clean)
+        op.cpu_time = self.syscall_overhead + 1e-9 * n_clean
         return op
 
     # -- internals --------------------------------------------------------------

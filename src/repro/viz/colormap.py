@@ -36,15 +36,28 @@ class Colormap:
         for _, rgb in self.stops:
             if len(rgb) != 3 or any(not 0 <= c <= 255 for c in rgb):
                 raise RenderError(f"bad color {rgb}")
+        # Interpolation tables, built once: __call__ sits inside the
+        # per-frame rasterize loop (frozen dataclass, hence the setattr).
+        object.__setattr__(self, "_positions", np.array(positions))
+        object.__setattr__(
+            self, "_colors",
+            np.array([rgb for _, rgb in self.stops], dtype=float))
 
     def __call__(self, values: np.ndarray) -> np.ndarray:
         """Map values in [0, 1] to uint8 RGB; out-of-range values clip."""
-        v = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
-        positions = np.array([p for p, _ in self.stops])
-        colors = np.array([rgb for _, rgb in self.stops], dtype=float)
+        return self.map_unit(np.clip(np.asarray(values, dtype=float), 0.0, 1.0))
+
+    def map_unit(self, v: np.ndarray) -> np.ndarray:
+        """Map an already-clipped float array in [0, 1] to uint8 RGB.
+
+        The fused render path normalizes (and clips) the field itself, so
+        re-clipping here would be a wasted full-array pass; results are
+        bit-identical to ``__call__`` for in-range input.
+        """
+        colors = self._colors
         out = np.empty(v.shape + (3,), dtype=np.uint8)
         for ch in range(3):
-            out[..., ch] = np.interp(v, positions, colors[:, ch]).round().astype(np.uint8)
+            out[..., ch] = np.interp(v, self._positions, colors[:, ch]).round()
         return out
 
     def luminance(self, values: np.ndarray) -> np.ndarray:

@@ -40,14 +40,34 @@ def _interp(a: float, b: float, level: float) -> float:
     return min(1.0, max(0.0, t))
 
 
-def marching_squares(field: np.ndarray, level: float) -> list[Segment]:
-    """Extract the ``level`` isocontour of a 2-D scalar field."""
+#: Per-case (edge0, edge1) lookup in array form (saddles get a dummy 0;
+#: they are resolved per cell by the center average).
+_LUT_E0 = np.zeros(16, dtype=np.int64)
+_LUT_E1 = np.zeros(16, dtype=np.int64)
+for _k, _pairs in _CASE_EDGES.items():
+    if _pairs:
+        _LUT_E0[_k], _LUT_E1[_k] = _pairs[0]
+del _k, _pairs
+
+
+def _validated_field(field: np.ndarray) -> np.ndarray:
+    """The field as a checked float array (shared across a frame's levels)."""
     arr = np.asarray(field, dtype=float)
     if arr.ndim != 2 or arr.shape[0] < 2 or arr.shape[1] < 2:
         raise RenderError("field must be 2-D with at least 2x2 samples")
     if not np.isfinite(arr).all():
         raise RenderError("field contains non-finite values")
+    return arr
 
+
+def _level_segments(arr: np.ndarray, level: float) -> list[Segment]:
+    """One level's segments over a validated field, in one vectorized sweep.
+
+    Cells stay in row-major order and each cell's segments in case-table
+    order, matching (bit for bit) the scalar per-cell walk this replaces:
+    every edge crossing uses the same ``(level - a) / (b - a)`` and
+    clamp, every saddle the same left-associated center average.
+    """
     tl = arr[:-1, :-1]
     tr = arr[:-1, 1:]
     bl = arr[1:, :-1]
@@ -59,33 +79,67 @@ def marching_squares(field: np.ndarray, level: float) -> list[Segment]:
         | ((bl >= level).astype(np.uint8) << 3)
     )
     rows, cols = np.nonzero((case != 0) & (case != 15))
+    if rows.size == 0:
+        return []
+    v_tl = tl[rows, cols]
+    v_tr = tr[rows, cols]
+    v_bl = bl[rows, cols]
+    v_br = br[rows, cols]
 
-    segments: list[Segment] = []
-    for r, c in zip(rows.tolist(), cols.tolist()):
-        v_tl, v_tr = float(arr[r, c]), float(arr[r, c + 1])
-        v_bl, v_br = float(arr[r + 1, c]), float(arr[r + 1, c + 1])
+    def interp(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        equal = a == b
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = (level - a) / (b - a)
+        np.clip(t, 0.0, 1.0, out=t)
+        t[equal] = 0.5
+        return t
 
-        def edge_point(edge: int) -> tuple[float, float]:
-            if edge == 0:   # top
-                return (float(r), c + _interp(v_tl, v_tr, level))
-            if edge == 1:   # right
-                return (r + _interp(v_tr, v_br, level), float(c + 1))
-            if edge == 2:   # bottom
-                return (float(r + 1), c + _interp(v_bl, v_br, level))
-            return (r + _interp(v_tl, v_bl, level), float(c))  # left
+    # Edge crossing points, one row per edge id (0=top 1=right 2=bottom 3=left).
+    point_r = np.empty((4, rows.size))
+    point_c = np.empty((4, rows.size))
+    point_r[0] = rows
+    point_c[0] = cols + interp(v_tl, v_tr)
+    point_r[1] = rows + interp(v_tr, v_br)
+    point_c[1] = cols + 1
+    point_r[2] = rows + 1
+    point_c[2] = cols + interp(v_bl, v_br)
+    point_r[3] = rows + interp(v_tl, v_bl)
+    point_c[3] = cols
 
-        k = int(case[r, c])
-        if k in (5, 10):
-            center = (v_tl + v_tr + v_bl + v_br) / 4.0
-            if k == 5:  # tl and br above
-                pairs = ((0, 1), (2, 3)) if center >= level else ((0, 3), (1, 2))
-            else:       # tr and bl above
-                pairs = ((0, 3), (1, 2)) if center >= level else ((0, 1), (2, 3))
-        else:
-            pairs = _CASE_EDGES[k]
-        for e0, e1 in pairs:
-            segments.append((edge_point(e0), edge_point(e1)))
-    return segments
+    k = case[rows, cols].astype(np.int64)
+    saddle = (k == 5) | (k == 10)
+    cell_idx = np.arange(rows.size)
+    e0 = _LUT_E0[k]
+    e1 = _LUT_E1[k]
+    if saddle.any():
+        s = np.nonzero(saddle)[0]
+        center = v_tl[s] + v_tr[s]
+        center += v_bl[s]
+        center += v_br[s]
+        center /= 4.0
+        # Case 5 above-center and case 10 below-center share the
+        # ((0, 1), (2, 3)) pairing; the other two share ((0, 3), (1, 2)).
+        joined = (k[s] == 5) == (center >= level)
+        e0_b = np.where(joined, 2, 1)
+        e1_b = np.where(joined, 3, 2)
+        e0[s] = 0
+        e1[s] = np.where(joined, 1, 3)
+        # Interleave each saddle's second segment right after its first.
+        order = np.argsort(np.concatenate((cell_idx, s)), kind="stable")
+        cell_idx = np.concatenate((cell_idx, s))[order]
+        e0 = np.concatenate((e0, e0_b))[order]
+        e1 = np.concatenate((e1, e1_b))[order]
+    r0 = point_r[e0, cell_idx]
+    c0 = point_c[e0, cell_idx]
+    r1 = point_r[e1, cell_idx]
+    c1 = point_c[e1, cell_idx]
+    return list(zip(zip(r0.tolist(), c0.tolist()),
+                    zip(r1.tolist(), c1.tolist())))
+
+
+def marching_squares(field: np.ndarray, level: float) -> list[Segment]:
+    """Extract the ``level`` isocontour of a 2-D scalar field."""
+    return _level_segments(_validated_field(field), level)
 
 
 def contour_length(segments: list[Segment]) -> float:

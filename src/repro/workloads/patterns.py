@@ -12,7 +12,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.machine.disk import DiskRequest, OpKind
 from repro.rng import RngRegistry
-from repro.storage.layout import access_order
+from repro.storage.layout import access_order, access_order_array
 
 
 def request_stream(
@@ -52,5 +52,5 @@ def offsets_for(
     if region_bytes <= 0 or block_bytes <= 0:
         raise ConfigError("region and block sizes must be positive")
     n_blocks = region_bytes // block_bytes
-    order = np.asarray(access_order(n_blocks, pattern, rng=rng), dtype=np.int64)
+    order = access_order_array(n_blocks, pattern, rng=rng)
     return region_offset + order * block_bytes

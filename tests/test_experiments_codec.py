@@ -1,0 +1,260 @@
+"""The binary result codec round-trips bit-identically and fails safely.
+
+Three properties are load-bearing:
+
+* **Byte identity** — a decoded result must re-pickle to exactly the
+  bytes the original pickles to.  That is stronger than value equality:
+  pickle bytes encode the object graph's sharing structure, and the
+  engine's determinism checks compare at the byte level.
+* **Never crash** — truncated, corrupt, or foreign buffers raise
+  :class:`~repro.errors.CodecError` (a ``ReproError``), never an
+  uncaught ``struct.error``/``IndexError``, so a pool worker or cache
+  reader degrades to recompute.
+* **Cache interop** — codec-written cache entries load through the same
+  ``_cache_load`` that still accepts legacy pickle entries, and both
+  formats answer to the same sha256 cache key.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError, ReproError
+from repro.experiments.codec import (
+    decode_result,
+    decode_value,
+    encode_result,
+    encode_value,
+    is_codec_frame,
+)
+from repro.experiments.engine import (
+    _cache_load,
+    _cache_path,
+    codec_result,
+    load_result,
+    pickle_result,
+    store_result,
+)
+from repro.experiments.figures import ExperimentResult
+from repro.machine.disk import DiskResult, OpKind
+from repro.power.breakdown import StagePower
+from repro.sim.grid import Grid2D
+from repro.system.blockdev import IoStats
+from repro.viz.image import Image
+from repro.viz.render import RenderResult
+
+SEED = 99
+
+
+def random_iostats(rng) -> IoStats:
+    return IoStats(
+        busy_time=float(rng.random()), arm_time=float(rng.random()),
+        rotation_time=float(rng.random()), transfer_time=float(rng.random()),
+        bytes_read=int(rng.integers(0, 1 << 40)),
+        bytes_written=int(rng.integers(0, 1 << 40)),
+        n_reads=int(rng.integers(0, 1 << 30)),
+        n_writes=int(rng.integers(0, 1 << 30)),
+        fault_time=float(rng.random()),
+        n_faults=int(rng.integers(0, 100)),
+        n_retries=int(rng.integers(0, 100)))
+
+
+def random_stagepower(rng) -> StagePower:
+    return StagePower(
+        stage=str(rng.choice(["simulation", "nnread", "nnwrite", "viz"])),
+        avg_total_w=float(rng.random() * 300),
+        avg_dynamic_w=float(rng.random() * 100))
+
+
+def random_grid(rng) -> Grid2D:
+    nx, ny = int(rng.integers(3, 24)), int(rng.integers(3, 24))
+    grid = Grid2D(nx, ny, lx=float(rng.random() + 0.5),
+                  ly=float(rng.random() + 0.5))
+    grid.data[:] = rng.normal(size=(nx, ny))
+    return grid
+
+
+def wrap(data) -> ExperimentResult:
+    return ExperimentResult(id="t", title="codec test", data=data, text="x")
+
+
+class Custom:
+    """A type the codec does not know: exercises the pickle fallback."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def __eq__(self, other):
+        return type(other) is Custom and other.payload == self.payload
+
+
+class TestRoundTrip:
+    def test_random_records_bit_identical(self):
+        rng = np.random.default_rng(SEED)
+        for _ in range(50):
+            result = wrap({
+                "io": random_iostats(rng),
+                "power": [random_stagepower(rng) for _ in range(3)],
+                "grid": random_grid(rng),
+            })
+            back = decode_result(encode_result(result))
+            assert pickle_result(back) == pickle_result(result)
+
+    def test_scalar_and_container_values(self):
+        values = [None, True, False, 0, -1, 1 << 40, -(1 << 62), 3.5,
+                  float("inf"), -0.0, "", "unicode ✓", b"", b"\x00\xff",
+                  (), (1, (2, 3)), [], [1, [2]], {}, {"k": [1.5, None]},
+                  1 << 100, OpKind.READ, OpKind.WRITE]
+        for v in values:
+            assert decode_value(encode_value(v)) == v
+
+    def test_nan_and_signed_zero_bits_survive(self):
+        back = decode_value(encode_value([float("nan"), -0.0, 0.0]))
+        assert np.isnan(back[0])
+        assert np.signbit(back[1]) and not np.signbit(back[2])
+
+    def test_ndarray_dtypes_and_shapes(self):
+        rng = np.random.default_rng(SEED)
+        for arr in (rng.normal(size=(7, 5)), rng.integers(0, 255, 9,
+                                                          dtype=np.uint8),
+                    np.zeros((0, 4)), np.float32(rng.normal(size=3)),
+                    np.array(3.25)):
+            back = decode_value(encode_value(arr))
+            assert back.dtype == arr.dtype and back.shape == arr.shape
+            assert np.array_equal(back, arr)
+
+    def test_disk_result_and_render_result(self):
+        disk = DiskResult(service_time=0.25, arm_time=0.1,
+                          rotation_time=0.05, transfer_time=0.1,
+                          nbytes=4096, op=OpKind.WRITE, cached=True, n_ops=7)
+        pixels = np.arange(2 * 3 * 3, dtype=np.uint8).reshape(2, 3, 3)
+        render = RenderResult(image=Image.from_array(pixels),
+                              pixels_shaded=6, contour_segments=2)
+        result = wrap({"disk": disk, "render": render})
+        back = decode_result(encode_result(result))
+        assert pickle_result(back) == pickle_result(result)
+        assert np.array_equal(back.data["render"].image.pixels, pixels)
+
+    def test_sharing_structure_preserved(self):
+        # The same object reachable twice must decode to one object —
+        # pickle-byte identity depends on it.
+        shared_str = "shared-stage-name!"
+        shared_io = IoStats(busy_time=1.0)
+        shared_list = [1, 2, 3]
+        result = wrap({
+            "a": shared_io, "b": shared_io,
+            "s1": shared_str, "s2": shared_str,
+            "l": (shared_list, shared_list),
+        })
+        back = decode_result(encode_result(result))
+        assert back.data["a"] is back.data["b"]
+        assert back.data["s1"] is back.data["s2"]
+        assert back.data["l"][0] is back.data["l"][1]
+        assert pickle_result(back) == pickle_result(result)
+
+    def test_sharing_across_pickle_fallback_boundary(self):
+        # An object first seen inside a fallback frame then referenced
+        # from the flat tree (and vice versa) must stay one object.
+        inner = "inside-then-outside"
+        custom = Custom(inner)
+        result = wrap({"fallback": custom, "flat": inner,
+                       "again": custom})
+        back = decode_result(encode_result(result))
+        assert back.data["fallback"] is back.data["again"]
+        assert back.data["fallback"].payload is back.data["flat"]
+        assert pickle_result(back) == pickle_result(result)
+
+    def test_grid_geometry_survives(self):
+        grid = Grid2D(5, 7, lx=2.5, ly=0.5)
+        grid.data[:] = np.arange(35, dtype=float).reshape(5, 7)
+        back = decode_value(encode_value(grid))
+        assert (back.nx, back.ny, back.lx, back.ly) == (5, 7, 2.5, 0.5)
+        assert np.array_equal(back.data, grid.data)
+        back.data[0, 0] = -1.0  # decoded arrays are independent + writable
+        assert grid.data[0, 0] == 0.0
+
+
+class TestFailureSafety:
+    def test_truncated_frames_raise_codec_error(self):
+        blob = encode_result(wrap({"io": IoStats(busy_time=1.0),
+                                   "grid": Grid2D(4, 4)}))
+        for cut in (0, 1, 5, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CodecError):
+                decode_result(blob[:cut])
+
+    def test_corrupt_bytes_raise_codec_error_never_crash(self):
+        blob = bytearray(encode_result(wrap([1.5, "x", IoStats()])))
+        rng = np.random.default_rng(SEED)
+        for _ in range(200):
+            corrupt = bytearray(blob)
+            for _ in range(int(rng.integers(1, 4))):
+                corrupt[int(rng.integers(0, len(corrupt)))] = int(
+                    rng.integers(0, 256))
+            try:
+                decode_result(bytes(corrupt))
+            except ReproError:
+                pass  # CodecError (or a ReproError from a constructor)
+
+    def test_foreign_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            decode_result(b"definitely not a codec frame")
+        with pytest.raises(CodecError):
+            decode_result(pickle.dumps(wrap(1), protocol=4))
+        assert not is_codec_frame(pickle.dumps(wrap(1), protocol=4))
+        assert is_codec_frame(encode_result(wrap(1)))
+
+    def test_wrong_version_rejected(self):
+        blob = bytearray(encode_result(wrap(1)))
+        blob[4] = 0xEE  # version u16 lives right after the 4-byte magic
+        with pytest.raises(CodecError):
+            decode_result(bytes(blob))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            decode_result(encode_result(wrap(1)) + b"\x00")
+
+    def test_non_result_frame_rejected(self):
+        framed = encode_result(wrap(1))
+        header, payload = framed[:6], encode_value({"not": "a result"})
+        with pytest.raises(CodecError):
+            decode_result(header + payload)
+
+
+class TestCacheInterop:
+    def test_store_writes_codec_entries_loader_reads_both(self, tmp_path):
+        cache = str(tmp_path)
+        result = wrap({"io": IoStats(busy_time=2.0), "grid": Grid2D(4, 5)})
+        store_result(cache, "t", SEED, result)
+        path = _cache_path(cache, "t", SEED)
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        assert is_codec_frame(raw)
+        loaded = load_result(cache, "t", SEED)
+        assert pickle_result(loaded) == pickle_result(result)
+
+        # A legacy pickle entry at the same key still loads.
+        with open(path, "wb") as fh:
+            fh.write(pickle.dumps(result, protocol=4))
+        legacy = load_result(cache, "t", SEED)
+        assert pickle_result(legacy) == pickle_result(result)
+
+    def test_corrupt_codec_entry_reads_as_miss(self, tmp_path):
+        cache = str(tmp_path)
+        result = wrap([1, 2, 3])
+        store_result(cache, "t", SEED, result)
+        path = _cache_path(cache, "t", SEED)
+        with open(path, "rb") as fh:
+            raw = bytearray(fh.read())
+        raw[len(raw) // 2] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(raw[: len(raw) - 3]))
+        assert _cache_load(path) is None
+
+    def test_codec_result_is_decodable_frame(self):
+        result = wrap({"power": StagePower("simulation", 100.0, 25.0)})
+        blob = codec_result(result)
+        assert is_codec_frame(blob)
+        assert pickle_result(decode_result(blob)) == pickle_result(result)

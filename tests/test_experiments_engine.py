@@ -12,8 +12,19 @@ import pickle
 
 import pytest
 
-from repro.errors import ConfigError
-from repro.experiments.engine import _cache_path, cache_key, run_experiments
+from repro.errors import CodecError, ConfigError
+from repro.experiments.engine import (
+    _cache_path,
+    _snapshot_path,
+    cache_key,
+    lab_snapshot_key,
+    load_lab_snapshot,
+    restore_lab,
+    run_experiments,
+    save_lab_snapshot,
+    snapshot_lab,
+    warm_lab,
+)
 from repro.experiments.figures import Lab
 from repro.experiments.registry import get_experiment
 
@@ -93,3 +104,53 @@ def test_unknown_experiment_rejected_before_any_work():
 def test_nonpositive_jobs_rejected():
     with pytest.raises(ConfigError):
         run_experiments(IDS, seed=SEED, jobs=0)
+
+
+# -- warm-Lab snapshots ---------------------------------------------------------
+
+
+class TestLabSnapshot:
+    def test_experiments_from_restored_lab_are_bitwise_identical(self, serial):
+        fresh = Lab(seed=SEED)
+        fresh.outcomes()
+        fresh.fio()
+        lab = restore_lab(snapshot_lab(fresh), SEED)
+        for eid in IDS:
+            assert _bytes(get_experiment(eid)(lab)) == serial[eid]
+
+    def test_warm_lab_writes_then_restores_snapshot(self, tmp_path, serial):
+        cache = str(tmp_path)
+        assert load_lab_snapshot(cache, SEED) is None
+        warm_lab(SEED, cache)  # cold: primes and saves
+        restored = load_lab_snapshot(cache, SEED)
+        assert restored is not None and restored.seed == SEED
+        for eid in IDS:
+            assert _bytes(get_experiment(eid)(restored)) == serial[eid]
+
+    def test_apps_memo_survives_snapshot_round_trip(self):
+        """The heaviest memo (application-profile runs) restores intact."""
+        fresh = Lab(seed=SEED)
+        fresh.apps()
+        lab = restore_lab(snapshot_lab(fresh), SEED)
+        run = get_experiment("ext-applications")
+        assert _bytes(run(lab)) == _bytes(run(Lab(seed=SEED)))
+
+    def test_wrong_seed_and_corrupt_blobs_rejected(self, tmp_path):
+        lab = Lab(seed=SEED)
+        blob = snapshot_lab(lab)
+        with pytest.raises(CodecError):
+            restore_lab(blob, SEED + 1)
+        with pytest.raises(CodecError):
+            restore_lab(b"not a snapshot", SEED)
+        with pytest.raises(CodecError):
+            restore_lab(blob[: len(blob) // 2], SEED)
+        # The never-raise loader degrades every failure to a miss.
+        cache = str(tmp_path)
+        save_lab_snapshot(cache, lab)
+        with open(_snapshot_path(cache, SEED), "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        assert load_lab_snapshot(cache, SEED) is None
+
+    def test_snapshot_key_covers_seed(self):
+        assert lab_snapshot_key(SEED) != lab_snapshot_key(SEED + 1)
+        assert lab_snapshot_key(SEED) == lab_snapshot_key(SEED)

@@ -1,0 +1,171 @@
+"""Fused sim/viz sweeps must be bit-identical to the scalar references.
+
+The render, contour, and FTCS kernels were fused into single vectorized
+passes for speed; these tests pin each fused path against a straight
+transliteration of the original per-cell / per-stage implementation so
+any drift — a reassociated sum, a folded divide, a different rounding —
+fails loudly instead of silently shifting the paper anchors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.grid import Grid2D
+from repro.sim.heat import BoundaryCondition, HeatSolver
+from repro.sim.stencil import laplacian_5pt
+from repro.viz.colormap import get_colormap
+from repro.viz.contour import _CASE_EDGES, _interp, marching_squares
+from repro.viz.render import render_field, render_with_contours
+
+
+def reference_marching_squares(field, level):
+    """The original per-cell walk, verbatim."""
+    arr = np.asarray(field, dtype=float)
+    tl, tr = arr[:-1, :-1], arr[:-1, 1:]
+    bl, br = arr[1:, :-1], arr[1:, 1:]
+    case = (
+        (tl >= level).astype(np.uint8)
+        | ((tr >= level).astype(np.uint8) << 1)
+        | ((br >= level).astype(np.uint8) << 2)
+        | ((bl >= level).astype(np.uint8) << 3)
+    )
+    rows, cols = np.nonzero((case != 0) & (case != 15))
+    segments = []
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        v_tl, v_tr = float(arr[r, c]), float(arr[r, c + 1])
+        v_bl, v_br = float(arr[r + 1, c]), float(arr[r + 1, c + 1])
+
+        def edge_point(edge):
+            if edge == 0:
+                return (float(r), c + _interp(v_tl, v_tr, level))
+            if edge == 1:
+                return (r + _interp(v_tr, v_br, level), float(c + 1))
+            if edge == 2:
+                return (float(r + 1), c + _interp(v_bl, v_br, level))
+            return (r + _interp(v_tl, v_bl, level), float(c))
+
+        k = int(case[r, c])
+        if k in (5, 10):
+            center = (v_tl + v_tr + v_bl + v_br) / 4.0
+            if k == 5:
+                pairs = ((0, 1), (2, 3)) if center >= level else ((0, 3), (1, 2))
+            else:
+                pairs = ((0, 3), (1, 2)) if center >= level else ((0, 1), (2, 3))
+        else:
+            pairs = _CASE_EDGES[k]
+        for e0, e1 in pairs:
+            segments.append((edge_point(e0), edge_point(e1)))
+    return segments
+
+
+def reference_render(field, colormap, height, width, vmin=None, vmax=None):
+    """The original resample -> normalize -> colormap chain, verbatim."""
+    cmap = get_colormap(colormap)
+    arr = np.asarray(field, dtype=float)
+    rows = np.minimum((np.arange(height) * arr.shape[0] / height).astype(int),
+                      arr.shape[0] - 1)
+    cols = np.minimum((np.arange(width) * arr.shape[1] / width).astype(int),
+                      arr.shape[1] - 1)
+    resampled = arr[np.ix_(rows, cols)]
+    lo = float(resampled.min()) if vmin is None else vmin
+    hi = float(resampled.max()) if vmax is None else vmax
+    if hi <= lo:
+        v = np.full_like(resampled, 0.5, dtype=float)
+    else:
+        v = np.clip((resampled - lo) / (hi - lo), 0.0, 1.0)
+    v = np.clip(np.asarray(v, dtype=float), 0.0, 1.0)
+    positions = np.array([p for p, _ in cmap.stops])
+    colors = np.array([rgb for _, rgb in cmap.stops], dtype=float)
+    out = np.empty(v.shape + (3,), dtype=np.uint8)
+    for ch in range(3):
+        out[..., ch] = np.interp(v, positions, colors[:, ch]).round().astype(np.uint8)
+    return out
+
+
+class TestMarchingSquaresBitIdentity:
+    def test_random_fields_match_reference_exactly(self):
+        rng = np.random.default_rng(7)
+        for trial in range(120):
+            n, m = rng.integers(2, 24, 2)
+            field = rng.normal(size=(n, m))
+            if trial % 3 == 0:
+                # Coarse quantization forces plateaus, equal corners and
+                # saddle cells — the branches most likely to drift.
+                field = np.round(field, 1)
+            level = float(rng.normal())
+            assert marching_squares(field, level) == \
+                reference_marching_squares(field, level)
+
+    def test_saddle_heavy_checkerboard_matches(self):
+        field = np.indices((8, 8)).sum(axis=0) % 2 * 1.0
+        for level in (0.25, 0.5, 0.75):
+            assert marching_squares(field, level) == \
+                reference_marching_squares(field, level)
+
+
+class TestRenderBitIdentity:
+    @pytest.mark.parametrize("shape,height,width", [
+        ((128, 128), 256, 256),   # integer upscale (block-duplication path)
+        ((100, 60), 256, 256),    # non-integer upscale
+        ((512, 512), 256, 256),   # downsample
+        ((300, 40), 120, 250),    # mixed: down rows, up cols
+    ])
+    def test_shapes_match_reference_exactly(self, shape, height, width):
+        rng = np.random.default_rng(11)
+        field = rng.normal(size=shape) * 40.0
+        for cmap in ("heat", "viridis-like"):
+            got = render_field(field, cmap, height, width).image.pixels
+            ref = reference_render(field, cmap, height, width)
+            assert np.array_equal(got, ref)
+
+    def test_explicit_bounds_and_constant_fields(self):
+        rng = np.random.default_rng(13)
+        field = rng.normal(size=(64, 64))
+        got = render_field(field, "gray", 256, 256, vmin=-1.0, vmax=1.0)
+        ref = reference_render(field, "gray", 256, 256, vmin=-1.0, vmax=1.0)
+        assert np.array_equal(got.image.pixels, ref)
+        flat = np.full((64, 64), 3.25)
+        got = render_field(flat, "heat", 128, 128)
+        ref = reference_render(flat, "heat", 128, 128)
+        assert np.array_equal(got.image.pixels, ref)
+
+    def test_contour_overlay_unchanged(self):
+        x, y = np.meshgrid(np.linspace(-1, 1, 64), np.linspace(-1, 1, 64),
+                           indexing="ij")
+        field = np.sqrt(x ** 2 + y ** 2)
+        frame = render_with_contours(field, levels=(0.3, 0.6), height=128,
+                                     width=128)
+        ref = reference_render(field, "heat", 128, 128)
+        # Off-contour pixels are the fused base render; contour pixels the
+        # burn-in color.
+        diff = frame.image.pixels != ref
+        changed = np.nonzero(diff.any(axis=2))
+        assert frame.contour_segments > 0
+        assert (frame.image.pixels[changed] == (255, 255, 255)).all()
+        # Segment geometry itself is pinned by TestMarchingSquaresBitIdentity.
+
+
+class TestFtcsBitIdentity:
+    def test_fused_step_matches_unfused_sequence(self):
+        rng = np.random.default_rng(17)
+        grid = Grid2D(48, 40)
+        grid.data[:] = rng.normal(size=(48, 40))
+        fused = HeatSolver(grid, alpha=1e-4, bc=BoundaryCondition.NEUMANN,
+                           sub_steps=3)
+
+        ref_grid = Grid2D(48, 40)
+        ref_grid.data[:] = grid.data
+        ref = HeatSolver(ref_grid, alpha=1e-4, bc=BoundaryCondition.NEUMANN,
+                         sub_steps=3)
+        # Drive the reference with the original unfused update sequence.
+        lap_out = np.empty((46, 38))
+        scratch = np.empty_like(lap_out)
+        for _ in range(ref.sub_steps * 5):
+            u = ref.grid.data
+            lap = laplacian_5pt(u, ref.grid.dx, ref.grid.dy, out=lap_out,
+                                scratch=scratch)
+            lap *= ref.alpha * ref.dt
+            u[1:-1, 1:-1] += lap
+            ref.apply_boundary()
+        fused.step(5)
+        assert np.array_equal(fused.grid.data, ref.grid.data)

@@ -18,7 +18,7 @@ import threading
 import pytest
 
 from repro.errors import ConfigError, ServiceError
-from repro.experiments.engine import load_result
+from repro.experiments.engine import load_result, warm_lab
 from repro.experiments.figures import Lab
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.service import ExperimentService, LruCache, ServiceConfig
@@ -190,6 +190,19 @@ class TestTwoTierCache:
             stats = fresh.stats()
             assert stats["disk_hits"] == 1
             assert stats["computed"] == 0
+
+    def test_worker_lab_restored_from_snapshot(self, tmp_path):
+        cache_dir = str(tmp_path)
+        # A prior batch run (or serve) left a warm-Lab snapshot behind.
+        warm_lab(SEED, cache_dir)
+        config = ServiceConfig(jobs=1, cache_dir=cache_dir)
+        with ExperimentService(config) as service:
+            served = service.serve("fig4", seed=SEED)
+            stats = service.stats()
+            assert stats["labs_restored"] == 1
+            assert stats["labs_built"] == 0
+        assert _bytes(served.result) == _bytes(
+            run_experiment("fig4", Lab(seed=SEED)))
 
     def test_mem_tier_respects_entry_bound(self):
         config = ServiceConfig(jobs=1, mem_entries=1)

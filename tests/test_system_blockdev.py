@@ -75,6 +75,17 @@ class TestIoStats:
         # merge must not mutate inputs
         assert a.busy_time == 1.0
 
+    def test_iostats_merge_covers_every_field(self):
+        # merge is spelled out field by field for speed; this pins the
+        # explicit list to the dataclass so a new field can't be missed.
+        import dataclasses
+        names = [f.name for f in dataclasses.fields(IoStats)]
+        a = IoStats(**{name: i + 1 for i, name in enumerate(names)})
+        b = IoStats(**{name: 100 * (i + 1) for i, name in enumerate(names)})
+        m = a.merge(b)
+        for i, name in enumerate(names):
+            assert getattr(m, name) == 101 * (i + 1), name
+
     def test_activity_rates_over_busy_time(self):
         s = IoStats(busy_time=2.0, arm_time=0.5, bytes_read=100, bytes_written=50)
         a = s.activity()
