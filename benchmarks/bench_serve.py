@@ -27,15 +27,19 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import statistics
 import tempfile
 import threading
 import time
 
+from repro.cluster import ClusterConfig, SpawnedCluster
 from repro.experiments import EXPERIMENTS, Lab
 from repro.experiments.engine import warm_lab
 from repro.experiments.registry import get_experiment
 from repro.service import ExperimentService, ServiceConfig, result_digest
+from repro.service.client import ServiceClient, query
+from repro.service.http import make_server
 
 SEED = 2015
 #: The hot-repeat key; a mid-weight experiment (full case-study sweep).
@@ -57,6 +61,44 @@ MIN_HOT_SPEEDUP = 10.0
 #: the reference container.  In-process the assert allows 3x for
 #: scheduler noise (CI gates via ``compare_serve.py`` the same way).
 MIN_COLD_REQ_PER_S = 30.0
+
+#: HTTP-transport before/after: requests per client style.
+TRANSPORT_REQUESTS = 150
+
+#: Cluster scaling curve: shard counts, driver width, and the mixed
+#: hot/cold zipf workload shape.
+CLUSTER_SIZES = (1, 2, 4)
+CLUSTER_DRIVER_THREADS = 16
+ZIPF_ALPHA = 1.1
+ZIPF_HOT_SAMPLES = 360
+#: Seeds whose (id, seed) keys stay cold until the mixed phase; their
+#: warm-Lab snapshots are primed up front so a "cold" request costs a
+#: genuine compute, not testbed construction.
+CLUSTER_COLD_SEEDS = (SEED + 1, SEED + 2)
+
+
+def _cluster_min_scaling() -> tuple[int, float]:
+    """(usable cores, 4-shard scaling floor for this machine).
+
+    Shards are OS processes, so aggregate throughput scales with the
+    cores the kernel lets us use: on >= 4 cores a 4-shard cluster must
+    sustain >= 2.5x the single-node rate; with fewer cores the computes
+    time-slice one or two CPUs and the floor only guards against the
+    cluster *collapsing* (routing hop + IPC overhead running away).
+    ``REPRO_CLUSTER_MIN_SCALING`` overrides for noisy shared runners.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count() or 1
+    if cores >= 4:
+        floor = 2.5
+    elif cores >= 2:
+        floor = 1.2
+    else:
+        floor = 0.5
+    floor = float(os.environ.get("REPRO_CLUSTER_MIN_SCALING", floor))
+    return cores, floor
 
 
 def _percentiles(samples_s: list[float]) -> dict[str, float]:
@@ -92,6 +134,84 @@ def _drive(service: ExperimentService, experiment_id: str, threads: int,
         t.join()
     elapsed = time.perf_counter() - start
     return elapsed, [s for slot in latencies for s in slot]
+
+
+def _drive_router(host: str, port: int, stream: list[tuple[str, int]],
+                  threads: int) -> tuple[float, list[dict]]:
+    """Drain a (experiment, seed) work stream through keep-alive clients.
+
+    Every driver thread owns one :class:`ServiceClient` and pulls the
+    next item from the shared stream, so the request mix arrives at the
+    router exactly as generated.  Raises on the first failed request.
+    """
+    it = iter(stream)
+    lock = threading.Lock()
+    replies: list[dict] = []
+    errors: list[Exception] = []
+    barrier = threading.Barrier(threads + 1)
+
+    def worker() -> None:
+        with ServiceClient(host, port) as client:
+            barrier.wait()
+            while True:
+                with lock:
+                    item = next(it, None)
+                if item is None:
+                    return
+                try:
+                    reply = client.run(*item)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    with lock:
+                        errors.append(exc)
+                    return
+                with lock:
+                    replies.append(reply)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in pool:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, f"cluster request failed: {errors[0]}"
+    assert len(replies) == len(stream)
+    return elapsed, replies
+
+
+def _zipf_stream(rng: random.Random,
+                 hot_keys: list[tuple[str, int]],
+                 cold_keys: list[tuple[str, int]]) -> list[tuple[str, int]]:
+    """The mixed workload: zipf-weighted hot traffic + one-shot cold keys.
+
+    Hot samples follow a zipf(``ZIPF_ALPHA``) popularity curve over the
+    cached keys (the head gets hot enough to trigger replication); each
+    cold key appears exactly once, shuffled uniformly into the stream,
+    so misses arrive *during* the hot traffic rather than as a separate
+    phase.
+    """
+    weights = [1.0 / (rank + 1) ** ZIPF_ALPHA
+               for rank in range(len(hot_keys))]
+    stream = rng.choices(hot_keys, weights=weights, k=ZIPF_HOT_SAMPLES)
+    stream.extend(cold_keys)
+    rng.shuffle(stream)
+    return stream
+
+
+def _clear_results(cache_dir: str) -> None:
+    """Drop result entries between cluster sizes; keep Lab snapshots."""
+    for name in os.listdir(cache_dir):
+        if name.endswith(".pkl"):
+            os.unlink(os.path.join(cache_dir, name))
+
+
+def _totals(host: str, port: int) -> dict:
+    with ServiceClient(host, port) as client:
+        stats = client.stats()
+    return {**stats["totals"],
+            "promotions": stats["router"]["promotions"],
+            "router_sheds": stats["router"]["sheds"]}
 
 
 def test_bench_serve(output_dir):
@@ -152,6 +272,131 @@ def test_bench_serve(output_dir):
         assert (storm_stats["coalesced"] + storm_mem_hits
                 == STORM_THREADS - 1), storm_stats
 
+    # -- HTTP transport: per-request connections vs keep-alive ----------------
+    # The same warm key over real loopback HTTP, first with a fresh TCP
+    # connection per request (the pre-keep-alive client shape), then
+    # over one persistent HTTP/1.1 connection.
+    with ExperimentService(ServiceConfig(jobs=2)) as service:
+        server = make_server("127.0.0.1", 0, service)
+        server_thread = threading.Thread(target=server.serve_forever,
+                                         daemon=True)
+        server_thread.start()
+        try:
+            port = server.port
+            assert query(HOT_ID, SEED, port=port)["digest"] == reference_digest
+            start = time.perf_counter()
+            for _ in range(TRANSPORT_REQUESTS):
+                query(HOT_ID, SEED, port=port)  # one-shot: connect per call
+            per_request_s = time.perf_counter() - start
+            with ServiceClient("127.0.0.1", port) as client:
+                client.run(HOT_ID, SEED)
+                start = time.perf_counter()
+                for _ in range(TRANSPORT_REQUESTS):
+                    client.run(HOT_ID, SEED)
+                keep_alive_s = time.perf_counter() - start
+                transport_connects = client.transport_stats()["connects"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            server_thread.join(timeout=5)
+    per_request_rps = TRANSPORT_REQUESTS / per_request_s
+    keep_alive_rps = TRANSPORT_REQUESTS / keep_alive_s
+    assert transport_connects == 1, (
+        f"keep-alive client reconnected: {transport_connects} connects "
+        f"for {TRANSPORT_REQUESTS + 1} requests")
+
+    # -- cluster scaling: mixed hot/cold zipf across shard counts -------------
+    cores, min_scaling_4x = _cluster_min_scaling()
+    hot_keys = [(eid, SEED) for eid in sorted(EXPERIMENTS)]
+    cold_keys = [(eid, seed) for seed in CLUSTER_COLD_SEEDS
+                 for eid in sorted(EXPERIMENTS)]
+    cluster_sizes: dict[str, dict] = {}
+    digest_maps: dict[int, dict[tuple[str, int], str]] = {}
+    storm_section = {}
+    with tempfile.TemporaryDirectory() as cluster_dir:
+        # Prime a warm-Lab snapshot per seed once: every shard process
+        # restores Labs in milliseconds, so a cold key costs one genuine
+        # compute and nothing else (what a prior batch run leaves behind).
+        for seed in (SEED, *CLUSTER_COLD_SEEDS):
+            warm_lab(seed, cluster_dir)
+        for shards in CLUSTER_SIZES:
+            _clear_results(cluster_dir)
+            config = ClusterConfig(shards=shards, replicas=2, jobs=2,
+                                   cache_dir=cluster_dir, hot_threshold=4)
+            with SpawnedCluster(config) as cluster:
+                host, port = cluster.serve_in_background()
+
+                # Phase 1: cold sweep — every registry id computes once.
+                sweep_elapsed_s, sweep_replies = _drive_router(
+                    host, port, list(hot_keys), CLUSTER_DRIVER_THREADS)
+                after_sweep = _totals(host, port)
+                assert after_sweep["computed"] == len(hot_keys), after_sweep
+
+                # Phase 2: mixed zipf — hot traffic over the cached keys
+                # with the cold keys shuffled in, all at once.
+                stream = _zipf_stream(random.Random(SEED),
+                                      hot_keys, cold_keys)
+                mixed_elapsed_s, mixed_replies = _drive_router(
+                    host, port, stream, CLUSTER_DRIVER_THREADS)
+                totals = _totals(host, port)
+                assert (totals["computed"] - after_sweep["computed"]
+                        == len(cold_keys)), totals
+
+                digests: dict[tuple[str, int], str] = {}
+                for reply in sweep_replies + mixed_replies:
+                    key = (reply["experiment"], reply["seed"])
+                    seen = digests.setdefault(key, reply["digest"])
+                    assert seen == reply["digest"], (
+                        f"shards disagree on {key}")
+                digest_maps[shards] = digests
+
+                cluster_sizes[str(shards)] = {
+                    "cold_req_per_s": round(
+                        len(hot_keys) / sweep_elapsed_s, 2),
+                    "mixed_req_per_s": round(
+                        len(stream) / mixed_elapsed_s, 2),
+                    "mixed_requests": len(stream),
+                    "computed": totals["computed"],
+                    "memory_hits": totals["memory_hits"],
+                    "disk_hits": totals["disk_hits"],
+                    "promotions": totals["promotions"],
+                    "shed": totals["shed"],
+                }
+
+                if shards == max(CLUSTER_SIZES):
+                    # Phase 3: 32-thread cold-key storm through the
+                    # router — exactly one compute cluster-wide.
+                    with ServiceClient(host, port) as client:
+                        client.invalidate(STORM_ID, SEED)
+                    before_storm = _totals(host, port)
+                    storm_elapsed_s, storm_replies = _drive_router(
+                        host, port, [(STORM_ID, SEED)] * STORM_THREADS,
+                        STORM_THREADS)
+                    storm_computes = (_totals(host, port)["computed"]
+                                      - before_storm["computed"])
+                    assert storm_computes == 1, (
+                        f"{storm_computes} computes cluster-wide for one "
+                        f"cold key under a {STORM_THREADS}-thread storm")
+                    assert len({r["digest"] for r in storm_replies}) == 1
+                    storm_section = {
+                        "threads": STORM_THREADS,
+                        "computes": storm_computes,
+                        "elapsed_s": round(storm_elapsed_s, 4),
+                    }
+
+    # Byte identity across cluster sizes: every key served by every
+    # cluster size carries the same sha256 digest as the 1-shard
+    # (single-node) run.
+    digests_consistent = all(digest_maps[shards] == digest_maps[1]
+                             for shards in CLUSTER_SIZES)
+    assert digests_consistent, "cluster sizes disagree on result digests"
+    assert digest_maps[1][(HOT_ID, SEED)] == reference_digest
+
+    scaling_4x = (cluster_sizes["4"]["mixed_req_per_s"]
+                  / cluster_sizes["1"]["mixed_req_per_s"])
+    cold_scaling_4x = (cluster_sizes["4"]["cold_req_per_s"]
+                       / cluster_sizes["1"]["cold_req_per_s"])
+
     payload = {
         "seed": SEED,
         "baseline": {
@@ -187,6 +432,27 @@ def test_bench_serve(output_dir):
             "elapsed_s": round(storm_elapsed_s, 4),
             **_percentiles(storm_latencies_s),
         },
+        "http_transport": {
+            "workload": f"{TRANSPORT_REQUESTS} hot requests of {HOT_ID} "
+                        "over loopback HTTP",
+            "per_request_req_per_s": round(per_request_rps, 1),
+            "keep_alive_req_per_s": round(keep_alive_rps, 1),
+            "keep_alive_speedup": round(keep_alive_rps / per_request_rps, 2),
+            "keep_alive_connects": transport_connects,
+        },
+        "cluster": {
+            "workload": f"{CLUSTER_DRIVER_THREADS} drivers, zipf("
+                        f"{ZIPF_ALPHA}) over {len(hot_keys)} hot keys "
+                        f"({ZIPF_HOT_SAMPLES} samples) + {len(cold_keys)} "
+                        "one-shot cold keys, shards as forked processes",
+            "cores": cores,
+            "sizes": cluster_sizes,
+            "scaling_4x": round(scaling_4x, 2),
+            "cold_scaling_4x": round(cold_scaling_4x, 2),
+            "min_scaling_4x": min_scaling_4x,
+            "digests_consistent": digests_consistent,
+            "storm": storm_section,
+        },
         "min_hot_speedup": MIN_HOT_SPEEDUP,
     }
     path = os.path.join(output_dir, "BENCH_serve.json")
@@ -197,6 +463,14 @@ def test_bench_serve(output_dir):
           f"{baseline_rps:.2f} req/s); cold sweep {cold_rps:.2f} req/s; "
           f"storm: {storm_stats['computed']} compute / "
           f"{storm_stats['coalesced']} coalesced")
+    print(f"transport: keep-alive {keep_alive_rps:,.0f} req/s vs "
+          f"{per_request_rps:,.0f} per-connection "
+          f"({keep_alive_rps / per_request_rps:.2f}x); "
+          f"cluster mixed zipf on {cores} core(s): "
+          + ", ".join(f"{n}sh {cluster_sizes[str(n)]['mixed_req_per_s']:,.0f}"
+                      f" req/s" for n in CLUSTER_SIZES)
+          + f" -> scaling_4x {scaling_4x:.2f} (floor {min_scaling_4x:.2f}), "
+            f"cluster storm computes {storm_section['computes']}")
 
     assert hot_speedup >= MIN_HOT_SPEEDUP, (
         f"hot-repeat serving only {hot_speedup:.1f}x the cold baseline "
@@ -204,3 +478,8 @@ def test_bench_serve(output_dir):
     assert cold_rps >= MIN_COLD_REQ_PER_S / 3, (
         f"snapshot-primed cold sweep only {cold_rps:.1f} req/s, past even "
         f"3x headroom under the {MIN_COLD_REQ_PER_S:.0f} req/s floor")
+    # The same 1.5x noise headroom the serve gates use; the committed
+    # floor itself is core-aware (2.5x on >= 4 cores).
+    assert scaling_4x >= min_scaling_4x / 1.5, (
+        f"4-shard mixed-zipf throughput only {scaling_4x:.2f}x single-node "
+        f"(floor {min_scaling_4x:.2f}x on {cores} core(s))")

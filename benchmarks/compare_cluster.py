@@ -1,0 +1,111 @@
+"""Compare a fresh BENCH_serve.json's cluster section against a baseline.
+
+Usage::
+
+    python benchmarks/compare_cluster.py FRESH.json BASELINE.json
+
+Companion gate to ``compare_serve.py`` for the sharded serving tier.
+Two of its checks are correctness properties and fail outright on any
+deviation: the 32-thread cold-key storm must have performed exactly one
+compute cluster-wide, and every cluster size must have served
+byte-identical results (equal sha256 digest maps).  The throughput
+checks are noise-tolerant: the 4-shard-vs-single-node scaling factor
+must clear the *committed* core-aware floor (``cluster.min_scaling_4x``
+rides in the payload: 2.5x on >= 4 cores, degraded floors below since
+forked shards cannot out-compute the cores the runner actually has)
+with headroom, and must not collapse relative to the recorded baseline.
+Stdlib only — runs before any project install.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Scaling floors carry the same noise headroom the in-bench assert uses.
+SCALING_HEADROOM = 1.5
+#: ...and the factor must not fall below baseline/SCALING_TOLERANCE.
+SCALING_TOLERANCE = 2.0
+#: Absolute mixed-workload throughput must stay within this of baseline.
+THROUGHPUT_TOLERANCE = 10.0
+
+
+def compare(fresh: dict, baseline: dict) -> list[str]:
+    """Return a list of human-readable regression descriptions."""
+    regressions: list[str] = []
+    cluster = fresh.get("cluster")
+    if not cluster:
+        return ["cluster: fresh payload has no cluster section "
+                "(bench_serve.py did not run the scaling curve)"]
+    base = baseline.get("cluster", {})
+
+    computes = cluster.get("storm", {}).get("computes")
+    if computes != 1:
+        regressions.append(
+            f"cluster storm: {computes} computes cluster-wide for one "
+            f"cold key (must be exactly 1)")
+
+    if cluster.get("digests_consistent") is not True:
+        regressions.append(
+            "cluster: result digests differ across cluster sizes "
+            "(sharded serving changed bytes)")
+
+    scaling = cluster.get("scaling_4x", 0.0)
+    floor = cluster.get("min_scaling_4x",
+                        base.get("min_scaling_4x", 0.5))
+    if scaling < floor / SCALING_HEADROOM:
+        regressions.append(
+            f"cluster scaling: 4-shard mixed zipf only {scaling:.2f}x "
+            f"single-node (floor {floor:.2f}x on "
+            f"{cluster.get('cores', '?')} core(s), even with "
+            f"{SCALING_HEADROOM:.1f}x headroom)")
+    base_scaling = base.get("scaling_4x", 0.0)
+    if base_scaling > 0 and scaling < base_scaling / SCALING_TOLERANCE:
+        regressions.append(
+            f"cluster scaling: {scaling:.2f}x vs baseline "
+            f"{base_scaling:.2f}x (tolerance {SCALING_TOLERANCE:.0f}x)")
+
+    fresh_rps = (cluster.get("sizes", {}).get("4", {})
+                 .get("mixed_req_per_s", 0.0))
+    base_rps = base.get("sizes", {}).get("4", {}).get("mixed_req_per_s", 0.0)
+    if base_rps > 0 and fresh_rps < base_rps / THROUGHPUT_TOLERANCE:
+        regressions.append(
+            f"cluster throughput: 4-shard mixed zipf {fresh_rps:.0f} req/s "
+            f"vs baseline {base_rps:.0f} req/s "
+            f"(tolerance {THROUGHPUT_TOLERANCE:.0f}x)")
+
+    transport = fresh.get("http_transport", {})
+    if transport and transport.get("keep_alive_connects") != 1:
+        regressions.append(
+            f"http transport: keep-alive client opened "
+            f"{transport.get('keep_alive_connects')} connections "
+            f"(must re-use exactly 1)")
+    return regressions
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as fh:
+        fresh = json.load(fh)
+    with open(argv[2]) as fh:
+        baseline = json.load(fh)
+    regressions = compare(fresh, baseline)
+    if regressions:
+        print("CLUSTER REGRESSION:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    cluster = fresh["cluster"]
+    print(f"cluster ok: scaling_4x {cluster['scaling_4x']:.2f} "
+          f"(floor {cluster['min_scaling_4x']:.2f} on "
+          f"{cluster['cores']} core(s)), storm computes "
+          f"{cluster['storm']['computes']}, digests consistent, "
+          f"4-shard mixed {cluster['sizes']['4']['mixed_req_per_s']:.0f} "
+          f"req/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

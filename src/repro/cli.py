@@ -109,8 +109,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
 
+    cluster = sub.add_parser(
+        "cluster", help="serve experiments from N shard processes behind "
+                        "a consistent-hash router")
+    cluster.add_argument("--shards", type=int, default=2, metavar="N",
+                         help="shard worker processes (default: %(default)s)")
+    cluster.add_argument("--replicas", type=int, default=2, metavar="R",
+                         help="serving copies of a hot key, including its "
+                              "owner (default: %(default)s)")
+    cluster.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: %(default)s)")
+    cluster.add_argument("--port", type=int, default=None, metavar="P",
+                         help="router TCP port (default: 8077); shards "
+                              "bind ephemeral ports behind it")
+    cluster.add_argument("--jobs", type=int, default=2, metavar="J",
+                         help="compute workers per shard "
+                              "(default: %(default)s)")
+    cluster.add_argument("--cache", metavar="DIR", default=None,
+                         help="disk tier shared by every shard; makes "
+                              "hot-key replication a disk promotion "
+                              "instead of a recompute")
+    cluster.add_argument("--hot-threshold", type=int, default=None,
+                         metavar="N", dest="hot_threshold",
+                         help="cached hits before a key is replicated "
+                              "(default: 8)")
+    cluster.add_argument("--queue-depth", type=int, default=None,
+                         metavar="N", dest="queue_depth",
+                         help="per-shard admission watermark; above it "
+                              "requests are shed with 503 + Retry-After "
+                              "(default: 64)")
+    cluster.add_argument("--verbose", action="store_true",
+                         help="log one line per routed HTTP request")
+
     query = sub.add_parser(
-        "query", help="run one experiment on a running 'repro serve'")
+        "query", help="run one experiment on a running 'repro serve' "
+                      "or 'repro cluster'")
     query.add_argument("experiment", help="experiment id from 'list'")
     query.add_argument("--seed", type=int, default=DEFAULT_SEED,
                        help="measurement-noise seed (default: %(default)s)")
@@ -118,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="server address (default: %(default)s)")
     query.add_argument("--port", type=int, default=None, metavar="N",
                        help="server port (default: 8077)")
+    query.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="reply read timeout in seconds (default: 300)")
+    query.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="transport attempts before giving up "
+                            "(default: 3, deterministic backoff)")
     query.add_argument("--json", action="store_true", dest="as_json",
                        help="print the raw JSON reply instead of the text")
 
@@ -255,17 +293,74 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_cluster(args) -> int:
+    """Handle ``repro cluster``: shard processes + router, until ^C."""
+    from repro.cluster import ClusterConfig, SpawnedCluster
+    from repro.service.http import DEFAULT_PORT
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    config_kwargs = {"shards": args.shards, "replicas": args.replicas,
+                     "jobs": args.jobs, "cache_dir": args.cache,
+                     "host": args.host}
+    if args.hot_threshold is not None:
+        config_kwargs["hot_threshold"] = args.hot_threshold
+    if args.queue_depth is not None:
+        config_kwargs["max_queue_depth"] = args.queue_depth
+    try:
+        config = ClusterConfig(**config_kwargs)
+        if args.cache is not None:
+            # One snapshot primes every shard: they share the cache
+            # directory, so each worker restores the warm Lab in
+            # milliseconds instead of re-priming per process.
+            from repro.experiments.engine import warm_lab
+            warm_lab(DEFAULT_SEED, args.cache)
+        cluster = SpawnedCluster(config, router_port=port,
+                                 verbose=args.verbose)
+        cluster.start()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    shard_list = ", ".join(f"{info.name}:{info.port}"
+                           for info in cluster.shard_infos)
+    port = cluster.router_address[1]
+    print(f"routing {len(EXPERIMENTS)} experiments on "
+          f"http://{args.host}:{port} -> {args.shards} shard(s) "
+          f"[{shard_list}] (replicas={args.replicas}, jobs={args.jobs}, "
+          f"cache={args.cache or 'per-shard memory only'})")
+    try:
+        cluster.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down cluster")
+    finally:
+        cluster.stop()
+    return 0
+
+
 def _run_query(args) -> int:
     """Handle ``repro query``: one request against a running server."""
     import json as _json
 
-    from repro.service.client import query
+    from repro.faults.retry import RetryPolicy
+    from repro.service.client import (
+        DEFAULT_READ_TIMEOUT_S,
+        DEFAULT_RETRY,
+        query,
+    )
     from repro.service.http import DEFAULT_PORT
 
     port = DEFAULT_PORT if args.port is None else args.port
+    timeout_s = (DEFAULT_READ_TIMEOUT_S if args.timeout is None
+                 else args.timeout)
+    retry = DEFAULT_RETRY
+    if args.retries is not None:
+        retry = RetryPolicy(max_attempts=args.retries,
+                            backoff_base_s=retry.backoff_base_s,
+                            backoff_factor=retry.backoff_factor,
+                            jitter_fraction=0.0)
     try:
         reply = query(args.experiment, seed=args.seed,
-                      host=args.host, port=port)
+                      host=args.host, port=port,
+                      timeout_s=timeout_s, retry=retry)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -273,7 +368,12 @@ def _run_query(args) -> int:
         print(_json.dumps(reply, indent=2, sort_keys=True))
     else:
         print(reply.get("text", ""))
-        print(f"[{reply.get('source')} in {reply.get('elapsed_ms')} ms, "
+        routed = ""
+        if "shard" in reply:  # served by a cluster router
+            routed = (f" via {reply['shard']}"
+                      f"{' (hot)' if reply.get('hot') else ''}")
+        print(f"[{reply.get('source')}{routed} in "
+              f"{reply.get('elapsed_ms')} ms, "
               f"digest {str(reply.get('digest'))[:12]}]", file=sys.stderr)
     return 0
 
@@ -316,6 +416,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "cluster":
+        return _run_cluster(args)
 
     if args.command == "query":
         return _run_query(args)

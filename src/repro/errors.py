@@ -89,7 +89,19 @@ class MeasurementError(ReproError):
 
 
 class ServiceError(ReproError):
-    """Experiment-serving layer failure (transport, shutdown, bad reply)."""
+    """Experiment-serving layer failure (transport, shutdown, bad reply).
+
+    ``status`` carries the HTTP status when the failure is a server
+    reply (so the cluster router can tell an admission-control shed, 503,
+    from a dead shard, ``status=None``); ``retry_after_s`` carries the
+    server's back-off hint when it sent one.
+    """
+
+    def __init__(self, message: str, *, status: int | None = None,
+                 retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after_s = retry_after_s
 
 
 class CodecError(ReproError):

@@ -160,6 +160,20 @@ def store_result(cache_dir: str, experiment_id: str, seed: int,
     _cache_store(_cache_path(cache_dir, experiment_id, seed), result)
 
 
+def drop_result(cache_dir: str, experiment_id: str, seed: int) -> bool:
+    """Delete one experiment's cached entry (invalidation, best-effort).
+
+    Returns True when an entry existed.  The serving layer's coherent
+    invalidation fans this out cluster-wide; shards sharing one cache
+    directory make the delete idempotent across them.
+    """
+    try:
+        os.remove(_cache_path(cache_dir, experiment_id, seed))
+    except OSError:
+        return False
+    return True
+
+
 def _cache_store(path: str, result: ExperimentResult) -> None:
     """Atomically persist a result (tmp file + rename)."""
     try:

@@ -88,6 +88,15 @@ class LruCache:
                 self.evictions += 1
             return True
 
+    def remove(self, key: Any) -> bool:
+        """Drop one entry (invalidation); True when it was present."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry[1]
+            return True
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         with self._lock:

@@ -1,52 +1,52 @@
 """Client side of the serving protocol (``repro query``), stdlib only.
 
-A thin :mod:`urllib` wrapper around the endpoints of
-:mod:`repro.service.http`.  Transport failures — connection refused, a
-non-JSON reply, an HTTP error status — surface as
-:class:`~repro.errors.ServiceError` carrying the server's message, so
-the CLI can report them without a traceback.
+:class:`ServiceClient` keeps one HTTP/1.1 keep-alive connection to a
+serving endpoint (``repro serve`` or a cluster router) and re-uses it
+across requests, so repeated small queries stop paying per-request TCP
+setup — the before/after is recorded by ``benchmarks/bench_serve.py``.
+Every round trip is bounded: a connect timeout while establishing the
+connection, a read timeout once it is up, and a bounded
+deterministic-backoff retry loop (re-using
+:class:`~repro.faults.retry.RetryPolicy`) around transport failures, so
+a dead server surfaces as a prompt :class:`~repro.errors.ServiceError`
+instead of hanging the CLI forever.
+
+Retry semantics: transport-level failures (connection refused or reset,
+timeouts, a torn keep-alive connection) drop the connection and retry
+with ``RetryPolicy.backoff_s``'s jitter-free schedule; an HTTP 503 shed
+reply honours the server's ``Retry-After`` hint (capped) before
+retrying; any other HTTP error is not retried — the server answered,
+the request itself is bad.  Requests are pure lookups/computations, so
+re-sending one is always safe.
+
+The module-level helpers (:func:`query`, :func:`stats`, ...) open a
+transient client per call — the CLI's one-shot shape — while the router
+holds one :class:`ServiceClient` per (thread, shard) for its forwarding
+fan-out.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import socket
+import threading
+import time
 
-from repro.errors import ServiceError
+from repro.errors import ConfigError, ServiceError
+from repro.faults.retry import RetryPolicy
 from repro.rng import DEFAULT_SEED
 from repro.service.http import DEFAULT_PORT
 
-DEFAULT_TIMEOUT_S = 300.0
-
-
-def _request(url: str, body: dict | None = None,
-             timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
-    """One JSON round trip; raises ServiceError on any transport failure."""
-    data = None
-    headers = {"Accept": "application/json"}
-    if body is not None:
-        data = json.dumps(body).encode()
-        headers["Content-Type"] = "application/json"
-    req = urllib.request.Request(url, data=data, headers=headers)
-    try:
-        with urllib.request.urlopen(req, timeout=timeout_s) as reply:
-            raw = reply.read()
-    except urllib.error.HTTPError as exc:
-        try:
-            message = json.loads(exc.read()).get("error", str(exc))
-        except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
-            message = str(exc)
-        raise ServiceError(f"server rejected request: {message}") from exc
-    except (urllib.error.URLError, TimeoutError, OSError) as exc:
-        raise ServiceError(f"cannot reach {url}: {exc}") from exc
-    try:
-        payload = json.loads(raw)
-    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-        raise ServiceError(f"non-JSON reply from {url}") from exc
-    if not isinstance(payload, dict):
-        raise ServiceError(f"malformed reply from {url}")
-    return payload
+#: Establishing the TCP connection: fail fast, the server is local/near.
+DEFAULT_CONNECT_TIMEOUT_S = 5.0
+#: Waiting for a reply: cold experiment computes take real seconds.
+DEFAULT_READ_TIMEOUT_S = 300.0
+#: Bounded transport retries with a deterministic 50 ms / 100 ms backoff.
+DEFAULT_RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.05,
+                            backoff_factor=2.0, jitter_fraction=0.0)
+#: Never sleep longer than this on a server-sent ``Retry-After`` hint.
+RETRY_AFTER_CAP_S = 2.0
 
 
 def base_url(host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> str:
@@ -54,22 +54,226 @@ def base_url(host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> str:
     return f"http://{host}:{port}"
 
 
+def _hangup(conn: http.client.HTTPConnection) -> None:
+    """Best-effort close of a (possibly torn) connection."""
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - close is best-effort
+        pass
+
+
+class ServiceClient:
+    """A keep-alive JSON client for one serving endpoint.
+
+    One instance owns (at most) one TCP connection; a lock serializes
+    requests on it, so sharing an instance across threads is safe but
+    defeats pipelining — give each thread its own client (the router
+    does, via ``threading.local``).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+                 read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+                 retry: RetryPolicy = DEFAULT_RETRY) -> None:
+        if connect_timeout_s <= 0:
+            raise ConfigError(
+                f"connect_timeout_s must be positive, got {connect_timeout_s}")
+        if read_timeout_s <= 0:
+            raise ConfigError(
+                f"read_timeout_s must be positive, got {read_timeout_s}")
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.read_timeout_s = read_timeout_s
+        self.retry = retry
+        self._lock = threading.Lock()
+        self._conn: http.client.HTTPConnection | None = None  # gl: guarded-by=_lock
+        self._connects = 0  # gl: guarded-by=_lock
+        self._retries = 0  # gl: guarded-by=_lock
+
+    # -- connection management ---------------------------------------------------
+
+    def _dial(self) -> http.client.HTTPConnection:
+        """A fresh connected keep-alive connection (no state writes)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.connect_timeout_s)
+        conn.connect()
+        if conn.sock is not None:
+            # The connect timeout bounded establishment; from here on
+            # the socket waits for replies, which may be slow computes.
+            conn.sock.settimeout(self.read_timeout_s)
+            # Nagle + delayed ACK stalls the second small write of a
+            # request (body after headers) on a keep-alive connection
+            # by ~40 ms; flush segments immediately instead.
+            conn.sock.setsockopt(socket.IPPROTO_TCP,
+                                 socket.TCP_NODELAY, 1)
+        return conn
+
+    def close(self) -> None:
+        """Close the underlying connection (the client stays usable)."""
+        with self._lock:
+            if self._conn is not None:
+                _hangup(self._conn)
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- transport ---------------------------------------------------------------
+
+    @staticmethod
+    def _round_trip(conn: http.client.HTTPConnection, method: str, path: str,
+                    payload: bytes | None) -> tuple[int, str | None, bytes,
+                                                    bool]:
+        """One request/reply on an established connection (no retries).
+
+        The trailing bool reports whether the server is closing the
+        connection (the caller must then drop it from the pool).
+        """
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=payload, headers=headers)
+        reply = conn.getresponse()
+        raw = reply.read()
+        retry_after = reply.getheader("Retry-After")
+        return reply.status, retry_after, raw, reply.will_close
+
+    def _decode(self, status: int, raw: bytes, url: str,
+                retry_after: str | None = None) -> dict:
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"non-JSON reply from {url}",
+                               status=status) from exc
+        if not isinstance(payload, dict):
+            raise ServiceError(f"malformed reply from {url}", status=status)
+        if status >= 400:
+            message = payload.get("error", f"HTTP {status}")
+            raise ServiceError(f"server rejected request: {message}",
+                               status=status,
+                               retry_after_s=_retry_after_s(retry_after))
+        return payload
+
+    def request(self, path: str, body: dict | None = None,
+                method: str | None = None) -> dict:
+        """One JSON exchange with bounded retries; the decoded reply.
+
+        Raises :class:`ServiceError` on exhaustion, a non-retried HTTP
+        error, or a malformed reply.
+        """
+        payload = json.dumps(body).encode() if body is not None else None
+        method = method or ("POST" if payload is not None else "GET")
+        url = f"{base_url(self.host, self.port)}{path}"
+        with self._lock:
+            for attempt in range(1, self.retry.max_attempts + 1):
+                last = attempt == self.retry.max_attempts
+                try:
+                    if self._conn is None:
+                        self._conn = self._dial()
+                        self._connects += 1
+                    status, retry_after, raw, will_close = self._round_trip(
+                        self._conn, method, path, payload)
+                except (OSError, http.client.HTTPException) as exc:
+                    if self._conn is not None:
+                        _hangup(self._conn)
+                        self._conn = None
+                    if last:
+                        raise ServiceError(
+                            f"cannot reach {url} after {attempt} "
+                            f"attempt(s): {exc}") from exc
+                    self._retries += 1
+                    # jitter_u=0.5 keeps the schedule pure/deterministic.
+                    # Transport backoff, not experiment math; wall-clock
+                    # by design.
+                    time.sleep(self.retry.backoff_s(  # greenlint: ignore[GL6]
+                        attempt, jitter_u=0.5))
+                    continue
+                if will_close:
+                    _hangup(self._conn)
+                    self._conn = None
+                if status == 503 and not last:
+                    # The server shed the request; honour its hint.
+                    self._retries += 1
+                    time.sleep(min(  # greenlint: ignore[GL6]
+                        _retry_after_s(retry_after)
+                        or self.retry.backoff_s(attempt, 0.5),
+                        RETRY_AFTER_CAP_S))
+                    continue
+                return self._decode(status, raw, url, retry_after)
+        raise ServiceError(f"cannot reach {url}")  # pragma: no cover
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def run(self, experiment_id: str, seed: int = DEFAULT_SEED) -> dict:
+        """Run one experiment on the remote service; the /run reply."""
+        return self.request("/run",
+                            body={"experiment": experiment_id, "seed": seed})
+
+    def stats(self) -> dict:
+        """The remote service's counter snapshot."""
+        return self.request("/stats")
+
+    def health(self) -> dict:
+        """Liveness probe."""
+        return self.request("/health")
+
+    def status(self) -> dict:
+        """Identity / config snapshot."""
+        return self.request("/status")
+
+    def invalidate(self, experiment_id: str,
+                   seed: int = DEFAULT_SEED) -> dict:
+        """Drop one key from the remote cache tiers."""
+        return self.request("/invalidate",
+                            body={"experiment": experiment_id, "seed": seed})
+
+    def transport_stats(self) -> dict[str, int]:
+        """Connection reuse counters (connects, transport retries)."""
+        with self._lock:
+            return {"connects": self._connects, "retries": self._retries}
+
+
+def _retry_after_s(header: str | None) -> float | None:
+    """Parse a ``Retry-After`` seconds value; None when absent/bad."""
+    if header is None:
+        return None
+    try:
+        value = float(header)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+def _one_shot(host: str, port: int, timeout_s: float,
+              retry: RetryPolicy | None) -> ServiceClient:
+    return ServiceClient(host, port, read_timeout_s=timeout_s,
+                         retry=retry or DEFAULT_RETRY)
+
+
 def query(experiment_id: str, seed: int = DEFAULT_SEED,
           host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-          timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
+          timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+          retry: RetryPolicy | None = None) -> dict:
     """Run one experiment on a remote service; the /run reply dict."""
-    return _request(f"{base_url(host, port)}/run",
-                    body={"experiment": experiment_id, "seed": seed},
-                    timeout_s=timeout_s)
+    with _one_shot(host, port, timeout_s, retry) as client:
+        return client.run(experiment_id, seed)
 
 
 def stats(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-          timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
+          timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+          retry: RetryPolicy | None = None) -> dict:
     """The service's counter snapshot."""
-    return _request(f"{base_url(host, port)}/stats", timeout_s=timeout_s)
+    with _one_shot(host, port, timeout_s, retry) as client:
+        return client.stats()
 
 
 def health(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-           timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
+           timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+           retry: RetryPolicy | None = None) -> dict:
     """Liveness probe."""
-    return _request(f"{base_url(host, port)}/health", timeout_s=timeout_s)
+    with _one_shot(host, port, timeout_s, retry) as client:
+        return client.health()

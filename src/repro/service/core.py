@@ -40,6 +40,7 @@ from typing import Callable
 from repro.errors import ConfigError, ServiceError
 from repro.experiments.engine import (
     cache_key,
+    drop_result,
     load_lab_snapshot,
     load_result,
     pickle_result,
@@ -120,6 +121,7 @@ class ExperimentService:
         self._errors = 0  # gl: guarded-by=_lock
         self._labs_built = 0  # gl: guarded-by=_lock
         self._labs_restored = 0  # gl: guarded-by=_lock
+        self._invalidations = 0  # gl: guarded-by=_lock
 
     # -- worker side ------------------------------------------------------------
 
@@ -241,6 +243,26 @@ class ExperimentService:
             served = [f.result() for f in futures]
         return {s.experiment_id: s.result for s in served}
 
+    def invalidate(self, experiment_id: str,
+                   seed: int = DEFAULT_SEED) -> bool:
+        """Drop one key from both tiers; True when either held it.
+
+        Requests already in flight for the key are unaffected (they
+        complete and may re-populate the tiers); the next request after
+        an invalidation recomputes.  The cluster router fans this out to
+        every shard so replicated hot keys stay coherent.
+        """
+        get_experiment(experiment_id)  # fail fast on unknown ids
+        key = cache_key(experiment_id, seed)
+        dropped_mem = self._mem.remove(key)
+        dropped_disk = False
+        if self.config.cache_dir is not None:
+            dropped_disk = drop_result(self.config.cache_dir,
+                                       experiment_id, seed)
+        with self._lock:
+            self._invalidations += 1
+        return dropped_mem or dropped_disk
+
     # -- observability / lifecycle ----------------------------------------------
 
     def stats(self) -> dict:
@@ -254,6 +276,7 @@ class ExperimentService:
                 "errors": self._errors,
                 "labs_built": self._labs_built,
                 "labs_restored": self._labs_restored,
+                "invalidations": self._invalidations,
                 "inflight": len(self._inflight),
                 "uptime_s": time.monotonic() - self._started_monotonic,
                 "jobs": self.config.jobs,

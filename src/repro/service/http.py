@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import socket
+import sys
 import threading
 import weakref
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -93,6 +95,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     server_version = f"repro-serve/{__version__}"
     protocol_version = "HTTP/1.1"
+    # Small JSON replies must not sit behind Nagle waiting for the ACK
+    # of the previous keep-alive exchange (a ~40 ms stall per request).
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         if getattr(self.server, "verbose", False):  # pragma: no cover
@@ -100,11 +105,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ---------------------------------------------------------------
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict,
+               headers: dict[str, str] | None = None) -> None:
+        # HTTP/1.1 keep-alive: the explicit Content-Length lets the
+        # connection carry the next request instead of closing, so
+        # per-request TCP setup stops dominating small hot replies.
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -122,6 +133,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if self.command == "POST":
             length = int(self.headers.get("Content-Length") or 0)
             if length > MAX_BODY_BYTES:
+                # The oversized body stays unread; keep-alive would hand
+                # it to the next request parse, so end the connection.
+                # (close_connection is per-handler-instance state — one
+                # handler per connection per thread — not shared.)
+                self.close_connection = True  # greenlint: ignore[GL14]
                 raise ConfigError(f"request body over {MAX_BODY_BYTES} bytes")
             if length:
                 try:
@@ -182,14 +198,69 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._error(404, f"unknown route {route!r}")
 
 
-class ExperimentHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that owns an ExperimentService."""
+class ClosingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer whose ``server_close`` severs keep-alives.
+
+    HTTP/1.1 keep-alive parks handler threads on idle established
+    connections; closing only the listening socket would leave a
+    "stopped" server still answering those clients.  Tracking accepted
+    sockets lets ``server_close`` shut them down too, so a stopped
+    shard looks *dead* to the router's keep-alive clients (prompt
+    fail-over) instead of serving phantom replies.
+    """
 
     daemon_threads = True
+    request_queue_size = 128
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        self._conn_lock = threading.Lock()
+        self._open_conns: set[socket.socket] = set()  # gl: guarded-by=_conn_lock
+        super().__init__(*args, **kwargs)
+
+    def process_request(self, request, client_address) -> None:
+        with self._conn_lock:
+            self._open_conns.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._conn_lock:
+            self._open_conns.discard(request)
+        super().shutdown_request(request)
+
+    def handle_error(self, request, client_address) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            return  # a severed or idle-timed-out keep-alive, not a bug
+        super().handle_error(request, client_address)  # pragma: no cover
+
+    def server_close(self) -> None:
+        super().server_close()
+        with self._conn_lock:
+            conns = list(self._open_conns)
+            self._open_conns.clear()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves an ephemeral-port bind)."""
+        return int(self.server_address[1])
+
+
+class ExperimentHTTPServer(ClosingHTTPServer):
+    """ThreadingHTTPServer that owns an ExperimentService."""
 
     def __init__(self, address: tuple[str, int], service: ExperimentService,
-                 verbose: bool = False) -> None:
-        super().__init__(address, ServiceRequestHandler)
+                 verbose: bool = False,
+                 handler: type[BaseHTTPRequestHandler] | None = None) -> None:
+        super().__init__(address, handler or ServiceRequestHandler)
         self.service = service
         self.verbose = verbose
 

@@ -1,0 +1,563 @@
+"""The sharded serving tier: ring, admission, routing, replication.
+
+Covers the cluster promises layered on top of ``repro serve``:
+
+* the consistent-hash ring is deterministic, balanced, and remaps only
+  a dead shard's keys (every other shard keeps its working set);
+* the admission gate bounds queue depth and sheds with a 503 +
+  ``Retry-After`` instead of queueing unboundedly;
+* the router places keys on their owner shard, fails over around dead
+  shards, promotes hot keys onto replicas, and invalidates coherently;
+* a cold-key storm through the router performs exactly one compute
+  cluster-wide, and every reply is byte-identical (same sha256 digest)
+  to a single-node ``ExperimentService`` serving the same key;
+* the keep-alive :class:`ServiceClient` re-uses its connection, bounds
+  every round trip, and retries transport failures and 503 sheds with
+  the deterministic ``RetryPolicy`` schedule.
+
+``LocalCluster`` hosts shards on threads behind real loopback HTTP, so
+these tests exercise the exact wire protocol the forked deployment
+(``repro cluster``) speaks; one ``SpawnedCluster`` smoke test covers
+the process-per-shard path end to end.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (
+    AdmissionGate,
+    AdmissionPolicy,
+    ClusterConfig,
+    HashRing,
+    LocalCluster,
+    RouterConfig,
+    SpawnedCluster,
+    shard_names,
+)
+from repro.cluster.router import HotKeyTracker
+from repro.cluster.shard import shard_stats_totals
+from repro.errors import ConfigError, ServiceError
+from repro.experiments.engine import cache_key, load_result, warm_lab
+from repro.experiments.registry import EXPERIMENTS
+from repro.faults.retry import RetryPolicy
+from repro.service import ExperimentService, ServiceConfig
+from repro.service.client import ServiceClient
+from repro.service.http import result_digest
+
+SEED = 2015
+
+#: Keys reserved per test so the module-scoped cluster stays coherent:
+#: fig4 -> routing, table2 -> hot promotion + invalidation, fig9 -> storm.
+
+
+def _await(predicate, timeout_s: float = 10.0, interval_s: float = 0.02):
+    """Poll ``predicate`` until truthy; its value (fails the test late)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() > deadline:
+            return value
+        time.sleep(interval_s)
+
+
+# -- pure units -------------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_placement_is_deterministic_across_instances(self):
+        names = shard_names(4)
+        a, b = HashRing(names), HashRing(names)
+        for i in range(50):
+            key = cache_key("fig4", SEED + i)
+            assert a.preference(key) == b.preference(key)
+
+    def test_preference_lists_distinct_shards_in_order(self):
+        ring = HashRing(shard_names(4))
+        prefs = ring.preference("some-key")
+        assert sorted(prefs) == shard_names(4)
+        assert ring.preference("some-key", n=2) == prefs[:2]
+        assert ring.primary("some-key") == prefs[0]
+
+    def test_dead_shard_remaps_only_its_own_keys(self):
+        ring = HashRing(shard_names(4))
+        keys = [f"key-{i}" for i in range(400)]
+        before = {k: ring.primary(k) for k in keys}
+        alive = [n for n in shard_names(4) if n != "shard-1"]
+        for key in keys:
+            after = ring.primary(key, alive=alive)
+            if before[key] == "shard-1":
+                assert after in alive  # failed over to a live successor
+            else:
+                assert after == before[key]  # everyone else undisturbed
+
+    def test_virtual_nodes_keep_shares_roughly_uniform(self):
+        ring = HashRing(shard_names(4))
+        share = ring.share(f"key-{i}" for i in range(2000))
+        assert sum(share.values()) == 2000
+        assert min(share.values()) > 0
+        assert max(share.values()) / min(share.values()) < 2.5
+
+    def test_fewer_live_shards_than_requested(self):
+        ring = HashRing(shard_names(3))
+        assert ring.preference("k", n=5, alive=["shard-2"]) == ["shard-2"]
+        assert ring.primary("k", alive=[]) is None
+        assert ring.preference("k", alive=["not-a-shard"]) == []
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ConfigError):
+            HashRing([])
+        with pytest.raises(ConfigError):
+            HashRing(["a", "a"])
+        with pytest.raises(ConfigError):
+            HashRing(["a"], vnodes=0)
+
+
+class TestAdmissionGate:
+    def test_sheds_past_the_watermark(self):
+        gate = AdmissionGate(AdmissionPolicy(max_queue_depth=2,
+                                             retry_after_s=0.5))
+        assert gate.admit() and gate.admit()
+        assert not gate.admit()  # depth == watermark: shed
+        gate.release()
+        assert gate.admit()  # a release frees a slot
+        stats = gate.stats()
+        assert stats["admitted"] == 3
+        assert stats["shed"] == 1
+        assert stats["peak_depth"] == 2
+
+    def test_release_without_admit_is_a_bug(self):
+        gate = AdmissionGate()
+        with pytest.raises(ConfigError):
+            gate.release()
+
+    def test_depth_balances_under_concurrency(self):
+        gate = AdmissionGate(AdmissionPolicy(max_queue_depth=8))
+        outcomes = []
+        lock = threading.Lock()
+
+        def churn():
+            for _ in range(200):
+                admitted = gate.admit()
+                if admitted:
+                    gate.release()
+                with lock:
+                    outcomes.append(admitted)
+
+        threads = [threading.Thread(target=churn) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert gate.depth == 0
+        stats = gate.stats()
+        assert stats["admitted"] + stats["shed"] == len(outcomes) == 1600
+        assert stats["peak_depth"] <= 8
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(max_queue_depth=0)
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(retry_after_s=0)
+
+
+class TestHotKeyTracker:
+    def test_only_cached_hits_heat_a_key(self):
+        tracker = HotKeyTracker(threshold=2)
+        for _ in range(10):
+            tracker.record("k", "fig4", SEED, cached=False)
+        assert not tracker.is_hot("k")  # computes/coalesced never promote
+        assert tracker.record("k", "fig4", SEED, cached=True) == (False, [])
+        promoted, _ = tracker.record("k", "fig4", SEED, cached=True)
+        assert promoted  # exactly at the threshold crossing...
+        promoted, _ = tracker.record("k", "fig4", SEED, cached=True)
+        assert not promoted  # ...and only there
+        assert tracker.is_hot("k")
+        assert tracker.hot_count() == 1
+
+    def test_lru_eviction_reports_demoted_hot_keys(self):
+        tracker = HotKeyTracker(threshold=1, max_keys=2)
+        tracker.record("a", "fig4", SEED, cached=True)  # hot
+        tracker.record("b", "fig5", SEED, cached=False)  # cold
+        _, demoted = tracker.record("c", "fig6", SEED, cached=False)
+        assert demoted == [("fig4", SEED)]  # evicting hot "a" demotes it
+        _, demoted = tracker.record("d", "fig7", SEED, cached=False)
+        assert demoted == []  # evicting cold "b" does not
+
+    def test_reset_forgets_heat(self):
+        tracker = HotKeyTracker(threshold=1)
+        tracker.record("k", "fig4", SEED, cached=True)
+        assert tracker.is_hot("k")
+        tracker.reset("k")
+        assert not tracker.is_hot("k")
+
+    def test_rotation_spreads_over_slots(self):
+        tracker = HotKeyTracker(threshold=1)
+        assert tracker.next_slot("unknown") == 0
+        tracker.record("k", "fig4", SEED, cached=True)
+        assert [tracker.next_slot("k") % 2 for _ in range(4)] == [1, 0, 1, 0]
+
+
+class TestShardStatsTotals:
+    def test_aggregates_and_skips_dead_shards(self):
+        totals = shard_stats_totals({
+            "shard-0": {"requests": 3, "computed": 1,
+                        "memory": {"hits": 2},
+                        "admission": {"depth": 1, "shed": 4}},
+            "shard-1": {"requests": 2, "disk_hits": 2},
+            "shard-2": {"error": "unreachable"},
+        })
+        assert totals["requests"] == 5
+        assert totals["computed"] == 1
+        assert totals["disk_hits"] == 2
+        assert totals["memory_hits"] == 2
+        assert totals["queue_depth"] == 1
+        assert totals["shed"] == 4
+
+
+class TestConfigValidation:
+    def test_cluster_config_bounds(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(shards=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(replicas=0)
+        with pytest.raises(ConfigError):
+            shard_names(0)
+
+    def test_router_config_bounds(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(replicas=0)
+        with pytest.raises(ConfigError):
+            RouterConfig(hot_threshold=0)
+        with pytest.raises(ConfigError):
+            RouterConfig(health_interval_s=0)
+
+
+# -- a live local cluster ---------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster_dir(tmp_path_factory) -> str:
+    """A shared cache directory pre-primed with the warm-Lab snapshot."""
+    path = str(tmp_path_factory.mktemp("cluster-cache"))
+    warm_lab(SEED, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def cluster(cluster_dir):
+    config = ClusterConfig(shards=3, replicas=2, jobs=2,
+                           cache_dir=cluster_dir, hot_threshold=3)
+    with LocalCluster(config) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def reference(cluster):
+    """An independent single-node service (no shared cache) to diff against."""
+    with ExperimentService(ServiceConfig(jobs=2)) as service:
+        yield service
+
+
+@pytest.fixture()
+def client(cluster):
+    host, port = cluster.router_address
+    with ServiceClient(host, port) as running:
+        yield running
+
+
+def _cluster_computed(cluster) -> int:
+    return sum(cluster.service(name).stats()["computed"]
+               for name in cluster._shard_servers)
+
+
+class TestClusterServing:
+    def test_routing_is_sticky_and_cache_warm(self, cluster, client):
+        first = client.run("fig4", SEED)
+        second = client.run("fig4", SEED)
+        assert second["shard"] == first["shard"]  # one warm home per key
+        assert second["source"] == "memory"
+        assert second["digest"] == first["digest"]
+        assert second["attempts"] == 1
+        owner = cluster.router._ring.primary(cache_key("fig4", SEED))
+        assert first["shard"] == owner
+
+    @pytest.mark.parametrize("eid", sorted(EXPERIMENTS))
+    def test_byte_identity_with_single_node_serve(self, client, reference,
+                                                  eid):
+        """Every registry id: cluster reply == single-node serve, by digest."""
+        expected = result_digest(reference.serve(eid, seed=SEED).result)
+        assert client.run(eid, SEED)["digest"] == expected
+
+    def test_router_surfaces_cluster_stats(self, cluster, client):
+        client.run("fig4", SEED)
+        stats = client.stats()
+        assert set(stats) == {"router", "shards", "totals"}
+        assert stats["router"]["requests"] >= 1
+        assert sorted(stats["shards"]) == shard_names(3)
+        assert all(stats["router"]["healthy"].values())
+        totals = stats["totals"]
+        assert totals["requests"] >= totals["computed"] >= 1
+        assert totals["queue_depth"] == 0  # nothing in flight now
+
+    def test_hot_key_is_promoted_and_spread_over_replicas(self, cluster,
+                                                          client):
+        computed_before = _cluster_computed(cluster)
+        reply = None
+        for _ in range(4 * cluster.config.hot_threshold):
+            reply = client.run("table2", SEED)
+            if reply["hot"]:
+                break
+        assert reply is not None and reply["hot"]
+        router_stats = cluster.router.stats()["router"]
+        assert router_stats["promotions"] >= 1
+        assert router_stats["hot_keys"] >= 1
+        # Requests now rotate across the replica set; replicas warm
+        # themselves from the shared disk tier, so the spread costs no
+        # extra computes cluster-wide.
+        replies = [client.run("table2", SEED) for _ in range(8)]
+        assert len({r["shard"] for r in replies}) >= 2
+        assert len({r["digest"] for r in replies}) == 1
+        assert _cluster_computed(cluster) - computed_before <= 1
+        # Wait for the background replica warm to settle so later tests
+        # observe a quiescent cluster.
+        key = cache_key("table2", SEED)
+        owner, replica = cluster.router._ring.preference(key)[:2]
+        assert _await(lambda: all(
+            cluster.service(name)._mem.get(key) is not None
+            for name in (owner, replica)))
+
+    def test_invalidation_is_coherent_across_replicas(self, cluster,
+                                                      cluster_dir, client):
+        # Ensure the key is cached somewhere (possibly replicated)...
+        reply = client.run("table2", SEED)
+        outcome = client.invalidate("table2", SEED)
+        assert outcome["invalidated"]
+        assert sorted(outcome["shards"]) == shard_names(3)
+        # ...and afterwards no tier anywhere still holds it.
+        key = cache_key("table2", SEED)
+        for name in shard_names(3):
+            assert cluster.service(name)._mem.get(key) is None
+        assert load_result(cluster_dir, "table2", SEED) is None
+        computed_before = _cluster_computed(cluster)
+        fresh = client.run("table2", SEED)
+        assert fresh["source"] == "computed"
+        assert fresh["digest"] == reply["digest"]
+        assert _cluster_computed(cluster) - computed_before == 1
+
+    def test_cold_storm_computes_exactly_once_cluster_wide(self, cluster,
+                                                           client):
+        """32 concurrent cold requests for one key -> one compute total."""
+        client.invalidate("fig9", SEED)  # make the key cold everywhere
+        computed_before = _cluster_computed(cluster)
+        host, port = cluster.router_address
+        n_threads = 32
+        barrier = threading.Barrier(n_threads)
+        replies, failures = [], []
+        lock = threading.Lock()
+
+        def storm():
+            try:
+                with ServiceClient(host, port) as mine:
+                    barrier.wait(timeout=30)
+                    reply = mine.run("fig9", SEED)
+                with lock:
+                    replies.append(reply)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                with lock:
+                    failures.append(exc)
+
+        threads = [threading.Thread(target=storm) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not failures
+        assert len(replies) == n_threads
+        assert len({r["digest"] for r in replies}) == 1
+        assert _cluster_computed(cluster) - computed_before == 1
+
+    def test_unknown_experiment_maps_to_400_not_failover(self, cluster,
+                                                         client):
+        failovers_before = cluster.router.stats()["router"]["failovers"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.run("not-an-experiment", SEED)
+        assert excinfo.value.status == 400
+        # A request-level error is not a shard fault: no fail-over.
+        assert cluster.router.stats()["router"]["failovers"] == failovers_before
+
+    def test_router_health_and_status_endpoints(self, cluster, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert sorted(health["healthy"]) == shard_names(3)
+        status = client.status()
+        assert status["role"] == "router"
+        assert sorted(EXPERIMENTS) == sorted(status["experiments"])
+        assert [s["name"] for s in status["shards"]] == shard_names(3)
+
+
+class TestFailover:
+    def test_requests_route_around_a_dead_shard(self, cluster_dir):
+        config = ClusterConfig(shards=2, replicas=1, jobs=1,
+                               cache_dir=cluster_dir)
+        with LocalCluster(config) as cluster:
+            first = cluster.router.route("fig6", SEED)
+            victim = first["shard"]
+            survivor = next(n for n in shard_names(2) if n != victim)
+            cluster.stop_shard(victim)
+            second = cluster.router.route("fig6", SEED)
+            assert second["shard"] == survivor
+            assert second["digest"] == first["digest"]
+            assert second["attempts"] > 1  # the dead owner was tried first
+            health = cluster.router.healthy()
+            assert health[victim] is False and health[survivor] is True
+            # Once marked dead, the ring routes straight to the survivor.
+            assert cluster.router.route("fig6", SEED)["attempts"] == 1
+
+    def test_no_live_shard_raises_promptly(self, cluster_dir):
+        config = ClusterConfig(shards=2, replicas=1, jobs=1,
+                               cache_dir=cluster_dir)
+        with LocalCluster(config) as cluster:
+            for name in shard_names(2):
+                cluster.stop_shard(name)
+            with pytest.raises(ServiceError) as excinfo:
+                cluster.router.route("fig6", SEED)
+            assert excinfo.value.status is None  # transport, not a shed
+            # Every candidate is now marked dead: the next request fails
+            # without probing sockets at all.
+            with pytest.raises(ServiceError, match="no healthy shards"):
+                cluster.router.route("fig6", SEED)
+
+
+class TestAdmissionShedding:
+    @pytest.fixture()
+    def tiny_cluster(self, cluster_dir):
+        """One shard, queue depth 1, with a compute we can hold open."""
+        config = ClusterConfig(shards=1, replicas=1, jobs=1,
+                               cache_dir=cluster_dir,
+                               max_queue_depth=1, retry_after_s=0.05)
+        with LocalCluster(config) as cluster:
+            service = cluster.service("shard-0")
+            release = threading.Event()
+            original = service._compute
+            service._compute = lambda eid, lab: (release.wait(30),
+                                                 original(eid, lab))[1]
+            try:
+                yield cluster, release
+            finally:
+                release.set()
+
+    def test_overload_sheds_with_retry_after_and_recovers(self, tiny_cluster):
+        cluster, release = tiny_cluster
+        host, port = cluster.router_address
+        service = cluster.service("shard-0")
+        service.invalidate("fig8", SEED)
+        service.invalidate("fig10", SEED)
+
+        occupant_done = []
+
+        def occupy():
+            occupant_done.append(ServiceClient(host, port).run("fig8", SEED))
+
+        occupant = threading.Thread(target=occupy)
+        occupant.start()
+        gate = cluster._shard_servers["shard-0"].gate
+        assert _await(lambda: gate.depth >= 1)  # the slot is held open
+
+        # A second, distinct cold key now exceeds the watermark: the
+        # shard sheds, and the router propagates the 503 + hint instead
+        # of spilling the key onto a non-owner.
+        no_retry = ServiceClient(host, port,
+                                 retry=RetryPolicy(max_attempts=1))
+        with pytest.raises(ServiceError) as excinfo:
+            no_retry.run("fig10", SEED)
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after_s == pytest.approx(0.05)
+        assert cluster.router.stats()["router"]["sheds"] >= 1
+
+        # Repeated sheds on ONE keep-alive connection must each be a
+        # clean 503: the shed path replies before parsing the POST
+        # body, and an undrained body would desync the connection (the
+        # next request would read it as a request line).
+        for _ in range(3):
+            with pytest.raises(ServiceError) as again:
+                no_retry.run("fig10", SEED)
+            assert again.value.status == 503
+        assert no_retry.transport_stats()["connects"] == 1
+
+        # A retrying client honours the hint and succeeds once the
+        # occupant drains.
+        retrying = ServiceClient(host, port, retry=RetryPolicy(
+            max_attempts=50, backoff_base_s=0.05, backoff_factor=1.0,
+            jitter_fraction=0.0))
+        release.set()
+        reply = retrying.run("fig10", SEED)
+        assert reply["experiment"] == "fig10"
+        occupant.join(timeout=30)
+        assert occupant_done and occupant_done[0]["experiment"] == "fig8"
+        assert gate.stats()["shed"] >= 1
+        assert gate.depth == 0
+
+
+class TestServiceClient:
+    def test_keep_alive_reuses_one_connection(self, cluster):
+        host, port = cluster.router_address
+        with ServiceClient(host, port) as client:
+            for _ in range(5):
+                client.health()
+            assert client.transport_stats()["connects"] == 1
+
+    def test_dead_endpoint_fails_promptly_after_bounded_retries(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        client = ServiceClient("127.0.0.1", dead_port,
+                               connect_timeout_s=1.0,
+                               retry=RetryPolicy(max_attempts=2,
+                                                 backoff_base_s=0.01,
+                                                 jitter_fraction=0.0))
+        start = time.monotonic()
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert time.monotonic() - start < 5.0
+        assert excinfo.value.status is None  # transport failure, not HTTP
+        assert client.transport_stats()["retries"] == 1
+
+    def test_invalid_timeouts_rejected(self):
+        with pytest.raises(ConfigError):
+            ServiceClient(connect_timeout_s=0)
+        with pytest.raises(ConfigError):
+            ServiceClient(read_timeout_s=-1)
+
+    def test_retry_after_header_parsing(self):
+        from repro.service.client import _retry_after_s
+
+        assert _retry_after_s("0.25") == 0.25
+        assert _retry_after_s("0") == 0.0
+        assert _retry_after_s(None) is None
+        assert _retry_after_s("soon") is None
+        assert _retry_after_s("-1") is None
+
+
+class TestSpawnedCluster:
+    def test_process_shards_serve_end_to_end(self, cluster_dir, reference):
+        """The forked deployment speaks the same protocol, byte for byte."""
+        config = ClusterConfig(shards=2, replicas=1, jobs=1,
+                               cache_dir=cluster_dir)
+        with SpawnedCluster(config) as cluster:
+            host, port = cluster.serve_in_background()
+            with ServiceClient(host, port) as client:
+                reply = client.run("fig4", SEED)
+                expected = result_digest(
+                    reference.serve("fig4", seed=SEED).result)
+                assert reply["digest"] == expected
+                assert reply["shard"] in shard_names(2)
+                stats = client.stats()
+                assert sorted(stats["shards"]) == shard_names(2)
+                assert all(stats["router"]["healthy"].values())

@@ -26,11 +26,12 @@ class TestSelfLint:
 
     def test_intentional_suppressions_are_counted(self):
         # powercap's float-tolerance, the u16 flag mask in storage
-        # format, and the serving layer's three wall-clock latency reads
-        # are deliberate; they must stay visible as suppressions, not
-        # vanish.
+        # format, the serving layer's three wall-clock latency reads,
+        # the HTTP client's two retry-backoff sleeps, and the handler's
+        # thread-confined close_connection write are deliberate; they
+        # must stay visible as suppressions, not vanish.
         result = lint_paths([SRC])
-        assert result.suppressed == 5
+        assert result.suppressed == 8
 
     def test_all_fourteen_rule_families_registered(self):
         assert set(RULES) == {f"GL{i}" for i in range(1, 15)}

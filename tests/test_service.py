@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 
 import pytest
 
@@ -83,6 +84,41 @@ class TestLruCache:
             LruCache(max_entries=0)
         with pytest.raises(ConfigError):
             LruCache(max_bytes=0)
+
+    def test_remove_drops_entry_and_byte_charge(self):
+        cache = LruCache(max_entries=4, max_bytes=100)
+        cache.put("a", 1, 40)
+        assert cache.remove("a")
+        assert not cache.remove("a")  # already gone
+        assert cache.get("a") is None
+        assert cache.nbytes == 0
+        assert len(cache) == 0
+
+    def test_bounds_hold_under_concurrent_insert(self):
+        """8 writers race distinct keys; both bounds stay invariants."""
+        cache = LruCache(max_entries=64, max_bytes=500)
+        n_threads, per_thread, size = 8, 200, 10
+        barrier = threading.Barrier(n_threads)
+
+        def churn(worker: int):
+            barrier.wait()
+            for i in range(per_thread):
+                key = f"w{worker}-{i}"
+                cache.put(key, i, size)
+                cache.get(key)
+
+        threads = [threading.Thread(target=churn, args=(w,))
+                   for w in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(cache) <= 50  # 500 bytes / 10 per entry
+        assert cache.nbytes <= 500
+        # The byte ledger matches the surviving entries exactly.
+        assert cache.nbytes == len(cache) * size
+        stats = cache.stats()
+        assert stats["evictions"] == n_threads * per_thread - len(cache)
 
 
 class TestSingleFlight:
@@ -154,6 +190,68 @@ class TestSingleFlight:
             assert service.stats()["errors"] == 1
             assert service.stats()["inflight"] == 0
 
+    def test_compute_error_reaches_every_coalesced_waiter(self):
+        """One failing compute -> N raising requests, then a clean retry."""
+        n_threads = 8
+        release = threading.Event()
+        calls = []
+        call_lock = threading.Lock()
+
+        def compute(eid, lab):
+            with call_lock:
+                calls.append(eid)
+            release.wait(timeout=30)
+            if len(calls) == 1:
+                raise ConfigError("injected failure")
+            return run_experiment(eid, lab)
+
+        with ExperimentService(ServiceConfig(jobs=2),
+                               compute=compute) as service:
+            barrier = threading.Barrier(n_threads + 1)
+            outcomes = []
+            outcome_lock = threading.Lock()
+
+            def request():
+                barrier.wait()
+                try:
+                    service.serve("table2", seed=SEED)
+                except ConfigError as exc:
+                    with outcome_lock:
+                        outcomes.append(exc)
+                else:  # pragma: no cover - the assertion below fires
+                    with outcome_lock:
+                        outcomes.append(None)
+
+            threads = [threading.Thread(target=request)
+                       for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            # Only release the failing compute once every requester has
+            # actually coalesced onto it, so nobody arrives late and
+            # starts a fresh flight.
+            deadline = time.monotonic() + 30
+            while (service.stats()["coalesced"] < n_threads - 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.005)
+            release.set()
+            for t in threads:
+                t.join(timeout=30)
+
+            # The single failed compute reached all N waiters as the
+            # same exception, and counted as one error, not N.
+            assert len(calls) == 1
+            assert len(outcomes) == n_threads
+            assert all(isinstance(o, ConfigError) for o in outcomes)
+            stats = service.stats()
+            assert stats["errors"] == 1
+            # The failure cleared the in-flight slot: a later request
+            # for the same key starts a fresh compute and succeeds.
+            assert stats["inflight"] == 0
+            served = service.serve("table2", seed=SEED)
+            assert served.source == "computed"
+            assert len(calls) == 2
+
     def test_closed_service_rejects_requests(self):
         service = ExperimentService(ServiceConfig(jobs=1))
         service.close()
@@ -203,6 +301,22 @@ class TestTwoTierCache:
             assert stats["labs_built"] == 0
         assert _bytes(served.result) == _bytes(
             run_experiment("fig4", Lab(seed=SEED)))
+
+    def test_invalidate_drops_both_tiers(self, tmp_path):
+        cache_dir = str(tmp_path)
+        config = ServiceConfig(jobs=1, cache_dir=cache_dir)
+        with ExperimentService(config) as service:
+            first = service.serve("fig4", seed=SEED)
+            assert first.source == "computed"
+            assert service.invalidate("fig4", seed=SEED)
+            assert load_result(cache_dir, "fig4", SEED) is None
+            again = service.serve("fig4", seed=SEED)
+            assert again.source == "computed"  # both tiers were dropped
+            assert _bytes(again.result) == _bytes(first.result)
+            assert not service.invalidate("table2", seed=SEED)  # never held
+            assert service.stats()["invalidations"] == 2
+            with pytest.raises(ConfigError):
+                service.invalidate("not-an-experiment", seed=SEED)
 
     def test_mem_tier_respects_entry_bound(self):
         config = ServiceConfig(jobs=1, mem_entries=1)

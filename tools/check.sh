@@ -95,6 +95,47 @@ assert stats["coalesced"] + stats["memory"]["hits"] == n_threads, stats
 assert repeat.source == "memory", repeat
 PY
 
+echo "== cluster smoke (router + shards, byte-identity) =="
+python - <<'PY'
+import tempfile
+
+from repro.cluster import ClusterConfig, LocalCluster
+from repro.experiments.engine import warm_lab
+from repro.rng import DEFAULT_SEED
+from repro.service.client import ServiceClient
+from repro.service.http import result_digest
+from repro.experiments.figures import Lab
+from repro.experiments.registry import run_experiment
+
+with tempfile.TemporaryDirectory() as cache_dir:
+    warm_lab(DEFAULT_SEED, cache_dir)
+    config = ClusterConfig(shards=2, replicas=1, jobs=1, cache_dir=cache_dir)
+    with LocalCluster(config) as cluster:
+        client = ServiceClient(*cluster.router_address)
+        reply = client.run("fig4", DEFAULT_SEED)
+        repeat = client.run("fig4", DEFAULT_SEED)
+        stats = client.stats()
+        client.close()
+
+expected = result_digest(run_experiment("fig4", Lab(seed=DEFAULT_SEED)))
+print(f"cluster: shards={len(stats['shards'])} "
+      f"first={reply['source']} repeat={repeat['source']} "
+      f"computed={stats['totals']['computed']}")
+assert reply["digest"] == expected, (reply["digest"], expected)
+assert repeat["digest"] == expected
+assert stats["totals"]["computed"] == 1, stats["totals"]
+assert repeat["source"] == "memory", repeat["source"]
+PY
+
+echo "== cluster benchmark gate (committed JSON self-consistency) =="
+# The committed BENCH_serve.json must pass its own cluster gate: the
+# storm computed exactly once cluster-wide, digests agree across
+# cluster sizes, and the scaling factor clears the core-aware floor
+# recorded alongside it.  CI additionally compares a fresh run against
+# this baseline (see .github/workflows/ci.yml, serve-regression).
+python benchmarks/compare_cluster.py \
+    benchmarks/output/BENCH_serve.json benchmarks/output/BENCH_serve.json
+
 echo "== perf smoke (run_all under ceiling) =="
 python - <<'PY'
 import os
