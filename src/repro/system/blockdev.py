@@ -40,6 +40,8 @@ class IoStats:
     n_faults: int = 0
     n_retries: int = 0
 
+    # gl: idempotent — an accumulator by design: every dispatch attempt
+    # consumed real device time, so per-attempt accounting is the point.
     def add(self, result: DiskResult) -> None:
         """Accumulate one serviced (possibly batched) result's timing and traffic."""
         self.busy_time += result.service_time
@@ -139,6 +141,8 @@ class BlockQueue:
         self.stats = IoStats()
         self._head_pos = 0
 
+    # gl: idempotent — charges exactly one failed attempt per call; the
+    # dispatch retry loop invoking it again is a new attempt, not a replay.
     def _account_fault(self, exc: FaultError, attempt: int,
                        batch: IoStats) -> None:
         """Charge one failed attempt; raise unless a retry is allowed."""

@@ -463,9 +463,10 @@ class TestAdmissionShedding:
         occupant_done = []
 
         def occupy():
-            occupant_done.append(ServiceClient(host, port).run("fig8", SEED))
+            with ServiceClient(host, port) as held:
+                occupant_done.append(held.run("fig8", SEED))
 
-        occupant = threading.Thread(target=occupy)
+        occupant = threading.Thread(target=occupy, daemon=True)
         occupant.start()
         gate = cluster._shard_servers["shard-0"].gate
         assert _await(lambda: gate.depth >= 1)  # the slot is held open
@@ -473,31 +474,31 @@ class TestAdmissionShedding:
         # A second, distinct cold key now exceeds the watermark: the
         # shard sheds, and the router propagates the 503 + hint instead
         # of spilling the key onto a non-owner.
-        no_retry = ServiceClient(host, port,
-                                 retry=RetryPolicy(max_attempts=1))
-        with pytest.raises(ServiceError) as excinfo:
-            no_retry.run("fig10", SEED)
-        assert excinfo.value.status == 503
-        assert excinfo.value.retry_after_s == pytest.approx(0.05)
-        assert cluster.router.stats()["router"]["sheds"] >= 1
-
-        # Repeated sheds on ONE keep-alive connection must each be a
-        # clean 503: the shed path replies before parsing the POST
-        # body, and an undrained body would desync the connection (the
-        # next request would read it as a request line).
-        for _ in range(3):
-            with pytest.raises(ServiceError) as again:
+        with ServiceClient(host, port,
+                           retry=RetryPolicy(max_attempts=1)) as no_retry:
+            with pytest.raises(ServiceError) as excinfo:
                 no_retry.run("fig10", SEED)
-            assert again.value.status == 503
-        assert no_retry.transport_stats()["connects"] == 1
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after_s == pytest.approx(0.05)
+            assert cluster.router.stats()["router"]["sheds"] >= 1
+
+            # Repeated sheds on ONE keep-alive connection must each be a
+            # clean 503: the shed path replies before parsing the POST
+            # body, and an undrained body would desync the connection (the
+            # next request would read it as a request line).
+            for _ in range(3):
+                with pytest.raises(ServiceError) as again:
+                    no_retry.run("fig10", SEED)
+                assert again.value.status == 503
+            assert no_retry.transport_stats()["connects"] == 1
 
         # A retrying client honours the hint and succeeds once the
         # occupant drains.
-        retrying = ServiceClient(host, port, retry=RetryPolicy(
-            max_attempts=50, backoff_base_s=0.05, backoff_factor=1.0,
-            jitter_fraction=0.0))
-        release.set()
-        reply = retrying.run("fig10", SEED)
+        with ServiceClient(host, port, retry=RetryPolicy(
+                max_attempts=50, backoff_base_s=0.05, backoff_factor=1.0,
+                jitter_fraction=0.0)) as retrying:
+            release.set()
+            reply = retrying.run("fig10", SEED)
         assert reply["experiment"] == "fig10"
         occupant.join(timeout=30)
         assert occupant_done and occupant_done[0]["experiment"] == "fig8"
@@ -517,17 +518,17 @@ class TestServiceClient:
         with socket.socket() as probe:
             probe.bind(("127.0.0.1", 0))
             dead_port = probe.getsockname()[1]
-        client = ServiceClient("127.0.0.1", dead_port,
-                               connect_timeout_s=1.0,
-                               retry=RetryPolicy(max_attempts=2,
-                                                 backoff_base_s=0.01,
-                                                 jitter_fraction=0.0))
-        start = time.monotonic()
-        with pytest.raises(ServiceError) as excinfo:
-            client.health()
-        assert time.monotonic() - start < 5.0
-        assert excinfo.value.status is None  # transport failure, not HTTP
-        assert client.transport_stats()["retries"] == 1
+        with ServiceClient("127.0.0.1", dead_port,
+                           connect_timeout_s=1.0,
+                           retry=RetryPolicy(max_attempts=2,
+                                             backoff_base_s=0.01,
+                                             jitter_fraction=0.0)) as client:
+            start = time.monotonic()
+            with pytest.raises(ServiceError) as excinfo:
+                client.health()
+            assert time.monotonic() - start < 5.0
+            assert excinfo.value.status is None  # transport, not HTTP
+            assert client.transport_stats()["retries"] == 1
 
     def test_invalid_timeouts_rejected(self):
         with pytest.raises(ConfigError):

@@ -1,0 +1,551 @@
+"""Lifecycle rules (GL15–GL18) against synthetic modules.
+
+Each rule gets golden positive fixtures (must fire) and negatives
+(idiomatic resource handling that must stay clean), plus round-trip
+checks on the machinery the rules ride on: the baseline subtraction,
+the ``--select`` cache skip, and the SARIF rendering introduced with
+this rule family.
+"""
+
+import json
+import textwrap
+
+from repro.cli import main
+from repro.lint import (
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_json,
+    render_sarif,
+    write_baseline,
+)
+
+
+def run(source: str, select=None, path: str = "life_mod.py"):
+    return lint_source(textwrap.dedent(source), path=path, select=select)
+
+
+def codes(result):
+    return [f.code for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# GL15 — resource lifecycle typestate
+# ---------------------------------------------------------------------------
+
+class TestResourceLifecycle:
+    def test_leaked_socket_on_exception_path(self):
+        # The golden positive: the connect between acquisition and the
+        # return can raise while the socket is open.
+        result = run(
+            """
+            import socket
+
+            def dial(host: str, port: int) -> socket.socket:
+                sock = socket.socket()
+                sock.connect((host, port))
+                return sock
+            """, select=["GL15"])
+        assert codes(result) == ["GL15"]
+        assert "exception path" in result.findings[0].message
+
+    def test_close_in_except_before_reraise_is_clean(self):
+        result = run(
+            """
+            import socket
+
+            def dial(host: str, port: int) -> socket.socket:
+                sock = socket.socket()
+                try:
+                    sock.connect((host, port))
+                except Exception:
+                    sock.close()
+                    raise
+                return sock
+            """, select=["GL15"])
+        assert codes(result) == []
+
+    def test_never_released_local_fires(self):
+        result = run(
+            """
+            import socket
+
+            def probe() -> None:
+                sock = socket.socket()
+                sock.sendall(b"ping")
+            """, select=["GL15"])
+        assert codes(result) == ["GL15"]
+        assert "never released" in result.findings[0].message
+
+    def test_with_managed_resource_is_clean(self):
+        result = run(
+            """
+            import socket
+
+            def probe() -> None:
+                with socket.socket() as sock:
+                    sock.sendall(b"ping")
+            """, select=["GL15"])
+        assert codes(result) == []
+
+    def test_chained_call_on_fresh_acquisition_fires(self):
+        result = run(
+            """
+            import socket
+
+            def probe() -> None:
+                socket.socket().sendall(b"ping")
+            """, select=["GL15"])
+        assert codes(result) == ["GL15"]
+        assert "immediately discarded" in result.findings[0].message
+
+    def test_ownership_transfer_via_attr_store(self):
+        # Storing on self moves the obligation to the class; a class
+        # with no releasing method is the finding, not the acquisition.
+        result = run(
+            """
+            import socket
+
+            class Holder:
+                def __init__(self) -> None:
+                    self._sock = socket.socket()
+            """, select=["GL15"])
+        assert codes(result) == ["GL15"]
+        assert "no method of the class releases it" in \
+            result.findings[0].message
+
+    def test_owner_with_teardown_is_clean(self):
+        result = run(
+            """
+            import socket
+
+            class Holder:
+                def __init__(self) -> None:
+                    self._sock = socket.socket()
+
+                def close(self) -> None:
+                    self._sock.close()
+            """, select=["GL15"])
+        assert codes(result) == []
+
+    def test_release_in_finally_is_clean(self):
+        result = run(
+            """
+            import socket
+
+            def probe(host: str, port: int) -> None:
+                sock = socket.socket()
+                try:
+                    sock.connect((host, port))
+                finally:
+                    sock.close()
+            """, select=["GL15"])
+        assert codes(result) == []
+
+    def test_escape_via_return_moves_the_obligation(self):
+        # A bare factory (no risky calls while open) is the caller's
+        # problem, not the factory's.
+        result = run(
+            """
+            import socket
+
+            def fresh() -> socket.socket:
+                return socket.socket()
+            """, select=["GL15"])
+        assert codes(result) == []
+
+    def test_daemon_thread_is_exempt(self):
+        result = run(
+            """
+            import threading
+
+            def watch(fn) -> None:
+                t = threading.Thread(target=fn, daemon=True)
+                t.start()
+            """, select=["GL15"])
+        assert codes(result) == []
+
+    def test_unjoined_foreground_thread_fires(self):
+        result = run(
+            """
+            import threading
+
+            def watch(fn) -> None:
+                t = threading.Thread(target=fn)
+                t.start()
+            """, select=["GL15"])
+        assert codes(result) == ["GL15"]
+
+
+# ---------------------------------------------------------------------------
+# GL16 — worker exception containment
+# ---------------------------------------------------------------------------
+
+_HANDLER_PRELUDE = """
+    class ReproError(Exception):
+        pass
+
+    class ServiceError(ReproError):
+        pass
+"""
+
+
+def run_handler(body: str, select=None):
+    # Dedent the two fragments separately: they are written at
+    # different indentation levels in this file.
+    src = textwrap.dedent(_HANDLER_PRELUDE) + textwrap.dedent(body)
+    return lint_source(src, path="life_mod.py", select=select)
+
+
+class TestExceptionFlow:
+    def test_handler_leaking_keyerror_fires(self):
+        result = run_handler(
+            """
+            def lookup(table: dict, key: str):
+                if key not in table:
+                    raise KeyError(key)
+                return table[key]
+
+            class Handler:
+                def do_GET(self) -> None:
+                    self.reply(lookup(self.routes, self.path))
+            """, select=["GL16"])
+        # The raises-set is interprocedural: the KeyError originates
+        # in lookup() but is reported at the do_GET root.
+        assert codes(result) == ["GL16"]
+        assert "do_GET" in result.findings[0].message
+        assert "KeyError" in result.findings[0].message
+
+    def test_handler_catching_everything_is_clean(self):
+        result = run_handler(
+            """
+            def lookup(table: dict, key: str):
+                if key not in table:
+                    raise KeyError(key)
+                return table[key]
+
+            class Handler:
+                def do_GET(self) -> None:
+                    try:
+                        self.reply(lookup(self.routes, self.path))
+                    except Exception:
+                        self.reply_error(500)
+            """, select=["GL16"])
+        assert codes(result) == []
+
+    def test_repro_error_may_escape(self):
+        # The service layer's own hierarchy maps to HTTP statuses; the
+        # handler framework catches it, so the escape is the contract.
+        result = run_handler(
+            """
+            class Handler:
+                def do_POST(self) -> None:
+                    raise ServiceError("bad request")
+            """, select=["GL16"])
+        assert codes(result) == []
+
+    def test_narrow_except_does_not_mask_other_raises(self):
+        result = run_handler(
+            """
+            class Handler:
+                def do_GET(self) -> None:
+                    try:
+                        raise ValueError("boom")
+                    except KeyError:
+                        pass
+            """, select=["GL16"])
+        assert codes(result) == ["GL16"]
+
+    def test_thread_target_is_a_root(self):
+        result = run_handler(
+            """
+            import threading
+
+            def worker() -> None:
+                raise RuntimeError("worker died")
+
+            def launch() -> threading.Thread:
+                t = threading.Thread(target=worker, daemon=True)
+                t.start()
+                return t
+            """, select=["GL16"])
+        assert codes(result) == ["GL16"]
+        assert "worker" in result.findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# GL17 — retry idempotence
+# ---------------------------------------------------------------------------
+
+_RETRY_PRELUDE = """
+    class RetryPolicy:
+        max_attempts = 3
+
+        def backoff_s(self, attempt: int) -> float:
+            return 0.01 * attempt
+"""
+
+
+class TestRetrySafety:
+    def test_retried_counter_bump_fires(self):
+        result = run(
+            _RETRY_PRELUDE + """
+            import time
+
+            class Client:
+                def __init__(self) -> None:
+                    self.retry = RetryPolicy()
+                    self._attempts = 0
+
+                def request(self) -> None:
+                    for attempt in range(1, self.retry.max_attempts + 1):
+                        self._attempts += 1
+                        time.sleep(self.retry.backoff_s(attempt))
+            """, select=["GL17"])
+        assert codes(result) == ["GL17"]
+        assert "_attempts" in result.findings[0].message
+
+    def test_annotated_counter_bump_is_clean(self):
+        result = run(
+            _RETRY_PRELUDE + """
+            import time
+
+            class Client:
+                def __init__(self) -> None:
+                    self.retry = RetryPolicy()
+                    self._attempts = 0
+
+                # gl: idempotent — counts attempts by design
+                def request(self) -> None:
+                    for attempt in range(1, self.retry.max_attempts + 1):
+                        self._attempts += 1
+                        time.sleep(self.retry.backoff_s(attempt))
+            """, select=["GL17"])
+        assert codes(result) == []
+
+    def test_pure_retry_loop_is_clean(self):
+        result = run(
+            _RETRY_PRELUDE + """
+            import time
+
+            class Client:
+                def __init__(self) -> None:
+                    self.retry = RetryPolicy()
+
+                def request(self, op) -> object:
+                    for attempt in range(1, self.retry.max_attempts + 1):
+                        time.sleep(self.retry.backoff_s(attempt))
+                    return op
+            """, select=["GL17"])
+        assert codes(result) == []
+
+    def test_transitive_mutation_under_retry_fires(self):
+        result = run(
+            _RETRY_PRELUDE + """
+            import time
+
+            class Stats:
+                def __init__(self) -> None:
+                    self.pushes = 0
+
+                def record(self) -> None:
+                    self.pushes += 1
+
+            class Client:
+                def __init__(self) -> None:
+                    self.retry = RetryPolicy()
+                    self.stats = Stats()
+
+                def request(self) -> None:
+                    for attempt in range(1, self.retry.max_attempts + 1):
+                        self.stats.record()
+                        time.sleep(self.retry.backoff_s(attempt))
+            """, select=["GL17"])
+        assert codes(result) == ["GL17"]
+        assert "Stats.record" in result.findings[0].message
+
+    def test_stale_annotation_fires_in_reverse(self):
+        result = run(
+            """
+            class Calc:
+                # gl: idempotent
+                def double(self, x: int) -> int:
+                    return 2 * x
+            """, select=["GL17"])
+        assert codes(result) == ["GL17"]
+        assert "stale" in result.findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# GL18 — cache-key soundness
+# ---------------------------------------------------------------------------
+
+class TestCacheKeySoundness:
+    def test_env_read_reaching_cached_result_fires(self):
+        # The golden positive: an experiment body (Lab-typed arg makes
+        # it a root) whose result depends on the environment, which
+        # cache_key never digests.
+        result = run(
+            """
+            import hashlib
+            import os
+
+            def cache_key(name: str, seed: int) -> str:
+                return hashlib.sha256(f"{name}:{seed}".encode()).hexdigest()
+
+            def scale_factor() -> float:
+                return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+            def fig_energy(lab: "Lab") -> float:
+                return 17.0 * scale_factor()
+            """, select=["GL18"])
+        assert codes(result) == ["GL18"]
+        assert "environment" in result.findings[0].message
+
+    def test_env_read_inside_digest_scope_is_clean(self):
+        result = run(
+            """
+            import hashlib
+            import os
+
+            def cache_key(name: str, seed: int) -> str:
+                salt = os.environ.get("REPRO_SALT", "")
+                return hashlib.sha256(
+                    f"{name}:{seed}:{salt}".encode()).hexdigest()
+
+            def fig_energy(lab: "Lab") -> float:
+                return 17.0
+            """, select=["GL18"])
+        assert codes(result) == []
+
+    def test_mutated_global_read_fires(self):
+        result = run(
+            """
+            _MEMO = {}
+
+            def remember(key: str, value: float) -> None:
+                _MEMO[key] = value
+
+            def fig_energy(lab: "Lab") -> float:
+                return _MEMO.get("joules", 0.0)
+            """, select=["GL18"])
+        assert codes(result) == ["GL18"]
+        assert "_MEMO" in result.findings[0].message
+
+    def test_unmutated_constant_global_is_clean(self):
+        result = run(
+            """
+            _TABLE = {"joules": 17.0}
+
+            def fig_energy(lab: "Lab") -> float:
+                return _TABLE.get("joules", 0.0)
+            """, select=["GL18"])
+        assert codes(result) == []
+
+    def test_unreachable_env_read_is_clean(self):
+        # Ambient reads off the experiment-reachable slice are other
+        # rules' business (or nobody's), not GL18's.
+        result = run(
+            """
+            import os
+
+            def debug_flag() -> bool:
+                return bool(os.environ.get("REPRO_DEBUG"))
+            """, select=["GL18"])
+        assert codes(result) == []
+
+
+# ---------------------------------------------------------------------------
+# Machinery round-trips: baseline, cache skip, SARIF
+# ---------------------------------------------------------------------------
+
+_LEAKY = """\
+import socket
+
+def probe() -> None:
+    sock = socket.socket()
+    sock.sendall(b"ping")
+"""
+
+
+class TestMachinery:
+    def test_baseline_round_trip(self, tmp_path):
+        mod = tmp_path / "leaky.py"
+        mod.write_text(_LEAKY)
+        result = lint_paths([str(mod)], select=["GL15"])
+        assert codes(result) == ["GL15"]
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), result)
+        entries = load_baseline(str(baseline))
+        assert len(entries) == 1
+        # CLI: baselined run is clean, and fixing the leak makes the
+        # stale entry fail instead of silently lingering.
+        assert main(["lint", "--select", "GL15",
+                     "--baseline", str(baseline), str(mod)]) == 0
+        mod.write_text(_LEAKY.replace("sock.sendall(b\"ping\")",
+                                      "sock.close()"))
+        assert main(["lint", "--select", "GL15",
+                     "--baseline", str(baseline), str(mod)]) == 1
+
+    def test_select_gl15_skips_cache_for_file_rules(self, tmp_path, capsys):
+        # Project-scope rules never enter the per-file cache: a
+        # --select GL15 run must not poison it with
+        # "clean-under-GL15-only" entries that a full run would trust.
+        mod = tmp_path / "bad.py"
+        mod.write_text("import random\n" + _LEAKY)
+        cache = str(tmp_path / "cache")
+        first = lint_paths([str(mod)], select=["GL15"], cache_dir=cache)
+        assert codes(first) == ["GL15"]
+        full = lint_paths([str(mod)], cache_dir=cache)
+        # The GL15-only run must not have cached "clean" for the file
+        # rules: the full run still sees the GL4 unseeded-random hit.
+        assert "GL4" in codes(full)
+        assert "GL15" in codes(full)
+
+    def test_sarif_renders_findings_and_rule_inventory(self, tmp_path):
+        mod = tmp_path / "leaky.py"
+        mod.write_text(_LEAKY)
+        result = lint_paths([str(mod)], select=["GL15"])
+        doc = json.loads(render_sarif(result))
+        assert doc["version"] == "2.1.0"
+        run_obj = doc["runs"][0]
+        rule_ids = {r["id"] for r in run_obj["tool"]["driver"]["rules"]}
+        assert {"GL15", "GL16", "GL17", "GL18"} <= rule_ids
+        assert len(run_obj["results"]) == 1
+        res = run_obj["results"][0]
+        assert res["ruleId"] == "GL15"
+        region = res["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == result.findings[0].line
+        # SARIF columns are 1-based; greenlint's are 0-based.
+        assert region["startColumn"] == result.findings[0].col + 1
+
+    def test_cli_format_sarif(self, tmp_path, capsys):
+        mod = tmp_path / "leaky.py"
+        mod.write_text(_LEAKY)
+        assert main(["lint", "--format", "sarif", "--select", "GL15",
+                     str(mod)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"][0]["ruleId"] == "GL15"
+
+    def test_json_format_is_byte_stable_with_json_flag(self, tmp_path,
+                                                       capsys):
+        mod = tmp_path / "leaky.py"
+        mod.write_text(_LEAKY)
+        assert main(["lint", "--json", "--no-cache", "--select", "GL15",
+                     str(mod)]) == 1
+        legacy = capsys.readouterr().out
+        assert main(["lint", "--format", "json", "--no-cache",
+                     "--select", "GL15", str(mod)]) == 1
+        assert capsys.readouterr().out == legacy
+        # And the document itself still parses under the v1 contract.
+        payload = json.loads(legacy)
+        assert payload["version"] == 1
+        assert payload["findings"][0]["code"] == "GL15"
+
+    def test_json_and_format_conflict_is_usage_error(self, tmp_path,
+                                                     capsys):
+        mod = tmp_path / "leaky.py"
+        mod.write_text(_LEAKY)
+        assert main(["lint", "--json", "--format", "sarif",
+                     str(mod)]) == 2
+        assert "error:" in capsys.readouterr().err

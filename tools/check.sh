@@ -19,24 +19,30 @@ python -m pytest -x -q
 echo "== greenlint (strict: warnings fail too) =="
 python -m repro.cli lint --strict src/repro
 
-echo "== greenlint whole-program (GL6-GL14, baselined) =="
+echo "== greenlint whole-program (GL6-GL18, baselined) =="
 # On failure, leave the machine-readable findings where CI can pick
-# them up as an artifact (see .github/workflows/ci.yml).
+# them up as an artifact (see .github/workflows/ci.yml) — both the
+# stable JSON contract and SARIF for code-host diff annotation.
+PROJECT_RULES=GL6,GL7,GL8,GL9,GL10,GL11,GL12,GL13,GL14,GL15,GL16,GL17,GL18
 mkdir -p tools/out
 if ! python -m repro.cli lint --strict \
-    --select GL6,GL7,GL8,GL9,GL10,GL11,GL12,GL13,GL14 \
+    --select "$PROJECT_RULES" \
     --baseline tools/greenlint-baseline.json \
     src tests tools; then
   python -m repro.cli lint --json \
-      --select GL6,GL7,GL8,GL9,GL10,GL11,GL12,GL13,GL14 \
+      --select "$PROJECT_RULES" \
       src tests tools > tools/out/greenlint-findings.json || true
-  echo "findings written to tools/out/greenlint-findings.json" >&2
+  python -m repro.cli lint --format sarif \
+      --select "$PROJECT_RULES" \
+      src tests tools > tools/out/greenlint-findings.sarif || true
+  echo "findings written to tools/out/greenlint-findings.json" \
+       "and tools/out/greenlint-findings.sarif" >&2
   exit 1
 fi
 
 echo "== greenlint runtime budget (full rule set, warm cache) =="
 # The linter is a tier-1 test, so its own latency is a gated quantity:
-# a full 14-rule run over src/repro must finish inside the budget.  The
+# a full 18-rule run over src/repro must finish inside the budget.  The
 # first run above has warmed the per-file cache; the JSON stats double
 # as a CI artifact next to the findings file.
 python - <<'PY'
